@@ -1,0 +1,49 @@
+//! Criterion benches for the Figure 3 datapath: one UDP echo point per
+//! buffer placement, and the pooled-NIC send paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cxl_fabric::HostId;
+use cxl_pool_core::pod::{PodParams, PodSim};
+use net_sim::experiment::{run_point, BufferMode, UdpConfig};
+use simkit::Nanos;
+
+fn bench_udp_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_udp_point");
+    group.sample_size(10);
+    for mode in [BufferMode::LocalDram, BufferMode::CxlPool] {
+        group.bench_with_input(
+            BenchmarkId::new("echo_2ms_512B", format!("{mode:?}")),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let mut cfg = UdpConfig::new(512, 200_000.0, mode);
+                    cfg.duration = Nanos::from_millis(2);
+                    criterion::black_box(run_point(cfg).p50)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_vnic_send(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pooled_nic_send");
+    group.bench_function("local_fast_path", |b| {
+        let mut pod = PodSim::new(PodParams::new(4, 2));
+        b.iter(|| {
+            let d = pod.time() + Nanos::from_millis(10);
+            criterion::black_box(pod.vnic_send(HostId(0), &[1u8; 256], d).expect("send"))
+        });
+    });
+    group.bench_function("mmio_forwarded", |b| {
+        let mut pod = PodSim::new(PodParams::new(4, 2));
+        b.iter(|| {
+            let d = pod.time() + Nanos::from_millis(10);
+            criterion::black_box(pod.vnic_send(HostId(3), &[1u8; 256], d).expect("send"))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_udp_point, bench_vnic_send);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benches for the stranding model (Figure 2 / §2.1): fleet
+//! packing and the pooled-provisioning sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simkit::rng::Rng;
+use stranding::packing::{pack_fleet, HostShape};
+use stranding::pooling::sweep_pool_sizes;
+use stranding::vm::VmCatalog;
+
+fn bench_packing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stranding");
+    g.sample_size(20);
+    g.bench_function("fig2_pack_200_hosts", |b| {
+        b.iter(|| {
+            let mut cat = VmCatalog::azure_like();
+            let mut rng = Rng::new(7);
+            criterion::black_box(pack_fleet(
+                &mut cat,
+                &HostShape::default_cloud(),
+                200,
+                100,
+                &mut rng,
+            ))
+        });
+    });
+    g.finish();
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sqrtn");
+    g.sample_size(20);
+    g.bench_function("sweep_1024_hosts", |b| {
+        b.iter(|| {
+            criterion::black_box(sweep_pool_sizes(
+                &HostShape::default_cloud(),
+                1024,
+                &[1, 2, 4, 8],
+                0.0,
+                9,
+            ))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_packing, bench_sweep);
+criterion_main!(benches);

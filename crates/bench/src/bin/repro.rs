@@ -1,0 +1,200 @@
+//! Regenerates every figure and table of the paper.
+//!
+//! ```text
+//! repro [--full] [--json PATH] [experiment…]
+//!
+//! experiments: fig2 sqrtn fig3 fig4 microbench orchestrator baselines
+//!              extensions   (default: all)
+//! ```
+//!
+//! `--json PATH` additionally writes every table as CSV-in-JSON for
+//! downstream plotting.
+
+use std::env;
+
+use cxl_pool_bench::{
+    baselines, extensions, fig2, fig3, fig4, microbench, orchestrator, sqrtn, Scale,
+};
+use simkit::table::Table;
+
+struct Emitter {
+    json: Vec<(String, String)>,
+}
+
+impl Emitter {
+    fn emit(&mut self, title: &str, table: Table) {
+        println!("\n=== {title} ===\n");
+        println!("{}", table.render());
+        self.json.push((title.to_string(), table.to_csv()));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let wanted: Vec<&str> = {
+        let mut skip_next = false;
+        args.iter()
+            .filter(|a| {
+                if skip_next {
+                    skip_next = false;
+                    return false;
+                }
+                if *a == "--json" {
+                    skip_next = true;
+                    return false;
+                }
+                !a.starts_with("--")
+            })
+            .map(String::as_str)
+            .collect()
+    };
+    let all = wanted.is_empty();
+    let want = |name: &str| all || wanted.contains(&name);
+    let mut out = Emitter { json: Vec::new() };
+
+    if want("fig2") {
+        out.emit("Figure 2: stranded resources (unpooled fleet)", fig2::run(scale));
+        out.emit(
+            "Figure 2 companion: churning fleet, time-averaged stranding",
+            fig2::run_churn(scale),
+        );
+    }
+    if want("sqrtn") {
+        out.emit(
+            "Section 2.1: pooling over N hosts (provisioning simulation)",
+            sqrtn::run(scale),
+        );
+        out.emit(
+            "Section 2.1: Erlang-C square-root staffing (analytic)",
+            sqrtn::run_erlang(),
+        );
+        out.emit(
+            "Section 2.1 ablation: correlated demand blunts pooling",
+            sqrtn::run_correlation(scale),
+        );
+    }
+    if want("fig3") {
+        out.emit(
+            "Figure 3: UDP latency-throughput, CXL vs local buffers",
+            fig3::run(scale),
+        );
+        out.emit(
+            "Figure 3 (saturation): throughput ceiling per placement",
+            fig3::run_saturation(scale),
+        );
+        out.emit(
+            "Figure 3 ablation: zero-copy vs copying stack",
+            fig3::run_copy_ablation(scale),
+        );
+        out.emit(
+            "Figure 1 scenario: serving through a pooled (remote) NIC",
+            fig3::run_remote_nic(scale),
+        );
+    }
+    if want("fig4") {
+        out.emit(
+            "Figure 4: CXL shared-memory message-passing latency",
+            fig4::run(scale),
+        );
+        out.emit("Figure 4 ablation: link width", fig4::run_ablation(scale));
+        out.emit(
+            "Figure 4 ablation: pool under background load",
+            fig4::run_contention(scale),
+        );
+    }
+    if want("microbench") {
+        out.emit("Section 3 calibration: idle latencies", microbench::run_latency());
+        out.emit(
+            "Section 3 calibration: link + interleave bandwidth",
+            microbench::run_bandwidth(scale),
+        );
+        out.emit(
+            "Section 3: loaded latency on one x8 link",
+            microbench::run_loaded_latency(scale),
+        );
+    }
+    if want("orchestrator") {
+        out.emit(
+            "Section 4.2: local vs MMIO-forwarded submission",
+            orchestrator::run_forwarding(scale),
+        );
+        out.emit("Section 4.2: NIC failover latency", orchestrator::run_failover(scale));
+        out.emit("Section 4.2: allocation policies", orchestrator::run_policies(scale));
+        out.emit("Section 4.2: load balancing", orchestrator::run_balancing());
+        out.emit(
+            "Section 4.2 ablation: doorbell batching on the forwarded path",
+            orchestrator::run_batching(scale),
+        );
+        out.emit(
+            "Section 4.2: dynamic load balancing vs static assignment",
+            orchestrator::run_dynamic_balance(scale),
+        );
+        out.emit(
+            "Section 4.1 ablation: descriptor-ring placement",
+            orchestrator::run_desc_placement(scale),
+        );
+        out.emit(
+            "Section 4.2: fair sharing of one NIC across hosts",
+            orchestrator::run_sharing(scale),
+        );
+    }
+    if want("baselines") {
+        out.emit(
+            "Section 1: storage access paths (local vs CXL-pooled vs RDMA)",
+            baselines::run_storage_paths(scale),
+        );
+        out.emit(
+            "Section 1: rack-level TCO (PCIe switch vs CXL pod)",
+            baselines::run_tco(),
+        );
+    }
+    if want("extensions") {
+        out.emit("Section 5: ToR-less rack availability", extensions::run_torless(scale));
+        out.emit(
+            "Section 5: accelerator disaggregation",
+            extensions::run_accelpool(scale),
+        );
+        out.emit(
+            "Section 5: storage striping across pooled SSDs",
+            extensions::run_striping(scale),
+        );
+        out.emit(
+            "Section 5: connection-migration blackout",
+            extensions::run_migration(scale),
+        );
+        out.emit(
+            "Section 1: device harvesting (burst across all pool NICs)",
+            extensions::run_harvest(scale),
+        );
+        out.emit(
+            "Section 5: MHD failure and software pool recovery",
+            extensions::run_pool_recovery(scale),
+        );
+        out.emit(
+            "Section 5: pooled-SSD IOPS vs queue depth",
+            extensions::run_ssd_qd(scale),
+        );
+    }
+
+    if let Some(path) = json_path {
+        let obj: serde_json::Value = serde_json::Value::Object(
+            out.json
+                .into_iter()
+                .map(|(k, v)| (k, serde_json::Value::String(v)))
+                .collect(),
+        );
+        std::fs::write(&path, serde_json::to_string_pretty(&obj).expect("serialize"))
+            .expect("write json");
+        println!("\nresults written to {path}");
+    }
+}

@@ -1,0 +1,106 @@
+//! Figure 2: percentages of stranded CPU cores, memory, SSD storage,
+//! and NIC bandwidth.
+//!
+//! The paper shows Azure production distributions; we pack the
+//! calibrated Azure-like VM mix onto a fleet and measure what fraction
+//! of each resource is left unsellable once no more VMs fit. Paper
+//! headline averages: SSD ≈ 54 % stranded, NIC ≈ 29 % stranded, with
+//! CPU and memory far lower.
+
+use simkit::rng::Rng;
+use simkit::table::{fmt_f64, Table};
+use stranding::packing::{pack_fleet, HostShape};
+use stranding::vm::VmCatalog;
+
+use crate::Scale;
+
+/// Reference values quoted in the paper's §2.1 for the two headline
+/// resources.
+pub const PAPER_SSD: f64 = 0.54;
+/// NIC stranding quoted in the paper.
+pub const PAPER_NIC: f64 = 0.29;
+
+/// Runs the experiment over several seeds and renders the table.
+pub fn run(scale: Scale) -> Table {
+    let (hosts, seeds) = scale.pick((300, 5), (1000, 20));
+    let shape = HostShape::default_cloud();
+    let mut sums = [0.0f64; 4];
+    let mut mins = [f64::MAX; 4];
+    let mut maxs = [0.0f64; 4];
+    for seed in 0..seeds {
+        let mut catalog = VmCatalog::azure_like();
+        let mut rng = Rng::new(0xF162 + seed);
+        let s = pack_fleet(&mut catalog, &shape, hosts, 200, &mut rng);
+        for (i, v) in [s.cpu, s.mem, s.ssd, s.nic].into_iter().enumerate() {
+            sums[i] += v;
+            mins[i] = mins[i].min(v);
+            maxs[i] = maxs[i].max(v);
+        }
+    }
+    let n = seeds as f64;
+    let mut t = Table::new(&["resource", "stranded_mean_pct", "min_pct", "max_pct", "paper_pct"]);
+    let rows = [
+        ("CPU cores", sums[0] / n, mins[0], maxs[0], "-"),
+        ("memory", sums[1] / n, mins[1], maxs[1], "-"),
+        ("SSD capacity", sums[2] / n, mins[2], maxs[2], "54"),
+        ("NIC bandwidth", sums[3] / n, mins[3], maxs[3], "29"),
+    ];
+    for (name, mean, min, max, paper) in rows {
+        t.row(&[
+            name,
+            &fmt_f64(mean * 100.0),
+            &fmt_f64(min * 100.0),
+            &fmt_f64(max * 100.0),
+            paper,
+        ]);
+    }
+    t
+}
+
+/// The churning-fleet companion: time-averaged stranding in a
+/// birth–death steady state at 90 % core utilization, unpooled vs
+/// pooled admission (N = 8).
+pub fn run_churn(scale: Scale) -> Table {
+    use stranding::churn::{run_churn, ChurnConfig};
+    let hosts = scale.pick(64, 256);
+    let mut t = Table::new(&[
+        "fleet",
+        "cpu_pct",
+        "ssd_pct",
+        "nic_pct",
+        "admitted",
+        "rejected",
+    ]);
+    for (name, pool_n) in [("unpooled (churning)", 1usize), ("pooled N=8 (churning)", 8)] {
+        let s = run_churn(ChurnConfig::at_utilization(hosts, pool_n, 0.9, 0xC0FE));
+        t.row(&[
+            name,
+            &fmt_f64(s.cpu * 100.0),
+            &fmt_f64(s.ssd * 100.0),
+            &fmt_f64(s.nic * 100.0),
+            &s.admitted.to_string(),
+            &s.rejected.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_table_has_two_fleets() {
+        let t = run_churn(Scale::Quick);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn table_has_four_resources() {
+        let t = run(Scale::Quick);
+        assert_eq!(t.len(), 4);
+        let text = t.render();
+        assert!(text.contains("SSD"));
+        assert!(text.contains("NIC"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Figure 3: UDP echo latency-throughput with 100 Gbps NICs, server
+//! TX/RX buffers in the CXL pool (dotted) vs local DDR5 (solid).
+//!
+//! The paper's claim: "although CXL has higher access latency, placing
+//! TX/RX buffers in CXL has negligible effects on the network latency.
+//! Maximum throughput is also not affected." We sweep offered load per
+//! payload size and overlay the two placements.
+
+use net_sim::experiment::{run_point, BufferMode, UdpConfig};
+use simkit::table::{fmt_f64, Table};
+use simkit::Nanos;
+
+use crate::Scale;
+
+/// Payload sizes swept (bytes), as in the paper's microbenchmark.
+pub const PAYLOADS: [u32; 4] = [64, 512, 1500, 4096];
+
+/// Offered-load points, as a fraction of the single-core saturation
+/// rate for the payload.
+const LOAD_FRACTIONS: [f64; 6] = [0.1, 0.3, 0.5, 0.7, 0.85, 0.95];
+
+/// Rough saturation rate (pps) for a payload size; used only to place
+/// sweep points, the measurement is exact. The bottleneck is the CPU
+/// pool for small payloads and the 100 Gbps line for large ones.
+fn saturation_pps(payload: u32) -> f64 {
+    let cores = net_sim::StackParams::default().cores as f64;
+    let cpu = cores * 1e9 / 1_100.0;
+    let line = 12.5e9 / (payload as f64 + 42.0);
+    cpu.min(line)
+}
+
+/// Runs the full latency-throughput sweep and renders one table with
+/// both buffer placements side by side.
+pub fn run(scale: Scale) -> Table {
+    let duration = scale.pick(Nanos::from_millis(5), Nanos::from_millis(40));
+    run_with(duration, &PAYLOADS, &LOAD_FRACTIONS)
+}
+
+/// The sweep with explicit parameters (tests use a tiny grid).
+pub fn run_with(duration: Nanos, payloads: &[u32], fractions: &[f64]) -> Table {
+    let mut t = Table::new(&[
+        "payload_B",
+        "offered_kpps",
+        "local_p50_us",
+        "cxl_p50_us",
+        "gap_pct",
+        "local_p99_us",
+        "cxl_p99_us",
+        "local_gbps",
+        "cxl_gbps",
+    ]);
+    for &payload in payloads {
+        let sat = saturation_pps(payload);
+        for &frac in fractions {
+            let pps = sat * frac;
+            let mut local_cfg = UdpConfig::new(payload, pps, BufferMode::LocalDram);
+            local_cfg.duration = duration;
+            let mut cxl_cfg = UdpConfig::new(payload, pps, BufferMode::CxlPool);
+            cxl_cfg.duration = duration;
+            let local = run_point(local_cfg);
+            let cxl = run_point(cxl_cfg);
+            assert!(local.integrity_ok && cxl.integrity_ok, "corrupted echoes");
+            let gap = (cxl.p50 as f64 - local.p50 as f64) / local.p50 as f64 * 100.0;
+            t.row(&[
+                &payload.to_string(),
+                &fmt_f64(pps / 1e3),
+                &fmt_f64(local.p50 as f64 / 1e3),
+                &fmt_f64(cxl.p50 as f64 / 1e3),
+                &fmt_f64(gap),
+                &fmt_f64(local.p99 as f64 / 1e3),
+                &fmt_f64(cxl.p99 as f64 / 1e3),
+                &fmt_f64(local.goodput_gbps),
+                &fmt_f64(cxl.goodput_gbps),
+            ]);
+        }
+    }
+    t
+}
+
+/// The saturation check: at max offered load, both placements reach
+/// the same throughput ceiling.
+pub fn run_saturation(scale: Scale) -> Table {
+    let duration = scale.pick(Nanos::from_millis(5), Nanos::from_millis(25));
+    let mut t = Table::new(&["payload_B", "mode", "achieved_kpps", "goodput_gbps", "drops"]);
+    for payload in PAYLOADS {
+        let pps = saturation_pps(payload) * 2.0;
+        for mode in [BufferMode::LocalDram, BufferMode::CxlPool] {
+            let mut cfg = UdpConfig::new(payload, pps, mode);
+            cfg.duration = duration;
+            let p = run_point(cfg);
+            t.row(&[
+                &payload.to_string(),
+                &format!("{mode:?}"),
+                &fmt_f64(p.achieved_pps / 1e3),
+                &fmt_f64(p.goodput_gbps),
+                &p.drops.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Stack-design ablation: zero-copy echo (reply from the RX buffer)
+/// vs a copying stack that pulls the whole payload through the CPU.
+/// Copying magnifies the CXL access cost with payload size — the
+/// datapath design choice that keeps Figure 3's gap small.
+pub fn run_copy_ablation(scale: Scale) -> Table {
+    let duration = scale.pick(Nanos::from_millis(4), Nanos::from_millis(20));
+    let mut t = Table::new(&[
+        "payload_B",
+        "stack",
+        "local_p50_us",
+        "cxl_p50_us",
+        "gap_pct",
+    ]);
+    for payload in [512u32, 4096] {
+        for (name, zero_copy) in [("zero-copy", true), ("copying", false)] {
+            let mk = |mode| {
+                let mut cfg = UdpConfig::new(payload, 200_000.0, mode);
+                cfg.duration = duration;
+                cfg.stack.zero_copy = zero_copy;
+                run_point(cfg)
+            };
+            let local = mk(BufferMode::LocalDram);
+            let cxl = mk(BufferMode::CxlPool);
+            let gap = (cxl.p50 as f64 - local.p50 as f64) / local.p50 as f64 * 100.0;
+            t.row(&[
+                &payload.to_string(),
+                name,
+                &fmt_f64(local.p50 as f64 / 1e3),
+                &fmt_f64(cxl.p50 as f64 / 1e3),
+                &fmt_f64(gap),
+            ]);
+        }
+    }
+    t
+}
+
+/// The Figure 1 scenario measured: serving the same UDP echo through a
+/// NIC the host does not own (MMIO-forwarded submissions) vs its own.
+pub fn run_remote_nic(scale: Scale) -> Table {
+    use net_sim::experiment::RemoteNicCosts;
+    let duration = scale.pick(Nanos::from_millis(4), Nanos::from_millis(20));
+    let mut t = Table::new(&[
+        "payload_B",
+        "offered_kpps",
+        "own_nic_p50_us",
+        "pooled_nic_p50_us",
+        "added_us",
+    ]);
+    for payload in [64u32, 1500] {
+        for pps in [100_000.0, 400_000.0, 800_000.0] {
+            let mut own = UdpConfig::new(payload, pps, BufferMode::CxlPool);
+            own.duration = duration;
+            let mut pooled = own.clone();
+            pooled.remote_nic = Some(RemoteNicCosts::default());
+            let a = run_point(own);
+            let b = run_point(pooled);
+            t.row(&[
+                &payload.to_string(),
+                &fmt_f64(pps / 1e3),
+                &fmt_f64(a.p50 as f64 / 1e3),
+                &fmt_f64(b.p50 as f64 / 1e3),
+                &fmt_f64((b.p50 as f64 - a.p50 as f64) / 1e3),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_nic_table_renders() {
+        let t = run_remote_nic(Scale::Quick);
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn copy_ablation_shows_larger_gap_when_copying() {
+        let t = run_copy_ablation(Scale::Quick);
+        assert_eq!(t.len(), 4);
+        let csv = t.to_csv();
+        let rows: Vec<&str> = csv.lines().skip(1).collect();
+        // 4096 B: copying gap (row 3) should exceed zero-copy gap (row 2).
+        let zc_gap: f64 = rows[2].split(',').nth(4).unwrap().parse().unwrap();
+        let cp_gap: f64 = rows[3].split(',').nth(4).unwrap().parse().unwrap();
+        assert!(
+            cp_gap > zc_gap,
+            "copying gap {cp_gap}% should exceed zero-copy {zc_gap}%"
+        );
+    }
+
+    #[test]
+    fn sweep_covers_all_payloads_and_loads() {
+        // A tiny grid: the full Quick/Full sweeps run via `repro`.
+        let t = run_with(Nanos::from_millis(1), &[256], &[0.2, 0.5]);
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,45 @@
+//! Experiment harness: regenerates every figure and table in the
+//! paper's evaluation as plain-text tables (and CSV).
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig2`] | Figure 2 — stranded CPU / memory / SSD / NIC fractions |
+//! | [`sqrtn`] | §2.1 — pooling over N hosts cuts stranding ≈ √N |
+//! | [`fig3`] | Figure 3 — UDP latency-throughput, CXL vs local buffers |
+//! | [`fig4`] | Figure 4 — shared-memory message-passing latency CDF |
+//! | [`microbench`] | §3 calibration — idle latency ratio, link/interleave bandwidth |
+//! | [`orchestrator`] | §4.2 — allocation policy, failover, load balancing |
+//! | [`extensions`] | §5 — ToR-less availability, accelerator pooling, striping, migration |
+//!
+//! Run everything with `cargo run -p cxl-pool-bench --bin repro --release`
+//! or a single experiment with `… -- fig3`.
+
+pub mod baselines;
+pub mod extensions;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod microbench;
+pub mod orchestrator;
+pub mod sqrtn;
+
+/// Scale knob for experiment runtime: `Quick` keeps the full shape of
+/// every experiment with smaller samples (CI-friendly); `Full` uses
+/// paper-scale sample counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced samples; minutes of total runtime.
+    Quick,
+    /// Paper-scale samples.
+    Full,
+}
+
+impl Scale {
+    /// Picks between the quick and full variant of a parameter.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}

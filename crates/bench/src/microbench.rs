@@ -1,0 +1,167 @@
+//! §3 calibration microbenchmarks: idle latency ratio, per-link
+//! bandwidth, and interleaving scale-out.
+//!
+//! Paper reference points:
+//! - CXL idle load-to-use ≈ 2.15× local DDR5 (Leo controller).
+//! - A CXL-2.0/PCIe-5.0 ×8 link ≈ 30 GB/s — one DDR5-4800 channel at a
+//!   2:1 read:write mix.
+//! - Interleaving across 64 lanes (8 × ×8) per socket ≈ 240 GB/s.
+
+use cxl_fabric::{Fabric, FabricParams, HostId, PodConfig};
+use simkit::table::{fmt_f64, Table};
+use simkit::Nanos;
+
+use crate::Scale;
+
+/// Idle-latency table: local DDR5 load vs CXL load at both link
+/// widths, plus the ratio.
+pub fn run_latency() -> Table {
+    let mut t = Table::new(&["access", "idle_ns", "ratio_vs_local", "paper"]);
+    let mut f = Fabric::new(PodConfig::new(2, 2, 2));
+    let seg = f.alloc_shared(&[HostId(0)], 4096).expect("alloc");
+    let mut buf = [0u8; 64];
+    let local = f.local_load(Nanos(0), HostId(0), 0x1000, &mut buf);
+    let cxl = f.load(Nanos(0), HostId(0), seg.base(), &mut buf).expect("load");
+    t.row(&["local DDR5 load (64 B)", &local.as_nanos().to_string(), "1.00", "~90 ns"]);
+    t.row(&[
+        "CXL pool load (64 B, x8)",
+        &cxl.as_nanos().to_string(),
+        &fmt_f64(cxl.as_nanos() as f64 / local.as_nanos() as f64),
+        "2.15x",
+    ]);
+    let mut f16 = Fabric::new(PodConfig::new(2, 2, 2).with_params(FabricParams::x16()));
+    let seg16 = f16.alloc_shared(&[HostId(0)], 4096).expect("alloc");
+    let cxl16 = f16.load(Nanos(0), HostId(0), seg16.base(), &mut buf).expect("load");
+    t.row(&[
+        "CXL pool load (64 B, x16)",
+        &cxl16.as_nanos().to_string(),
+        &fmt_f64(cxl16.as_nanos() as f64 / local.as_nanos() as f64),
+        "-",
+    ]);
+    let store = f.nt_store(Nanos(0), HostId(0), seg.base(), &buf).expect("store");
+    t.row(&[
+        "CXL NT store visible (64 B, x8)",
+        &store.as_nanos().to_string(),
+        &fmt_f64(store.as_nanos() as f64 / local.as_nanos() as f64),
+        "-",
+    ]);
+    t
+}
+
+/// Streams `total` bytes through a `ways`-interleaved segment with
+/// bulk DMA writes and returns achieved GB/s.
+fn stream_bandwidth(ways: u16, total: u64, chunk: u64) -> f64 {
+    // A pod with `ways` MHDs and `ways` links per host.
+    let mut f = Fabric::new(PodConfig::new(1, ways, ways));
+    let seg = f
+        .alloc_interleaved(&[HostId(0)], total.max(chunk), ways as usize)
+        .expect("alloc");
+    let data = vec![0xA5u8; chunk as usize];
+    let mut done = Nanos::ZERO;
+    let mut sent = 0u64;
+    while sent < total {
+        done = f
+            .dma_write(Nanos::ZERO, HostId(0), seg.base() + (sent % (total - chunk + 1)), &data)
+            .expect("dma");
+        sent += chunk;
+    }
+    sent as f64 / done.as_nanos() as f64
+}
+
+/// Bandwidth table: ×8 link rate and the interleave sweep up to 64
+/// lanes (8 ways × 8 lanes).
+pub fn run_bandwidth(scale: Scale) -> Table {
+    let total = scale.pick(64u64 << 20, 512u64 << 20);
+    let mut t = Table::new(&["config", "lanes", "achieved_gbps", "paper_gbps"]);
+    for (ways, paper) in [(1u16, "30"), (2, "60"), (4, "120"), (8, "240")] {
+        let bw = stream_bandwidth(ways, total, 1 << 20);
+        t.row(&[
+            &format!("{ways}x PCIe5 x8 links, 256B interleave"),
+            &(ways * 8).to_string(),
+            &fmt_f64(bw),
+            paper,
+        ]);
+    }
+    t
+}
+
+/// Loaded-latency curve: 64 B load latency as background DMA traffic
+/// pushes a single ×8 link toward saturation — the classic
+/// memory-subsystem "hockey stick" (§3's bandwidth/latency trade-off).
+pub fn run_loaded_latency(scale: Scale) -> Table {
+    let probes = scale.pick(200u32, 2_000);
+    let mut t = Table::new(&["offered_gbps", "utilization_pct", "p50_ns", "p99_ns"]);
+    for frac in [0.0f64, 0.2, 0.4, 0.6, 0.8, 0.9] {
+        let mut f = Fabric::new(PodConfig::new(1, 1, 1));
+        let seg = f.alloc_interleaved(&[HostId(0)], 16 << 20, 1).expect("alloc");
+        let link_bw = f.params().link_gbps();
+        let offered = link_bw * frac;
+        let chunk = 8u64 << 10;
+        let mut hist = simkit::stats::Histogram::new();
+        let mut now = Nanos::ZERO;
+        let mut buf = [0u8; 64];
+        // Interleave probe loads with background bulk writes sized to
+        // hit the target utilization.
+        let gap = if offered > 0.0 {
+            Nanos((chunk as f64 / offered) as u64)
+        } else {
+            Nanos(2_000)
+        };
+        for i in 0..probes {
+            if offered > 0.0 {
+                let addr = seg.base() + (i as u64 % 512) * chunk;
+                let _ = f
+                    .dma_write(now, HostId(0), addr, &vec![0u8; chunk as usize])
+                    .expect("bg write");
+            }
+            let probe_at = now + gap / 2;
+            let ti = f.invalidate(probe_at, HostId(0), seg.base(), 64);
+            let done = f.load(ti, HostId(0), seg.base(), &mut buf).expect("probe");
+            hist.record((done - probe_at).as_nanos());
+            now += gap;
+        }
+        t.row(&[
+            &fmt_f64(offered),
+            &fmt_f64(frac * 100.0),
+            &hist.quantile(0.5).to_string(),
+            &hist.quantile(0.99).to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loaded_latency_rises_with_utilization() {
+        let t = run_loaded_latency(Scale::Quick);
+        assert_eq!(t.len(), 6);
+        // Parse first and last p50 cells from the CSV form.
+        let csv = t.to_csv();
+        let rows: Vec<&str> = csv.lines().skip(1).collect();
+        let first_p50: f64 = rows[0].split(',').nth(2).unwrap().parse().unwrap();
+        let last_p50: f64 = rows[5].split(',').nth(2).unwrap().parse().unwrap();
+        assert!(
+            last_p50 > first_p50,
+            "loaded latency {last_p50} should exceed idle {first_p50}"
+        );
+    }
+
+    #[test]
+    fn latency_table_shows_ratio_near_paper() {
+        let t = run_latency();
+        assert_eq!(t.len(), 4);
+        let text = t.render();
+        assert!(text.contains("2.1") || text.contains("2.2"), "{text}");
+    }
+
+    #[test]
+    fn bandwidth_scales_with_ways() {
+        let one = stream_bandwidth(1, 32 << 20, 1 << 20);
+        let four = stream_bandwidth(4, 32 << 20, 1 << 20);
+        assert!((one - 30.0).abs() < 4.0, "x8 link should be ~30 GB/s, got {one}");
+        assert!(four > one * 3.0, "4-way interleave {four} vs 1-way {one}");
+    }
+}

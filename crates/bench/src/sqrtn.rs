@@ -1,0 +1,104 @@
+//! §2.1: pooling SSD/NIC across N hosts reduces stranding roughly as
+//! √N — "pooling across even just N = 8 servers would reduce SSD
+//! stranding from 54% to 19% and NIC stranding from 29% to 10%".
+//!
+//! Three views, all tabulated:
+//! 1. the provisioning *simulation* (pod-level capacity at the same
+//!    service quantile),
+//! 2. the paper's √N shortcut anchored at the N = 1 simulation,
+//! 3. the exact Erlang-C square-root-staffing analytic,
+//! plus an ablation with correlated demand (the paper's caveat).
+
+use simkit::table::{fmt_f64, Table};
+use stranding::erlang::sqrt_n_table;
+use stranding::packing::HostShape;
+use stranding::pooling::sweep_pool_sizes;
+
+use crate::Scale;
+
+/// Pool sizes swept.
+pub const SIZES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Runs the sweep and renders the main table.
+pub fn run(scale: Scale) -> Table {
+    let hosts = scale.pick(2048, 16384);
+    let rows = sweep_pool_sizes(&HostShape::default_cloud(), hosts, &SIZES, 0.0, 0xCAB1E);
+    let mut t = Table::new(&[
+        "N",
+        "ssd_stranded_pct",
+        "ssd_sqrt_rule_pct",
+        "nic_stranded_pct",
+        "nic_sqrt_rule_pct",
+        "paper_ssd_pct",
+        "paper_nic_pct",
+    ]);
+    for r in &rows {
+        let paper_ssd = 54.0 / (r.n as f64).sqrt();
+        let paper_nic = 29.0 / (r.n as f64).sqrt();
+        t.row(&[
+            &r.n.to_string(),
+            &fmt_f64(r.ssd * 100.0),
+            &fmt_f64(r.ssd_sqrt_pred * 100.0),
+            &fmt_f64(r.nic * 100.0),
+            &fmt_f64(r.nic_sqrt_pred * 100.0),
+            &fmt_f64(paper_ssd),
+            &fmt_f64(paper_nic),
+        ]);
+    }
+    t
+}
+
+/// The correlation ablation: pooling gain (N=1 stranding ÷ N=8
+/// stranding) as demand correlation grows.
+pub fn run_correlation(scale: Scale) -> Table {
+    let hosts = scale.pick(2048, 8192);
+    let mut t = Table::new(&["correlation", "ssd_n1_pct", "ssd_n8_pct", "gain_x"]);
+    for rho in [0.0, 0.3, 0.6, 0.9] {
+        let rows = sweep_pool_sizes(&HostShape::default_cloud(), hosts, &[1, 8], rho, 0xCAB1E);
+        let gain = rows[0].ssd / rows[1].ssd.max(1e-9);
+        t.row(&[
+            &fmt_f64(rho),
+            &fmt_f64(rows[0].ssd * 100.0),
+            &fmt_f64(rows[1].ssd * 100.0),
+            &fmt_f64(gain),
+        ]);
+    }
+    t
+}
+
+/// The analytic Erlang-C counterpart.
+pub fn run_erlang() -> Table {
+    let rows = sqrt_n_table(20.0, 0.05, &[1, 2, 4, 8, 16, 32]);
+    let mut t = Table::new(&["N", "erlang_stranded_pct", "sqrt_rule_pct"]);
+    for r in &rows {
+        t.row(&[
+            &r.n.to_string(),
+            &fmt_f64(r.erlang * 100.0),
+            &fmt_f64(r.sqrt_rule * 100.0),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn main_table_covers_all_sizes() {
+        let t = run(Scale::Quick);
+        assert_eq!(t.len(), SIZES.len());
+    }
+
+    #[test]
+    fn erlang_table_renders() {
+        let t = run_erlang();
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn correlation_table_has_four_rows() {
+        let t = run_correlation(Scale::Quick);
+        assert_eq!(t.len(), 4);
+    }
+}

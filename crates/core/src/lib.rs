@@ -1,0 +1,42 @@
+//! Software PCIe device pooling over CXL memory pools — the paper's
+//! contribution.
+//!
+//! A CXL pod's hosts can all reach the same pool memory, and so can
+//! every PCIe device attached to any of those hosts (via its attach
+//! host's DMA path). This crate turns that observation into a device
+//! pool:
+//!
+//! - **Datapath** ([`proto`], [`vdev`], [`agent`]): I/O buffers live in
+//!   shared pool segments; a host using a *remote* device writes its
+//!   buffers with software coherence and forwards the MMIO part of the
+//!   operation (doorbells, queue submissions) over a sub-microsecond
+//!   shared-memory channel to the device's attach host, where a pooling
+//!   agent executes it and returns a completion.
+//! - **Pooling orchestrator** ([`orchestrator`]): allocates devices to
+//!   hosts (local-first below a load threshold, else least-utilized),
+//!   watches agent heartbeats and device health, migrates load, and
+//!   fails affected hosts over to surviving devices.
+//! - **Assembly** ([`pod`]): [`pod::PodSim`] wires fabric, devices,
+//!   agents, channels, and orchestrator into one simulated rack you can
+//!   drive from tests, examples, and benches.
+//! - **§5 extensions** ([`striping`], [`accelpool`], [`torless`],
+//!   [`migration`]): storage striping across pooled SSDs, 1:16
+//!   accelerator disaggregation, ToR-less availability modelling, and
+//!   TCP-connection migration between pooled NICs.
+
+pub mod agent;
+pub mod bonding;
+pub mod accelpool;
+pub mod migration;
+pub mod orchestrator;
+pub mod pod;
+pub mod proto;
+pub mod striping;
+pub mod telemetry;
+pub mod torless;
+pub mod vdev;
+
+pub use orchestrator::{AllocPolicy, Orchestrator};
+pub use pod::{PodParams, PodSim};
+pub use proto::Msg;
+pub use vdev::{DeviceKind, VirtualDevice};

@@ -1,0 +1,1269 @@
+//! Pod assembly: one simulated rack running the full pooling system.
+//!
+//! [`PodSim`] owns the CXL fabric, every host's pooling agent (with its
+//! physical devices), the full mesh of agent-to-agent shared-memory
+//! channels, and the orchestrator with its control channels. Its
+//! methods implement the *client side* of the datapath — what the
+//! userspace I/O stack on a host does to use a pooled device:
+//!
+//! 1. write the I/O buffer into shared pool memory (non-temporal),
+//! 2. forward the MMIO submission to the device's attach host,
+//! 3. poll for the completion message.
+//!
+//! When the assigned device happens to be local, the same call takes
+//! the fast path: plain doorbell + device queue, no forwarding.
+
+use std::collections::HashMap;
+
+use cxl_fabric::{Fabric, HostId, PodConfig};
+use pcie_sim::nic::TxFrame;
+use pcie_sim::{Accelerator, BufRef, DeviceId, Nic, NicConfig, Ssd, SsdConfig};
+use simkit::Nanos;
+
+use crate::agent::{Agent, Completion, Link, Peer};
+use crate::orchestrator::{AllocPolicy, Orchestrator};
+use crate::proto::Msg;
+use crate::vdev::{DeviceKind, PoolError};
+
+/// Size of one client I/O buffer slot.
+pub const IO_SLOT: u64 = 64 * 1024;
+
+/// Pod construction parameters.
+#[derive(Clone, Debug)]
+pub struct PodParams {
+    /// Number of hosts.
+    pub hosts: u16,
+    /// Number of MHDs in the CXL pool.
+    pub mhds: u16,
+    /// Path redundancy λ.
+    pub lambda: u16,
+    /// Hosts that get a NIC (one per entry; repeats allowed).
+    pub nic_hosts: Vec<u16>,
+    /// Hosts that get an SSD.
+    pub ssd_hosts: Vec<u16>,
+    /// Hosts that get an accelerator.
+    pub accel_hosts: Vec<u16>,
+    /// Ring capacity (slots) of each control channel.
+    pub ring_slots: u64,
+    /// I/O buffer slots per host.
+    pub io_slots: u64,
+    /// Allocation policy.
+    pub policy: AllocPolicy,
+    /// RNG seed (policy randomness).
+    pub seed: u64,
+}
+
+impl PodParams {
+    /// A small pod: `hosts` hosts, NICs on the first `nics` hosts,
+    /// defaults elsewhere.
+    pub fn new(hosts: u16, nics: u16) -> PodParams {
+        PodParams {
+            hosts,
+            mhds: 2,
+            lambda: 2,
+            nic_hosts: (0..nics.min(hosts)).collect(),
+            ssd_hosts: Vec::new(),
+            accel_hosts: Vec::new(),
+            ring_slots: 64,
+            io_slots: 16,
+            policy: AllocPolicy::LocalFirst { threshold: 80 },
+            seed: 7,
+        }
+    }
+}
+
+/// A submitted-but-not-awaited pooled operation.
+#[derive(Clone, Copy, Debug)]
+pub enum Submitted {
+    /// The fast path already completed the operation.
+    Local(OpResult),
+    /// A forwarded operation whose completion must be awaited.
+    Remote {
+        /// Operation id to match the completion.
+        op: u64,
+        /// Host executing the operation.
+        attach: HostId,
+    },
+}
+
+/// Outcome of a completed pooled operation.
+#[derive(Clone, Copy, Debug)]
+pub struct OpResult {
+    /// Operation id.
+    pub op: u64,
+    /// Device-reported completion time.
+    pub at: Nanos,
+    /// True if the fast (local, non-forwarded) path was used.
+    pub local: bool,
+}
+
+/// The full simulated pod.
+pub struct PodSim {
+    /// The CXL fabric.
+    pub fabric: Fabric,
+    /// Per-host agents (index = host id).
+    pub agents: Vec<Agent>,
+    /// The orchestrator.
+    pub orch: Orchestrator,
+    io_base: Vec<u64>,
+    io_slots: u64,
+    next_io: Vec<u64>,
+    next_op: u64,
+    dev_attach: HashMap<DeviceId, HostId>,
+    ring_slots: u64,
+    /// Mesh channel backing segments: `(a, b, seg_ab, seg_ba)`.
+    mesh_segs: Vec<(u16, u16, cxl_fabric::SegmentId, cxl_fabric::SegmentId)>,
+    /// Orchestrator channel backing segments: `(host, seg_to, seg_from)`.
+    orch_segs: Vec<(u16, cxl_fabric::SegmentId, cxl_fabric::SegmentId)>,
+    /// Per-host I/O segment ids.
+    io_segs: Vec<cxl_fabric::SegmentId>,
+}
+
+impl PodSim {
+    /// Builds and wires the whole pod, performing initial device
+    /// allocation for every host and device kind present.
+    pub fn new(params: PodParams) -> PodSim {
+        let mut fabric = Fabric::new(PodConfig::new(params.hosts, params.mhds, params.lambda));
+        let all_hosts: Vec<HostId> = (0..params.hosts).map(HostId).collect();
+        let mut agents: Vec<Agent> = all_hosts.iter().map(|&h| Agent::new(h)).collect();
+
+        // Agent-to-agent mesh. Channels are failure-isolated (one MHD
+        // each) so a pool-device failure breaks some channels, not all.
+        let mut mesh_segs = Vec::new();
+        for a in 0..params.hosts {
+            for b in (a + 1)..params.hosts {
+                let ch = shmem::channel::Channel::allocate_isolated(
+                    &mut fabric,
+                    HostId(a),
+                    HostId(b),
+                    params.ring_slots,
+                )
+                .expect("pod pool holds control rings");
+                mesh_segs.push((a, b, ch.segments.0, ch.segments.1));
+                agents[a as usize].add_link(
+                    Peer::Host(HostId(b)),
+                    Link {
+                        tx: ch.ab.0,
+                        rx: ch.ba.1,
+                    },
+                );
+                agents[b as usize].add_link(
+                    Peer::Host(HostId(a)),
+                    Link {
+                        tx: ch.ba.0,
+                        rx: ch.ab.1,
+                    },
+                );
+            }
+        }
+
+        // Orchestrator on host 0, linked to every agent.
+        let mut orch = Orchestrator::new(HostId(0), params.policy, params.seed);
+        let mut orch_segs = Vec::new();
+        for h in 0..params.hosts {
+            let ch = shmem::channel::Channel::allocate_isolated(
+                &mut fabric,
+                HostId(0),
+                HostId(h),
+                params.ring_slots,
+            )
+            .expect("pod pool holds orchestrator rings");
+            orch_segs.push((h, ch.segments.0, ch.segments.1));
+            orch.add_link(
+                HostId(h),
+                Link {
+                    tx: ch.ab.0,
+                    rx: ch.ba.1,
+                },
+            );
+            agents[h as usize].add_link(
+                Peer::Orchestrator,
+                Link {
+                    tx: ch.ba.0,
+                    rx: ch.ab.1,
+                },
+            );
+        }
+
+        // Physical devices.
+        let mut dev_attach = HashMap::new();
+        let mut next_dev = 0u32;
+        for &h in &params.nic_hosts {
+            let id = DeviceId(next_dev);
+            next_dev += 1;
+            agents[h as usize]
+                .nics
+                .insert(id, Nic::new(id, HostId(h), NicConfig::default()));
+            orch.register(id, DeviceKind::Nic, HostId(h));
+            dev_attach.insert(id, HostId(h));
+        }
+        for &h in &params.ssd_hosts {
+            let id = DeviceId(next_dev);
+            next_dev += 1;
+            agents[h as usize]
+                .ssds
+                .insert(id, Ssd::new(id, HostId(h), SsdConfig::default()));
+            orch.register(id, DeviceKind::Ssd, HostId(h));
+            dev_attach.insert(id, HostId(h));
+        }
+        for &h in &params.accel_hosts {
+            let id = DeviceId(next_dev);
+            next_dev += 1;
+            agents[h as usize].accels.insert(
+                id,
+                Accelerator::new(id, HostId(h), pcie_sim::accel::AccelConfig::default()),
+            );
+            orch.register(id, DeviceKind::Accel, HostId(h));
+            dev_attach.insert(id, HostId(h));
+        }
+
+        // Per-host I/O buffer segments, shared pod-wide so any device's
+        // attach host can DMA them.
+        let mut io_base = Vec::with_capacity(params.hosts as usize);
+        let mut io_segs = Vec::with_capacity(params.hosts as usize);
+        for _ in 0..params.hosts {
+            let seg = fabric
+                .alloc_shared(&all_hosts, params.io_slots * IO_SLOT)
+                .expect("pod pool holds I/O buffers");
+            io_base.push(seg.base());
+            io_segs.push(seg.id());
+        }
+
+        let mut pod = PodSim {
+            fabric,
+            agents,
+            orch,
+            io_base,
+            io_slots: params.io_slots,
+            next_io: vec![0; params.hosts as usize],
+            next_op: 1,
+            dev_attach,
+            ring_slots: params.ring_slots,
+            mesh_segs,
+            orch_segs,
+            io_segs,
+        };
+
+        // Initial allocation: give every host a binding for each kind
+        // that exists in the pod, then let the Assign messages land.
+        let kinds: Vec<DeviceKind> = [
+            (!params.nic_hosts.is_empty()).then_some(DeviceKind::Nic),
+            (!params.ssd_hosts.is_empty()).then_some(DeviceKind::Ssd),
+            (!params.accel_hosts.is_empty()).then_some(DeviceKind::Accel),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        for h in 0..params.hosts {
+            for &k in &kinds {
+                let _ = pod.orch.allocate(&mut pod.fabric, HostId(h), k);
+            }
+        }
+        pod.run_control(Nanos::from_micros(200));
+        pod
+    }
+
+    /// The latest clock across agents and orchestrator — "now" for the
+    /// pod as a whole.
+    pub fn time(&self) -> Nanos {
+        let agents = self.agents.iter().map(|a| a.clock()).max().unwrap_or(Nanos::ZERO);
+        agents.max(self.orch.clock())
+    }
+
+    /// Where a device is physically attached.
+    pub fn attach_of(&self, dev: DeviceId) -> Option<HostId> {
+        self.dev_attach.get(&dev).copied()
+    }
+
+    /// `host`'s current binding for `kind` (as known by its agent).
+    pub fn binding(&self, host: HostId, kind: DeviceKind) -> Option<DeviceId> {
+        self.agents[host.0 as usize].assigned.get(&kind).copied()
+    }
+
+    /// Reserves a fresh operation id (for modules that build their own
+    /// forwarded submissions, like NIC bonding).
+    pub fn take_op_id(&mut self) -> u64 {
+        let op = self.next_op;
+        self.next_op += 1;
+        op
+    }
+
+    /// Grabs the next I/O buffer slot for `host`.
+    pub fn io_buf(&mut self, host: HostId) -> u64 {
+        let h = host.0 as usize;
+        let slot = self.next_io[h] % self.io_slots;
+        self.next_io[h] += 1;
+        self.io_base[h] + slot * IO_SLOT
+    }
+
+    /// Runs every agent and the orchestrator forward for `span` of
+    /// simulated time (from the pod's current time).
+    ///
+    /// Agents are pumped in small interleaved quanta so their clocks
+    /// advance together: the fabric's FIFO pipe timelines assume
+    /// roughly monotonic arrivals, and letting one actor simulate far
+    /// ahead would make everyone else queue behind its bookings.
+    pub fn run_control(&mut self, span: Nanos) {
+        const QUANTUM: Nanos = Nanos(2_000);
+        let until = self.time() + span;
+        let mut step = self
+            .agents
+            .iter()
+            .map(|a| a.clock())
+            .min()
+            .unwrap_or(Nanos::ZERO)
+            .min(self.orch.clock());
+        while step < until {
+            step = (step + QUANTUM).min(until);
+            for a in &mut self.agents {
+                a.pump(&mut self.fabric, step);
+            }
+            self.orch.pump(&mut self.fabric, step);
+        }
+    }
+
+    /// Injects a NIC failure.
+    pub fn fail_nic(&mut self, dev: DeviceId) {
+        for a in &mut self.agents {
+            if let Some(nic) = a.nics.get_mut(&dev) {
+                nic.fail();
+            }
+        }
+    }
+
+    /// Repairs a NIC and tells the orchestrator.
+    pub fn repair_nic(&mut self, dev: DeviceId) {
+        for a in &mut self.agents {
+            if let Some(nic) = a.nics.get_mut(&dev) {
+                nic.restore();
+            }
+        }
+        self.orch.on_repair(dev);
+    }
+
+    /// Rebuilds every control channel and I/O segment that was backed
+    /// by a failed MHD (§5, "highly-available CXL pods"): new rings are
+    /// allocated on surviving devices and both endpoints are swapped.
+    /// Protocol state on the dead rings is abandoned — outstanding
+    /// forwarded operations time out and are retried by callers, which
+    /// is exactly the software-failover story the paper argues is
+    /// tractable. Returns the number of channels rebuilt.
+    ///
+    /// Call after `fabric.topology_mut().fail_mhd(...)`.
+    pub fn recover_pool_failure(&mut self, mhd: cxl_fabric::MhdId) -> usize {
+        let uses_dead = |fabric: &cxl_fabric::Fabric, id: cxl_fabric::SegmentId| {
+            fabric
+                .segment(id)
+                .map(|s| s.ways().contains(&mhd))
+                .unwrap_or(false)
+        };
+        let mut rebuilt = 0;
+
+        // Mesh channels.
+        let mesh: Vec<(u16, u16, cxl_fabric::SegmentId, cxl_fabric::SegmentId)> =
+            self.mesh_segs.clone();
+        for (i, (a, b, s_ab, s_ba)) in mesh.into_iter().enumerate() {
+            if !uses_dead(&self.fabric, s_ab) && !uses_dead(&self.fabric, s_ba) {
+                continue;
+            }
+            let _ = self.fabric.free_segment(s_ab);
+            let _ = self.fabric.free_segment(s_ba);
+            let ch = shmem::channel::Channel::allocate_isolated(
+                &mut self.fabric,
+                HostId(a),
+                HostId(b),
+                self.ring_slots,
+            )
+            .expect("survivors hold replacement rings");
+            self.mesh_segs[i] = (a, b, ch.segments.0, ch.segments.1);
+            self.agents[a as usize].replace_link(
+                Peer::Host(HostId(b)),
+                Link {
+                    tx: ch.ab.0,
+                    rx: ch.ba.1,
+                },
+            );
+            self.agents[b as usize].replace_link(
+                Peer::Host(HostId(a)),
+                Link {
+                    tx: ch.ba.0,
+                    rx: ch.ab.1,
+                },
+            );
+            rebuilt += 1;
+        }
+
+        // Orchestrator channels.
+        let orch: Vec<(u16, cxl_fabric::SegmentId, cxl_fabric::SegmentId)> =
+            self.orch_segs.clone();
+        for (i, (h, s_to, s_from)) in orch.into_iter().enumerate() {
+            if !uses_dead(&self.fabric, s_to) && !uses_dead(&self.fabric, s_from) {
+                continue;
+            }
+            let _ = self.fabric.free_segment(s_to);
+            let _ = self.fabric.free_segment(s_from);
+            let ch = shmem::channel::Channel::allocate_isolated(
+                &mut self.fabric,
+                HostId(0),
+                HostId(h),
+                self.ring_slots,
+            )
+            .expect("survivors hold replacement rings");
+            self.orch_segs[i] = (h, ch.segments.0, ch.segments.1);
+            self.orch.replace_link(
+                HostId(h),
+                Link {
+                    tx: ch.ab.0,
+                    rx: ch.ba.1,
+                },
+            );
+            self.agents[h as usize].replace_link(
+                Peer::Orchestrator,
+                Link {
+                    tx: ch.ba.0,
+                    rx: ch.ab.1,
+                },
+            );
+            rebuilt += 1;
+        }
+
+        // I/O buffer segments: interleaved, so any that touch the dead
+        // MHD move wholesale (in-flight buffer contents are lost — pool
+        // memory is volatile; the datapath retries).
+        let all_hosts: Vec<HostId> = (0..self.agents.len() as u16).map(HostId).collect();
+        for h in 0..self.io_segs.len() {
+            if !uses_dead(&self.fabric, self.io_segs[h]) {
+                continue;
+            }
+            let _ = self.fabric.free_segment(self.io_segs[h]);
+            let seg = self
+                .fabric
+                .alloc_shared(&all_hosts, self.io_slots * IO_SLOT)
+                .expect("survivors hold replacement I/O buffers");
+            self.io_base[h] = seg.base();
+            self.io_segs[h] = seg.id();
+            self.next_io[h] = 0;
+            rebuilt += 1;
+        }
+        rebuilt
+    }
+
+    /// Injects an SSD failure.
+    pub fn fail_ssd(&mut self, dev: DeviceId) {
+        for a in &mut self.agents {
+            if let Some(ssd) = a.ssds.get_mut(&dev) {
+                ssd.fail();
+            }
+        }
+    }
+
+    /// Repairs an SSD and tells the orchestrator.
+    pub fn repair_ssd(&mut self, dev: DeviceId) {
+        for a in &mut self.agents {
+            if let Some(ssd) = a.ssds.get_mut(&dev) {
+                ssd.restore();
+            }
+        }
+        self.orch.on_repair(dev);
+    }
+
+    /// Injects an accelerator failure.
+    pub fn fail_accel(&mut self, dev: DeviceId) {
+        for a in &mut self.agents {
+            if let Some(acc) = a.accels.get_mut(&dev) {
+                acc.fail();
+            }
+        }
+    }
+
+    /// Repairs an accelerator and tells the orchestrator.
+    pub fn repair_accel(&mut self, dev: DeviceId) {
+        for a in &mut self.agents {
+            if let Some(acc) = a.accels.get_mut(&dev) {
+                acc.restore();
+            }
+        }
+        self.orch.on_repair(dev);
+    }
+
+    // -----------------------------------------------------------------
+    // Virtual NIC
+    // -----------------------------------------------------------------
+
+    /// Sends `payload` through `owner`'s pooled NIC. Stages the payload
+    /// in a shared I/O buffer, then takes the local fast path or
+    /// forwards the submission to the attach host. Returns the transmit
+    /// completion.
+    pub fn vnic_send(
+        &mut self,
+        owner: HostId,
+        payload: &[u8],
+        deadline: Nanos,
+    ) -> Result<OpResult, PoolError> {
+        let dev = self
+            .binding(owner, DeviceKind::Nic)
+            .ok_or(PoolError::NotAssigned(DeviceKind::Nic))?;
+        let attach = self
+            .attach_of(dev)
+            .ok_or(PoolError::NoDevice(DeviceKind::Nic))?;
+        let buf = self.io_buf(owner);
+        let now = self.agents[owner.0 as usize].clock();
+        let staged = self
+            .fabric
+            .nt_store(now, owner, buf, payload)?;
+        self.agents[owner.0 as usize].advance_clock(now + Nanos(50));
+
+        if attach == owner {
+            // Fast path: local doorbell + transmit.
+            let agent = &mut self.agents[owner.0 as usize];
+            let Some(nic) = agent.nics.get_mut(&dev) else {
+                agent.report_failure(dev);
+                return Err(PoolError::Device(pcie_sim::DeviceError::Failed(dev)));
+            };
+            let t = staged + nic.doorbell_cost();
+            nic.ring_doorbell();
+            let frame = match nic.transmit(
+                &mut self.fabric,
+                t,
+                BufRef::Pool(buf),
+                payload.len() as u32,
+            ) {
+                Ok(f) => f,
+                Err(e) => {
+                    // A failed local device is reported upstream just
+                    // like a remote one.
+                    agent.report_failure(dev);
+                    return Err(PoolError::Device(e));
+                }
+            };
+            let at = frame.wire_exit;
+            agent.out_frames.push((dev, frame));
+            agent.advance_clock(t);
+            let op = self.next_op;
+            self.next_op += 1;
+            return Ok(OpResult {
+                op,
+                at,
+                local: true,
+            });
+        }
+
+        let op = self.next_op;
+        self.next_op += 1;
+        let msg = Msg::TxSubmit {
+            op,
+            dev,
+            buf,
+            len: payload.len() as u32,
+        };
+        // Make sure the submit is not forwarded before the payload's NT
+        // store has landed.
+        self.agents[owner.0 as usize].advance_clock(staged);
+        self.agents[owner.0 as usize].send_to(&mut self.fabric, Peer::Host(attach), &msg)?;
+        self.await_completion(owner, attach, op, deadline)
+            .map(|c| OpResult {
+                op,
+                at: c.at,
+                local: false,
+            })
+    }
+
+    /// Sends a batch of payloads through `owner`'s pooled NIC with one
+    /// completion wait for the whole batch (doorbell batching): all
+    /// payloads are staged and all submissions forwarded before the
+    /// caller starts polling for completions. Amortizes the per-op
+    /// polling overhead of the forwarded path.
+    pub fn vnic_send_batch(
+        &mut self,
+        owner: HostId,
+        payloads: &[&[u8]],
+        deadline: Nanos,
+    ) -> Result<Vec<OpResult>, PoolError> {
+        let dev = self
+            .binding(owner, DeviceKind::Nic)
+            .ok_or(PoolError::NotAssigned(DeviceKind::Nic))?;
+        let attach = self
+            .attach_of(dev)
+            .ok_or(PoolError::NoDevice(DeviceKind::Nic))?;
+        if attach == owner {
+            // Local: the fast path is already one doorbell per submit.
+            return payloads
+                .iter()
+                .map(|p| self.vnic_send(owner, p, deadline))
+                .collect();
+        }
+        // Stage and submit everything first.
+        let mut ops = Vec::with_capacity(payloads.len());
+        for payload in payloads {
+            let buf = self.io_buf(owner);
+            let now = self.agents[owner.0 as usize].clock();
+            let staged = self.fabric.nt_store(now, owner, buf, payload)?;
+            self.agents[owner.0 as usize].advance_clock(staged);
+            let op = self.next_op;
+            self.next_op += 1;
+            let msg = Msg::TxSubmit {
+                op,
+                dev,
+                buf,
+                len: payload.len() as u32,
+            };
+            self.agents[owner.0 as usize].send_to(&mut self.fabric, Peer::Host(attach), &msg)?;
+            ops.push(op);
+        }
+        // One polling phase covers the whole batch.
+        let mut out = Vec::with_capacity(ops.len());
+        for op in ops {
+            let c = self.await_completion(owner, attach, op, deadline)?;
+            out.push(OpResult {
+                op,
+                at: c.at,
+                local: false,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Posts one RX buffer on `owner`'s pooled NIC; returns the buffer's
+    /// pool address.
+    pub fn vnic_post_rx(&mut self, owner: HostId, deadline: Nanos) -> Result<u64, PoolError> {
+        let dev = self
+            .binding(owner, DeviceKind::Nic)
+            .ok_or(PoolError::NotAssigned(DeviceKind::Nic))?;
+        let attach = self
+            .attach_of(dev)
+            .ok_or(PoolError::NoDevice(DeviceKind::Nic))?;
+        let buf = self.io_buf(owner);
+        if attach == owner {
+            let agent = &mut self.agents[owner.0 as usize];
+            let nic = agent.nics.get_mut(&dev).ok_or(PoolError::Device(
+                pcie_sim::DeviceError::Failed(dev),
+            ))?;
+            nic.post_rx(BufRef::Pool(buf), IO_SLOT as u32)?;
+            agent.note_local_rx(dev);
+            return Ok(buf);
+        }
+        let op = self.next_op;
+        self.next_op += 1;
+        let msg = Msg::RxPost {
+            op,
+            dev,
+            buf,
+            len: IO_SLOT as u32,
+        };
+        self.agents[owner.0 as usize].send_to(&mut self.fabric, Peer::Host(attach), &msg)?;
+        self.await_completion(owner, attach, op, deadline)?;
+        Ok(buf)
+    }
+
+    /// A frame arrives from the wire at physical NIC `dev`; delivers it
+    /// into the next posted RX buffer and notifies the buffer's owner
+    /// (locally, or with an `RxDone` over the channel). Returns
+    /// `(buffer, dma_done)` or `None` on drop.
+    pub fn deliver_frame(
+        &mut self,
+        dev: DeviceId,
+        bytes: &[u8],
+    ) -> Result<Option<(BufRef, Nanos)>, PoolError> {
+        let attach = self
+            .attach_of(dev)
+            .ok_or(PoolError::NoDevice(DeviceKind::Nic))?;
+        let agent = &mut self.agents[attach.0 as usize];
+        let r = agent.deliver_frame(&mut self.fabric, dev, bytes)?;
+        Ok(r.map(|c| (c.buf, c.done)))
+    }
+
+    /// Polls `owner`'s RX completion inbox, pumping the control plane
+    /// until an event arrives or `deadline` passes.
+    pub fn vnic_poll_rx(
+        &mut self,
+        owner: HostId,
+        deadline: Nanos,
+    ) -> Option<crate::agent::RxEvent> {
+        loop {
+            let inbox = &mut self.agents[owner.0 as usize].rx_inbox;
+            if !inbox.is_empty() {
+                return Some(inbox.remove(0));
+            }
+            if self.time() > deadline {
+                return None;
+            }
+            self.run_control(Nanos(2_000));
+        }
+    }
+
+    /// `owner` reads `len` bytes of RX payload from pool address `addr`
+    /// with proper software coherence (invalidate then load).
+    pub fn read_rx_payload(
+        &mut self,
+        owner: HostId,
+        addr: u64,
+        len: usize,
+        not_before: Nanos,
+    ) -> Result<(Vec<u8>, Nanos), PoolError> {
+        let now = self.agents[owner.0 as usize].clock().max(not_before);
+        let t = self.fabric.invalidate(now, owner, addr, len as u64);
+        let mut buf = vec![0u8; len];
+        let t = self.fabric.load(t, owner, addr, &mut buf)?;
+        self.agents[owner.0 as usize].advance_clock(t);
+        Ok((buf, t))
+    }
+
+    // -----------------------------------------------------------------
+    // Virtual SSD
+    // -----------------------------------------------------------------
+
+    /// Reads `blocks` blocks from `owner`'s pooled SSD into a fresh I/O
+    /// buffer; returns `(buffer_addr, result)`.
+    pub fn vssd_read(
+        &mut self,
+        owner: HostId,
+        lba: u64,
+        blocks: u32,
+        deadline: Nanos,
+    ) -> Result<(u64, OpResult), PoolError> {
+        let dev = self
+            .binding(owner, DeviceKind::Ssd)
+            .ok_or(PoolError::NotAssigned(DeviceKind::Ssd))?;
+        let buf = self.io_buf(owner);
+        let r = self.ssd_op_on(owner, dev, lba, blocks, buf, false, deadline)?;
+        Ok((buf, r))
+    }
+
+    /// Writes `blocks` blocks (already staged at `buf`) to `owner`'s
+    /// pooled SSD.
+    pub fn vssd_write(
+        &mut self,
+        owner: HostId,
+        lba: u64,
+        blocks: u32,
+        buf: u64,
+        deadline: Nanos,
+    ) -> Result<OpResult, PoolError> {
+        let dev = self
+            .binding(owner, DeviceKind::Ssd)
+            .ok_or(PoolError::NotAssigned(DeviceKind::Ssd))?;
+        self.ssd_op_on(owner, dev, lba, blocks, buf, true, deadline)
+    }
+
+    /// Explicit-device SSD operation (used by striping, which spans
+    /// several SSDs at once).
+    pub fn ssd_op_on(
+        &mut self,
+        owner: HostId,
+        dev: DeviceId,
+        lba: u64,
+        blocks: u32,
+        buf: u64,
+        write: bool,
+        deadline: Nanos,
+    ) -> Result<OpResult, PoolError> {
+        match self.ssd_submit_on(owner, dev, lba, blocks, buf, write)? {
+            Submitted::Local(r) => Ok(r),
+            Submitted::Remote { op, attach } => self
+                .await_completion(owner, attach, op, deadline)
+                .map(|c| OpResult {
+                    op,
+                    at: c.at,
+                    local: false,
+                }),
+        }
+    }
+
+    /// Submits an SSD operation without waiting for its completion, so
+    /// callers can keep several devices busy in parallel (striping).
+    /// Pair with [`PodSim::await_submitted`].
+    pub fn ssd_submit_on(
+        &mut self,
+        owner: HostId,
+        dev: DeviceId,
+        lba: u64,
+        blocks: u32,
+        buf: u64,
+        write: bool,
+    ) -> Result<Submitted, PoolError> {
+        let attach = self
+            .attach_of(dev)
+            .ok_or(PoolError::NoDevice(DeviceKind::Ssd))?;
+        if attach == owner {
+            let agent = &mut self.agents[owner.0 as usize];
+            let now = agent.clock();
+            let Some(ssd) = agent.ssds.get_mut(&dev) else {
+                agent.report_failure(dev);
+                return Err(PoolError::Device(pcie_sim::DeviceError::Failed(dev)));
+            };
+            let result = if write {
+                ssd.write(&mut self.fabric, now, lba, blocks as u64, BufRef::Pool(buf))
+            } else {
+                ssd.read(&mut self.fabric, now, lba, blocks as u64, BufRef::Pool(buf))
+            };
+            let at = match result {
+                Ok(t) => t,
+                Err(e) => {
+                    agent.report_failure(dev);
+                    return Err(PoolError::Device(e));
+                }
+            };
+            let op = self.next_op;
+            self.next_op += 1;
+            return Ok(Submitted::Local(OpResult {
+                op,
+                at,
+                local: true,
+            }));
+        }
+        let op = self.next_op;
+        self.next_op += 1;
+        let msg = if write {
+            Msg::SsdWrite {
+                op,
+                dev,
+                lba,
+                blocks,
+                buf,
+            }
+        } else {
+            Msg::SsdRead {
+                op,
+                dev,
+                lba,
+                blocks,
+                buf,
+            }
+        };
+        self.agents[owner.0 as usize].send_to(&mut self.fabric, Peer::Host(attach), &msg)?;
+        Ok(Submitted::Remote { op, attach })
+    }
+
+    /// Waits for a [`Submitted`] operation to complete.
+    pub fn await_submitted(
+        &mut self,
+        owner: HostId,
+        submitted: Submitted,
+        deadline: Nanos,
+    ) -> Result<OpResult, PoolError> {
+        match submitted {
+            Submitted::Local(r) => Ok(r),
+            Submitted::Remote { op, attach } => self
+                .await_completion(owner, attach, op, deadline)
+                .map(|c| OpResult {
+                    op,
+                    at: c.at,
+                    local: false,
+                }),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Virtual accelerator
+    // -----------------------------------------------------------------
+
+    /// Runs an offload job on `owner`'s pooled accelerator: `input`
+    /// bytes are staged into a fresh buffer, processed, and the output
+    /// lands in a second buffer whose address is returned.
+    pub fn vaccel_run(
+        &mut self,
+        owner: HostId,
+        input: &[u8],
+        deadline: Nanos,
+    ) -> Result<(u64, OpResult), PoolError> {
+        let dev = self
+            .binding(owner, DeviceKind::Accel)
+            .ok_or(PoolError::NotAssigned(DeviceKind::Accel))?;
+        let inbuf = self.io_buf(owner);
+        let outbuf = self.io_buf(owner);
+        let now = self.agents[owner.0 as usize].clock();
+        let staged = self.fabric.nt_store(now, owner, inbuf, input)?;
+        self.agents[owner.0 as usize].advance_clock(staged);
+        let r = self.accel_run_on(owner, dev, inbuf, input.len() as u32, outbuf, deadline)?;
+        Ok((outbuf, r))
+    }
+
+    /// Explicit-device accelerator job on already-staged input.
+    pub fn accel_run_on(
+        &mut self,
+        owner: HostId,
+        dev: DeviceId,
+        inbuf: u64,
+        len: u32,
+        outbuf: u64,
+        deadline: Nanos,
+    ) -> Result<OpResult, PoolError> {
+        let attach = self
+            .attach_of(dev)
+            .ok_or(PoolError::NoDevice(DeviceKind::Accel))?;
+        if attach == owner {
+            let agent = &mut self.agents[owner.0 as usize];
+            let now = agent.clock();
+            let Some(acc) = agent.accels.get_mut(&dev) else {
+                agent.report_failure(dev);
+                return Err(PoolError::Device(pcie_sim::DeviceError::Failed(dev)));
+            };
+            let at = match acc.offload(
+                &mut self.fabric,
+                now,
+                BufRef::Pool(inbuf),
+                len,
+                BufRef::Pool(outbuf),
+            ) {
+                Ok(t) => t,
+                Err(e) => {
+                    agent.report_failure(dev);
+                    return Err(PoolError::Device(e));
+                }
+            };
+            let op = self.next_op;
+            self.next_op += 1;
+            return Ok(OpResult {
+                op,
+                at,
+                local: true,
+            });
+        }
+        let op = self.next_op;
+        self.next_op += 1;
+        let msg = Msg::AccelRun {
+            op,
+            dev,
+            inbuf,
+            len,
+            outbuf,
+        };
+        self.agents[owner.0 as usize].send_to(&mut self.fabric, Peer::Host(attach), &msg)?;
+        self.await_completion(owner, attach, op, deadline)
+            .map(|c| OpResult {
+                op,
+                at: c.at,
+                local: false,
+            })
+    }
+
+    // -----------------------------------------------------------------
+    // Internals
+    // -----------------------------------------------------------------
+
+    /// Drives the attach and owner agents (and the orchestrator) until
+    /// the completion for `op` arrives at the owner or `deadline`
+    /// passes.
+    fn await_completion(
+        &mut self,
+        owner: HostId,
+        attach: HostId,
+        op: u64,
+        deadline: Nanos,
+    ) -> Result<Completion, PoolError> {
+        const QUANTUM: Nanos = Nanos(2_000);
+        loop {
+            if let Some(c) = self.agents[owner.0 as usize].completions.remove(&op) {
+                if c.status == 0 {
+                    return Ok(c);
+                }
+                let dev = self
+                    .binding(owner, DeviceKind::Nic)
+                    .unwrap_or(DeviceId(u32::MAX));
+                return Err(PoolError::RemoteFailed { op, dev });
+            }
+            let now = self.time();
+            if now > deadline {
+                return Err(PoolError::Timeout { op });
+            }
+            let until = now + QUANTUM;
+            self.agents[attach.0 as usize].pump(&mut self.fabric, until);
+            self.agents[owner.0 as usize].pump(&mut self.fabric, until);
+            self.orch.pump(&mut self.fabric, until);
+        }
+    }
+
+    /// Drains the frames transmitted by NIC `dev` since the last call.
+    pub fn take_frames(&mut self, dev: DeviceId) -> Vec<TxFrame> {
+        let Some(attach) = self.attach_of(dev) else {
+            return Vec::new();
+        };
+        let agent = &mut self.agents[attach.0 as usize];
+        let mut out = Vec::new();
+        let mut keep = Vec::new();
+        for (d, f) in agent.out_frames.drain(..) {
+            if d == dev {
+                out.push(f);
+            } else {
+                keep.push((d, f));
+            }
+        }
+        agent.out_frames = keep;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deadline() -> Nanos {
+        Nanos::from_millis(50)
+    }
+
+    #[test]
+    fn pod_initial_allocation_binds_every_host() {
+        let pod = PodSim::new(PodParams::new(4, 2));
+        for h in 0..4 {
+            assert!(
+                pod.binding(HostId(h), DeviceKind::Nic).is_some(),
+                "host {h} unbound"
+            );
+        }
+    }
+
+    #[test]
+    fn local_send_takes_fast_path() {
+        let mut pod = PodSim::new(PodParams::new(4, 2));
+        // Host 0 has a local NIC and local-first policy: local binding.
+        let dev = pod.binding(HostId(0), DeviceKind::Nic).unwrap();
+        assert_eq!(pod.attach_of(dev), Some(HostId(0)));
+        let r = pod.vnic_send(HostId(0), &[1u8; 256], deadline()).expect("send");
+        assert!(r.local);
+        let frames = pod.take_frames(dev);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].bytes, vec![1u8; 256]);
+    }
+
+    #[test]
+    fn remote_send_is_forwarded_and_carries_bytes() {
+        let mut pod = PodSim::new(PodParams::new(4, 2));
+        // Host 3 has no local NIC: its binding is remote.
+        let dev = pod.binding(HostId(3), DeviceKind::Nic).unwrap();
+        let attach = pod.attach_of(dev).unwrap();
+        assert_ne!(attach, HostId(3));
+        let payload: Vec<u8> = (0..900u32).map(|i| i as u8).collect();
+        let r = pod.vnic_send(HostId(3), &payload, deadline()).expect("send");
+        assert!(!r.local);
+        let frames = pod.take_frames(dev);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].bytes, payload, "remote TX must carry exact bytes");
+    }
+
+    #[test]
+    fn remote_send_latency_is_microseconds() {
+        let mut pod = PodSim::new(PodParams::new(4, 2));
+        let t0 = pod.time();
+        let _ = pod.vnic_send(HostId(3), &[0u8; 128], deadline()).expect("send");
+        let elapsed = pod.time() - t0;
+        // Forwarded op: channel + agent poll + DMA + reply. Must be
+        // microseconds, not milliseconds.
+        assert!(
+            elapsed < Nanos::from_micros(50),
+            "remote send took {elapsed}"
+        );
+    }
+
+    #[test]
+    fn rx_roundtrip_through_pool_buffer() {
+        let mut pod = PodSim::new(PodParams::new(4, 2));
+        let dev = pod.binding(HostId(3), DeviceKind::Nic).unwrap();
+        let buf = pod.vnic_post_rx(HostId(3), deadline()).expect("post");
+        let frame: Vec<u8> = (0..500u32).map(|i| (i * 3) as u8).collect();
+        let (got_buf, done) = pod
+            .deliver_frame(dev, &frame)
+            .expect("deliver")
+            .expect("not dropped");
+        assert_eq!(got_buf.addr(), buf);
+        let (payload, _) = pod
+            .read_rx_payload(HostId(3), buf, frame.len(), done)
+            .expect("read");
+        assert_eq!(payload, frame);
+    }
+
+    #[test]
+    fn remote_rx_completion_is_forwarded_to_owner() {
+        let mut pod = PodSim::new(PodParams::new(4, 2));
+        let owner = HostId(3);
+        let dev = pod.binding(owner, DeviceKind::Nic).unwrap();
+        assert_ne!(pod.attach_of(dev), Some(owner));
+        let buf = pod.vnic_post_rx(owner, deadline()).expect("post");
+        let frame: Vec<u8> = (0..700u32).map(|i| (i * 5) as u8).collect();
+        pod.deliver_frame(dev, &frame).expect("deliver").expect("no drop");
+        // The owner learns about the frame through its inbox (RxDone
+        // over the channel), not through the deliver_frame return.
+        let ev = pod
+            .vnic_poll_rx(owner, Nanos::from_millis(50))
+            .expect("RxDone arrives");
+        assert_eq!(ev.buf, buf);
+        assert_eq!(ev.len as usize, frame.len());
+        let (payload, _) = pod
+            .read_rx_payload(owner, ev.buf, ev.len as usize, ev.at)
+            .expect("read");
+        assert_eq!(payload, frame);
+    }
+
+    #[test]
+    fn local_rx_completion_lands_in_local_inbox() {
+        let mut pod = PodSim::new(PodParams::new(4, 2));
+        let owner = HostId(0);
+        let dev = pod.binding(owner, DeviceKind::Nic).unwrap();
+        assert_eq!(pod.attach_of(dev), Some(owner));
+        let buf = pod.vnic_post_rx(owner, deadline()).expect("post");
+        pod.deliver_frame(dev, &[1u8; 64]).expect("deliver").expect("no drop");
+        let ev = pod
+            .vnic_poll_rx(owner, Nanos::from_millis(10))
+            .expect("local event");
+        assert_eq!(ev.buf, buf);
+    }
+
+    #[test]
+    fn failover_rebinds_to_surviving_nic() {
+        let mut pod = PodSim::new(PodParams::new(4, 2));
+        let dev = pod.binding(HostId(3), DeviceKind::Nic).unwrap();
+        pod.fail_nic(dev);
+        // The send fails (remote device down).
+        let err = pod.vnic_send(HostId(3), &[0u8; 64], deadline()).unwrap_err();
+        assert!(matches!(
+            err,
+            PoolError::RemoteFailed { .. } | PoolError::Device(_)
+        ));
+        // The agent's failure notice reaches the orchestrator, which
+        // reassigns host 3 to the surviving NIC.
+        pod.run_control(Nanos::from_millis(1));
+        let newdev = pod.binding(HostId(3), DeviceKind::Nic).unwrap();
+        assert_ne!(newdev, dev, "binding must move off the dead NIC");
+        let r = pod.vnic_send(HostId(3), &[5u8; 64], deadline()).expect("retry works");
+        assert!(r.at > Nanos::ZERO);
+        assert!(!pod.orch.failover_log.is_empty());
+    }
+
+    #[test]
+    fn ssd_write_read_roundtrip_remote() {
+        let mut params = PodParams::new(4, 1);
+        params.ssd_hosts = vec![0];
+        let mut pod = PodSim::new(params);
+        // Host 2 uses the (remote) SSD.
+        let buf = pod.io_buf(HostId(2));
+        let block: Vec<u8> = (0..4096u32).map(|i| (i % 256) as u8).collect();
+        let now = pod.agents[2].clock();
+        let staged = pod.fabric.nt_store(now, HostId(2), buf, &block).expect("stage");
+        pod.agents[2].advance_clock(staged);
+        pod.vssd_write(HostId(2), 10, 1, buf, deadline()).expect("write");
+        let (rbuf, r) = pod.vssd_read(HostId(2), 10, 1, deadline()).expect("read");
+        // The device reports when its DMA into the buffer is visible;
+        // reading earlier would be the coherence bug the paper warns
+        // about.
+        let (data, _) = pod
+            .read_rx_payload(HostId(2), rbuf, 4096, r.at)
+            .expect("load");
+        assert_eq!(data, block);
+    }
+
+    #[test]
+    fn accelerator_offload_remote_transforms_data() {
+        let mut params = PodParams::new(4, 1);
+        params.accel_hosts = vec![1];
+        let mut pod = PodSim::new(params);
+        let input: Vec<u8> = (0..256u32).map(|i| i as u8).collect();
+        let (outbuf, r) = pod.vaccel_run(HostId(2), &input, deadline()).expect("run");
+        assert!(!r.local);
+        let (out, _) = pod
+            .read_rx_payload(HostId(2), outbuf, input.len(), r.at)
+            .expect("read");
+        let expect: Vec<u8> = input.iter().map(|b| b ^ 0xA5).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn no_device_of_kind_errors() {
+        let mut pod = PodSim::new(PodParams::new(2, 1));
+        let err = pod.vssd_read(HostId(0), 0, 1, deadline()).unwrap_err();
+        assert!(matches!(err, PoolError::NotAssigned(DeviceKind::Ssd)));
+    }
+
+    #[test]
+    fn pool_mhd_failure_recovers_after_rebuild() {
+        use cxl_fabric::MhdId;
+        let mut pod = PodSim::new(PodParams::new(4, 2));
+        // Warm traffic on the forwarded path.
+        pod.vnic_send(HostId(3), &[1u8; 64], deadline()).expect("warm");
+        // Kill MHD 0: roughly half the isolated control rings and all
+        // interleaved I/O segments die.
+        pod.fabric.topology_mut().fail_mhd(MhdId(0));
+        // Some hosts' sends now fail or time out (their rings/buffers
+        // are unreachable). Find one affected host.
+        let mut anyone_broken = false;
+        for h in 0..4u16 {
+            let d = pod.time() + Nanos::from_micros(300);
+            if pod.vnic_send(HostId(h), &[2u8; 64], d).is_err() {
+                anyone_broken = true;
+            }
+        }
+        assert!(anyone_broken, "an MHD failure should break something");
+        // Software recovery: rebuild on the surviving MHD.
+        let rebuilt = pod.recover_pool_failure(MhdId(0));
+        assert!(rebuilt > 0, "nothing was rebuilt");
+        // Every host can use the pool again.
+        for h in 0..4u16 {
+            let mut ok = false;
+            for _ in 0..10 {
+                let d = deadline();
+                if pod.vnic_send(HostId(h), &[3u8; 64], d).is_ok() {
+                    ok = true;
+                    break;
+                }
+                pod.run_control(Nanos::from_micros(300));
+            }
+            assert!(ok, "host {h} still broken after recovery");
+        }
+    }
+
+    #[test]
+    fn recovery_is_noop_when_nothing_died() {
+        use cxl_fabric::MhdId;
+        let mut pod = PodSim::new(PodParams::new(4, 2));
+        // MHD 1 alive and well: recovering from a failure that didn't
+        // happen rebuilds nothing... but wait — recovery keys off
+        // segment *ways*, so ask about a never-failed MHD id beyond the
+        // pod. Nothing uses it.
+        let rebuilt = pod.recover_pool_failure(MhdId(7));
+        assert_eq!(rebuilt, 0);
+    }
+
+    #[test]
+    fn batched_sends_amortize_polling() {
+        let mut pod = PodSim::new(PodParams::new(4, 2));
+        // Remote host, 8-packet batch.
+        let payloads: Vec<Vec<u8>> = (0..8u8).map(|i| vec![i; 200]).collect();
+        let refs: Vec<&[u8]> = payloads.iter().map(|p| p.as_slice()).collect();
+        let t0 = pod.time();
+        let batch = pod
+            .vnic_send_batch(HostId(3), &refs, deadline())
+            .expect("batch");
+        let batch_elapsed = pod.time() - t0;
+        assert_eq!(batch.len(), 8);
+        // Same 8 packets one by one on a fresh pod.
+        let mut pod2 = PodSim::new(PodParams::new(4, 2));
+        let t0 = pod2.time();
+        for p in &payloads {
+            pod2.vnic_send(HostId(3), p, deadline()).expect("send");
+        }
+        let serial_elapsed = pod2.time() - t0;
+        assert!(
+            batch_elapsed < serial_elapsed,
+            "batch {batch_elapsed} should beat serial {serial_elapsed}"
+        );
+        // And every frame made it out with the right bytes.
+        let dev = pod.binding(HostId(3), DeviceKind::Nic).unwrap();
+        let frames = pod.take_frames(dev);
+        assert_eq!(frames.len(), 8);
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(f.bytes, payloads[i], "frame {i}");
+        }
+    }
+
+    #[test]
+    fn io_buffers_rotate() {
+        let mut pod = PodSim::new(PodParams::new(2, 1));
+        let a = pod.io_buf(HostId(0));
+        let b = pod.io_buf(HostId(0));
+        assert_ne!(a, b);
+        // After io_slots allocations the addresses wrap.
+        for _ in 0..14 {
+            pod.io_buf(HostId(0));
+        }
+        let again = pod.io_buf(HostId(0));
+        assert_eq!(a, again);
+    }
+}

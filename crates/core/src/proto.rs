@@ -1,0 +1,487 @@
+//! Wire format of pooling control messages.
+//!
+//! Every message fits one ring fragment (≤ 52 bytes) so the common case
+//! — one doorbell forward — costs exactly one non-temporal store on the
+//! sender and one load on the receiver. Encoding is a hand-rolled
+//! little-endian TLV: `[kind: u8][fields…]`; no self-describing overhead.
+
+use pcie_sim::DeviceId;
+use cxl_fabric::HostId;
+
+/// A pooling control message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Msg {
+    /// Forwarded NIC TX submission: transmit `len` bytes from pool
+    /// buffer `buf` on device `dev`.
+    TxSubmit {
+        /// Operation id for completion matching.
+        op: u64,
+        /// Target device.
+        dev: DeviceId,
+        /// Pool address of the TX payload.
+        buf: u64,
+        /// Payload length.
+        len: u32,
+    },
+    /// Forwarded RX buffer post.
+    RxPost {
+        /// Operation id.
+        op: u64,
+        /// Target device.
+        dev: DeviceId,
+        /// Pool address of the RX buffer.
+        buf: u64,
+        /// Buffer capacity.
+        len: u32,
+    },
+    /// Forwarded NVMe read: `blocks` blocks from `lba` into pool buffer
+    /// `buf`.
+    SsdRead {
+        /// Operation id.
+        op: u64,
+        /// Target device.
+        dev: DeviceId,
+        /// Starting logical block.
+        lba: u64,
+        /// Block count.
+        blocks: u32,
+        /// Destination pool buffer.
+        buf: u64,
+    },
+    /// Forwarded NVMe write.
+    SsdWrite {
+        /// Operation id.
+        op: u64,
+        /// Target device.
+        dev: DeviceId,
+        /// Starting logical block.
+        lba: u64,
+        /// Block count.
+        blocks: u32,
+        /// Source pool buffer.
+        buf: u64,
+    },
+    /// Forwarded accelerator job.
+    AccelRun {
+        /// Operation id.
+        op: u64,
+        /// Target device.
+        dev: DeviceId,
+        /// Input pool buffer.
+        inbuf: u64,
+        /// Input length.
+        len: u32,
+        /// Output pool buffer.
+        outbuf: u64,
+    },
+    /// Completion of a forwarded operation.
+    Done {
+        /// Operation id being completed.
+        op: u64,
+        /// 0 = success; nonzero maps to a device error class.
+        status: u8,
+        /// Device-reported completion time (ns).
+        at: u64,
+    },
+    /// Agent → orchestrator: a local device failed.
+    DevFailed {
+        /// The failed device.
+        dev: DeviceId,
+        /// Detection time (ns).
+        at: u64,
+    },
+    /// Orchestrator → agent: (re)assign `host`'s device of this kind.
+    Assign {
+        /// The host whose binding changes.
+        host: HostId,
+        /// Device kind discriminant (see [`crate::vdev::DeviceKind`]).
+        kind: u8,
+        /// The newly assigned device.
+        dev: DeviceId,
+    },
+    /// Agent → orchestrator: periodic load report (0-100).
+    HostLoad {
+        /// Reporting host.
+        host: HostId,
+        /// Aggregate device load percentage.
+        load: u8,
+    },
+    /// Agent → orchestrator: per-device load report (0-100).
+    DevLoad {
+        /// The device being reported.
+        dev: DeviceId,
+        /// Load percentage.
+        load: u8,
+    },
+    /// Attach agent → buffer owner: a frame landed in your RX buffer.
+    RxDone {
+        /// Pool address of the filled buffer.
+        buf: u64,
+        /// Frame length.
+        len: u32,
+        /// Time the DMA write was visible (ns).
+        at: u64,
+    },
+}
+
+/// Errors from [`Msg::decode`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer was shorter than the fixed layout for its kind.
+    Truncated,
+    /// Unknown kind byte.
+    BadKind(u8),
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "message truncated"),
+            DecodeError::BadKind(k) => write!(f, "unknown message kind {k}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let v = *self.buf.get(self.pos).ok_or(DecodeError::Truncated)?;
+        self.pos += 1;
+        Ok(v)
+    }
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        let s = self
+            .buf
+            .get(self.pos..self.pos + 2)
+            .ok_or(DecodeError::Truncated)?;
+        self.pos += 2;
+        Ok(u16::from_le_bytes(s.try_into().expect("2 bytes")))
+    }
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let s = self
+            .buf
+            .get(self.pos..self.pos + 4)
+            .ok_or(DecodeError::Truncated)?;
+        self.pos += 4;
+        Ok(u32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let s = self
+            .buf
+            .get(self.pos..self.pos + 8)
+            .ok_or(DecodeError::Truncated)?;
+        self.pos += 8;
+        Ok(u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+}
+
+impl Msg {
+    /// Serializes to bytes (≤ 30 for every variant).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(30);
+        match *self {
+            Msg::TxSubmit { op, dev, buf, len } => {
+                out.push(1);
+                put_u64(&mut out, op);
+                put_u32(&mut out, dev.0);
+                put_u64(&mut out, buf);
+                put_u32(&mut out, len);
+            }
+            Msg::RxPost { op, dev, buf, len } => {
+                out.push(2);
+                put_u64(&mut out, op);
+                put_u32(&mut out, dev.0);
+                put_u64(&mut out, buf);
+                put_u32(&mut out, len);
+            }
+            Msg::SsdRead {
+                op,
+                dev,
+                lba,
+                blocks,
+                buf,
+            } => {
+                out.push(3);
+                put_u64(&mut out, op);
+                put_u32(&mut out, dev.0);
+                put_u64(&mut out, lba);
+                put_u32(&mut out, blocks);
+                put_u64(&mut out, buf);
+            }
+            Msg::SsdWrite {
+                op,
+                dev,
+                lba,
+                blocks,
+                buf,
+            } => {
+                out.push(4);
+                put_u64(&mut out, op);
+                put_u32(&mut out, dev.0);
+                put_u64(&mut out, lba);
+                put_u32(&mut out, blocks);
+                put_u64(&mut out, buf);
+            }
+            Msg::AccelRun {
+                op,
+                dev,
+                inbuf,
+                len,
+                outbuf,
+            } => {
+                out.push(5);
+                put_u64(&mut out, op);
+                put_u32(&mut out, dev.0);
+                put_u64(&mut out, inbuf);
+                put_u32(&mut out, len);
+                put_u64(&mut out, outbuf);
+            }
+            Msg::Done { op, status, at } => {
+                out.push(6);
+                put_u64(&mut out, op);
+                out.push(status);
+                put_u64(&mut out, at);
+            }
+            Msg::DevFailed { dev, at } => {
+                out.push(7);
+                put_u32(&mut out, dev.0);
+                put_u64(&mut out, at);
+            }
+            Msg::Assign { host, kind, dev } => {
+                out.push(8);
+                put_u16(&mut out, host.0);
+                out.push(kind);
+                put_u32(&mut out, dev.0);
+            }
+            Msg::HostLoad { host, load } => {
+                out.push(9);
+                put_u16(&mut out, host.0);
+                out.push(load);
+            }
+            Msg::DevLoad { dev, load } => {
+                out.push(10);
+                put_u32(&mut out, dev.0);
+                out.push(load);
+            }
+            Msg::RxDone { buf, len, at } => {
+                out.push(11);
+                put_u64(&mut out, buf);
+                put_u32(&mut out, len);
+                put_u64(&mut out, at);
+            }
+        }
+        out
+    }
+
+    /// Parses a message from bytes.
+    pub fn decode(buf: &[u8]) -> Result<Msg, DecodeError> {
+        let mut r = Reader { buf, pos: 0 };
+        let kind = r.u8()?;
+        Ok(match kind {
+            1 => Msg::TxSubmit {
+                op: r.u64()?,
+                dev: DeviceId(r.u32()?),
+                buf: r.u64()?,
+                len: r.u32()?,
+            },
+            2 => Msg::RxPost {
+                op: r.u64()?,
+                dev: DeviceId(r.u32()?),
+                buf: r.u64()?,
+                len: r.u32()?,
+            },
+            3 => Msg::SsdRead {
+                op: r.u64()?,
+                dev: DeviceId(r.u32()?),
+                lba: r.u64()?,
+                blocks: r.u32()?,
+                buf: r.u64()?,
+            },
+            4 => Msg::SsdWrite {
+                op: r.u64()?,
+                dev: DeviceId(r.u32()?),
+                lba: r.u64()?,
+                blocks: r.u32()?,
+                buf: r.u64()?,
+            },
+            5 => Msg::AccelRun {
+                op: r.u64()?,
+                dev: DeviceId(r.u32()?),
+                inbuf: r.u64()?,
+                len: r.u32()?,
+                outbuf: r.u64()?,
+            },
+            6 => Msg::Done {
+                op: r.u64()?,
+                status: r.u8()?,
+                at: r.u64()?,
+            },
+            7 => Msg::DevFailed {
+                dev: DeviceId(r.u32()?),
+                at: r.u64()?,
+            },
+            8 => Msg::Assign {
+                host: HostId(r.u16()?),
+                kind: r.u8()?,
+                dev: DeviceId(r.u32()?),
+            },
+            9 => Msg::HostLoad {
+                host: HostId(r.u16()?),
+                load: r.u8()?,
+            },
+            10 => Msg::DevLoad {
+                dev: DeviceId(r.u32()?),
+                load: r.u8()?,
+            },
+            11 => Msg::RxDone {
+                buf: r.u64()?,
+                len: r.u32()?,
+                at: r.u64()?,
+            },
+            k => return Err(DecodeError::BadKind(k)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn all_variants() -> Vec<Msg> {
+        vec![
+            Msg::TxSubmit {
+                op: 1,
+                dev: DeviceId(2),
+                buf: 0xDEAD_BEEF,
+                len: 1500,
+            },
+            Msg::RxPost {
+                op: 2,
+                dev: DeviceId(3),
+                buf: 0x1000,
+                len: 2048,
+            },
+            Msg::SsdRead {
+                op: 3,
+                dev: DeviceId(4),
+                lba: 77,
+                blocks: 8,
+                buf: 0x2000,
+            },
+            Msg::SsdWrite {
+                op: 4,
+                dev: DeviceId(5),
+                lba: 99,
+                blocks: 1,
+                buf: 0x3000,
+            },
+            Msg::AccelRun {
+                op: 5,
+                dev: DeviceId(6),
+                inbuf: 0x4000,
+                len: 4096,
+                outbuf: 0x5000,
+            },
+            Msg::Done {
+                op: 6,
+                status: 0,
+                at: 123_456,
+            },
+            Msg::DevFailed {
+                dev: DeviceId(7),
+                at: 42,
+            },
+            Msg::Assign {
+                host: HostId(3),
+                kind: 1,
+                dev: DeviceId(8),
+            },
+            Msg::HostLoad {
+                host: HostId(2),
+                load: 85,
+            },
+            Msg::DevLoad {
+                dev: DeviceId(9),
+                load: 61,
+            },
+            Msg::RxDone {
+                buf: 0x7000,
+                len: 1500,
+                at: 987_654,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        for m in all_variants() {
+            let bytes = m.encode();
+            let back = Msg::decode(&bytes).expect("decode");
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn every_variant_fits_one_fragment() {
+        for m in all_variants() {
+            assert!(
+                m.encode().len() <= 52,
+                "{m:?} is {} bytes",
+                m.encode().len()
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_buffers_error_not_panic() {
+        for m in all_variants() {
+            let bytes = m.encode();
+            for cut in 0..bytes.len() {
+                assert_eq!(Msg::decode(&bytes[..cut]), Err(DecodeError::Truncated));
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        assert_eq!(Msg::decode(&[200, 0, 0]), Err(DecodeError::BadKind(200)));
+        assert_eq!(Msg::decode(&[0]), Err(DecodeError::BadKind(0)));
+    }
+
+    proptest! {
+        #[test]
+        fn tx_submit_roundtrips(op in any::<u64>(), dev in any::<u32>(),
+                                buf in any::<u64>(), len in any::<u32>()) {
+            let m = Msg::TxSubmit { op, dev: DeviceId(dev), buf, len };
+            prop_assert_eq!(Msg::decode(&m.encode()).unwrap(), m);
+        }
+
+        #[test]
+        fn done_roundtrips(op in any::<u64>(), status in any::<u8>(), at in any::<u64>()) {
+            let m = Msg::Done { op, status, at };
+            prop_assert_eq!(Msg::decode(&m.encode()).unwrap(), m);
+        }
+
+        #[test]
+        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = Msg::decode(&bytes);
+        }
+    }
+}

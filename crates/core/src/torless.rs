@@ -1,0 +1,206 @@
+//! ToR-less datacenter networks (§5): availability modelling.
+//!
+//! "Instead of oversubscribing at the ToR level, we can provision
+//! sufficient NICs within each CXL pod to provide equivalent
+//! oversubscription, and then directly connect these NICs to multiple
+//! switches within the aggregation layer. … This would require high
+//! CXL pod reliability."
+//!
+//! This module compares the probability that a host loses network
+//! connectivity under three rack designs, both analytically and by
+//! Monte Carlo over component failures:
+//!
+//! - **Single ToR**: host NIC → one ToR (classic).
+//! - **Dual ToR**: host NIC → two ToRs (the expensive fix).
+//! - **ToR-less pod**: host → λ CXL paths → pool of `n` NICs wired
+//!   straight into the aggregation layer; the host is cut off only if
+//!   all λ of its pod paths fail or every pool NIC fails.
+
+use serde::Serialize;
+use simkit::rng::Rng;
+
+/// Annual component failure probabilities.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct FailureRates {
+    /// NIC failure probability per year.
+    pub nic: f64,
+    /// ToR switch failure probability per year.
+    pub tor: f64,
+    /// CXL link (cable/port) failure probability per year.
+    pub cxl_link: f64,
+    /// MHD (pool memory device) failure probability per year.
+    pub mhd: f64,
+}
+
+impl Default for FailureRates {
+    fn default() -> Self {
+        // Conservative round numbers in line with published annual
+        // failure rates for datacenter components.
+        FailureRates {
+            nic: 0.01,
+            tor: 0.02,
+            cxl_link: 0.005,
+            mhd: 0.01,
+        }
+    }
+}
+
+/// The rack design being evaluated.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub enum RackDesign {
+    /// One NIC per host, one ToR for the rack.
+    SingleTor,
+    /// One NIC per host, two ToRs.
+    DualTor,
+    /// CXL pod: λ pod paths per host, `nics` pooled NICs uplinked
+    /// directly to the aggregation layer.
+    TorLess {
+        /// Redundant CXL paths per host (each = link + MHD in series).
+        lambda: u16,
+        /// Pooled NICs in the pod.
+        nics: u16,
+    },
+}
+
+/// Analytic probability that a given host is unreachable for the year.
+pub fn p_unreachable(design: RackDesign, rates: &FailureRates) -> f64 {
+    match design {
+        // Host is cut off if its own NIC fails OR the ToR fails.
+        RackDesign::SingleTor => 1.0 - (1.0 - rates.nic) * (1.0 - rates.tor),
+        // Both ToRs must fail, or the host NIC.
+        RackDesign::DualTor => 1.0 - (1.0 - rates.nic) * (1.0 - rates.tor * rates.tor),
+        // All λ pod paths fail (path = link AND mhd alive) or all NICs
+        // fail.
+        RackDesign::TorLess { lambda, nics } => {
+            let p_path_ok = (1.0 - rates.cxl_link) * (1.0 - rates.mhd);
+            let p_all_paths_dead = (1.0 - p_path_ok).powi(lambda as i32);
+            let p_all_nics_dead = rates.nic.powi(nics as i32);
+            1.0 - (1.0 - p_all_paths_dead) * (1.0 - p_all_nics_dead)
+        }
+    }
+}
+
+/// Converts a probability of unavailability to "nines" (e.g. 0.001 →
+/// 3.0).
+pub fn nines(p_unavailable: f64) -> f64 {
+    if p_unavailable <= 0.0 {
+        return f64::INFINITY;
+    }
+    -p_unavailable.log10()
+}
+
+/// Monte Carlo estimate of the same probability, for cross-checking
+/// the analytic expression (`trials` independent year-samples).
+pub fn simulate(design: RackDesign, rates: &FailureRates, trials: u32, seed: u64) -> f64 {
+    let mut rng = Rng::new(seed);
+    let mut down = 0u32;
+    for _ in 0..trials {
+        let unreachable = match design {
+            RackDesign::SingleTor => rng.chance(rates.nic) || rng.chance(rates.tor),
+            RackDesign::DualTor => {
+                rng.chance(rates.nic) || (rng.chance(rates.tor) && rng.chance(rates.tor))
+            }
+            RackDesign::TorLess { lambda, nics } => {
+                let mut any_path = false;
+                for _ in 0..lambda {
+                    let link_ok = !rng.chance(rates.cxl_link);
+                    let mhd_ok = !rng.chance(rates.mhd);
+                    if link_ok && mhd_ok {
+                        any_path = true;
+                    }
+                }
+                let mut any_nic = false;
+                for _ in 0..nics {
+                    if !rng.chance(rates.nic) {
+                        any_nic = true;
+                    }
+                }
+                !(any_path && any_nic)
+            }
+        };
+        if unreachable {
+            down += 1;
+        }
+    }
+    down as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_tor_beats_single_tor() {
+        let r = FailureRates::default();
+        assert!(
+            p_unreachable(RackDesign::DualTor, &r) < p_unreachable(RackDesign::SingleTor, &r)
+        );
+    }
+
+    #[test]
+    fn torless_with_redundancy_beats_dual_tor() {
+        let r = FailureRates::default();
+        let torless = p_unreachable(
+            RackDesign::TorLess {
+                lambda: 4,
+                nics: 8,
+            },
+            &r,
+        );
+        let dual = p_unreachable(RackDesign::DualTor, &r);
+        assert!(torless < dual, "torless {torless} vs dual {dual}");
+    }
+
+    #[test]
+    fn lambda_one_torless_is_fragile() {
+        // With a single pod path, the ToR-less design inherits the
+        // path's failure probability — the paper's "requires high CXL
+        // pod reliability" caveat.
+        let r = FailureRates::default();
+        let l1 = p_unreachable(
+            RackDesign::TorLess { lambda: 1, nics: 8 },
+            &r,
+        );
+        let l4 = p_unreachable(
+            RackDesign::TorLess { lambda: 4, nics: 8 },
+            &r,
+        );
+        assert!(l1 > l4 * 100.0, "λ=1 {l1} vs λ=4 {l4}");
+    }
+
+    #[test]
+    fn more_lambda_monotonically_helps() {
+        let r = FailureRates::default();
+        let mut prev = 1.0;
+        for lambda in [1u16, 2, 4, 8] {
+            let p = p_unreachable(RackDesign::TorLess { lambda, nics: 8 }, &r);
+            assert!(p < prev, "λ={lambda}: {p} !< {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn monte_carlo_matches_analytic() {
+        let r = FailureRates::default();
+        for design in [
+            RackDesign::SingleTor,
+            RackDesign::DualTor,
+            RackDesign::TorLess { lambda: 2, nics: 4 },
+        ] {
+            let analytic = p_unreachable(design, &r);
+            let mc = simulate(design, &r, 2_000_000, 42);
+            let tol = (analytic * 0.15).max(2e-4);
+            assert!(
+                (analytic - mc).abs() < tol,
+                "{design:?}: analytic {analytic} vs mc {mc}"
+            );
+        }
+    }
+
+    #[test]
+    fn nines_scale() {
+        assert!((nines(0.001) - 3.0).abs() < 1e-9);
+        assert!((nines(0.03) - 1.52).abs() < 0.01);
+        assert_eq!(nines(0.0), f64::INFINITY);
+    }
+}

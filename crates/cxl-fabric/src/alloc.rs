@@ -1,0 +1,381 @@
+//! Pool capacity allocation: carving segments out of the pod's MHDs.
+//!
+//! The pool is managed Pond-style: capacity is assigned to hosts in
+//! *segments*, each backed by one or more MHDs with hardware
+//! interleaving at 256 B granularity. A segment is either private to one
+//! host or shared by an explicit host group (the shared segments are
+//! what the PCIe-pooling datapath lives in).
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::Serialize;
+
+use crate::error::FabricError;
+use crate::params::INTERLEAVE_GRANULE;
+use crate::topology::{HostId, MhdId, Topology};
+
+/// Identifies an allocated segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct SegmentId(pub u64);
+
+/// A contiguous pool-address range backed by an interleave set of MHDs.
+#[derive(Clone, Debug, Serialize)]
+pub struct Segment {
+    id: SegmentId,
+    base: u64,
+    len: u64,
+    ways: Vec<MhdId>,
+    owners: Vec<HostId>,
+}
+
+impl Segment {
+    /// The segment's id.
+    pub fn id(&self) -> SegmentId {
+        self.id
+    }
+
+    /// First pool address of the segment.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if the segment is empty (never produced by the allocator).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// One-past-the-end pool address.
+    pub fn end(&self) -> u64 {
+        self.base + self.len
+    }
+
+    /// The MHD interleave set backing this segment.
+    pub fn ways(&self) -> &[MhdId] {
+        &self.ways
+    }
+
+    /// Hosts entitled to access the segment.
+    pub fn owners(&self) -> &[HostId] {
+        &self.owners
+    }
+
+    /// True if `host` may access this segment.
+    pub fn grants(&self, host: HostId) -> bool {
+        self.owners.contains(&host)
+    }
+
+    /// The MHD backing the interleave granule that contains pool address
+    /// `hpa`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hpa` is outside the segment.
+    pub fn mhd_for(&self, hpa: u64) -> MhdId {
+        assert!(
+            hpa >= self.base && hpa < self.end(),
+            "hpa {hpa:#x} outside segment [{:#x}, {:#x})",
+            self.base,
+            self.end()
+        );
+        let granule = (hpa - self.base) / INTERLEAVE_GRANULE;
+        self.ways[(granule % self.ways.len() as u64) as usize]
+    }
+
+    /// Splits the byte range `[hpa, hpa + len)` into per-MHD byte
+    /// counts, following the interleave pattern. Used for bandwidth
+    /// accounting of bulk transfers.
+    pub fn spread(&self, hpa: u64, len: u64) -> HashMap<MhdId, u64> {
+        let mut out: HashMap<MhdId, u64> = HashMap::new();
+        let mut cur = hpa;
+        let end = hpa + len;
+        while cur < end {
+            let granule_end = (cur / INTERLEAVE_GRANULE + 1) * INTERLEAVE_GRANULE;
+            let n = granule_end.min(end) - cur;
+            *out.entry(self.mhd_for(cur)).or_insert(0) += n;
+            cur += n;
+        }
+        out
+    }
+}
+
+/// Carves segments from per-MHD capacity and resolves addresses back to
+/// segments.
+pub struct PoolAllocator {
+    next_id: u64,
+    next_hpa: u64,
+    /// Free bytes per MHD, indexed by MhdId.
+    free: Vec<u64>,
+    capacity_per_mhd: u64,
+    segments: HashMap<SegmentId, Segment>,
+    /// base -> id, for address resolution.
+    by_base: BTreeMap<u64, SegmentId>,
+}
+
+impl PoolAllocator {
+    /// Creates an allocator over `mhds` devices of `capacity_per_mhd`
+    /// bytes each.
+    pub fn new(mhds: u16, capacity_per_mhd: u64) -> PoolAllocator {
+        PoolAllocator {
+            next_id: 0,
+            // Start pool addresses away from zero so a "null" HPA of 0
+            // is always unmapped.
+            next_hpa: 1 << 20,
+            free: vec![capacity_per_mhd; mhds as usize],
+            capacity_per_mhd,
+            segments: HashMap::new(),
+            by_base: BTreeMap::new(),
+        }
+    }
+
+    /// Allocates `len` bytes visible to `owners`, interleaved across up
+    /// to `max_ways` MHDs that every owner can currently reach.
+    ///
+    /// MHDs are chosen by most-free-capacity first, so allocations
+    /// spread across the pod.
+    pub fn alloc(
+        &mut self,
+        topology: &Topology,
+        owners: &[HostId],
+        len: u64,
+        max_ways: usize,
+    ) -> Result<Segment, FabricError> {
+        assert!(!owners.is_empty(), "a segment needs at least one owner");
+        assert!(len > 0, "cannot allocate an empty segment");
+        assert!(max_ways > 0, "need at least one interleave way");
+
+        // Intersect reachability across all owners.
+        let mut common: Vec<MhdId> = topology.reachable_mhds(owners[0]);
+        for &h in &owners[1..] {
+            let r = topology.reachable_mhds(h);
+            common.retain(|m| r.contains(m));
+        }
+        if common.is_empty() {
+            return Err(FabricError::NoCommonMhd {
+                hosts: owners.to_vec(),
+            });
+        }
+
+        // Prefer the devices with the most free capacity.
+        common.sort_by_key(|m| std::cmp::Reverse(self.free[m.0 as usize]));
+        let ways: Vec<MhdId> = common.into_iter().take(max_ways).collect();
+
+        let per_way = len.div_ceil(ways.len() as u64);
+        if let Some(&tight) = ways.iter().min_by_key(|m| self.free[m.0 as usize]) {
+            let free = self.free[tight.0 as usize];
+            if free < per_way {
+                return Err(FabricError::OutOfCapacity {
+                    requested: per_way,
+                    free,
+                });
+            }
+        }
+        for m in &ways {
+            self.free[m.0 as usize] -= per_way;
+        }
+
+        let id = SegmentId(self.next_id);
+        self.next_id += 1;
+        // Keep segments granule-aligned so interleave math is exact.
+        let base = self.next_hpa.next_multiple_of(INTERLEAVE_GRANULE);
+        self.next_hpa = base + len;
+        let seg = Segment {
+            id,
+            base,
+            len,
+            ways,
+            owners: owners.to_vec(),
+        };
+        self.segments.insert(id, seg.clone());
+        self.by_base.insert(base, id);
+        Ok(seg)
+    }
+
+    /// Releases a segment, returning its capacity to its MHDs.
+    pub fn free(&mut self, id: SegmentId) -> Result<(), FabricError> {
+        let seg = self
+            .segments
+            .remove(&id)
+            .ok_or_else(|| FabricError::UnknownEntity(format!("segment {id:?}")))?;
+        self.by_base.remove(&seg.base);
+        let per_way = seg.len.div_ceil(seg.ways.len() as u64);
+        for m in &seg.ways {
+            self.free[m.0 as usize] =
+                (self.free[m.0 as usize] + per_way).min(self.capacity_per_mhd);
+        }
+        Ok(())
+    }
+
+    /// Resolves a pool address to its segment.
+    pub fn segment_at(&self, hpa: u64) -> Result<&Segment, FabricError> {
+        let (_, &id) = self
+            .by_base
+            .range(..=hpa)
+            .next_back()
+            .ok_or(FabricError::Unmapped { hpa })?;
+        let seg = &self.segments[&id];
+        if hpa < seg.end() {
+            Ok(seg)
+        } else {
+            Err(FabricError::Unmapped { hpa })
+        }
+    }
+
+    /// Looks up a segment by id.
+    pub fn segment(&self, id: SegmentId) -> Option<&Segment> {
+        self.segments.get(&id)
+    }
+
+    /// Total free bytes across the pool.
+    pub fn total_free(&self) -> u64 {
+        self.free.iter().sum()
+    }
+
+    /// Free bytes on one MHD.
+    pub fn free_on(&self, mhd: MhdId) -> u64 {
+        self.free.get(mhd.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Iterates over live segments.
+    pub fn segments(&self) -> impl Iterator<Item = &Segment> {
+        self.segments.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::dense(4, 4, 2)
+    }
+
+    fn alloc4() -> PoolAllocator {
+        PoolAllocator::new(4, 1 << 20)
+    }
+
+    #[test]
+    fn alloc_resolve_roundtrip() {
+        let t = topo();
+        let mut a = alloc4();
+        let seg = a.alloc(&t, &[HostId(0)], 4096, 1).expect("alloc");
+        assert_eq!(seg.len(), 4096);
+        let found = a.segment_at(seg.base() + 100).expect("resolve");
+        assert_eq!(found.id(), seg.id());
+        assert!(seg.grants(HostId(0)));
+        assert!(!seg.grants(HostId(1)));
+    }
+
+    #[test]
+    fn unmapped_addresses_error() {
+        let t = topo();
+        let mut a = alloc4();
+        let seg = a.alloc(&t, &[HostId(0)], 256, 1).expect("alloc");
+        assert!(matches!(
+            a.segment_at(0),
+            Err(FabricError::Unmapped { .. })
+        ));
+        assert!(matches!(
+            a.segment_at(seg.end()),
+            Err(FabricError::Unmapped { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_segment_intersects_reachability() {
+        // Hosts 0 and 1 in a lambda=2/4-MHD pod reach different pairs;
+        // the allocator must pick only commonly reachable devices.
+        let t = topo();
+        let mut a = alloc4();
+        let seg = a
+            .alloc(&t, &[HostId(0), HostId(1)], 8192, 4)
+            .expect("alloc");
+        let r0 = t.reachable_mhds(HostId(0));
+        let r1 = t.reachable_mhds(HostId(1));
+        for w in seg.ways() {
+            assert!(r0.contains(w) && r1.contains(w), "way {w:?} not common");
+        }
+    }
+
+    #[test]
+    fn no_common_mhd_is_reported() {
+        let mut t = topo();
+        // Kill all of host 1's links.
+        let victims: Vec<_> = t.host_links(HostId(1)).map(|l| l.id).collect();
+        for v in victims {
+            t.fail_link(v);
+        }
+        let mut a = alloc4();
+        let err = a.alloc(&t, &[HostId(0), HostId(1)], 4096, 2).unwrap_err();
+        assert!(matches!(err, FabricError::NoCommonMhd { .. }));
+    }
+
+    #[test]
+    fn capacity_is_enforced_and_freed() {
+        let t = topo();
+        let mut a = PoolAllocator::new(4, 4096);
+        let seg = a.alloc(&t, &[HostId(0)], 4096, 1).expect("fits");
+        // One MHD is now full; 3 remain.
+        assert_eq!(a.total_free(), 3 * 4096);
+        // Allocating 2 MiB fails.
+        let err = a.alloc(&t, &[HostId(0)], 1 << 21, 2).unwrap_err();
+        assert!(matches!(err, FabricError::OutOfCapacity { .. }));
+        a.free(seg.id()).expect("free");
+        assert_eq!(a.total_free(), 4 * 4096);
+    }
+
+    #[test]
+    fn double_free_errors() {
+        let t = topo();
+        let mut a = alloc4();
+        let seg = a.alloc(&t, &[HostId(0)], 256, 1).expect("alloc");
+        a.free(seg.id()).expect("first free");
+        assert!(a.free(seg.id()).is_err());
+    }
+
+    #[test]
+    fn interleave_round_robins_granules() {
+        let t = Topology::dense(1, 4, 4);
+        let mut a = alloc4();
+        let seg = a
+            .alloc(&t, &[HostId(0)], 4 * INTERLEAVE_GRANULE, 4)
+            .expect("alloc");
+        assert_eq!(seg.ways().len(), 4);
+        let m0 = seg.mhd_for(seg.base());
+        let m1 = seg.mhd_for(seg.base() + INTERLEAVE_GRANULE);
+        assert_ne!(m0, m1);
+        // Pattern repeats with period ways.len().
+        assert_eq!(
+            seg.mhd_for(seg.base()),
+            seg.mhd_for(seg.base() + 4 * INTERLEAVE_GRANULE - INTERLEAVE_GRANULE * 4)
+        );
+    }
+
+    #[test]
+    fn spread_accounts_every_byte() {
+        let t = Topology::dense(1, 4, 4);
+        let mut a = alloc4();
+        let seg = a.alloc(&t, &[HostId(0)], 10_000, 4).expect("alloc");
+        let spread = seg.spread(seg.base() + 100, 5_000);
+        let total: u64 = spread.values().sum();
+        assert_eq!(total, 5_000);
+        // With 256 B granules over 4 ways, counts are near-equal.
+        for &v in spread.values() {
+            assert!(v >= 1_000, "spread too skewed: {spread:?}");
+        }
+    }
+
+    #[test]
+    fn segments_are_granule_aligned() {
+        let t = topo();
+        let mut a = alloc4();
+        for len in [1u64, 255, 256, 257, 5000] {
+            let seg = a.alloc(&t, &[HostId(0)], len, 2).expect("alloc");
+            assert_eq!(seg.base() % INTERLEAVE_GRANULE, 0);
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! A per-host write-back cache model for pool-mapped memory.
+//!
+//! Today's CXL pool devices are not cache-coherent across hosts (§3):
+//! host A's cached copy of a pool line is never invalidated when host B
+//! writes the line, and host A's dirty lines are invisible to host B
+//! until written back. This module makes both hazards *observable* in
+//! simulation so the software-coherence discipline in `shmem` and the
+//! datapath is actually load-bearing: skip a flush and tests see stale
+//! bytes, exactly like the hardware.
+//!
+//! The model tracks only pool-mapped lines (local DRAM is always
+//! coherent within a host) with FIFO eviction; evicting a dirty line
+//! writes it back to the pool, which is why "it happened to work" is a
+//! real failure mode of missing-flush bugs.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::params::CACHELINE;
+
+/// One cached 64 B line.
+#[derive(Clone, Debug)]
+struct Line {
+    data: [u8; CACHELINE as usize],
+    dirty: bool,
+}
+
+/// Statistics for one host's pool-line cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Loads served from the local (possibly stale) copy.
+    pub hits: u64,
+    /// Loads that fetched from the pool.
+    pub misses: u64,
+    /// Dirty lines pushed to the pool by flush or eviction.
+    pub writebacks: u64,
+    /// Lines dropped by invalidation.
+    pub invalidations: u64,
+}
+
+/// A host-private write-back cache over pool addresses.
+pub struct HostCache {
+    lines: HashMap<u64, Line>,
+    fifo: VecDeque<u64>,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+/// The result of a cache lookup for a load.
+pub enum LoadOutcome {
+    /// Line found locally; data may be stale relative to the pool.
+    Hit([u8; CACHELINE as usize]),
+    /// Line not cached; caller must fetch from the pool and may then
+    /// insert it via [`HostCache::fill`].
+    Miss,
+}
+
+impl HostCache {
+    /// Creates a cache holding at most `capacity` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> HostCache {
+        assert!(capacity > 0, "cache needs at least one line");
+        HostCache {
+            lines: HashMap::new(),
+            fifo: VecDeque::new(),
+            capacity,
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn line_addr(addr: u64) -> u64 {
+        addr & !(CACHELINE - 1)
+    }
+
+    /// Looks up the line containing `addr` for a load.
+    pub fn load(&mut self, addr: u64) -> LoadOutcome {
+        let la = Self::line_addr(addr);
+        match self.lines.get(&la) {
+            Some(line) => {
+                self.stats.hits += 1;
+                LoadOutcome::Hit(line.data)
+            }
+            None => {
+                self.stats.misses += 1;
+                LoadOutcome::Miss
+            }
+        }
+    }
+
+    /// Inserts a clean line fetched from the pool. Returns any dirty
+    /// line evicted to make room, as `(line_addr, data)` — the caller
+    /// must write it back to the pool.
+    pub fn fill(
+        &mut self,
+        addr: u64,
+        data: [u8; CACHELINE as usize],
+    ) -> Option<(u64, [u8; CACHELINE as usize])> {
+        let la = Self::line_addr(addr);
+        let evicted = self.make_room(la);
+        if self.lines.insert(la, Line { data, dirty: false }).is_none() {
+            self.fifo.push_back(la);
+        }
+        evicted
+    }
+
+    /// Applies a cached (write-back) store to the line containing
+    /// `addr`. `offset` is `addr`'s offset within the line. The caller
+    /// must have filled the line first if partial-line data matters;
+    /// absent a fill, the rest of the line is treated as zero (caller
+    /// normally fetches on write-miss). Returns any dirty eviction.
+    pub fn store(
+        &mut self,
+        addr: u64,
+        data: &[u8],
+    ) -> Option<(u64, [u8; CACHELINE as usize])> {
+        let la = Self::line_addr(addr);
+        let offset = (addr - la) as usize;
+        assert!(
+            offset + data.len() <= CACHELINE as usize,
+            "store must not straddle a cache line"
+        );
+        let evicted = if self.lines.contains_key(&la) {
+            None
+        } else {
+            let ev = self.make_room(la);
+            self.lines.insert(
+                la,
+                Line {
+                    data: [0; CACHELINE as usize],
+                    dirty: false,
+                },
+            );
+            self.fifo.push_back(la);
+            ev
+        };
+        let line = self.lines.get_mut(&la).expect("just inserted");
+        line.data[offset..offset + data.len()].copy_from_slice(data);
+        line.dirty = true;
+        evicted
+    }
+
+    /// Flushes the line containing `addr`: if present and dirty, returns
+    /// its data for write-back; the line is dropped either way (clflush
+    /// semantics).
+    pub fn flush(&mut self, addr: u64) -> Option<[u8; CACHELINE as usize]> {
+        let la = Self::line_addr(addr);
+        match self.lines.remove(&la) {
+            Some(line) => {
+                self.fifo.retain(|&a| a != la);
+                if line.dirty {
+                    self.stats.writebacks += 1;
+                    Some(line.data)
+                } else {
+                    None
+                }
+            }
+            None => None,
+        }
+    }
+
+    /// Drops the line containing `addr` *without* write-back (used to
+    /// force the next load to refetch; discards local dirty data like a
+    /// real invalidate would).
+    pub fn invalidate(&mut self, addr: u64) {
+        let la = Self::line_addr(addr);
+        if self.lines.remove(&la).is_some() {
+            self.fifo.retain(|&a| a != la);
+            self.stats.invalidations += 1;
+        }
+    }
+
+    /// True if the line containing `addr` is cached and dirty.
+    pub fn is_dirty(&self, addr: u64) -> bool {
+        self.lines
+            .get(&Self::line_addr(addr))
+            .map(|l| l.dirty)
+            .unwrap_or(false)
+    }
+
+    /// True if the line containing `addr` is present.
+    pub fn contains(&self, addr: u64) -> bool {
+        self.lines.contains_key(&Self::line_addr(addr))
+    }
+
+    /// Number of resident lines.
+    pub fn resident(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Snapshot of hit/miss/write-back counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn make_room(&mut self, incoming: u64) -> Option<(u64, [u8; CACHELINE as usize])> {
+        if self.lines.len() < self.capacity || self.lines.contains_key(&incoming) {
+            return None;
+        }
+        // FIFO eviction of the oldest line.
+        while let Some(victim) = self.fifo.pop_front() {
+            if let Some(line) = self.lines.remove(&victim) {
+                if line.dirty {
+                    self.stats.writebacks += 1;
+                    return Some((victim, line.data));
+                }
+                return None;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L: usize = CACHELINE as usize;
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = HostCache::new(4);
+        assert!(matches!(c.load(0x100), LoadOutcome::Miss));
+        c.fill(0x100, [9u8; L]);
+        match c.load(0x120) {
+            // 0x120 is in the same 64 B line as 0x100.
+            LoadOutcome::Hit(data) => assert_eq!(data, [9u8; L]),
+            LoadOutcome::Miss => panic!("expected hit"),
+        }
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn store_marks_dirty_and_flush_returns_data() {
+        let mut c = HostCache::new(4);
+        c.store(0x40, &[1, 2, 3]);
+        assert!(c.is_dirty(0x40));
+        let flushed = c.flush(0x40).expect("dirty line flushes");
+        assert_eq!(&flushed[..3], &[1, 2, 3]);
+        assert!(!c.contains(0x40));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn flush_clean_line_returns_none() {
+        let mut c = HostCache::new(4);
+        c.fill(0x0, [5u8; L]);
+        assert!(c.flush(0x0).is_none());
+        assert!(!c.contains(0x0));
+    }
+
+    #[test]
+    fn invalidate_discards_dirty_data() {
+        let mut c = HostCache::new(4);
+        c.store(0x80, &[1u8; 8]);
+        c.invalidate(0x80);
+        assert!(!c.contains(0x80));
+        assert!(matches!(c.load(0x80), LoadOutcome::Miss));
+        assert_eq!(c.stats().invalidations, 1);
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn capacity_eviction_is_fifo_and_writes_back_dirty() {
+        let mut c = HostCache::new(2);
+        c.store(0x0, &[1u8; 4]); // oldest, dirty
+        c.fill(0x40, [2u8; L]); // clean
+        // Third line evicts 0x0 (dirty) -> write-back surfaces.
+        let ev = c.store(0x80, &[3u8; 4]);
+        let (addr, data) = ev.expect("dirty eviction");
+        assert_eq!(addr, 0x0);
+        assert_eq!(&data[..4], &[1u8; 4]);
+        assert_eq!(c.resident(), 2);
+    }
+
+    #[test]
+    fn clean_eviction_returns_none() {
+        let mut c = HostCache::new(1);
+        c.fill(0x0, [1u8; L]);
+        assert!(c.fill(0x40, [2u8; L]).is_none());
+        assert!(c.contains(0x40));
+        assert!(!c.contains(0x0));
+    }
+
+    #[test]
+    fn partial_store_preserves_rest_of_filled_line() {
+        let mut c = HostCache::new(4);
+        c.fill(0x0, [7u8; L]);
+        c.store(0x8, &[1, 1]);
+        match c.load(0x0) {
+            LoadOutcome::Hit(d) => {
+                assert_eq!(d[7], 7);
+                assert_eq!(d[8], 1);
+                assert_eq!(d[9], 1);
+                assert_eq!(d[10], 7);
+            }
+            LoadOutcome::Miss => panic!("expected hit"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "straddle")]
+    fn straddling_store_panics() {
+        let mut c = HostCache::new(4);
+        c.store(60, &[0u8; 8]);
+    }
+}

@@ -1,0 +1,901 @@
+//! The fabric proper: timed, contents-accurate memory operations against
+//! the pool and against per-host local DRAM.
+//!
+//! Every operation takes the current simulated time and returns the
+//! operation's *completion* time, with queueing on links and device
+//! controllers modelled by [`simkit::server::BandwidthPipe`] timelines.
+//! Writes to the pool become visible to other hosts only at their
+//! completion time (an in-flight write buffer holds them until then), and
+//! cached stores are not visible at all until flushed or evicted — the
+//! two hazards software coherence must handle on real non-coherent pools.
+
+use std::collections::BTreeMap;
+
+use simkit::server::BandwidthPipe;
+use simkit::Nanos;
+
+use crate::alloc::{PoolAllocator, Segment, SegmentId};
+use crate::cache::{CacheStats, HostCache, LoadOutcome};
+use crate::error::FabricError;
+use crate::params::{FabricParams, CACHELINE};
+use crate::sparse::SparseMem;
+use crate::topology::{HostId, LinkId, MhdId, Topology};
+
+/// Cost of a load served from the host's own cache (an L2-ish hit).
+const CACHE_HIT_NS: u64 = 5;
+/// CPU cost of issuing one cache-line invalidate.
+const INVALIDATE_NS: u64 = 2;
+
+/// Construction parameters for a pod.
+#[derive(Clone, Debug)]
+pub struct PodConfig {
+    /// Number of hosts.
+    pub hosts: u16,
+    /// Number of multi-headed devices.
+    pub mhds: u16,
+    /// Redundant paths per host (λ): links to λ distinct MHDs.
+    pub lambda: u16,
+    /// Timing parameters.
+    pub params: FabricParams,
+    /// Capacity contributed by each MHD, in bytes.
+    pub mhd_capacity: u64,
+    /// Default interleave width for allocations made through
+    /// [`Fabric::alloc_private`] / [`Fabric::alloc_shared`].
+    pub default_ways: usize,
+    /// Per-host local DDR5 bandwidth available to I/O, in GB/s.
+    pub local_dram_gbps: f64,
+}
+
+impl PodConfig {
+    /// A pod with the given shape and default timing/capacity.
+    pub fn new(hosts: u16, mhds: u16, lambda: u16) -> PodConfig {
+        PodConfig {
+            hosts,
+            mhds,
+            lambda,
+            params: FabricParams::default(),
+            mhd_capacity: 256 << 30,
+            default_ways: lambda as usize,
+            local_dram_gbps: 150.0,
+        }
+    }
+
+    /// Overrides the timing parameters.
+    pub fn with_params(mut self, params: FabricParams) -> PodConfig {
+        self.params = params;
+        self
+    }
+}
+
+/// Aggregate operation counters for the whole fabric.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AccessStats {
+    /// CPU loads against the pool.
+    pub loads: u64,
+    /// CPU (cached, write-back) stores against the pool.
+    pub stores: u64,
+    /// Non-temporal stores against the pool.
+    pub nt_stores: u64,
+    /// Cache-line flushes issued.
+    pub flushes: u64,
+    /// Device DMA reads from the pool.
+    pub dma_reads: u64,
+    /// Device DMA writes to the pool.
+    pub dma_writes: u64,
+    /// Total bytes moved host←pool (loads + DMA reads).
+    pub bytes_read: u64,
+    /// Total bytes moved host→pool (visible writes only).
+    pub bytes_written: u64,
+}
+
+struct PendingWrite {
+    hpa: u64,
+    data: Vec<u8>,
+}
+
+/// A CXL pod: topology + timing + contents + per-host caches.
+pub struct Fabric {
+    topology: Topology,
+    params: FabricParams,
+    alloc: PoolAllocator,
+    pool: SparseMem,
+    pending: BTreeMap<(Nanos, u64), PendingWrite>,
+    pending_seq: u64,
+    caches: Vec<HostCache>,
+    local_mem: Vec<SparseMem>,
+    local_pipes: Vec<BandwidthPipe>,
+    uplinks: Vec<BandwidthPipe>,
+    downlinks: Vec<BandwidthPipe>,
+    mhd_pipes: Vec<BandwidthPipe>,
+    default_ways: usize,
+    stats: AccessStats,
+}
+
+impl Fabric {
+    /// Builds a pod from `config`.
+    pub fn new(config: PodConfig) -> Fabric {
+        let topology = Topology::dense(config.hosts, config.mhds, config.lambda);
+        let link_gbps = config.params.link_gbps();
+        let n_links = topology.links().len();
+        Fabric {
+            alloc: PoolAllocator::new(config.mhds, config.mhd_capacity),
+            caches: (0..config.hosts)
+                .map(|_| HostCache::new(config.params.host_cache_lines))
+                .collect(),
+            local_mem: (0..config.hosts).map(|_| SparseMem::new()).collect(),
+            local_pipes: (0..config.hosts)
+                .map(|_| BandwidthPipe::new(config.local_dram_gbps))
+                .collect(),
+            uplinks: (0..n_links).map(|_| BandwidthPipe::new(link_gbps)).collect(),
+            downlinks: (0..n_links).map(|_| BandwidthPipe::new(link_gbps)).collect(),
+            mhd_pipes: (0..config.mhds)
+                .map(|_| BandwidthPipe::new(config.params.mhd_dram_gbps))
+                .collect(),
+            pool: SparseMem::new(),
+            pending: BTreeMap::new(),
+            pending_seq: 0,
+            default_ways: config.default_ways.max(1),
+            params: config.params,
+            topology,
+            stats: AccessStats::default(),
+        }
+    }
+
+    /// The pod topology (for failure injection and path inspection).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Mutable topology access (failure injection).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// The timing parameters in force.
+    pub fn params(&self) -> &FabricParams {
+        &self.params
+    }
+
+    /// Aggregate operation counters.
+    pub fn stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    /// Cache counters for one host.
+    pub fn cache_stats(&self, host: HostId) -> CacheStats {
+        self.caches[host.0 as usize].stats()
+    }
+
+    // ---------------------------------------------------------------
+    // Allocation
+    // ---------------------------------------------------------------
+
+    /// Allocates a private segment for `host`.
+    pub fn alloc_private(&mut self, host: HostId, len: u64) -> Result<Segment, FabricError> {
+        self.alloc
+            .alloc(&self.topology, &[host], len, self.default_ways)
+    }
+
+    /// Allocates a segment shared by `hosts` (the substrate for
+    /// cross-host I/O buffers and message channels).
+    pub fn alloc_shared(&mut self, hosts: &[HostId], len: u64) -> Result<Segment, FabricError> {
+        self.alloc
+            .alloc(&self.topology, hosts, len, self.default_ways)
+    }
+
+    /// Allocates with an explicit interleave width (for the interleave
+    /// bandwidth experiments).
+    pub fn alloc_interleaved(
+        &mut self,
+        hosts: &[HostId],
+        len: u64,
+        ways: usize,
+    ) -> Result<Segment, FabricError> {
+        self.alloc.alloc(&self.topology, hosts, len, ways)
+    }
+
+    /// Releases a segment.
+    pub fn free_segment(&mut self, id: SegmentId) -> Result<(), FabricError> {
+        self.alloc.free(id)
+    }
+
+    /// Total free pool capacity in bytes.
+    pub fn free_capacity(&self) -> u64 {
+        self.alloc.total_free()
+    }
+
+    /// Resolves an address to its segment.
+    pub fn segment_at(&self, hpa: u64) -> Result<&Segment, FabricError> {
+        self.alloc.segment_at(hpa)
+    }
+
+    /// Looks up a live segment by id.
+    pub fn segment(&self, id: SegmentId) -> Option<&Segment> {
+        self.alloc.segment(id)
+    }
+
+    // ---------------------------------------------------------------
+    // Pool access (CPU side)
+    // ---------------------------------------------------------------
+
+    /// CPU load of `buf.len()` bytes at `hpa` by `host`.
+    ///
+    /// Lines present in the host's cache are served locally — possibly
+    /// returning *stale* data, exactly like real non-coherent CXL.
+    /// Missing lines are fetched from the pool (timed) and cached.
+    pub fn load(
+        &mut self,
+        now: Nanos,
+        host: HostId,
+        hpa: u64,
+        buf: &mut [u8],
+    ) -> Result<Nanos, FabricError> {
+        self.apply_pending(now);
+        let len = buf.len() as u64;
+        self.check(host, hpa, len)?;
+        self.stats.loads += 1;
+        self.stats.bytes_read += len;
+
+        let mut missed_lines: Vec<u64> = Vec::new();
+        let cache = &mut self.caches[host.0 as usize];
+        for la in lines(hpa, len) {
+            match cache.load(la) {
+                LoadOutcome::Hit(data) => copy_line_to_buf(la, &data, hpa, buf),
+                LoadOutcome::Miss => missed_lines.push(la),
+            }
+        }
+        if missed_lines.is_empty() {
+            return Ok(now + Nanos(CACHE_HIT_NS));
+        }
+
+        // Fetch missing lines from the pool and install them.
+        let mut writebacks: Vec<(u64, [u8; CACHELINE as usize])> = Vec::new();
+        for &la in &missed_lines {
+            let mut line = [0u8; CACHELINE as usize];
+            self.pool.read(la, &mut line);
+            copy_line_to_buf(la, &line, hpa, buf);
+            if let Some(wb) = self.caches[host.0 as usize].fill(la, line) {
+                writebacks.push(wb);
+            }
+        }
+        // Dirty evictions write back immediately (they ride the same
+        // link traffic; visibility now is the conservative choice).
+        for (addr, data) in writebacks {
+            self.pool.write(addr, &data);
+            self.stats.bytes_written += CACHELINE;
+        }
+
+        let bytes = missed_lines.len() as u64 * CACHELINE;
+        let seg = self.alloc.segment_at(hpa)?.clone();
+        self.timed_pool_read(now, host, &seg, hpa, bytes)
+    }
+
+    /// CPU cached (write-back) store. The data lands in the host's cache
+    /// only — other hosts will *not* see it until [`Fabric::flush`] or a
+    /// capacity eviction. Write misses perform a timed read-for-ownership
+    /// fetch.
+    pub fn store(
+        &mut self,
+        now: Nanos,
+        host: HostId,
+        hpa: u64,
+        data: &[u8],
+    ) -> Result<Nanos, FabricError> {
+        self.apply_pending(now);
+        let len = data.len() as u64;
+        self.check(host, hpa, len)?;
+        self.stats.stores += 1;
+
+        // RFO: fetch lines we don't own yet so partial-line stores merge
+        // correctly.
+        let mut fetched = 0u64;
+        for la in lines(hpa, len) {
+            if !self.caches[host.0 as usize].contains(la) {
+                let mut line = [0u8; CACHELINE as usize];
+                self.pool.read(la, &mut line);
+                if let Some((addr, wb)) = self.caches[host.0 as usize].fill(la, line) {
+                    self.pool.write(addr, &wb);
+                    self.stats.bytes_written += CACHELINE;
+                }
+                fetched += CACHELINE;
+            }
+        }
+        // Apply the store line by line.
+        let mut cur = hpa;
+        let end = hpa + len;
+        while cur < end {
+            let la = line_of(cur);
+            let n = ((la + CACHELINE).min(end) - cur) as usize;
+            let off = (cur - hpa) as usize;
+            if let Some((addr, wb)) =
+                self.caches[host.0 as usize].store(cur, &data[off..off + n])
+            {
+                self.pool.write(addr, &wb);
+                self.stats.bytes_written += CACHELINE;
+            }
+            cur += n as u64;
+        }
+
+        if fetched == 0 {
+            return Ok(now + Nanos(CACHE_HIT_NS));
+        }
+        let seg = self.alloc.segment_at(hpa)?.clone();
+        self.timed_pool_read(now, host, &seg, hpa, fetched)
+    }
+
+    /// Non-temporal store: bypasses the host cache and becomes visible
+    /// to all hosts at the returned completion time. Any locally cached
+    /// copies of the touched lines are dropped.
+    pub fn nt_store(
+        &mut self,
+        now: Nanos,
+        host: HostId,
+        hpa: u64,
+        data: &[u8],
+    ) -> Result<Nanos, FabricError> {
+        self.apply_pending(now);
+        let len = data.len() as u64;
+        self.check(host, hpa, len)?;
+        self.stats.nt_stores += 1;
+        self.stats.bytes_written += len;
+
+        for la in lines(hpa, len) {
+            self.caches[host.0 as usize].invalidate(la);
+        }
+        let seg = self.alloc.segment_at(hpa)?.clone();
+        let done = self.timed_pool_write(now, host, &seg, hpa, len)?;
+        self.enqueue_write(done, hpa, data.to_vec());
+        Ok(done)
+    }
+
+    /// Flushes `[hpa, hpa + len)` from the host's cache: dirty lines are
+    /// written to the pool (visible at the returned time), clean lines
+    /// are dropped.
+    pub fn flush(
+        &mut self,
+        now: Nanos,
+        host: HostId,
+        hpa: u64,
+        len: u64,
+    ) -> Result<Nanos, FabricError> {
+        self.apply_pending(now);
+        self.check(host, hpa, len)?;
+        self.stats.flushes += 1;
+
+        let mut dirty: Vec<(u64, [u8; CACHELINE as usize])> = Vec::new();
+        for la in lines(hpa, len) {
+            if let Some(data) = self.caches[host.0 as usize].flush(la) {
+                dirty.push((la, data));
+            }
+        }
+        if dirty.is_empty() {
+            return Ok(now + Nanos(CACHE_HIT_NS));
+        }
+        let bytes = dirty.len() as u64 * CACHELINE;
+        self.stats.bytes_written += bytes;
+        let seg = self.alloc.segment_at(hpa)?.clone();
+        let done = self.timed_pool_write(now, host, &seg, hpa, bytes)?;
+        for (la, data) in dirty {
+            self.enqueue_write(done, la, data.to_vec());
+        }
+        Ok(done)
+    }
+
+    /// Drops `[hpa, hpa + len)` from the host's cache without writing
+    /// back, so the next load refetches from the pool. This is how a
+    /// reader guarantees freshness on non-coherent hardware.
+    pub fn invalidate(&mut self, now: Nanos, host: HostId, hpa: u64, len: u64) -> Nanos {
+        let mut n = 0u64;
+        for la in lines(hpa, len) {
+            self.caches[host.0 as usize].invalidate(la);
+            n += 1;
+        }
+        now + Nanos(INVALIDATE_NS * n)
+    }
+
+    // ---------------------------------------------------------------
+    // Pool access (device DMA side)
+    // ---------------------------------------------------------------
+
+    /// Device DMA read from the pool, issued by a device attached to
+    /// `host`. Snoops the *attach host's* cache (DMA is coherent within
+    /// one host on x86), so that host's dirty lines are observed; other
+    /// hosts' caches are not snooped — their dirty data is invisible.
+    pub fn dma_read(
+        &mut self,
+        now: Nanos,
+        host: HostId,
+        hpa: u64,
+        buf: &mut [u8],
+    ) -> Result<Nanos, FabricError> {
+        self.apply_pending(now);
+        let len = buf.len() as u64;
+        self.check(host, hpa, len)?;
+        self.stats.dma_reads += 1;
+        self.stats.bytes_read += len;
+
+        self.pool.read(hpa, buf);
+        // Overlay the attach host's dirty lines.
+        for la in lines(hpa, len) {
+            if self.caches[host.0 as usize].is_dirty(la) {
+                if let LoadOutcome::Hit(line) = self.caches[host.0 as usize].load(la) {
+                    copy_line_to_buf(la, &line, hpa, buf);
+                }
+            }
+        }
+        let seg = self.alloc.segment_at(hpa)?.clone();
+        self.timed_pool_read_dev(now, host, &seg, hpa, len)
+    }
+
+    /// Device DMA write to the pool, issued by a device attached to
+    /// `host`. Visible at the returned completion time; snoop-invalidates
+    /// the attach host's cached copies (remote hosts stay stale — they
+    /// must invalidate before reading).
+    pub fn dma_write(
+        &mut self,
+        now: Nanos,
+        host: HostId,
+        hpa: u64,
+        data: &[u8],
+    ) -> Result<Nanos, FabricError> {
+        self.apply_pending(now);
+        let len = data.len() as u64;
+        self.check(host, hpa, len)?;
+        self.stats.dma_writes += 1;
+        self.stats.bytes_written += len;
+
+        for la in lines(hpa, len) {
+            self.caches[host.0 as usize].invalidate(la);
+        }
+        let seg = self.alloc.segment_at(hpa)?.clone();
+        let done = self.timed_pool_write_dev(now, host, &seg, hpa, len)?;
+        self.enqueue_write(done, hpa, data.to_vec());
+        Ok(done)
+    }
+
+    // ---------------------------------------------------------------
+    // Local DRAM access
+    // ---------------------------------------------------------------
+
+    /// CPU load from the host's local DRAM (always coherent within the
+    /// host).
+    pub fn local_load(&mut self, now: Nanos, host: HostId, addr: u64, buf: &mut [u8]) -> Nanos {
+        self.local_mem[host.0 as usize].read(addr, buf);
+        let xfer = self.local_pipes[host.0 as usize].transfer(now, buf.len() as u64);
+        xfer + Nanos(self.params.local_load_ns)
+    }
+
+    /// CPU store to the host's local DRAM.
+    pub fn local_store(&mut self, now: Nanos, host: HostId, addr: u64, data: &[u8]) -> Nanos {
+        self.local_mem[host.0 as usize].write(addr, data);
+        let xfer = self.local_pipes[host.0 as usize].transfer(now, data.len() as u64);
+        xfer + Nanos(self.params.local_store_ns)
+    }
+
+    /// Device DMA read from the attach host's local DRAM.
+    pub fn local_dma_read(
+        &mut self,
+        now: Nanos,
+        host: HostId,
+        addr: u64,
+        buf: &mut [u8],
+    ) -> Nanos {
+        self.local_mem[host.0 as usize].read(addr, buf);
+        let xfer = self.local_pipes[host.0 as usize].transfer(now, buf.len() as u64);
+        xfer + Nanos(self.params.local_load_ns)
+    }
+
+    /// Device DMA write to the attach host's local DRAM.
+    pub fn local_dma_write(
+        &mut self,
+        now: Nanos,
+        host: HostId,
+        addr: u64,
+        data: &[u8],
+    ) -> Nanos {
+        self.local_mem[host.0 as usize].write(addr, data);
+        let xfer = self.local_pipes[host.0 as usize].transfer(now, data.len() as u64);
+        xfer + Nanos(self.params.local_store_ns)
+    }
+
+    // ---------------------------------------------------------------
+    // Debug / test access
+    // ---------------------------------------------------------------
+
+    /// Forces all in-flight writes visible and reads raw pool contents
+    /// (no timing, no cache). For tests and assertions only.
+    pub fn peek_settled(&mut self, hpa: u64, buf: &mut [u8]) {
+        self.apply_pending(Nanos::MAX);
+        self.pool.read(hpa, buf);
+    }
+
+    /// Reads raw pool contents as currently visible (in-flight writes
+    /// excluded). For tests only.
+    pub fn peek(&self, hpa: u64, buf: &mut [u8]) {
+        self.pool.read(hpa, buf);
+    }
+
+    /// Utilization of a link's uplink direction over `[0, horizon]`.
+    pub fn uplink_utilization(&self, link: LinkId, horizon: Nanos) -> f64 {
+        self.uplinks[link.0 as usize].utilization(horizon)
+    }
+
+    /// Utilization of a link's downlink direction over `[0, horizon]`.
+    pub fn downlink_utilization(&self, link: LinkId, horizon: Nanos) -> f64 {
+        self.downlinks[link.0 as usize].utilization(horizon)
+    }
+
+    // ---------------------------------------------------------------
+    // Internals
+    // ---------------------------------------------------------------
+
+    fn check(&self, host: HostId, hpa: u64, len: u64) -> Result<(), FabricError> {
+        assert!(len > 0, "zero-length access");
+        let seg = self.alloc.segment_at(hpa)?;
+        if !seg.grants(host) {
+            return Err(FabricError::AccessDenied { host, hpa });
+        }
+        if hpa + len > seg.end() {
+            return Err(FabricError::OutOfBounds { hpa, len });
+        }
+        Ok(())
+    }
+
+    fn apply_pending(&mut self, now: Nanos) {
+        loop {
+            let Some((&(ts, seq), _)) = self.pending.first_key_value() else {
+                break;
+            };
+            if ts > now {
+                break;
+            }
+            let w = self.pending.remove(&(ts, seq)).expect("key just seen");
+            self.pool.write(w.hpa, &w.data);
+        }
+    }
+
+    fn enqueue_write(&mut self, visible_at: Nanos, hpa: u64, data: Vec<u8>) {
+        let seq = self.pending_seq;
+        self.pending_seq += 1;
+        self.pending
+            .insert((visible_at, seq), PendingWrite { hpa, data });
+    }
+
+    /// Picks the least-backlogged up link from `host` to `mhd`.
+    fn pick_link(&self, now: Nanos, host: HostId, mhd: MhdId) -> Result<LinkId, FabricError> {
+        let paths = self.topology.paths(host, mhd);
+        paths
+            .into_iter()
+            .min_by_key(|l| self.uplinks[l.0 as usize].backlog(now))
+            .ok_or(FabricError::NoPath { host, mhd })
+    }
+
+    /// Timed CPU read of `bytes` spread over the segment's interleave
+    /// set: request up each involved link, data streams back down.
+    fn timed_pool_read(
+        &mut self,
+        now: Nanos,
+        host: HostId,
+        seg: &Segment,
+        hpa: u64,
+        bytes: u64,
+    ) -> Result<Nanos, FabricError> {
+        self.timed_read_inner(now, host, seg, hpa, bytes, self.params.cxl_host_overhead_ns)
+    }
+
+    /// Timed device DMA read: same path, no CPU issue overhead.
+    fn timed_pool_read_dev(
+        &mut self,
+        now: Nanos,
+        host: HostId,
+        seg: &Segment,
+        hpa: u64,
+        bytes: u64,
+    ) -> Result<Nanos, FabricError> {
+        self.timed_read_inner(now, host, seg, hpa, bytes, 0)
+    }
+
+    fn timed_read_inner(
+        &mut self,
+        now: Nanos,
+        host: HostId,
+        seg: &Segment,
+        hpa: u64,
+        bytes: u64,
+        issue_ns: u64,
+    ) -> Result<Nanos, FabricError> {
+        let spread = seg.spread(hpa, bytes.min(seg.end() - hpa).max(1));
+        let wire = Nanos(self.params.cxl_wire_ns);
+        let dev_fixed = Nanos(self.params.cxl_device_ns);
+        let occ = Nanos(self.params.mhd_occupancy_ns);
+        let t_issue = now + Nanos(issue_ns);
+        let mut done = Nanos::ZERO;
+        for (mhd, b) in spread {
+            let link = self.pick_link(now, host, mhd)?;
+            // Request packet (header-sized; modelled as one line).
+            let up = self.uplinks[link.0 as usize].transfer(t_issue, CACHELINE);
+            let at_dev = up + wire;
+            let dev_ready = self.mhd_pipes[mhd.0 as usize].transfer(at_dev, b) + occ;
+            let stream_start = dev_ready + dev_fixed;
+            let down = self.downlinks[link.0 as usize].transfer(stream_start, b);
+            done = done.max(down + wire);
+        }
+        Ok(done)
+    }
+
+    /// Timed CPU-visible pool write (non-temporal / flush path).
+    fn timed_pool_write(
+        &mut self,
+        now: Nanos,
+        host: HostId,
+        seg: &Segment,
+        hpa: u64,
+        bytes: u64,
+    ) -> Result<Nanos, FabricError> {
+        self.timed_write_inner(now, host, seg, hpa, bytes, self.params.cxl_host_overhead_ns)
+    }
+
+    /// Timed device DMA pool write.
+    fn timed_pool_write_dev(
+        &mut self,
+        now: Nanos,
+        host: HostId,
+        seg: &Segment,
+        hpa: u64,
+        bytes: u64,
+    ) -> Result<Nanos, FabricError> {
+        self.timed_write_inner(now, host, seg, hpa, bytes, 0)
+    }
+
+    fn timed_write_inner(
+        &mut self,
+        now: Nanos,
+        host: HostId,
+        seg: &Segment,
+        hpa: u64,
+        bytes: u64,
+        issue_ns: u64,
+    ) -> Result<Nanos, FabricError> {
+        let spread = seg.spread(hpa, bytes.min(seg.end() - hpa).max(1));
+        let wire = Nanos(self.params.cxl_wire_ns);
+        let dev_half = Nanos(self.params.cxl_device_ns / 2);
+        let occ = Nanos(self.params.mhd_occupancy_ns);
+        let t_issue = now + Nanos(issue_ns);
+        let mut done = Nanos::ZERO;
+        for (mhd, b) in spread {
+            let link = self.pick_link(now, host, mhd)?;
+            let up = self.uplinks[link.0 as usize].transfer(t_issue, b);
+            let at_dev = up + wire;
+            let landed = self.mhd_pipes[mhd.0 as usize].transfer(at_dev, b) + occ + dev_half;
+            done = done.max(landed);
+        }
+        Ok(done)
+    }
+}
+
+fn line_of(addr: u64) -> u64 {
+    addr & !(CACHELINE - 1)
+}
+
+/// Iterates the line addresses overlapping `[hpa, hpa + len)`.
+fn lines(hpa: u64, len: u64) -> impl Iterator<Item = u64> {
+    let first = line_of(hpa);
+    let last = line_of(hpa + len - 1);
+    (first..=last).step_by(CACHELINE as usize)
+}
+
+/// Copies the overlap between cache line `la` (contents `line`) and the
+/// buffer mapped at `[hpa, hpa + buf.len())` into the buffer.
+fn copy_line_to_buf(la: u64, line: &[u8; CACHELINE as usize], hpa: u64, buf: &mut [u8]) {
+    let buf_end = hpa + buf.len() as u64;
+    let start = la.max(hpa);
+    let end = (la + CACHELINE).min(buf_end);
+    if start >= end {
+        return;
+    }
+    let src = (start - la) as usize;
+    let dst = (start - hpa) as usize;
+    let n = (end - start) as usize;
+    buf[dst..dst + n].copy_from_slice(&line[src..src + n]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pod() -> Fabric {
+        Fabric::new(PodConfig::new(4, 2, 2))
+    }
+
+    #[test]
+    fn nt_store_visible_to_other_host_after_completion() {
+        let mut f = pod();
+        let seg = f.alloc_shared(&[HostId(0), HostId(1)], 4096).expect("alloc");
+        let done = f
+            .nt_store(Nanos(0), HostId(0), seg.base(), &[0xAB; 64])
+            .expect("store");
+        assert!(done > Nanos(0));
+        // Before completion the old data (zero) is visible.
+        let mut buf = [0xFFu8; 64];
+        f.peek(seg.base(), &mut buf);
+        assert_eq!(buf, [0u8; 64]);
+        // At completion the new data is visible to host 1.
+        let mut buf = [0u8; 64];
+        f.load(done, HostId(1), seg.base(), &mut buf).expect("load");
+        assert_eq!(buf, [0xABu8; 64]);
+    }
+
+    #[test]
+    fn cached_store_is_stale_until_flush() {
+        let mut f = pod();
+        let seg = f.alloc_shared(&[HostId(0), HostId(1)], 4096).expect("alloc");
+        // Host 0 writes through its cache (no flush).
+        f.store(Nanos(0), HostId(0), seg.base(), &[1u8; 64]).expect("store");
+        // Host 1 sees zeroes: the write sits in host 0's cache.
+        let mut buf = [9u8; 64];
+        f.load(Nanos(10_000), HostId(1), seg.base(), &mut buf).expect("load");
+        assert_eq!(buf, [0u8; 64], "host 1 must not see unflushed data");
+        // After host 0 flushes, a *fresh* read by host 1 still returns
+        // stale data from host 1's own cache...
+        let done = f.flush(Nanos(20_000), HostId(0), seg.base(), 64).expect("flush");
+        let mut buf = [9u8; 64];
+        f.load(done, HostId(1), seg.base(), &mut buf).expect("load");
+        assert_eq!(buf, [0u8; 64], "host 1's cached copy is stale");
+        // ...until host 1 invalidates its copy.
+        let t = f.invalidate(done, HostId(1), seg.base(), 64);
+        let mut buf = [9u8; 64];
+        f.load(t, HostId(1), seg.base(), &mut buf).expect("load");
+        assert_eq!(buf, [1u8; 64]);
+    }
+
+    #[test]
+    fn idle_load_latency_matches_calibration() {
+        let mut f = pod();
+        let seg = f.alloc_shared(&[HostId(0)], 4096).expect("alloc");
+        let mut buf = [0u8; 64];
+        let done = f.load(Nanos(0), HostId(0), seg.base(), &mut buf).expect("load");
+        let idle = done.as_nanos();
+        // Paper: ~2.15x local 90 ns => ~194 ns, allow ±10%.
+        assert!(
+            (idle as f64 - 194.0).abs() / 194.0 < 0.10,
+            "idle CXL load {idle} ns"
+        );
+    }
+
+    #[test]
+    fn cache_hit_is_fast_and_stale() {
+        let mut f = pod();
+        let seg = f.alloc_shared(&[HostId(0)], 4096).expect("alloc");
+        let mut buf = [0u8; 64];
+        f.load(Nanos(0), HostId(0), seg.base(), &mut buf).expect("miss");
+        let done = f.load(Nanos(1000), HostId(0), seg.base(), &mut buf).expect("hit");
+        assert_eq!(done, Nanos(1000 + CACHE_HIT_NS));
+    }
+
+    #[test]
+    fn local_dram_is_faster_than_pool() {
+        let mut f = pod();
+        let seg = f.alloc_shared(&[HostId(0)], 4096).expect("alloc");
+        let mut buf = [0u8; 64];
+        let pool_t = f.load(Nanos(0), HostId(0), seg.base(), &mut buf).expect("load");
+        let local_t = f.local_load(Nanos(0), HostId(0), 0x1000, &mut buf);
+        assert!(local_t < pool_t, "local {local_t:?} vs pool {pool_t:?}");
+        let ratio = pool_t.as_nanos() as f64 / local_t.as_nanos() as f64;
+        assert!(ratio > 1.8, "CXL/local ratio {ratio}");
+    }
+
+    #[test]
+    fn access_denied_for_non_owner() {
+        let mut f = pod();
+        let seg = f.alloc_private(HostId(0), 4096).expect("alloc");
+        let mut buf = [0u8; 8];
+        let err = f.load(Nanos(0), HostId(2), seg.base(), &mut buf).unwrap_err();
+        assert!(matches!(err, FabricError::AccessDenied { .. }));
+    }
+
+    #[test]
+    fn out_of_bounds_is_caught() {
+        let mut f = pod();
+        let seg = f.alloc_private(HostId(0), 128).expect("alloc");
+        let err = f
+            .nt_store(Nanos(0), HostId(0), seg.base() + 100, &[0u8; 64])
+            .unwrap_err();
+        assert!(matches!(err, FabricError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn dma_write_then_remote_load_needs_invalidate() {
+        let mut f = pod();
+        let seg = f.alloc_shared(&[HostId(0), HostId(1)], 4096).expect("alloc");
+        // Host 1 caches the line first.
+        let mut buf = [0u8; 64];
+        f.load(Nanos(0), HostId(1), seg.base(), &mut buf).expect("load");
+        // A device on host 0 DMA-writes it.
+        let done = f
+            .dma_write(Nanos(1000), HostId(0), seg.base(), &[5u8; 64])
+            .expect("dma");
+        // Host 1 still sees its stale cached copy...
+        f.load(done, HostId(1), seg.base(), &mut buf).expect("load");
+        assert_eq!(buf, [0u8; 64]);
+        // ...until it invalidates.
+        let t = f.invalidate(done, HostId(1), seg.base(), 64);
+        f.load(t, HostId(1), seg.base(), &mut buf).expect("load");
+        assert_eq!(buf, [5u8; 64]);
+    }
+
+    #[test]
+    fn dma_read_snoops_attach_host_dirty_lines() {
+        let mut f = pod();
+        let seg = f.alloc_shared(&[HostId(0)], 4096).expect("alloc");
+        f.store(Nanos(0), HostId(0), seg.base(), &[3u8; 64]).expect("store");
+        // DMA by a device on host 0 sees the dirty cached data.
+        let mut buf = [0u8; 64];
+        f.dma_read(Nanos(100), HostId(0), seg.base(), &mut buf).expect("dma");
+        assert_eq!(buf, [3u8; 64]);
+    }
+
+    #[test]
+    fn mhd_failure_makes_segment_unreachable() {
+        let mut f = pod();
+        let seg = f.alloc_shared(&[HostId(0)], 4096).expect("alloc");
+        for m in 0..f.topology().mhds() {
+            f.topology_mut().fail_mhd(MhdId(m));
+        }
+        let mut buf = [0u8; 8];
+        // Cached lines still "work" (CPU cache survives) but a fresh
+        // address misses and fails.
+        let err = f
+            .load(Nanos(0), HostId(0), seg.base() + 512, &mut buf)
+            .unwrap_err();
+        assert!(matches!(err, FabricError::NoPath { .. }));
+    }
+
+    #[test]
+    fn bulk_write_time_tracks_link_bandwidth() {
+        let mut f = pod();
+        let seg = f.alloc_shared(&[HostId(0)], 1 << 20).expect("alloc");
+        let data = vec![1u8; 256 * 1024];
+        let done = f
+            .nt_store(Nanos(0), HostId(0), seg.base(), &data)
+            .expect("store");
+        // 256 KiB over 2x30 GB/s interleaved links: >= 4.3 us; with one
+        // link it would be ~8.7 us. Accept the interleaved regime.
+        let us = done.as_nanos() as f64 / 1000.0;
+        assert!(us > 3.0 && us < 10.0, "bulk store took {us} us");
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut f = pod();
+        let seg = f.alloc_shared(&[HostId(0)], 4096).expect("alloc");
+        let mut buf = [0u8; 64];
+        f.load(Nanos(0), HostId(0), seg.base(), &mut buf).expect("load");
+        f.nt_store(Nanos(10), HostId(0), seg.base(), &[0u8; 64]).expect("nt");
+        f.flush(Nanos(20), HostId(0), seg.base(), 64).expect("flush");
+        let s = f.stats();
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.nt_stores, 1);
+        assert_eq!(s.flushes, 1);
+    }
+
+    #[test]
+    fn lines_iterator_covers_range() {
+        let ls: Vec<u64> = lines(100, 200).collect();
+        assert_eq!(ls.first().copied(), Some(64));
+        assert_eq!(ls.last().copied(), Some(256));
+        assert_eq!(ls.len(), 4);
+    }
+
+    #[test]
+    fn pending_writes_apply_in_timestamp_order() {
+        let mut f = pod();
+        let seg = f.alloc_shared(&[HostId(0), HostId(1)], 4096).expect("alloc");
+        // Two writes to the same line; the later-visible one wins.
+        let d1 = f.nt_store(Nanos(0), HostId(0), seg.base(), &[1u8; 64]).expect("w1");
+        let d2 = f.nt_store(d1, HostId(0), seg.base(), &[2u8; 64]).expect("w2");
+        let mut buf = [0u8; 64];
+        f.peek_settled(seg.base(), &mut buf);
+        assert_eq!(buf, [2u8; 64]);
+        assert!(d2 > d1);
+    }
+}

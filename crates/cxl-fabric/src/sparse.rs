@@ -1,0 +1,134 @@
+//! Sparse byte storage backing the pool's (potentially huge) address
+//! space.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+/// A sparse, page-granular byte store.
+///
+/// Unwritten bytes read as zero, so terabyte-scale pools cost memory
+/// only for the pages actually touched.
+///
+/// # Examples
+///
+/// ```
+/// use cxl_fabric::sparse::SparseMem;
+/// let mut m = SparseMem::new();
+/// m.write(10_000_000, &[1, 2, 3]);
+/// let mut buf = [0u8; 4];
+/// m.read(9_999_999, &mut buf);
+/// assert_eq!(buf, [0, 1, 2, 3]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SparseMem {
+    pages: HashMap<u64, Box<[u8]>>,
+}
+
+impl SparseMem {
+    /// Creates an empty store.
+    pub fn new() -> SparseMem {
+        SparseMem::default()
+    }
+
+    /// Copies `buf.len()` bytes starting at `addr` into `buf`; holes
+    /// read as zero.
+    pub fn read(&self, addr: u64, buf: &mut [u8]) {
+        let mut off = 0usize;
+        while off < buf.len() {
+            let cur = addr + off as u64;
+            let page = cur >> PAGE_SHIFT;
+            let in_page = (cur & (PAGE_SIZE - 1)) as usize;
+            let n = ((PAGE_SIZE as usize - in_page).min(buf.len() - off)).max(1);
+            match self.pages.get(&page) {
+                Some(p) => buf[off..off + n].copy_from_slice(&p[in_page..in_page + n]),
+                None => buf[off..off + n].fill(0),
+            }
+            off += n;
+        }
+    }
+
+    /// Writes `data` starting at `addr`, allocating pages as needed.
+    pub fn write(&mut self, addr: u64, data: &[u8]) {
+        let mut off = 0usize;
+        while off < data.len() {
+            let cur = addr + off as u64;
+            let page = cur >> PAGE_SHIFT;
+            let in_page = (cur & (PAGE_SIZE - 1)) as usize;
+            let n = ((PAGE_SIZE as usize - in_page).min(data.len() - off)).max(1);
+            let p = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+            p[in_page..in_page + n].copy_from_slice(&data[off..off + n]);
+            off += n;
+        }
+    }
+
+    /// Number of resident (touched) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Drops all contents.
+    pub fn clear(&mut self) {
+        self.pages.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let m = SparseMem::new();
+        let mut buf = [0xFFu8; 16];
+        m.read(12345, &mut buf);
+        assert_eq!(buf, [0u8; 16]);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut m = SparseMem::new();
+        let data: Vec<u8> = (0..=255).collect();
+        m.write(1000, &data);
+        let mut buf = vec![0u8; 256];
+        m.read(1000, &mut buf);
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn crossing_page_boundary() {
+        let mut m = SparseMem::new();
+        let data = [7u8; 100];
+        // Straddle the 4096 boundary.
+        m.write(PAGE_SIZE - 50, &data);
+        let mut buf = [0u8; 100];
+        m.read(PAGE_SIZE - 50, &mut buf);
+        assert_eq!(buf, data);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn overwrite_is_last_writer_wins() {
+        let mut m = SparseMem::new();
+        m.write(0, &[1u8; 64]);
+        m.write(32, &[2u8; 64]);
+        let mut buf = [0u8; 96];
+        m.read(0, &mut buf);
+        assert_eq!(&buf[..32], &[1u8; 32]);
+        assert_eq!(&buf[32..], &[2u8; 64]);
+    }
+
+    #[test]
+    fn empty_buffer_is_noop() {
+        let mut m = SparseMem::new();
+        m.write(0, &[]);
+        let mut buf = [];
+        m.read(0, &mut buf);
+        assert_eq!(m.resident_pages(), 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Network substrate: everything around the NIC needed to reproduce the
+//! paper's Figure 3 UDP microbenchmark.
+//!
+//! The measured system is:
+//!
+//! ```text
+//! client (load generator) ── 100 Gbps switch ── server NIC (socket0)
+//!                                                   │ DMA
+//!                                  TX/RX buffers: local DDR5  — or —
+//!                                  CXL pool (stack on socket1)
+//! ```
+//!
+//! - [`wire`]: the switch and cabling (store-and-forward, fixed port
+//!   latencies).
+//! - [`stack`]: a Junction-like poll-mode UDP echo server; its only
+//!   experimental knob is *where TX/RX buffers live* and which socket
+//!   the stack runs on.
+//! - [`loadgen`]: an open-loop Poisson client measuring RTT.
+//! - [`experiment`]: the Figure 3 harness — sweeps offered load for each
+//!   payload size and buffer placement, reporting latency-throughput
+//!   curves.
+
+pub mod experiment;
+pub mod loadgen;
+pub mod rdma;
+pub mod stack;
+pub mod wire;
+
+pub use experiment::{run_point, BufferMode, UdpConfig, UdpPoint};
+pub use stack::StackParams;
+pub use wire::WireParams;

@@ -1,0 +1,81 @@
+//! Open-loop Poisson load generation and the client-side model.
+//!
+//! The client is a dedicated load-generator machine (as in the paper's
+//! setup): we model its NIC serialization and a fixed per-request
+//! software overhead, but not its internals — it is never the
+//! bottleneck at the offered loads swept.
+
+use simkit::rng::Rng;
+use simkit::server::BandwidthPipe;
+use simkit::Nanos;
+
+/// Ethernet + IP + UDP header bytes added to every payload.
+pub const HEADERS: u32 = 42;
+
+/// Client-side model: NIC line + fixed software costs.
+pub struct Client {
+    line: BandwidthPipe,
+    /// Software cost to build and post one request.
+    pub tx_overhead: Nanos,
+    /// Software cost to receive and timestamp one response.
+    pub rx_overhead: Nanos,
+}
+
+impl Client {
+    /// A 100 Gbps client NIC with kernel-bypass-class overheads.
+    pub fn new(line_gbps: f64) -> Client {
+        Client {
+            line: BandwidthPipe::new(line_gbps / 8.0),
+            tx_overhead: Nanos(400),
+            rx_overhead: Nanos(400),
+        }
+    }
+
+    /// Serializes a request frame of `bytes` starting at `now`; returns
+    /// when its last bit is on the wire.
+    pub fn send(&mut self, now: Nanos, bytes: u64) -> Nanos {
+        self.line.transfer(now + self.tx_overhead, bytes)
+    }
+}
+
+/// Draws the next inter-arrival gap for an open-loop Poisson process of
+/// `rate_pps` requests per second.
+pub fn next_gap(rng: &mut Rng, rate_pps: f64) -> Nanos {
+    assert!(rate_pps > 0.0, "rate must be positive");
+    let mean_ns = 1e9 / rate_pps;
+    Nanos(rng.exp(mean_ns).max(1.0) as u64)
+}
+
+/// Deterministic request payload: byte `i` of request `id` is
+/// `id + i` (wrapping), so the client can verify echoes byte-for-byte.
+pub fn pattern(id: u64, len: usize) -> Vec<u8> {
+    (0..len).map(|i| (id as u8).wrapping_add(i as u8)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_gaps_have_right_mean() {
+        let mut rng = Rng::new(1);
+        let n = 100_000;
+        let total: u64 = (0..n).map(|_| next_gap(&mut rng, 1_000_000.0).as_nanos()).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 1_000.0).abs() < 20.0, "mean gap {mean} ns");
+    }
+
+    #[test]
+    fn pattern_is_deterministic_and_id_dependent() {
+        assert_eq!(pattern(3, 4), vec![3, 4, 5, 6]);
+        assert_ne!(pattern(1, 8), pattern(2, 8));
+        assert_eq!(pattern(7, 8), pattern(7, 8));
+    }
+
+    #[test]
+    fn client_send_includes_overhead_and_serialization() {
+        let mut c = Client::new(100.0);
+        // 1250 B at 12.5 GB/s = 100 ns, plus 400 ns overhead.
+        assert_eq!(c.send(Nanos(0), 1250), Nanos(500));
+    }
+}

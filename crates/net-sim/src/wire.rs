@@ -1,0 +1,87 @@
+//! Switch and cabling model.
+
+use serde::Serialize;
+use simkit::server::BandwidthPipe;
+use simkit::Nanos;
+
+/// Fixed latencies of the path between two NICs through one switch.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct WireParams {
+    /// Cable propagation + PHY, each direction of each hop.
+    pub prop: Nanos,
+    /// Switch forwarding latency (cut-through class).
+    pub switch: Nanos,
+    /// Port rate in Gbps.
+    pub port_gbps: f64,
+}
+
+impl Default for WireParams {
+    fn default() -> Self {
+        WireParams {
+            prop: Nanos(100),
+            switch: Nanos(600),
+            port_gbps: 100.0,
+        }
+    }
+}
+
+/// One direction of the client↔server path: NIC egress is assumed
+/// already serialized by the NIC model, so the wire adds switch
+/// queueing + fixed latency.
+pub struct Wire {
+    params: WireParams,
+    port: BandwidthPipe,
+}
+
+impl Wire {
+    /// Creates one direction of the path.
+    pub fn new(params: WireParams) -> Wire {
+        Wire {
+            port: BandwidthPipe::new(params.port_gbps / 8.0),
+            params,
+        }
+    }
+
+    /// A frame of `bytes` entering the wire at `now`; returns its
+    /// arrival time at the far NIC.
+    pub fn carry(&mut self, now: Nanos, bytes: u64) -> Nanos {
+        // Store-and-forward at the switch egress port.
+        let forwarded = self.port.transfer(now + self.params.prop + self.params.switch, bytes);
+        forwarded + self.params.prop
+    }
+
+    /// Utilization of the switch egress port over `[0, horizon]`.
+    pub fn utilization(&self, horizon: Nanos) -> f64 {
+        self.port.utilization(horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_frame_latency_is_fixed_plus_serialization() {
+        let mut w = Wire::new(WireParams::default());
+        let t = w.carry(Nanos(0), 1500);
+        // 100 + 600 + 120 (1500 B @ 12.5 GB/s) + 100 = 920.
+        assert_eq!(t, Nanos(920));
+    }
+
+    #[test]
+    fn switch_port_queues_under_load() {
+        let mut w = Wire::new(WireParams::default());
+        let t1 = w.carry(Nanos(0), 1500);
+        let t2 = w.carry(Nanos(0), 1500);
+        assert_eq!(t2 - t1, Nanos(120), "second frame queues one slot");
+    }
+
+    #[test]
+    fn utilization_grows_with_traffic() {
+        let mut w = Wire::new(WireParams::default());
+        for _ in 0..100 {
+            w.carry(Nanos(0), 1500);
+        }
+        assert!(w.utilization(Nanos(100 * 120 + 800)) > 0.9);
+    }
+}

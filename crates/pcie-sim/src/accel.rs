@@ -1,0 +1,218 @@
+//! A generic PCIe accelerator model (compression-card flavoured).
+//!
+//! §5's "soft accelerator disaggregation" scenario: a specialized
+//! accelerator deployed at a 1:16 host ratio, reached by every host in
+//! the pod through pool buffers. The model is a DMA-in → process →
+//! DMA-out engine with a fixed kernel-launch latency and a byte
+//! processing rate. The "computation" is an involutive byte transform
+//! (XOR 0xA5), so tests can verify that remote offload really processed
+//! the remote host's data.
+
+use cxl_fabric::{Fabric, HostId};
+use simkit::server::TimelineServer;
+use simkit::time::transfer_time;
+use simkit::Nanos;
+
+use crate::device::{BufRef, DeviceError, DeviceId};
+use crate::dma::DmaEngine;
+
+/// The transform the accelerator applies (involution: applying it twice
+/// restores the input).
+pub fn transform(data: &mut [u8]) {
+    for b in data {
+        *b ^= 0xA5;
+    }
+}
+
+/// Accelerator construction parameters.
+#[derive(Clone, Debug)]
+pub struct AccelConfig {
+    /// Processing rate in GB/s.
+    pub rate_gbps: f64,
+    /// Fixed per-job launch overhead.
+    pub launch: Nanos,
+    /// Device PCIe link bandwidth in GB/s.
+    pub pcie_gbps: f64,
+}
+
+impl Default for AccelConfig {
+    fn default() -> Self {
+        AccelConfig {
+            rate_gbps: 20.0,
+            launch: Nanos(2_000),
+            pcie_gbps: 16.0,
+        }
+    }
+}
+
+/// Counters for one accelerator.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AccelStats {
+    /// Jobs completed.
+    pub jobs: u64,
+    /// Bytes processed.
+    pub bytes: u64,
+}
+
+/// The accelerator device model.
+pub struct Accelerator {
+    id: DeviceId,
+    config: AccelConfig,
+    dma: DmaEngine,
+    engine: TimelineServer,
+    up: bool,
+    stats: AccelStats,
+}
+
+impl Accelerator {
+    /// Creates an accelerator attached to `host`.
+    pub fn new(id: DeviceId, host: HostId, config: AccelConfig) -> Accelerator {
+        Accelerator {
+            id,
+            dma: DmaEngine::new(host, config.pcie_gbps),
+            engine: TimelineServer::new(),
+            config,
+            up: true,
+            stats: AccelStats::default(),
+        }
+    }
+
+    /// The device id.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// The attach host.
+    pub fn host(&self) -> HostId {
+        self.dma.host()
+    }
+
+    /// True if operational.
+    pub fn is_up(&self) -> bool {
+        self.up
+    }
+
+    /// Injects a failure.
+    pub fn fail(&mut self) {
+        self.up = false;
+    }
+
+    /// Repairs the device.
+    pub fn restore(&mut self) {
+        self.up = true;
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> AccelStats {
+        self.stats
+    }
+
+    /// Runs one offload job: DMA `len` bytes in from `input`, process,
+    /// DMA the result out to `output`. Returns the completion time.
+    pub fn offload(
+        &mut self,
+        fabric: &mut Fabric,
+        now: Nanos,
+        input: BufRef,
+        len: u32,
+        output: BufRef,
+    ) -> Result<Nanos, DeviceError> {
+        if !self.up {
+            return Err(DeviceError::Failed(self.id));
+        }
+        let mut data = vec![0u8; len as usize];
+        let fetched = self.dma.read(fabric, now, input, &mut data)?;
+        let work = self.config.launch + transfer_time(len as u64, self.config.rate_gbps);
+        let processed = self.engine.serve(fetched, work);
+        transform(&mut data);
+        let done = self.dma.write(fabric, processed, output, &data)?;
+        self.stats.jobs += 1;
+        self.stats.bytes += len as u64;
+        Ok(done)
+    }
+
+    /// Queueing backlog on the processing engine at `now` — the load
+    /// signal for accelerator pooling.
+    pub fn backlog(&self, now: Nanos) -> Nanos {
+        self.engine.backlog(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxl_fabric::PodConfig;
+
+    fn setup() -> (Fabric, Accelerator, u64) {
+        let mut f = Fabric::new(PodConfig::new(2, 2, 2));
+        let seg = f
+            .alloc_shared(&[HostId(0), HostId(1)], 1 << 20)
+            .expect("alloc");
+        let a = Accelerator::new(DeviceId(7), HostId(0), AccelConfig::default());
+        (f, a, seg.base())
+    }
+
+    #[test]
+    fn offload_transforms_remote_data() {
+        let (mut f, mut acc, base) = setup();
+        let input: Vec<u8> = (0..128u8).collect();
+        // Remote host 1 stages input in the pool.
+        let t = f.nt_store(Nanos(0), HostId(1), base, &input).expect("store");
+        let out = base + 4096;
+        let t = acc
+            .offload(&mut f, t, BufRef::Pool(base), 128, BufRef::Pool(out))
+            .expect("offload");
+        // Remote host reads the transformed result.
+        let t = f.invalidate(t, HostId(1), out, 128);
+        let mut buf = vec![0u8; 128];
+        f.load(t, HostId(1), out, &mut buf).expect("load");
+        let expected: Vec<u8> = input.iter().map(|b| b ^ 0xA5).collect();
+        assert_eq!(buf, expected);
+    }
+
+    #[test]
+    fn transform_is_involutive() {
+        let mut data: Vec<u8> = (0..=255u8).collect();
+        let orig = data.clone();
+        transform(&mut data);
+        assert_ne!(data, orig);
+        transform(&mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn jobs_queue_on_the_engine() {
+        let (mut f, mut acc, base) = setup();
+        f.nt_store(Nanos(0), HostId(0), base, &[0u8; 1024]).expect("store");
+        // Two large jobs submitted at t=0 must serialize on the engine.
+        let t1 = acc
+            .offload(&mut f, Nanos(0), BufRef::Pool(base), 1024, BufRef::Pool(base + 8192))
+            .expect("job1");
+        let t2 = acc
+            .offload(&mut f, Nanos(0), BufRef::Pool(base), 1024, BufRef::Pool(base + 16384))
+            .expect("job2");
+        assert!(t2 > t1, "second job should finish later");
+        assert_eq!(acc.stats().jobs, 2);
+    }
+
+    #[test]
+    fn failed_accelerator_rejects_jobs() {
+        let (mut f, mut acc, base) = setup();
+        acc.fail();
+        let err = acc
+            .offload(&mut f, Nanos(0), BufRef::Pool(base), 64, BufRef::Pool(base + 4096))
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::Failed(_)));
+    }
+
+    #[test]
+    fn launch_overhead_dominates_small_jobs() {
+        let (mut f, mut acc, base) = setup();
+        f.nt_store(Nanos(0), HostId(0), base, &[0u8; 64]).expect("store");
+        let t = acc
+            .offload(&mut f, Nanos(0), BufRef::Pool(base), 64, BufRef::Pool(base + 4096))
+            .expect("job");
+        let us = t.as_nanos() as f64 / 1e3;
+        assert!((2.0..6.0).contains(&us), "small job took {us} us");
+    }
+}

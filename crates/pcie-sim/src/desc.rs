@@ -1,0 +1,234 @@
+//! Descriptor rings: the memory-resident queue structures a real NIC
+//! consumes.
+//!
+//! §4.1 places "I/O-related buffers" in pool memory so remote devices
+//! can reach them; that includes the *descriptor rings*, not just the
+//! payload buffers. This module models a TX descriptor ring precisely
+//! enough to measure that choice: the host writes 16-byte descriptors
+//! (with software coherence when the ring lives in the pool), rings
+//! the doorbell, and the NIC DMA-fetches the descriptor before
+//! DMA-fetching the payload it points at.
+//!
+//! Descriptor layout (16 B): `[buf_hpa: u64][len: u32][flags: u32]`,
+//! flags bit 0 = payload-in-pool.
+
+use cxl_fabric::{Fabric, HostId};
+use simkit::Nanos;
+
+use crate::device::{BufRef, DeviceError};
+use crate::dma::DmaEngine;
+
+/// Size of one descriptor.
+pub const DESC_SIZE: u64 = 16;
+
+/// A TX descriptor ring living in host-visible memory.
+pub struct DescRing {
+    /// Where the ring itself lives (local DRAM or CXL pool).
+    pub ring: BufRef,
+    /// Ring capacity in descriptors.
+    pub entries: u32,
+    /// Producer index (host side).
+    head: u32,
+    /// Consumer index (device side).
+    tail: u32,
+}
+
+impl DescRing {
+    /// Creates a ring of `entries` descriptors at `ring`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a nonzero power of two.
+    pub fn new(ring: BufRef, entries: u32) -> DescRing {
+        assert!(
+            entries.is_power_of_two() && entries > 0,
+            "ring entries must be a nonzero power of two"
+        );
+        DescRing {
+            ring,
+            entries,
+            head: 0,
+            tail: 0,
+        }
+    }
+
+    fn slot(&self, index: u32) -> BufRef {
+        self.ring.offset((index % self.entries) as u64 * DESC_SIZE)
+    }
+
+    /// Free descriptor slots.
+    pub fn free_slots(&self) -> u32 {
+        self.entries - (self.head - self.tail)
+    }
+
+    /// Host side: writes the next descriptor. When the ring lives in
+    /// the pool the write is non-temporal so the device's DMA fetch
+    /// sees it; local rings use a plain (coherent) store. Returns the
+    /// time the descriptor is fetchable.
+    pub fn post(
+        &mut self,
+        fabric: &mut Fabric,
+        now: Nanos,
+        host: HostId,
+        payload: BufRef,
+        len: u32,
+    ) -> Result<Nanos, DeviceError> {
+        if self.free_slots() == 0 {
+            return Err(DeviceError::QueueFull(crate::device::DeviceId(u32::MAX)));
+        }
+        let mut desc = [0u8; DESC_SIZE as usize];
+        desc[0..8].copy_from_slice(&payload.addr().to_le_bytes());
+        desc[8..12].copy_from_slice(&len.to_le_bytes());
+        desc[12..16].copy_from_slice(&u32::from(payload.is_pool()).to_le_bytes());
+        let slot = self.slot(self.head);
+        let done = match slot {
+            BufRef::Pool(hpa) => fabric.nt_store(now, host, hpa, &desc)?,
+            BufRef::Local(addr) => fabric.local_store(now, host, addr, &desc),
+        };
+        self.head += 1;
+        Ok(done)
+    }
+
+    /// Device side: DMA-fetches the next posted descriptor, returning
+    /// `(payload_ref, len, fetch_done)`. Returns `None` when the ring
+    /// is empty.
+    pub fn fetch(
+        &mut self,
+        fabric: &mut Fabric,
+        now: Nanos,
+        dma: &mut DmaEngine,
+    ) -> Result<Option<(BufRef, u32, Nanos)>, DeviceError> {
+        if self.tail == self.head {
+            return Ok(None);
+        }
+        let slot = self.slot(self.tail);
+        let mut desc = [0u8; DESC_SIZE as usize];
+        let done = dma.read(fabric, now, slot, &mut desc)?;
+        self.tail += 1;
+        let addr = u64::from_le_bytes(desc[0..8].try_into().expect("8 bytes"));
+        let len = u32::from_le_bytes(desc[8..12].try_into().expect("4 bytes"));
+        let in_pool = u32::from_le_bytes(desc[12..16].try_into().expect("4 bytes")) != 0;
+        let payload = if in_pool {
+            BufRef::Pool(addr)
+        } else {
+            BufRef::Local(addr)
+        };
+        Ok(Some((payload, len, done)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceId;
+    use cxl_fabric::PodConfig;
+
+    fn setup() -> (Fabric, DmaEngine, u64) {
+        let mut f = Fabric::new(PodConfig::new(2, 2, 2));
+        let seg = f
+            .alloc_shared(&[HostId(0), HostId(1)], 1 << 16)
+            .expect("alloc");
+        (f, DmaEngine::new(HostId(0), 16.0), seg.base())
+    }
+
+    #[test]
+    fn post_fetch_roundtrip_pool_ring() {
+        let (mut f, mut dma, base) = setup();
+        let mut ring = DescRing::new(BufRef::Pool(base), 8);
+        let t = ring
+            .post(&mut f, Nanos(0), HostId(1), BufRef::Pool(base + 4096), 1500)
+            .expect("post");
+        let (payload, len, _) = ring
+            .fetch(&mut f, t, &mut dma)
+            .expect("fetch")
+            .expect("descriptor present");
+        assert_eq!(payload, BufRef::Pool(base + 4096));
+        assert_eq!(len, 1500);
+    }
+
+    #[test]
+    fn local_ring_roundtrip() {
+        let (mut f, mut dma, _base) = setup();
+        let mut ring = DescRing::new(BufRef::Local(0x8000), 4);
+        ring.post(&mut f, Nanos(0), HostId(0), BufRef::Local(0x9000), 64)
+            .expect("post");
+        let (payload, len, _) = ring
+            .fetch(&mut f, Nanos(1000), &mut dma)
+            .expect("fetch")
+            .expect("present");
+        assert_eq!(payload, BufRef::Local(0x9000));
+        assert_eq!(len, 64);
+    }
+
+    #[test]
+    fn empty_ring_fetches_none() {
+        let (mut f, mut dma, base) = setup();
+        let mut ring = DescRing::new(BufRef::Pool(base), 4);
+        assert!(ring.fetch(&mut f, Nanos(0), &mut dma).expect("fetch").is_none());
+    }
+
+    #[test]
+    fn ring_fills_and_reports_capacity() {
+        let (mut f, mut dma, base) = setup();
+        let mut ring = DescRing::new(BufRef::Pool(base), 4);
+        for i in 0..4 {
+            assert_eq!(ring.free_slots(), 4 - i);
+            ring.post(&mut f, Nanos(0), HostId(0), BufRef::Pool(base + 4096), 64)
+                .expect("post");
+        }
+        assert!(matches!(
+            ring.post(&mut f, Nanos(0), HostId(0), BufRef::Pool(base + 4096), 64),
+            Err(DeviceError::QueueFull(_))
+        ));
+        // Draining one makes room.
+        let _ = ring.fetch(&mut f, Nanos(0), &mut dma).expect("fetch");
+        assert_eq!(ring.free_slots(), 1);
+    }
+
+    #[test]
+    fn descriptor_order_is_fifo() {
+        let (mut f, mut dma, base) = setup();
+        let mut ring = DescRing::new(BufRef::Pool(base), 8);
+        let mut t = Nanos(0);
+        for i in 0..5u32 {
+            t = ring
+                .post(&mut f, t, HostId(0), BufRef::Pool(base + 4096 + i as u64 * 64), i)
+                .expect("post");
+        }
+        for i in 0..5u32 {
+            let (_, len, at) = ring
+                .fetch(&mut f, t, &mut dma)
+                .expect("fetch")
+                .expect("present");
+            assert_eq!(len, i);
+            t = at;
+        }
+        let _ = DeviceId(0);
+    }
+
+    #[test]
+    fn pool_descriptor_fetch_costs_more_than_local() {
+        let (mut f, mut dma, base) = setup();
+        let mut pool_ring = DescRing::new(BufRef::Pool(base), 4);
+        let t = pool_ring
+            .post(&mut f, Nanos(0), HostId(0), BufRef::Pool(base + 4096), 64)
+            .expect("post");
+        let (_, _, pool_done) = pool_ring
+            .fetch(&mut f, t, &mut dma)
+            .expect("fetch")
+            .expect("present");
+        let mut dma2 = DmaEngine::new(HostId(0), 16.0);
+        let mut local_ring = DescRing::new(BufRef::Local(0x8000), 4);
+        local_ring
+            .post(&mut f, Nanos(0), HostId(0), BufRef::Local(0x9000), 64)
+            .expect("post");
+        let (_, _, local_done) = local_ring
+            .fetch(&mut f, t, &mut dma2)
+            .expect("fetch")
+            .expect("present");
+        assert!(
+            pool_done > local_done,
+            "pool desc fetch {pool_done} should exceed local {local_done}"
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Common device-model plumbing: buffer references, MMIO costs, errors.
+
+use core::fmt;
+
+use serde::Serialize;
+use simkit::Nanos;
+
+/// Identifies a PCIe device within the pod.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct DeviceId(pub u32);
+
+/// A DMA target: where an I/O buffer lives.
+///
+/// This single enum is the paper's whole datapath trick — the device
+/// does not care which variant it gets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum BufRef {
+    /// Address in the attach host's local DRAM.
+    Local(u64),
+    /// Address in the CXL pool's shared memory.
+    Pool(u64),
+}
+
+impl BufRef {
+    /// Returns the raw address regardless of placement.
+    pub fn addr(self) -> u64 {
+        match self {
+            BufRef::Local(a) | BufRef::Pool(a) => a,
+        }
+    }
+
+    /// Returns a reference offset by `off` bytes.
+    pub fn offset(self, off: u64) -> BufRef {
+        match self {
+            BufRef::Local(a) => BufRef::Local(a + off),
+            BufRef::Pool(a) => BufRef::Pool(a + off),
+        }
+    }
+
+    /// True if the buffer is in pool memory.
+    pub fn is_pool(self) -> bool {
+        matches!(self, BufRef::Pool(_))
+    }
+}
+
+/// MMIO access costs from the device's *local* host.
+///
+/// A remote host cannot perform these at all — that is why the datapath
+/// forwards MMIO over the shared-memory channel.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct MmioCost {
+    /// Posted MMIO write (doorbell ring): CPU-visible cost.
+    pub write: Nanos,
+    /// MMIO read (register poll): full round trip, ~10× a write.
+    pub read: Nanos,
+}
+
+impl Default for MmioCost {
+    fn default() -> Self {
+        MmioCost {
+            write: Nanos(150),
+            read: Nanos(1_200),
+        }
+    }
+}
+
+/// Errors surfaced by device models.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The device has failed (link down, controller dead).
+    Failed(DeviceId),
+    /// No posted RX buffer / free queue slot was available.
+    QueueFull(DeviceId),
+    /// The command referenced an out-of-range LBA or length.
+    OutOfRange {
+        /// Offending device.
+        device: DeviceId,
+        /// Offending block address.
+        lba: u64,
+    },
+    /// The underlying fabric refused the DMA (unmapped buffer, no path…).
+    Fabric(cxl_fabric::FabricError),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::Failed(id) => write!(f, "device {id:?} has failed"),
+            DeviceError::QueueFull(id) => write!(f, "device {id:?} queue full"),
+            DeviceError::OutOfRange { device, lba } => {
+                write!(f, "device {device:?}: LBA {lba} out of range")
+            }
+            DeviceError::Fabric(e) => write!(f, "fabric error during DMA: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeviceError::Fabric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cxl_fabric::FabricError> for DeviceError {
+    fn from(e: cxl_fabric::FabricError) -> Self {
+        DeviceError::Fabric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bufref_offset_preserves_placement() {
+        let b = BufRef::Pool(0x1000);
+        assert_eq!(b.offset(0x10), BufRef::Pool(0x1010));
+        assert!(b.is_pool());
+        let l = BufRef::Local(0x2000);
+        assert_eq!(l.offset(4).addr(), 0x2004);
+        assert!(!l.is_pool());
+    }
+
+    #[test]
+    fn mmio_read_is_much_slower_than_write() {
+        let c = MmioCost::default();
+        assert!(c.read > c.write * 5);
+    }
+
+    #[test]
+    fn error_display_mentions_device() {
+        let e = DeviceError::Failed(DeviceId(3));
+        assert!(e.to_string().contains("DeviceId(3)"));
+    }
+}

@@ -1,0 +1,151 @@
+//! The device DMA engine: transfers between device and host memory,
+//! routed to local DRAM or the CXL pool.
+
+use cxl_fabric::{Fabric, HostId};
+use simkit::server::BandwidthPipe;
+use simkit::Nanos;
+
+use crate::device::{BufRef, DeviceError};
+
+/// Base latency of a PCIe DMA read (request → first data), on top of
+/// serialization and memory access time.
+const DMA_READ_BASE: Nanos = Nanos(400);
+/// Base latency for a posted DMA write to become globally visible.
+const DMA_WRITE_BASE: Nanos = Nanos(250);
+
+/// A device's DMA engine: owns the device's PCIe link to its attach
+/// host and issues reads/writes against either memory kind.
+///
+/// PCIe is full duplex: reads (host memory → device) and writes
+/// (device → host memory) ride separate lanes, so the engine keeps one
+/// pipe per direction.
+pub struct DmaEngine {
+    host: HostId,
+    read_pipe: BandwidthPipe,
+    write_pipe: BandwidthPipe,
+}
+
+impl DmaEngine {
+    /// Creates an engine attached to `host` with a device PCIe link of
+    /// `pcie_gbps` GB/s per direction (e.g. 16 for a Gen3 ×16 NIC).
+    pub fn new(host: HostId, pcie_gbps: f64) -> DmaEngine {
+        DmaEngine {
+            host,
+            read_pipe: BandwidthPipe::new(pcie_gbps),
+            write_pipe: BandwidthPipe::new(pcie_gbps),
+        }
+    }
+
+    /// The host this device hangs off.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// DMA read: device pulls `buf.len()` bytes from host-side memory.
+    /// Returns the completion time; the bytes land in `buf`.
+    pub fn read(
+        &mut self,
+        fabric: &mut Fabric,
+        now: Nanos,
+        src: BufRef,
+        buf: &mut [u8],
+    ) -> Result<Nanos, DeviceError> {
+        let pcie_done = self.read_pipe.transfer(now, buf.len() as u64);
+        let mem_done = match src {
+            BufRef::Local(addr) => fabric.local_dma_read(now, self.host, addr, buf),
+            BufRef::Pool(hpa) => fabric.dma_read(now, self.host, hpa, buf)?,
+        };
+        Ok(pcie_done.max(mem_done) + DMA_READ_BASE)
+    }
+
+    /// DMA write: device pushes `data` into host-side memory. Returns
+    /// the time the write is globally visible.
+    pub fn write(
+        &mut self,
+        fabric: &mut Fabric,
+        now: Nanos,
+        dst: BufRef,
+        data: &[u8],
+    ) -> Result<Nanos, DeviceError> {
+        let pcie_done = self.write_pipe.transfer(now, data.len() as u64);
+        let mem_done = match dst {
+            BufRef::Local(addr) => fabric.local_dma_write(now, self.host, addr, data),
+            BufRef::Pool(hpa) => fabric.dma_write(now, self.host, hpa, data)?,
+        };
+        Ok(pcie_done.max(mem_done) + DMA_WRITE_BASE)
+    }
+
+    /// Backlog on the device's PCIe link at `now` (max over the two
+    /// directions).
+    pub fn backlog(&self, now: Nanos) -> Nanos {
+        self.read_pipe.backlog(now).max(self.write_pipe.backlog(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxl_fabric::PodConfig;
+
+    fn setup() -> (Fabric, DmaEngine, u64) {
+        let mut f = Fabric::new(PodConfig::new(2, 2, 2));
+        let seg = f
+            .alloc_shared(&[HostId(0), HostId(1)], 1 << 20)
+            .expect("alloc");
+        (f, DmaEngine::new(HostId(0), 16.0), seg.base())
+    }
+
+    #[test]
+    fn pool_write_then_pool_read_roundtrip() {
+        let (mut f, mut dma, base) = setup();
+        let data: Vec<u8> = (0..200u8).collect();
+        let t = dma.write(&mut f, Nanos(0), BufRef::Pool(base), &data).expect("write");
+        let mut back = vec![0u8; 200];
+        dma.read(&mut f, t, BufRef::Pool(base), &mut back).expect("read");
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn local_roundtrip_is_faster_than_pool() {
+        let (mut f, mut dma, base) = setup();
+        let data = vec![7u8; 4096];
+        let tp = dma.write(&mut f, Nanos(0), BufRef::Pool(base), &data).expect("pool");
+        let mut dma2 = DmaEngine::new(HostId(0), 16.0);
+        let tl = dma2
+            .write(&mut f, Nanos(0), BufRef::Local(0x100), &data)
+            .expect("local");
+        assert!(tl <= tp, "local {tl:?} should not exceed pool {tp:?}");
+    }
+
+    #[test]
+    fn remote_host_sees_dma_written_pool_data() {
+        let (mut f, mut dma, base) = setup();
+        let data = vec![0x5Au8; 64];
+        let t = dma.write(&mut f, Nanos(0), BufRef::Pool(base), &data).expect("write");
+        // Host 1 (not the attach host) reads it coherently after
+        // invalidating.
+        let t = f.invalidate(t, HostId(1), base, 64);
+        let mut buf = [0u8; 64];
+        f.load(t, HostId(1), base, &mut buf).expect("load");
+        assert_eq!(buf, [0x5Au8; 64]);
+    }
+
+    #[test]
+    fn bulk_transfer_is_bandwidth_limited() {
+        let (mut f, mut dma, base) = setup();
+        let data = vec![1u8; 1 << 20];
+        let t = dma.write(&mut f, Nanos(0), BufRef::Pool(base), &data).expect("write");
+        // 1 MiB at 16 GB/s PCIe needs >= 65 us... but the pool link (2x30)
+        // is wider, so PCIe dominates: ~65-70 us plus bases.
+        let us = t.as_nanos() as f64 / 1e3;
+        assert!(us > 60.0 && us < 120.0, "bulk DMA took {us} us");
+    }
+
+    #[test]
+    fn unmapped_pool_address_errors() {
+        let (mut f, mut dma, _base) = setup();
+        let mut buf = [0u8; 8];
+        let err = dma.read(&mut f, Nanos(0), BufRef::Pool(0), &mut buf).unwrap_err();
+        assert!(matches!(err, DeviceError::Fabric(_)));
+    }
+}

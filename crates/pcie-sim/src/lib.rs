@@ -1,0 +1,37 @@
+//! PCIe device models whose DMA can target local DRAM *or* CXL pool
+//! memory.
+//!
+//! The paper's central observation (§4.1) is that a PCIe device needs no
+//! modification to participate in pooling: its DMA engine just gets
+//! handed I/O buffer addresses that happen to live in the CXL pool's
+//! shared memory. This crate models the three device classes the paper
+//! names — NICs, NVMe SSDs, and accelerators — with:
+//!
+//! - a DMA engine ([`dma`]) that routes transfers through the attach
+//!   host's root complex to either local DRAM or the pool (with the
+//!   corresponding [`cxl_fabric::Fabric`] timing and coherence
+//!   behaviour),
+//! - MMIO doorbells and register access costs ([`device`]), which is
+//!   what must be *forwarded* between hosts when a device is used
+//!   remotely,
+//! - device-level queues, line rates, flash timings, and failure
+//!   injection ([`nic`], [`ssd`], [`accel`]).
+//!
+//! Data is moved for real: a frame DMA-read from a pool buffer carries
+//! the bytes a remote host wrote there, so integrity bugs (e.g. a
+//! missing flush) surface as corrupted payloads, not just wrong
+//! latencies.
+
+pub mod accel;
+pub mod desc;
+pub mod device;
+pub mod dma;
+pub mod nic;
+pub mod ssd;
+
+pub use accel::Accelerator;
+pub use desc::DescRing;
+pub use device::{BufRef, DeviceError, DeviceId, MmioCost};
+pub use dma::DmaEngine;
+pub use nic::{Nic, NicConfig, RxCompletion};
+pub use ssd::{Ssd, SsdConfig};

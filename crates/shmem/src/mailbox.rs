@@ -1,0 +1,217 @@
+//! Latest-value registers and heartbeat tables on shared CXL memory.
+//!
+//! The pooling orchestrator (§4.2) monitors per-host agents through
+//! shared memory. Two primitives cover its needs:
+//!
+//! - [`Mailbox`]: a single 64 B line carrying a version-stamped value;
+//!   the writer overwrites with non-temporal stores, readers poll with
+//!   invalidate + load and observe only complete versions.
+//! - [`HeartbeatTable`]: one mailbox line per host, carrying a
+//!   monotonically increasing beat counter; a monitor declares a host
+//!   suspect when its beat stops advancing.
+
+use cxl_fabric::{Fabric, FabricError, HostId, Segment};
+use simkit::Nanos;
+
+/// Payload capacity of a mailbox (64 B line minus the 8 B version).
+pub const MAILBOX_PAYLOAD: usize = 56;
+
+/// A single-line, single-writer, multi-reader versioned register.
+pub struct Mailbox {
+    addr: u64,
+    writer: HostId,
+    version: u64,
+}
+
+impl Mailbox {
+    /// Creates a mailbox at `addr` (one 64 B line inside a shared
+    /// segment) written by `writer`.
+    pub fn new(addr: u64, writer: HostId) -> Mailbox {
+        Mailbox {
+            addr,
+            writer,
+            version: 0,
+        }
+    }
+
+    /// Publishes a new value; visible to readers at the returned time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` exceeds [`MAILBOX_PAYLOAD`] bytes.
+    pub fn publish(
+        &mut self,
+        fabric: &mut Fabric,
+        now: Nanos,
+        value: &[u8],
+    ) -> Result<Nanos, FabricError> {
+        assert!(
+            value.len() <= MAILBOX_PAYLOAD,
+            "mailbox value {} exceeds {MAILBOX_PAYLOAD} bytes",
+            value.len()
+        );
+        self.version += 1;
+        let mut line = [0u8; 64];
+        line[0..8].copy_from_slice(&self.version.to_le_bytes());
+        line[8..8 + value.len()].copy_from_slice(value);
+        fabric.nt_store(now, self.writer, self.addr, &line)
+    }
+
+    /// Reads the mailbox from `reader`'s perspective, returning
+    /// `(version, payload, completion_time)`. Version 0 means "never
+    /// written".
+    pub fn read(
+        addr: u64,
+        fabric: &mut Fabric,
+        now: Nanos,
+        reader: HostId,
+    ) -> Result<(u64, [u8; MAILBOX_PAYLOAD], Nanos), FabricError> {
+        let t = fabric.invalidate(now, reader, addr, 64);
+        let mut line = [0u8; 64];
+        let t = fabric.load(t, reader, addr, &mut line)?;
+        let version = u64::from_le_bytes(line[0..8].try_into().expect("8 bytes"));
+        let mut payload = [0u8; MAILBOX_PAYLOAD];
+        payload.copy_from_slice(&line[8..64]);
+        Ok((version, payload, t))
+    }
+
+    /// The line address.
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// Versions published so far.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+/// One heartbeat line per host in a shared segment.
+pub struct HeartbeatTable {
+    seg: Segment,
+    hosts: u16,
+}
+
+impl HeartbeatTable {
+    /// Allocates a table covering `hosts` hosts, all of whom (plus the
+    /// monitor) must be in `members`.
+    pub fn allocate(
+        fabric: &mut Fabric,
+        members: &[HostId],
+        hosts: u16,
+    ) -> Result<HeartbeatTable, FabricError> {
+        let seg = fabric.alloc_shared(members, hosts as u64 * 64)?;
+        Ok(HeartbeatTable { seg, hosts })
+    }
+
+    fn addr_of(&self, host: HostId) -> u64 {
+        assert!(host.0 < self.hosts, "host {host:?} outside table");
+        self.seg.base() + host.0 as u64 * 64
+    }
+
+    /// Agent side: publishes `(beat, load_pct)` for `host`.
+    pub fn beat(
+        &self,
+        fabric: &mut Fabric,
+        now: Nanos,
+        host: HostId,
+        beat: u64,
+        load_pct: u8,
+    ) -> Result<Nanos, FabricError> {
+        let mut line = [0u8; 64];
+        line[0..8].copy_from_slice(&beat.to_le_bytes());
+        line[8] = load_pct;
+        line[9..17].copy_from_slice(&now.as_nanos().to_le_bytes());
+        fabric.nt_store(now, host, self.addr_of(host), &line)
+    }
+
+    /// Monitor side: reads `host`'s `(beat, load_pct, stamped_time)`.
+    pub fn read(
+        &self,
+        fabric: &mut Fabric,
+        now: Nanos,
+        monitor: HostId,
+        host: HostId,
+    ) -> Result<(u64, u8, Nanos, Nanos), FabricError> {
+        let addr = self.addr_of(host);
+        let t = fabric.invalidate(now, monitor, addr, 64);
+        let mut line = [0u8; 64];
+        let t = fabric.load(t, monitor, addr, &mut line)?;
+        let beat = u64::from_le_bytes(line[0..8].try_into().expect("8 bytes"));
+        let load = line[8];
+        let stamped = Nanos(u64::from_le_bytes(line[9..17].try_into().expect("8 bytes")));
+        Ok((beat, load, stamped, t))
+    }
+
+    /// The backing segment.
+    pub fn segment(&self) -> &Segment {
+        &self.seg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxl_fabric::PodConfig;
+
+    #[test]
+    fn mailbox_publish_read_roundtrip() {
+        let mut f = Fabric::new(PodConfig::new(2, 2, 2));
+        let seg = f.alloc_shared(&[HostId(0), HostId(1)], 64).expect("alloc");
+        let mut mb = Mailbox::new(seg.base(), HostId(0));
+        let t = mb.publish(&mut f, Nanos(0), b"status=ok").expect("publish");
+        let (v, payload, _) = Mailbox::read(seg.base(), &mut f, t, HostId(1)).expect("read");
+        assert_eq!(v, 1);
+        assert_eq!(&payload[..9], b"status=ok");
+    }
+
+    #[test]
+    fn mailbox_versions_increase_and_latest_wins() {
+        let mut f = Fabric::new(PodConfig::new(2, 2, 2));
+        let seg = f.alloc_shared(&[HostId(0), HostId(1)], 64).expect("alloc");
+        let mut mb = Mailbox::new(seg.base(), HostId(0));
+        let t1 = mb.publish(&mut f, Nanos(0), b"one").expect("p1");
+        let t2 = mb.publish(&mut f, t1, b"two").expect("p2");
+        let (v, payload, _) = Mailbox::read(seg.base(), &mut f, t2, HostId(1)).expect("read");
+        assert_eq!(v, 2);
+        assert_eq!(&payload[..3], b"two");
+    }
+
+    #[test]
+    fn unwritten_mailbox_reads_version_zero() {
+        let mut f = Fabric::new(PodConfig::new(2, 2, 2));
+        let seg = f.alloc_shared(&[HostId(0), HostId(1)], 64).expect("alloc");
+        let (v, _, _) = Mailbox::read(seg.base(), &mut f, Nanos(0), HostId(1)).expect("read");
+        assert_eq!(v, 0);
+    }
+
+    #[test]
+    fn heartbeats_advance_and_carry_load() {
+        let mut f = Fabric::new(PodConfig::new(4, 2, 2));
+        let members: Vec<HostId> = (0..4).map(HostId).collect();
+        let table = HeartbeatTable::allocate(&mut f, &members, 4).expect("alloc");
+        let mut t = Nanos(0);
+        for beat in 1..=3u64 {
+            t = table.beat(&mut f, t, HostId(2), beat, 42).expect("beat");
+        }
+        let (beat, load, stamped, _) = table.read(&mut f, t, HostId(0), HostId(2)).expect("read");
+        assert_eq!(beat, 3);
+        assert_eq!(load, 42);
+        assert!(stamped < t);
+    }
+
+    #[test]
+    fn silent_host_beat_stays_flat() {
+        let mut f = Fabric::new(PodConfig::new(4, 2, 2));
+        let members: Vec<HostId> = (0..4).map(HostId).collect();
+        let table = HeartbeatTable::allocate(&mut f, &members, 4).expect("alloc");
+        let t = table.beat(&mut f, Nanos(0), HostId(1), 7, 0).expect("beat");
+        // Monitor reads twice, far apart: the beat must not advance.
+        let (b1, _, _, _) = table.read(&mut f, t, HostId(0), HostId(1)).expect("read");
+        let (b2, _, _, _) = table
+            .read(&mut f, t + Nanos::from_millis(10), HostId(0), HostId(1))
+            .expect("read");
+        assert_eq!(b1, 7);
+        assert_eq!(b2, 7);
+    }
+}

@@ -1,0 +1,280 @@
+//! The event queue and run loop.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Nanos;
+
+/// A simulation world: owns all mutable state and dispatches events.
+///
+/// Implementors define a domain-specific `Event` enum; the run loop pops
+/// events in `(time, insertion order)` order and hands them to
+/// [`World::handle`], which may schedule further events.
+pub trait World {
+    /// The domain-specific event type dispatched by this world.
+    type Event;
+
+    /// Handles one event at simulated time `now`.
+    fn handle(&mut self, now: Nanos, ev: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// A deterministic future-event queue.
+///
+/// Events with equal timestamps are delivered in the order they were
+/// scheduled (FIFO tie-break), which keeps simulations reproducible.
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: Nanos,
+}
+
+struct Entry<E> {
+    at: Nanos,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler at time zero.
+    pub fn new() -> Scheduler<E> {
+        Scheduler {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Nanos::ZERO,
+        }
+    }
+
+    /// Schedules `ev` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulation time:
+    /// scheduling into the past would violate causality.
+    pub fn schedule(&mut self, at: Nanos, ev: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at:?} < now {:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, ev }));
+    }
+
+    /// Schedules `ev` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: Nanos, ev: E) {
+        let at = self.now + delay;
+        self.schedule(at, ev);
+    }
+
+    /// The current simulation time (the timestamp of the event being
+    /// dispatched, or of the last dispatched event).
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    ///
+    /// Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "event queue went backwards");
+        self.now = entry.at;
+        Some((entry.at, entry.ev))
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Discards all pending events without dispatching them.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Scheduler::new()
+    }
+}
+
+/// Runs the world until the event queue drains or the next event would
+/// fire after `until`. Returns the final simulation time (the timestamp
+/// of the last dispatched event).
+///
+/// Events scheduled exactly at `until` are still dispatched.
+pub fn run<W: World>(world: &mut W, sched: &mut Scheduler<W::Event>, until: Nanos) -> Nanos {
+    let mut last = sched.now();
+    while let Some(next) = sched.peek_time() {
+        if next > until {
+            break;
+        }
+        let (now, ev) = sched.pop().expect("peeked event must pop");
+        world.handle(now, ev, sched);
+        last = now;
+    }
+    last
+}
+
+/// Runs the world until `predicate(world)` becomes true, the queue
+/// drains, or `until` is exceeded. Returns the final simulation time.
+///
+/// The predicate is checked after every dispatched event.
+pub fn run_until<W: World>(
+    world: &mut W,
+    sched: &mut Scheduler<W::Event>,
+    until: Nanos,
+    mut predicate: impl FnMut(&W) -> bool,
+) -> Nanos {
+    let mut last = sched.now();
+    while let Some(next) = sched.peek_time() {
+        if next > until {
+            break;
+        }
+        let (now, ev) = sched.pop().expect("peeked event must pop");
+        world.handle(now, ev, sched);
+        last = now;
+        if predicate(world) {
+            break;
+        }
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        seen: Vec<u32>,
+    }
+
+    impl World for Recorder {
+        type Event = u32;
+        fn handle(&mut self, _now: Nanos, ev: u32, _s: &mut Scheduler<u32>) {
+            self.seen.push(ev);
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut w = Recorder { seen: vec![] };
+        let mut s = Scheduler::new();
+        s.schedule(Nanos(30), 3);
+        s.schedule(Nanos(10), 1);
+        s.schedule(Nanos(20), 2);
+        run(&mut w, &mut s, Nanos::MAX);
+        assert_eq!(w.seen, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_fire_fifo() {
+        let mut w = Recorder { seen: vec![] };
+        let mut s = Scheduler::new();
+        for i in 0..100 {
+            s.schedule(Nanos(5), i);
+        }
+        run(&mut w, &mut s, Nanos::MAX);
+        assert_eq!(w.seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_respects_horizon() {
+        let mut w = Recorder { seen: vec![] };
+        let mut s = Scheduler::new();
+        s.schedule(Nanos(10), 1);
+        s.schedule(Nanos(20), 2);
+        s.schedule(Nanos(21), 3);
+        let end = run(&mut w, &mut s, Nanos(20));
+        assert_eq!(w.seen, vec![1, 2]);
+        assert_eq!(end, Nanos(20));
+        assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_past_panics() {
+        struct Bad;
+        impl World for Bad {
+            type Event = ();
+            fn handle(&mut self, now: Nanos, _: (), s: &mut Scheduler<()>) {
+                s.schedule(now - Nanos(1), ());
+            }
+        }
+        let mut s = Scheduler::new();
+        s.schedule(Nanos(10), ());
+        run(&mut Bad, &mut s, Nanos::MAX);
+    }
+
+    #[test]
+    fn run_until_predicate_stops_early() {
+        let mut w = Recorder { seen: vec![] };
+        let mut s = Scheduler::new();
+        for i in 0..10 {
+            s.schedule(Nanos(i as u64 * 10), i);
+        }
+        run_until(&mut w, &mut s, Nanos::MAX, |w| w.seen.len() == 4);
+        assert_eq!(w.seen, vec![0, 1, 2, 3]);
+        assert_eq!(s.pending(), 6);
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        struct Chain {
+            times: Vec<Nanos>,
+        }
+        impl World for Chain {
+            type Event = ();
+            fn handle(&mut self, now: Nanos, _: (), s: &mut Scheduler<()>) {
+                self.times.push(now);
+                if self.times.len() < 3 {
+                    s.schedule_in(Nanos(7), ());
+                }
+            }
+        }
+        let mut w = Chain { times: vec![] };
+        let mut s = Scheduler::new();
+        s.schedule(Nanos(1), ());
+        run(&mut w, &mut s, Nanos::MAX);
+        assert_eq!(w.times, vec![Nanos(1), Nanos(8), Nanos(15)]);
+    }
+
+    #[test]
+    fn clear_discards_pending() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule(Nanos(1), 1);
+        s.schedule(Nanos(2), 2);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.pop().map(|(_, e)| e), None);
+    }
+}

@@ -1,0 +1,155 @@
+//! The economics of PCIe pooling (§1): hardware PCIe switches vs CXL
+//! pods.
+//!
+//! Paper anchors:
+//! - "The total cost of using PCIe switches in a rack, including the
+//!   expenses for PCIe switches, switch software, host adapter cards,
+//!   and cabling, easily reaches $80,000. Realistic deployments require
+//!   redundant switches…"
+//! - "Recent work shows how to build CXL pods with hardware available
+//!   today for about $600 per host."
+//! - "We can essentially enable PCIe pooling at no extra cost once CXL
+//!   memory pools are deployed."
+//!
+//! Pooling's benefit side is the device reduction the √N provisioning
+//! argument buys: with stranding cut from `s1` to `sN`, the same demand
+//! is served with `(1-s1)/(1-sN)` of the original device fleet.
+
+use serde::Serialize;
+
+/// Per-rack cost inputs (USD).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct CostInputs {
+    /// Hosts per rack.
+    pub hosts: u32,
+    /// PCIe-switch pooling enablement per rack (switches, software,
+    /// adapters, cabling — the paper's figure).
+    pub pcie_switch_rack: f64,
+    /// Redundant-switch multiplier for realistic deployments.
+    pub pcie_redundancy: f64,
+    /// CXL pod enablement per host (the paper's Octopus figure).
+    pub cxl_per_host: f64,
+    /// Cost of one host's SSD complement.
+    pub ssd_per_host: f64,
+    /// Cost of one host's NIC complement.
+    pub nic_per_host: f64,
+}
+
+impl Default for CostInputs {
+    fn default() -> Self {
+        CostInputs {
+            hosts: 32,
+            pcie_switch_rack: 80_000.0,
+            pcie_redundancy: 2.0,
+            cxl_per_host: 600.0,
+            ssd_per_host: 1_500.0,
+            nic_per_host: 900.0,
+        }
+    }
+}
+
+/// One deployment option's bottom line.
+#[derive(Clone, Debug, Serialize)]
+pub struct CostRow {
+    /// Option label.
+    pub option: String,
+    /// Pooling enablement cost for the rack.
+    pub enablement: f64,
+    /// Device savings unlocked by pooling.
+    pub device_savings: f64,
+    /// Net cost (negative = pooling pays for itself).
+    pub net: f64,
+}
+
+/// Device-fleet savings when stranding falls from `s1` to `s_n`:
+/// serving the same sold demand needs only `(1-s1)/(1-s_n)` of the
+/// original capacity.
+pub fn device_savings(per_host_cost: f64, hosts: u32, s1: f64, s_n: f64) -> f64 {
+    assert!((0.0..1.0).contains(&s1) && (0.0..1.0).contains(&s_n));
+    let keep = (1.0 - s1) / (1.0 - s_n);
+    per_host_cost * hosts as f64 * (1.0 - keep).max(0.0)
+}
+
+/// Builds the per-rack comparison for given stranding reductions
+/// (`ssd_s1 → ssd_sn`, `nic_s1 → nic_sn`).
+pub fn tco_rows(
+    inputs: &CostInputs,
+    ssd_s1: f64,
+    ssd_sn: f64,
+    nic_s1: f64,
+    nic_sn: f64,
+) -> Vec<CostRow> {
+    let savings = device_savings(inputs.ssd_per_host, inputs.hosts, ssd_s1, ssd_sn)
+        + device_savings(inputs.nic_per_host, inputs.hosts, nic_s1, nic_sn);
+    let rows = vec![
+        CostRow {
+            option: "no pooling".into(),
+            enablement: 0.0,
+            device_savings: 0.0,
+            net: 0.0,
+        },
+        CostRow {
+            option: "PCIe switch (redundant)".into(),
+            enablement: inputs.pcie_switch_rack * inputs.pcie_redundancy,
+            device_savings: savings,
+            net: inputs.pcie_switch_rack * inputs.pcie_redundancy - savings,
+        },
+        CostRow {
+            option: "CXL pod (new deployment)".into(),
+            enablement: inputs.cxl_per_host * inputs.hosts as f64,
+            device_savings: savings,
+            net: inputs.cxl_per_host * inputs.hosts as f64 - savings,
+        },
+        CostRow {
+            option: "CXL pod (already deployed for memory)".into(),
+            enablement: 0.0,
+            device_savings: savings,
+            net: -savings,
+        },
+    ];
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<CostRow> {
+        // The paper's N=8 numbers: SSD 54 % → 19 %, NIC 29 % → 10 %.
+        tco_rows(&CostInputs::default(), 0.54, 0.19, 0.29, 0.10)
+    }
+
+    #[test]
+    fn device_savings_match_the_utilization_math() {
+        // 54 % → 19 % stranding: keep (0.46/0.81) = 56.8 % of SSDs.
+        let s = device_savings(1_500.0, 32, 0.54, 0.19);
+        let expect = 1_500.0 * 32.0 * (1.0 - 0.46 / 0.81);
+        assert!((s - expect).abs() < 1e-6);
+        assert!(s > 20_000.0, "savings {s}");
+    }
+
+    #[test]
+    fn cxl_pod_beats_pcie_switch_on_net_cost() {
+        let rows = rows();
+        let pcie = rows.iter().find(|r| r.option.contains("PCIe")).unwrap();
+        let cxl_new = rows.iter().find(|r| r.option.contains("new")).unwrap();
+        let cxl_free = rows.iter().find(|r| r.option.contains("already")).unwrap();
+        assert!(cxl_new.net < pcie.net, "CXL {0} vs PCIe {1}", cxl_new.net, pcie.net);
+        assert!(cxl_free.net < 0.0, "pre-deployed pod must be pure savings");
+    }
+
+    #[test]
+    fn pcie_switch_can_outweigh_savings() {
+        // The paper: "Such high costs can easily outweigh the cost
+        // savings of pooling." With redundancy, the switch nets out
+        // positive (a loss) at these device prices.
+        let rows = rows();
+        let pcie = rows.iter().find(|r| r.option.contains("PCIe")).unwrap();
+        assert!(pcie.net > 0.0, "PCIe switch net {}", pcie.net);
+    }
+
+    #[test]
+    fn no_reduction_means_no_savings() {
+        assert_eq!(device_savings(1000.0, 10, 0.3, 0.3), 0.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Multi-dimensional bin packing of VMs onto hosts, and the stranding
+//! measurement (Figure 2).
+
+use serde::Serialize;
+use simkit::rng::Rng;
+
+use crate::vm::{VmCatalog, VmDemand};
+
+/// A host's capacity along all four resources.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct HostShape {
+    /// Physical cores.
+    pub cores: u32,
+    /// Memory in GB.
+    pub mem_gb: u32,
+    /// Local SSD in GB.
+    pub ssd_gb: u32,
+    /// NIC bandwidth in Gbps.
+    pub nic_gbps: f64,
+}
+
+impl HostShape {
+    /// The default cloud host: 40 cores, 256 GB, 4 TB SSD, 50 Gbps.
+    pub fn default_cloud() -> HostShape {
+        HostShape {
+            cores: 40,
+            mem_gb: 256,
+            ssd_gb: 4096,
+            nic_gbps: 50.0,
+        }
+    }
+}
+
+/// One host's remaining capacity.
+#[derive(Clone, Copy, Debug)]
+pub struct HostState {
+    /// Free cores.
+    pub cores: i64,
+    /// Free memory (GB).
+    pub mem_gb: i64,
+    /// Free SSD (GB).
+    pub ssd_gb: i64,
+    /// Free NIC (Gbps).
+    pub nic_gbps: f64,
+}
+
+impl HostState {
+    fn fresh(shape: &HostShape) -> HostState {
+        HostState {
+            cores: shape.cores as i64,
+            mem_gb: shape.mem_gb as i64,
+            ssd_gb: shape.ssd_gb as i64,
+            nic_gbps: shape.nic_gbps,
+        }
+    }
+
+    /// True if the VM fits on this host alone.
+    pub fn fits(&self, d: &VmDemand) -> bool {
+        self.cores >= d.cores as i64
+            && self.mem_gb >= d.mem_gb as i64
+            && self.ssd_gb >= d.ssd_gb as i64
+            && self.nic_gbps >= d.nic_gbps
+    }
+
+    fn place(&mut self, d: &VmDemand) {
+        self.cores -= d.cores as i64;
+        self.mem_gb -= d.mem_gb as i64;
+        self.ssd_gb -= d.ssd_gb as i64;
+        self.nic_gbps -= d.nic_gbps;
+    }
+}
+
+/// Fleet-level stranding results.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct FleetStats {
+    /// VMs placed before the fleet filled.
+    pub placed: u64,
+    /// Fraction of CPU cores stranded.
+    pub cpu: f64,
+    /// Fraction of memory stranded.
+    pub mem: f64,
+    /// Fraction of SSD capacity stranded.
+    pub ssd: f64,
+    /// Fraction of NIC bandwidth stranded.
+    pub nic: f64,
+}
+
+/// Packs a VM stream onto `hosts` identical hosts (first-fit) until
+/// `fail_streak` consecutive arrivals cannot be placed, then measures
+/// stranding per resource: the fraction of fleet capacity left unused
+/// once no more VMs fit anywhere.
+pub fn pack_fleet(
+    catalog: &mut VmCatalog,
+    shape: &HostShape,
+    hosts: usize,
+    fail_streak: u32,
+    rng: &mut Rng,
+) -> FleetStats {
+    let mut fleet: Vec<HostState> = (0..hosts).map(|_| HostState::fresh(shape)).collect();
+    let mut placed = 0u64;
+    let mut failures = 0u32;
+    while failures < fail_streak {
+        let d = catalog.sample(rng);
+        match fleet.iter_mut().find(|h| h.fits(&d)) {
+            Some(h) => {
+                h.place(&d);
+                placed += 1;
+                failures = 0;
+            }
+            None => failures += 1,
+        }
+    }
+    stats_of(&fleet, shape, hosts, placed)
+}
+
+/// Reduces a fleet's remaining capacities to stranding fractions.
+pub(crate) fn stats_of(
+    fleet: &[HostState],
+    shape: &HostShape,
+    hosts: usize,
+    placed: u64,
+) -> FleetStats {
+    let total_cores = (shape.cores as f64) * hosts as f64;
+    let total_mem = (shape.mem_gb as f64) * hosts as f64;
+    let total_ssd = (shape.ssd_gb as f64) * hosts as f64;
+    let total_nic = shape.nic_gbps * hosts as f64;
+    let free_cores: f64 = fleet.iter().map(|h| h.cores as f64).sum();
+    let free_mem: f64 = fleet.iter().map(|h| h.mem_gb as f64).sum();
+    let free_ssd: f64 = fleet.iter().map(|h| h.ssd_gb as f64).sum();
+    let free_nic: f64 = fleet.iter().map(|h| h.nic_gbps).sum();
+    FleetStats {
+        placed,
+        cpu: free_cores / total_cores,
+        mem: free_mem / total_mem,
+        ssd: free_ssd / total_ssd,
+        nic: free_nic / total_nic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(seed: u64) -> FleetStats {
+        let mut cat = VmCatalog::azure_like();
+        let mut rng = Rng::new(seed);
+        pack_fleet(&mut cat, &HostShape::default_cloud(), 500, 200, &mut rng)
+    }
+
+    #[test]
+    fn fig2_ssd_and_nic_strand_most() {
+        let s = run(11);
+        // The paper's Figure 2 headline: SSD and NIC are the two most
+        // stranded resources, ≈ 54 % and ≈ 29 % on average.
+        assert!(s.ssd > s.nic, "SSD ({}) should strand more than NIC ({})", s.ssd, s.nic);
+        assert!(s.nic > s.cpu, "NIC ({}) should strand more than CPU ({})", s.nic, s.cpu);
+        assert!(
+            (0.42..0.64).contains(&s.ssd),
+            "SSD stranding {} outside the Figure 2 band",
+            s.ssd
+        );
+        assert!(
+            (0.18..0.40).contains(&s.nic),
+            "NIC stranding {} outside the Figure 2 band",
+            s.nic
+        );
+    }
+
+    #[test]
+    fn cpu_is_the_binding_resource() {
+        let s = run(12);
+        assert!(s.cpu < 0.15, "CPU stranding {} should be small", s.cpu);
+    }
+
+    #[test]
+    fn packing_is_deterministic_per_seed() {
+        let a = run(13);
+        let b = run(13);
+        assert_eq!(a.placed, b.placed);
+        assert_eq!(a.ssd, b.ssd);
+    }
+
+    #[test]
+    fn stranding_fractions_are_valid() {
+        let s = run(14);
+        for (name, v) in [("cpu", s.cpu), ("mem", s.mem), ("ssd", s.ssd), ("nic", s.nic)] {
+            assert!((0.0..=1.0).contains(&v), "{name} = {v}");
+        }
+        assert!(s.placed > 1000, "placed {}", s.placed);
+    }
+
+    #[test]
+    fn tiny_fleet_still_measures() {
+        let mut cat = VmCatalog::azure_like();
+        let mut rng = Rng::new(15);
+        let s = pack_fleet(&mut cat, &HostShape::default_cloud(), 1, 50, &mut rng);
+        assert!(s.placed >= 5);
+        assert!(s.cpu < 0.5);
+    }
+}

@@ -1,0 +1,50 @@
+//! The Figure 4 building block, hands on: a sub-microsecond message
+//! channel in shared CXL memory, with the coherence discipline made
+//! visible.
+//!
+//! ```sh
+//! cargo run --release --example message_channel
+//! ```
+
+use cxl_fabric::{Fabric, FabricParams, HostId, PodConfig};
+use cxl_pcie_pool::shmem::pingpong::{run, PingPongConfig};
+use cxl_pcie_pool::shmem::ring::{PollOutcome, RingBuf, SendOutcome};
+use cxl_pcie_pool::simkit::Nanos;
+
+fn main() {
+    // 1. The raw ring: one NT store to send, invalidate+load to poll.
+    let mut fabric = Fabric::new(PodConfig::new(2, 2, 2).with_params(FabricParams::x16()));
+    let ring = RingBuf::allocate(&mut fabric, HostId(0), HostId(1), 64).expect("alloc");
+    let (mut tx, mut rx) = ring.split();
+
+    let visible = match tx.send(&mut fabric, Nanos(0), b"doorbell: queue 3, tail 17").unwrap() {
+        SendOutcome::Sent(t) => t,
+        SendOutcome::Full(_) => unreachable!(),
+    };
+    println!("send issued at t=0, visible in pool DRAM at {visible}");
+
+    // Polling before visibility sees nothing — no coherence magic.
+    match rx.poll(&mut fabric, Nanos(10)).unwrap() {
+        PollOutcome::Empty(t) => println!("poll at 10ns: empty (completed {t})"),
+        PollOutcome::Msg { .. } => unreachable!(),
+    }
+    match rx.poll(&mut fabric, visible).unwrap() {
+        PollOutcome::Msg { data, at } => println!(
+            "poll at {visible}: got {:?} at {at}",
+            String::from_utf8_lossy(&data)
+        ),
+        PollOutcome::Empty(_) => unreachable!(),
+    }
+
+    // 2. The Figure 4 measurement.
+    let r = run(&PingPongConfig {
+        iterations: 20_000,
+        ..PingPongConfig::default()
+    })
+    .expect("pingpong");
+    let s = r.latency.summary();
+    println!("\nFigure 4 (20k messages, x16 links):");
+    println!("  floor (1 CXL write + 1 CXL read): {}", r.floor);
+    println!("  p50 {} ns   p99 {} ns   max {} ns", s.p50, s.p99, s.max);
+    println!("  (the paper measures ~600 ns median on real hardware)");
+}

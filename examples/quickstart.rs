@@ -1,0 +1,52 @@
+//! Quickstart: build a CXL pod, pool its NICs, and send packets from a
+//! host that has no NIC of its own.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use cxl_pcie_pool::pool::pod::{PodParams, PodSim};
+use cxl_pcie_pool::pool::vdev::DeviceKind;
+use cxl_pcie_pool::simkit::Nanos;
+use cxl_fabric::HostId;
+
+fn main() {
+    // A 4-host pod over 2 MHDs with 2-way path redundancy. NICs exist
+    // only on hosts 0 and 1 — hosts 2 and 3 will borrow them.
+    let mut pod = PodSim::new(PodParams::new(4, 2));
+
+    println!("pod built: {} hosts, orchestrator on host 0", pod.agents.len());
+    for h in 0..4 {
+        let host = HostId(h);
+        let dev = pod.binding(host, DeviceKind::Nic).expect("every host gets a NIC");
+        let attach = pod.attach_of(dev).expect("registered");
+        println!(
+            "  host {h}: NIC {:?} attached to host {} ({})",
+            dev,
+            attach.0,
+            if attach == host { "local" } else { "remote, via MMIO forwarding" }
+        );
+    }
+
+    // Send a packet from host 0 (local NIC: plain doorbell) and from
+    // host 3 (remote NIC: payload staged in shared CXL memory, the
+    // submission forwarded over a sub-microsecond shared-memory
+    // channel to host 1's pooling agent).
+    for h in [0u16, 3] {
+        let host = HostId(h);
+        let t0 = pod.time();
+        let deadline = t0 + Nanos::from_millis(10);
+        let payload = vec![0x42u8; 1500];
+        let r = pod.vnic_send(host, &payload, deadline).expect("send");
+        println!(
+            "host {h} sent 1500 B via {} path; device completion in {}",
+            if r.local { "the local" } else { "the forwarded" },
+            r.at.saturating_sub(t0),
+        );
+        let dev = pod.binding(host, DeviceKind::Nic).expect("bound");
+        let frames = pod.take_frames(dev);
+        assert_eq!(frames[0].bytes, payload, "the wire saw the exact bytes");
+    }
+
+    println!("\nboth frames carried the exact payload bytes end to end.");
+}

@@ -1,0 +1,44 @@
+//! Storage striping across pooled SSDs (§5): one host harvests the
+//! flash bandwidth of every SSD in the pod.
+//!
+//! ```sh
+//! cargo run --example storage_striping
+//! ```
+
+use cxl_pcie_pool::pool::pod::{PodParams, PodSim};
+use cxl_pcie_pool::pool::striping::StripedVolume;
+use cxl_pcie_pool::pool::vdev::DeviceKind;
+use cxl_pcie_pool::simkit::Nanos;
+use cxl_fabric::HostId;
+use pcie_sim::ssd::BLOCK;
+
+fn main() {
+    for width in [1u16, 2, 4] {
+        let mut params = PodParams::new(4, 1);
+        params.ssd_hosts = (0..width).map(|i| i % 4).collect();
+        params.io_slots = 64;
+        let mut pod = PodSim::new(params);
+        let devs = pod.orch.devices_of(DeviceKind::Ssd);
+        let volume = StripedVolume::new(devs, 2);
+
+        let blocks = 48u64;
+        let data: Vec<u8> = (0..(blocks * BLOCK) as usize).map(|i| (i % 251) as u8).collect();
+        let deadline = pod.time() + Nanos::from_millis(200);
+        let w = volume
+            .write(&mut pod, HostId(3), 0, &data, deadline)
+            .expect("striped write");
+        let deadline = pod.time() + Nanos::from_millis(200);
+        let (back, r) = volume
+            .read(&mut pod, HostId(3), 0, blocks, deadline)
+            .expect("striped read");
+        assert_eq!(back, data, "integrity across {} SSDs", volume.width());
+        println!(
+            "{} SSD(s): wrote {} KiB at {:.2} GB/s, read back at {:.2} GB/s (verified)",
+            volume.width(),
+            blocks * BLOCK / 1024,
+            w.gbps(),
+            r.gbps(),
+        );
+    }
+    println!("\nsequential bandwidth scales with stripe width — the §5 claim.");
+}

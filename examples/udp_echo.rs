@@ -1,0 +1,34 @@
+//! The Figure 3 experiment in miniature: a UDP echo server whose TX/RX
+//! buffers live either in local DDR5 or in the CXL pool.
+//!
+//! ```sh
+//! cargo run --release --example udp_echo
+//! ```
+
+use cxl_pcie_pool::net_sim::experiment::{run_point, BufferMode, UdpConfig};
+use cxl_pcie_pool::simkit::Nanos;
+
+fn main() {
+    println!("payload  load(kpps)   local p50   CXL p50    gap");
+    for payload in [64u32, 1500, 4096] {
+        for pps in [50_000.0, 200_000.0, 500_000.0] {
+            let mut local_cfg = UdpConfig::new(payload, pps, BufferMode::LocalDram);
+            local_cfg.duration = Nanos::from_millis(10);
+            let mut cxl_cfg = UdpConfig::new(payload, pps, BufferMode::CxlPool);
+            cxl_cfg.duration = Nanos::from_millis(10);
+            let local = run_point(local_cfg);
+            let cxl = run_point(cxl_cfg);
+            assert!(local.integrity_ok && cxl.integrity_ok);
+            let gap = (cxl.p50 as f64 - local.p50 as f64) / local.p50 as f64 * 100.0;
+            println!(
+                "{payload:>6}B {:>10.0} {:>9.2}us {:>9.2}us {:>5.1}%",
+                pps / 1e3,
+                local.p50 as f64 / 1e3,
+                cxl.p50 as f64 / 1e3,
+                gap,
+            );
+        }
+    }
+    println!("\nplacing I/O buffers in the CXL pool costs a few percent at most —");
+    println!("negligible against end-to-end network latency (the Figure 3 claim).");
+}

@@ -1,0 +1,20 @@
+//! Software PCIe device pooling over CXL memory pools.
+//!
+//! Umbrella crate re-exporting the workspace's public API. See the
+//! individual crates for details:
+//!
+//! - [`simkit`] — discrete-event simulation kernel
+//! - [`cxl_fabric`] — CXL pod / memory-pool model
+//! - [`pcie_sim`] — PCIe device models (NIC, NVMe SSD, accelerator)
+//! - [`net_sim`] — network substrate and UDP stack model
+//! - [`shmem`] — software-coherent shared-memory structures
+//! - [`pool`] — the paper's contribution: datapath + orchestrator
+//! - [`stranding`] — resource-stranding and pooling analysis
+
+pub use cxl_fabric;
+pub use cxl_pool_core as pool;
+pub use net_sim;
+pub use pcie_sim;
+pub use shmem;
+pub use simkit;
+pub use stranding;

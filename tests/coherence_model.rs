@@ -1,0 +1,170 @@
+//! Model-checking the fabric's software-coherence semantics.
+//!
+//! A reference oracle models exactly what non-coherent CXL promises:
+//! per-host caches that are never invalidated remotely, non-temporal
+//! stores that bypass them, and invalidate/flush as the only coherence
+//! operations. Random operation sequences must make the fabric and the
+//! oracle agree byte-for-byte on every load result.
+//!
+//! The oracle ignores *time* (all writes settle instantly), so the
+//! driver settles the fabric after every visible write — the property
+//! under test is the cache/visibility *logic*, not the latency model.
+
+use std::collections::HashMap;
+
+use cxl_fabric::{Fabric, HostId, PodConfig};
+use proptest::prelude::*;
+use simkit::Nanos;
+
+const LINE: u64 = 64;
+const LINES: u64 = 8;
+
+/// What non-coherent CXL promises, reduced to its essentials.
+struct Oracle {
+    pool: Vec<u8>,
+    /// Per host: line index → cached copy and dirty flag.
+    caches: Vec<HashMap<u64, (Vec<u8>, bool)>>,
+}
+
+impl Oracle {
+    fn new(hosts: usize) -> Oracle {
+        Oracle {
+            pool: vec![0u8; (LINES * LINE) as usize],
+            caches: (0..hosts).map(|_| HashMap::new()).collect(),
+        }
+    }
+
+    fn load(&mut self, host: usize, line: u64) -> Vec<u8> {
+        if let Some((data, _)) = self.caches[host].get(&line) {
+            return data.clone();
+        }
+        let off = (line * LINE) as usize;
+        let data = self.pool[off..off + LINE as usize].to_vec();
+        self.caches[host].insert(line, (data.clone(), false));
+        data
+    }
+
+    fn store(&mut self, host: usize, line: u64, byte: u8) {
+        // Write-back store: fetch-for-ownership then dirty the line.
+        let entry = self.caches[host].entry(line).or_insert_with(|| {
+            let off = (line * LINE) as usize;
+            (self.pool[off..off + LINE as usize].to_vec(), false)
+        });
+        entry.0.fill(byte);
+        entry.1 = true;
+    }
+
+    fn nt_store(&mut self, host: usize, line: u64, byte: u8) {
+        let off = (line * LINE) as usize;
+        self.pool[off..off + LINE as usize].fill(byte);
+        self.caches[host].remove(&line);
+    }
+
+    fn flush(&mut self, host: usize, line: u64) {
+        if let Some((data, dirty)) = self.caches[host].remove(&line) {
+            if dirty {
+                let off = (line * LINE) as usize;
+                self.pool[off..off + LINE as usize].copy_from_slice(&data);
+            }
+        }
+    }
+
+    fn invalidate(&mut self, host: usize, line: u64) {
+        self.caches[host].remove(&line);
+    }
+
+    fn dma_write(&mut self, attach: usize, line: u64, byte: u8) {
+        let off = (line * LINE) as usize;
+        self.pool[off..off + LINE as usize].fill(byte);
+        // DMA snoops (invalidates) the attach host's cache only.
+        self.caches[attach].remove(&line);
+    }
+}
+
+/// One step of the random program.
+#[derive(Clone, Debug)]
+enum Op {
+    Load { host: u8, line: u8 },
+    Store { host: u8, line: u8, byte: u8 },
+    NtStore { host: u8, line: u8, byte: u8 },
+    Flush { host: u8, line: u8 },
+    Invalidate { host: u8, line: u8 },
+    DmaWrite { attach: u8, line: u8, byte: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let host = 0u8..2;
+    let line = 0u8..LINES as u8;
+    prop_oneof![
+        (host.clone(), line.clone()).prop_map(|(host, line)| Op::Load { host, line }),
+        (host.clone(), line.clone(), any::<u8>())
+            .prop_map(|(host, line, byte)| Op::Store { host, line, byte }),
+        (host.clone(), line.clone(), any::<u8>())
+            .prop_map(|(host, line, byte)| Op::NtStore { host, line, byte }),
+        (host.clone(), line.clone()).prop_map(|(host, line)| Op::Flush { host, line }),
+        (host.clone(), line.clone()).prop_map(|(host, line)| Op::Invalidate { host, line }),
+        (host, line, any::<u8>())
+            .prop_map(|(attach, line, byte)| Op::DmaWrite { attach, line, byte }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fabric_matches_the_coherence_oracle(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut fabric = Fabric::new(PodConfig::new(2, 2, 2));
+        let seg = fabric
+            .alloc_shared(&[HostId(0), HostId(1)], LINES * LINE)
+            .expect("alloc");
+        let base = seg.base();
+        let mut oracle = Oracle::new(2);
+        let mut t = Nanos(0);
+
+        for op in &ops {
+            match *op {
+                Op::Load { host, line } => {
+                    let mut buf = [0u8; LINE as usize];
+                    t = fabric
+                        .load(t, HostId(host as u16), base + line as u64 * LINE, &mut buf)
+                        .expect("load");
+                    let expect = oracle.load(host as usize, line as u64);
+                    prop_assert_eq!(&buf[..], &expect[..], "load host {} line {}", host, line);
+                }
+                Op::Store { host, line, byte } => {
+                    t = fabric
+                        .store(t, HostId(host as u16), base + line as u64 * LINE, &[byte; LINE as usize])
+                        .expect("store");
+                    oracle.store(host as usize, line as u64, byte);
+                }
+                Op::NtStore { host, line, byte } => {
+                    t = fabric
+                        .nt_store(t, HostId(host as u16), base + line as u64 * LINE, &[byte; LINE as usize])
+                        .expect("nt_store");
+                    oracle.nt_store(host as usize, line as u64, byte);
+                }
+                Op::Flush { host, line } => {
+                    t = fabric
+                        .flush(t, HostId(host as u16), base + line as u64 * LINE, LINE)
+                        .expect("flush");
+                    oracle.flush(host as usize, line as u64);
+                }
+                Op::Invalidate { host, line } => {
+                    t = fabric.invalidate(t, HostId(host as u16), base + line as u64 * LINE, LINE);
+                    oracle.invalidate(host as usize, line as u64);
+                }
+                Op::DmaWrite { attach, line, byte } => {
+                    t = fabric
+                        .dma_write(t, HostId(attach as u16), base + line as u64 * LINE, &[byte; LINE as usize])
+                        .expect("dma");
+                    oracle.dma_write(attach as usize, line as u64, byte);
+                }
+            }
+            // Settle so visibility timing never differs from the
+            // (timeless) oracle.
+            let mut sink = [0u8; 1];
+            fabric.peek_settled(base, &mut sink);
+            t += Nanos(1_000);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Failure-injection integration: device, path, and pool-device
+//! failures across the whole stack.
+
+use cxl_fabric::{HostId, MhdId};
+use cxl_pcie_pool::pool::pod::{PodParams, PodSim};
+use cxl_pcie_pool::pool::vdev::DeviceKind;
+use simkit::Nanos;
+
+fn deadline(pod: &PodSim) -> Nanos {
+    pod.time() + Nanos::from_millis(50)
+}
+
+/// Drives send-retry until success, returning (attempts, recovery time).
+fn retry_until_ok(pod: &mut PodSim, host: HostId) -> (u32, Nanos) {
+    let t0 = pod.time();
+    for attempt in 1..=50 {
+        let d = deadline(pod);
+        match pod.vnic_send(host, &[9u8; 100], d) {
+            Ok(r) => return (attempt, r.at.saturating_sub(t0)),
+            Err(_) => pod.run_control(Nanos::from_micros(200)),
+        }
+    }
+    panic!("failover never completed");
+}
+
+#[test]
+fn single_nic_failure_recovers_all_users() {
+    let mut pod = PodSim::new(PodParams::new(6, 2));
+    // Hosts 2..5 share the two NICs; fail one NIC and every affected
+    // host must recover.
+    let victim = pod.binding(HostId(2), DeviceKind::Nic).expect("bound");
+    let affected: Vec<HostId> = (0..6u16)
+        .map(HostId)
+        .filter(|&h| pod.binding(h, DeviceKind::Nic) == Some(victim))
+        .collect();
+    assert!(!affected.is_empty());
+    pod.fail_nic(victim);
+    for h in affected {
+        let (attempts, recovery) = retry_until_ok(&mut pod, h);
+        assert!(attempts <= 10, "host {h:?} needed {attempts} attempts");
+        assert!(
+            recovery < Nanos::from_millis(20),
+            "host {h:?} recovery {recovery}"
+        );
+        assert_ne!(pod.binding(h, DeviceKind::Nic), Some(victim));
+    }
+}
+
+#[test]
+fn cascading_failures_until_one_nic_remains() {
+    let mut pod = PodSim::new(PodParams::new(4, 3));
+    let host = HostId(3);
+    let all = pod.orch.devices_of(DeviceKind::Nic);
+    // Kill NICs one by one, leaving one alive; host 3 must keep
+    // recovering onto a survivor.
+    for victim in &all[..all.len() - 1] {
+        pod.fail_nic(*victim);
+        pod.orch.on_failure(&mut pod.fabric, *victim);
+        pod.run_control(Nanos::from_millis(1));
+        let (_, _) = retry_until_ok(&mut pod, host);
+        let bound = pod.binding(host, DeviceKind::Nic).expect("still bound");
+        assert!(
+            pod.orch.device(bound).expect("registered").up,
+            "host bound to a dead NIC"
+        );
+    }
+}
+
+#[test]
+fn repaired_nic_rejoins_the_pool() {
+    let mut pod = PodSim::new(PodParams::new(4, 2));
+    let victim = pod.binding(HostId(3), DeviceKind::Nic).expect("bound");
+    pod.fail_nic(victim);
+    let _ = retry_until_ok(&mut pod, HostId(3));
+    // Repair: the device is selectable again.
+    pod.repair_nic(victim);
+    let choice = pod
+        .orch
+        .choose(HostId(3), DeviceKind::Nic)
+        .expect("choose succeeds");
+    // Freshly repaired device has load 0: the least-utilized pick.
+    assert_eq!(choice, victim);
+}
+
+#[test]
+fn mhd_failure_with_lambda_redundancy_keeps_pod_connected() {
+    let mut pod = PodSim::new(PodParams::new(4, 2));
+    assert!(pod.fabric.topology().fully_connected());
+    pod.fabric.topology_mut().fail_mhd(MhdId(0));
+    // λ=2: every host still reaches MHD 1.
+    assert!(pod.fabric.topology().fully_connected());
+    for h in 0..4 {
+        assert_eq!(pod.fabric.topology().effective_lambda(HostId(h)), 1);
+    }
+    pod.fabric.topology_mut().restore_mhd(MhdId(0));
+    assert_eq!(pod.fabric.topology().effective_lambda(HostId(0)), 2);
+}
+
+#[test]
+fn ssd_failover_moves_to_surviving_drive() {
+    let mut params = PodParams::new(4, 1);
+    params.ssd_hosts = vec![0, 1];
+    let mut pod = PodSim::new(params);
+    let host = HostId(3);
+    let victim = pod.binding(host, DeviceKind::Ssd).expect("bound");
+    // Warm I/O.
+    let d = deadline(&pod);
+    pod.vssd_read(host, 0, 1, d).expect("warm read");
+    pod.fail_ssd(victim);
+    // Retry until rebinding succeeds.
+    let mut ok = false;
+    for _ in 0..50 {
+        let d = deadline(&pod);
+        match pod.vssd_read(host, 0, 1, d) {
+            Ok(_) => {
+                ok = true;
+                break;
+            }
+            Err(_) => pod.run_control(Nanos::from_micros(200)),
+        }
+    }
+    assert!(ok, "SSD failover never completed");
+    let newdev = pod.binding(host, DeviceKind::Ssd).expect("rebound");
+    assert_ne!(newdev, victim);
+}
+
+#[test]
+fn accelerator_failover_preserves_job_semantics() {
+    let mut params = PodParams::new(4, 1);
+    params.accel_hosts = vec![0, 1];
+    let mut pod = PodSim::new(params);
+    let host = HostId(2);
+    let input: Vec<u8> = (0..256u32).map(|i| i as u8).collect();
+    let d = deadline(&pod);
+    pod.vaccel_run(host, &input, d).expect("warm job");
+    let victim = pod.binding(host, DeviceKind::Accel).expect("bound");
+    pod.fail_accel(victim);
+    let mut result = None;
+    for _ in 0..50 {
+        let d = deadline(&pod);
+        match pod.vaccel_run(host, &input, d) {
+            Ok(r) => {
+                result = Some(r);
+                break;
+            }
+            Err(_) => pod.run_control(Nanos::from_micros(200)),
+        }
+    }
+    let (outbuf, r) = result.expect("accelerator failover completed");
+    // The replacement card computes the same transform.
+    let (out, _) = pod
+        .read_rx_payload(host, outbuf, input.len(), r.at)
+        .expect("read");
+    let expect: Vec<u8> = input.iter().map(|b| b ^ 0xA5).collect();
+    assert_eq!(out, expect, "failover changed the job's semantics");
+    assert_ne!(pod.binding(host, DeviceKind::Accel), Some(victim));
+}
+
+#[test]
+fn heartbeats_survive_device_failures() {
+    use shmem::mailbox::HeartbeatTable;
+    let mut pod = PodSim::new(PodParams::new(4, 2));
+    let members: Vec<HostId> = (0..4).map(HostId).collect();
+    let table = HeartbeatTable::allocate(&mut pod.fabric, &members, 4).expect("alloc");
+    // Device failures do not affect the memory-pool control plane.
+    let dev = pod.binding(HostId(3), DeviceKind::Nic).expect("bound");
+    pod.fail_nic(dev);
+    let mut t = pod.time();
+    for beat in 1..=5u64 {
+        t = table.beat(&mut pod.fabric, t, HostId(3), beat, 50).expect("beat");
+    }
+    let (beat, load, _, _) = table
+        .read(&mut pod.fabric, t, HostId(0), HostId(3))
+        .expect("read");
+    assert_eq!(beat, 5);
+    assert_eq!(load, 50);
+}
