@@ -37,7 +37,11 @@ pub fn run_storage_paths(scale: Scale) -> Table {
     let iters = scale.pick(40u32, 400);
     let mut t = Table::new(&["media", "path", "p50_us", "vs_local"]);
     for fast in [false, true] {
-        let media = if fast { "low-latency" } else { "datacenter TLC" };
+        let media = if fast {
+            "low-latency"
+        } else {
+            "datacenter TLC"
+        };
         let mut results: Vec<(String, f64)> = Vec::new();
 
         // Local: drive on the host, buffer in local DRAM.
@@ -48,7 +52,13 @@ pub fn run_storage_paths(scale: Scale) -> Table {
             let mut now = Nanos(0);
             for i in 0..iters {
                 let done = ssd
-                    .read(&mut pod.fabric, now, (i % 64) as u64, 1, BufRef::Local(0x9000))
+                    .read(
+                        &mut pod.fabric,
+                        now,
+                        (i % 64) as u64,
+                        1,
+                        BufRef::Local(0x9000),
+                    )
                     .expect("local read");
                 h.record((done - now).as_nanos());
                 now = done + Nanos(5_000);
@@ -84,12 +94,8 @@ pub fn run_storage_paths(scale: Scale) -> Table {
         {
             let mut pod = PodSim::new(PodParams::new(2, 1));
             let ssd = Ssd::new(DeviceId(91), HostId(1), ssd_config(fast));
-            let mut rdma = RdmaSsd::new(
-                ssd,
-                HostId(1),
-                WireParams::default(),
-                RdmaParams::default(),
-            );
+            let mut rdma =
+                RdmaSsd::new(ssd, HostId(1), WireParams::default(), RdmaParams::default());
             let mut h = Histogram::new();
             let mut now = Nanos(0);
             let mut out = vec![0u8; BLOCK as usize];

@@ -63,7 +63,10 @@ fn main() {
     let mut out = Emitter { json: Vec::new() };
 
     if want("fig2") {
-        out.emit("Figure 2: stranded resources (unpooled fleet)", fig2::run(scale));
+        out.emit(
+            "Figure 2: stranded resources (unpooled fleet)",
+            fig2::run(scale),
+        );
         out.emit(
             "Figure 2 companion: churning fleet, time-averaged stranding",
             fig2::run_churn(scale),
@@ -113,7 +116,10 @@ fn main() {
         );
     }
     if want("microbench") {
-        out.emit("Section 3 calibration: idle latencies", microbench::run_latency());
+        out.emit(
+            "Section 3 calibration: idle latencies",
+            microbench::run_latency(),
+        );
         out.emit(
             "Section 3 calibration: link + interleave bandwidth",
             microbench::run_bandwidth(scale),
@@ -128,8 +134,14 @@ fn main() {
             "Section 4.2: local vs MMIO-forwarded submission",
             orchestrator::run_forwarding(scale),
         );
-        out.emit("Section 4.2: NIC failover latency", orchestrator::run_failover(scale));
-        out.emit("Section 4.2: allocation policies", orchestrator::run_policies(scale));
+        out.emit(
+            "Section 4.2: NIC failover latency",
+            orchestrator::run_failover(scale),
+        );
+        out.emit(
+            "Section 4.2: allocation policies",
+            orchestrator::run_policies(scale),
+        );
         out.emit("Section 4.2: load balancing", orchestrator::run_balancing());
         out.emit(
             "Section 4.2 ablation: doorbell batching on the forwarded path",
@@ -159,7 +171,10 @@ fn main() {
         );
     }
     if want("extensions") {
-        out.emit("Section 5: ToR-less rack availability", extensions::run_torless(scale));
+        out.emit(
+            "Section 5: ToR-less rack availability",
+            extensions::run_torless(scale),
+        );
         out.emit(
             "Section 5: accelerator disaggregation",
             extensions::run_accelpool(scale),
@@ -193,8 +208,11 @@ fn main() {
                 .map(|(k, v)| (k, serde_json::Value::String(v)))
                 .collect(),
         );
-        std::fs::write(&path, serde_json::to_string_pretty(&obj).expect("serialize"))
-            .expect("write json");
+        std::fs::write(
+            &path,
+            serde_json::to_string_pretty(&obj).expect("serialize"),
+        )
+        .expect("write json");
         println!("\nresults written to {path}");
     }
 }

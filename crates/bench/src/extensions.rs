@@ -128,12 +128,7 @@ pub fn run_striping(scale: Scale) -> Table {
 /// the pod spreads over more MHDs.
 pub fn run_pool_recovery(_scale: Scale) -> Table {
     use cxl_fabric::MhdId;
-    let mut t = Table::new(&[
-        "mhds",
-        "lambda",
-        "channels_rebuilt",
-        "hosts_restored_pct",
-    ]);
+    let mut t = Table::new(&["mhds", "lambda", "channels_rebuilt", "hosts_restored_pct"]);
     // Pod-wide shared segments need full host-MHD connectivity
     // (λ = m), the standard MHD-pod wiring.
     for (mhds, lambda) in [(2u16, 2u16), (4, 4), (8, 8)] {
@@ -253,11 +248,7 @@ pub fn run_ssd_qd(scale: Scale) -> Table {
         if qd == 1 {
             base = iops;
         }
-        t.row(&[
-            &qd.to_string(),
-            &fmt_f64(iops / 1e3),
-            &fmt_f64(iops / base),
-        ]);
+        t.row(&[&qd.to_string(), &fmt_f64(iops / 1e3), &fmt_f64(iops / base)]);
     }
     t
 }

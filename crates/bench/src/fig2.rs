@@ -38,7 +38,13 @@ pub fn run(scale: Scale) -> Table {
         }
     }
     let n = seeds as f64;
-    let mut t = Table::new(&["resource", "stranded_mean_pct", "min_pct", "max_pct", "paper_pct"]);
+    let mut t = Table::new(&[
+        "resource",
+        "stranded_mean_pct",
+        "min_pct",
+        "max_pct",
+        "paper_pct",
+    ]);
     let rows = [
         ("CPU cores", sums[0] / n, mins[0], maxs[0], "-"),
         ("memory", sums[1] / n, mins[1], maxs[1], "-"),
@@ -64,14 +70,12 @@ pub fn run_churn(scale: Scale) -> Table {
     use stranding::churn::{run_churn, ChurnConfig};
     let hosts = scale.pick(64, 256);
     let mut t = Table::new(&[
-        "fleet",
-        "cpu_pct",
-        "ssd_pct",
-        "nic_pct",
-        "admitted",
-        "rejected",
+        "fleet", "cpu_pct", "ssd_pct", "nic_pct", "admitted", "rejected",
     ]);
-    for (name, pool_n) in [("unpooled (churning)", 1usize), ("pooled N=8 (churning)", 8)] {
+    for (name, pool_n) in [
+        ("unpooled (churning)", 1usize),
+        ("pooled N=8 (churning)", 8),
+    ] {
         let s = run_churn(ChurnConfig::at_utilization(hosts, pool_n, 0.9, 0xC0FE));
         t.row(&[
             name,

@@ -81,7 +81,13 @@ pub fn run_with(duration: Nanos, payloads: &[u32], fractions: &[f64]) -> Table {
 /// the same throughput ceiling.
 pub fn run_saturation(scale: Scale) -> Table {
     let duration = scale.pick(Nanos::from_millis(5), Nanos::from_millis(25));
-    let mut t = Table::new(&["payload_B", "mode", "achieved_kpps", "goodput_gbps", "drops"]);
+    let mut t = Table::new(&[
+        "payload_B",
+        "mode",
+        "achieved_kpps",
+        "goodput_gbps",
+        "drops",
+    ]);
     for payload in PAYLOADS {
         let pps = saturation_pps(payload) * 2.0;
         for mode in [BufferMode::LocalDram, BufferMode::CxlPool] {

@@ -23,7 +23,11 @@ pub fn run(scale: Scale) -> Table {
     let r = pingpong(&config).expect("ping-pong runs");
     let s = r.latency.summary();
     let mut t = Table::new(&["metric", "ns", "note"]);
-    t.row(&["floor (1 write + 1 read)", &r.floor.as_nanos().to_string(), "analytic"]);
+    t.row(&[
+        "floor (1 write + 1 read)",
+        &r.floor.as_nanos().to_string(),
+        "analytic",
+    ]);
     t.row(&["min", &s.min.to_string(), ""]);
     t.row(&["p10", &s.p10.to_string(), ""]);
     t.row(&["p50", &s.p50.to_string(), "paper: ~600"]);
@@ -85,9 +89,8 @@ pub fn run_contention(scale: Scale) -> Table {
     let msgs = scale.pick(2_000u32, 20_000);
     let mut t = Table::new(&["background_load", "p50_ns", "p99_ns"]);
     for bg_frac in [0.0f64, 0.4, 0.8] {
-        let mut fabric = Fabric::new(
-            PodConfig::new(2, 2, 2).with_params(cxl_fabric::FabricParams::x16()),
-        );
+        let mut fabric =
+            Fabric::new(PodConfig::new(2, 2, 2).with_params(cxl_fabric::FabricParams::x16()));
         let ring = RingBuf::allocate(&mut fabric, HostId(0), HostId(1), 64).expect("alloc");
         let bulk = fabric
             .alloc_shared(&[HostId(0), HostId(1)], 8 << 20)
@@ -110,7 +113,7 @@ pub fn run_contention(scale: Scale) -> Table {
             while bg_frac > 0.0 && next_bg <= clock {
                 let addr = bulk.base() + (i as u64 % 64) * chunk;
                 let _ = fabric.dma_write(next_bg, HostId(0), addr, &bg_data);
-                next_bg = next_bg + bg_gap;
+                next_bg += bg_gap;
             }
             let issue = clock;
             let visible = match tx.send(&mut fabric, issue, &[1u8; 32]).expect("send") {

@@ -21,8 +21,15 @@ pub fn run_latency() -> Table {
     let seg = f.alloc_shared(&[HostId(0)], 4096).expect("alloc");
     let mut buf = [0u8; 64];
     let local = f.local_load(Nanos(0), HostId(0), 0x1000, &mut buf);
-    let cxl = f.load(Nanos(0), HostId(0), seg.base(), &mut buf).expect("load");
-    t.row(&["local DDR5 load (64 B)", &local.as_nanos().to_string(), "1.00", "~90 ns"]);
+    let cxl = f
+        .load(Nanos(0), HostId(0), seg.base(), &mut buf)
+        .expect("load");
+    t.row(&[
+        "local DDR5 load (64 B)",
+        &local.as_nanos().to_string(),
+        "1.00",
+        "~90 ns",
+    ]);
     t.row(&[
         "CXL pool load (64 B, x8)",
         &cxl.as_nanos().to_string(),
@@ -31,14 +38,18 @@ pub fn run_latency() -> Table {
     ]);
     let mut f16 = Fabric::new(PodConfig::new(2, 2, 2).with_params(FabricParams::x16()));
     let seg16 = f16.alloc_shared(&[HostId(0)], 4096).expect("alloc");
-    let cxl16 = f16.load(Nanos(0), HostId(0), seg16.base(), &mut buf).expect("load");
+    let cxl16 = f16
+        .load(Nanos(0), HostId(0), seg16.base(), &mut buf)
+        .expect("load");
     t.row(&[
         "CXL pool load (64 B, x16)",
         &cxl16.as_nanos().to_string(),
         &fmt_f64(cxl16.as_nanos() as f64 / local.as_nanos() as f64),
         "-",
     ]);
-    let store = f.nt_store(Nanos(0), HostId(0), seg.base(), &buf).expect("store");
+    let store = f
+        .nt_store(Nanos(0), HostId(0), seg.base(), &buf)
+        .expect("store");
     t.row(&[
         "CXL NT store visible (64 B, x8)",
         &store.as_nanos().to_string(),
@@ -61,7 +72,12 @@ fn stream_bandwidth(ways: u16, total: u64, chunk: u64) -> f64 {
     let mut sent = 0u64;
     while sent < total {
         done = f
-            .dma_write(Nanos::ZERO, HostId(0), seg.base() + (sent % (total - chunk + 1)), &data)
+            .dma_write(
+                Nanos::ZERO,
+                HostId(0),
+                seg.base() + (sent % (total - chunk + 1)),
+                &data,
+            )
             .expect("dma");
         sent += chunk;
     }
@@ -93,7 +109,9 @@ pub fn run_loaded_latency(scale: Scale) -> Table {
     let mut t = Table::new(&["offered_gbps", "utilization_pct", "p50_ns", "p99_ns"]);
     for frac in [0.0f64, 0.2, 0.4, 0.6, 0.8, 0.9] {
         let mut f = Fabric::new(PodConfig::new(1, 1, 1));
-        let seg = f.alloc_interleaved(&[HostId(0)], 16 << 20, 1).expect("alloc");
+        let seg = f
+            .alloc_interleaved(&[HostId(0)], 16 << 20, 1)
+            .expect("alloc");
         let link_bw = f.params().link_gbps();
         let offered = link_bw * frac;
         let chunk = 8u64 << 10;
@@ -161,7 +179,10 @@ mod tests {
     fn bandwidth_scales_with_ways() {
         let one = stream_bandwidth(1, 32 << 20, 1 << 20);
         let four = stream_bandwidth(4, 32 << 20, 1 << 20);
-        assert!((one - 30.0).abs() < 4.0, "x8 link should be ~30 GB/s, got {one}");
+        assert!(
+            (one - 30.0).abs() < 4.0,
+            "x8 link should be ~30 GB/s, got {one}"
+        );
         assert!(four > one * 3.0, "4-way interleave {four} vs 1-way {one}");
     }
 }

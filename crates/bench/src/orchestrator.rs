@@ -44,7 +44,10 @@ pub fn run_forwarding(scale: Scale) -> Table {
         }
     }
     let mut t = Table::new(&["path", "p50_us", "p99_us", "mean_us"]);
-    for (name, h) in [("local fast path", &local), ("MMIO-forwarded (remote NIC)", &remote)] {
+    for (name, h) in [
+        ("local fast path", &local),
+        ("MMIO-forwarded (remote NIC)", &remote),
+    ] {
         let s = h.summary();
         t.row(&[
             name,
@@ -116,7 +119,10 @@ pub fn run_policies(scale: Scale) -> Table {
         "local_bindings_pct",
     ]);
     for (name, policy) in [
-        ("local-first (paper)", AllocPolicy::LocalFirst { threshold: 80 }),
+        (
+            "local-first (paper)",
+            AllocPolicy::LocalFirst { threshold: 80 },
+        ),
         ("least-utilized", AllocPolicy::LeastUtilized),
         ("random", AllocPolicy::Random),
     ] {
@@ -131,7 +137,9 @@ pub fn run_policies(scale: Scale) -> Table {
         for _round in 0..rounds {
             pod.orch.set_load(hot, 95);
             for h in 0..hosts {
-                let _ = pod.orch.allocate(&mut pod.fabric, HostId(h), DeviceKind::Nic);
+                let _ = pod
+                    .orch
+                    .allocate(&mut pod.fabric, HostId(h), DeviceKind::Nic);
             }
             // Synthetic skew: device load proportional to its users,
             // except the hot device which stays hot.
@@ -182,7 +190,8 @@ pub fn run_batching(scale: Scale) -> Table {
         let t0 = pod.time();
         for _ in 0..iters / batch as u32 {
             let d = deadline(&pod);
-            pod.vnic_send_batch(HostId(3), &refs, d).expect("batch send");
+            pod.vnic_send_batch(HostId(3), &refs, d)
+                .expect("batch send");
         }
         let per_packet =
             (pod.time() - t0).as_nanos() as f64 / ((iters / batch as u32) * batch as u32) as f64;
@@ -295,7 +304,11 @@ pub fn run_dynamic_balance(scale: Scale) -> Table {
             }
         }
         t.row(&[
-            if balance { "orchestrated (balance each epoch)" } else { "static assignment" },
+            if balance {
+                "orchestrated (balance each epoch)"
+            } else {
+                "static assignment"
+            },
             &fmt_f64(overloaded as f64 / epochs as f64 * 100.0),
             &fmt_f64(peak_sum / epochs as f64),
             &pod.orch.migrations.to_string(),
@@ -312,7 +325,12 @@ pub fn run_dynamic_balance(scale: Scale) -> Table {
 pub fn run_sharing(scale: Scale) -> Table {
     use cxl_pool_core::bonding::BondedNic;
     let frames = scale.pick(48u64, 256);
-    let mut t = Table::new(&["sharers", "per_host_gbps_min", "per_host_gbps_max", "fairness"]);
+    let mut t = Table::new(&[
+        "sharers",
+        "per_host_gbps_min",
+        "per_host_gbps_max",
+        "fairness",
+    ]);
     for sharers in [1u16, 2, 4] {
         let mut params = PodParams::new(8, 1);
         params.io_slots = 64;
@@ -334,9 +352,7 @@ pub fn run_sharing(scale: Scale) -> Table {
                 if inflight[s].len() >= window {
                     let sub = inflight[s].remove(0);
                     let d = pod.time() + Nanos::from_millis(500);
-                    let r = pod
-                        .await_submitted(bond.owner, sub, d)
-                        .expect("await");
+                    let r = pod.await_submitted(bond.owner, sub, d).expect("await");
                     done[s] = done[s].max(r.at);
                 }
                 match bond.submit_one(&mut pod, &payload) {
@@ -407,7 +423,13 @@ pub fn run_desc_placement(scale: Scale) -> Table {
         let mut now = Nanos(1_000);
         for _ in 0..iters {
             let posted = ring
-                .post(&mut fabric, now, HostId(1), BufRef::Pool(payload_base), 1500)
+                .post(
+                    &mut fabric,
+                    now,
+                    HostId(1),
+                    BufRef::Pool(payload_base),
+                    1500,
+                )
                 .expect("post");
             let frame = nic
                 .transmit_from_ring(&mut fabric, posted, &mut ring)

@@ -7,6 +7,7 @@
 //!    service quantile),
 //! 2. the paper's √N shortcut anchored at the N = 1 simulation,
 //! 3. the exact Erlang-C square-root-staffing analytic,
+//!
 //! plus an ablation with correlated demand (the paper's caveat).
 
 use simkit::table::{fmt_f64, Table};

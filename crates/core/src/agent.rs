@@ -163,7 +163,10 @@ impl Agent {
     /// Records that the next RX buffer posted on `dev` belongs to this
     /// host's own stack (local fast-path post).
     pub fn note_local_rx(&mut self, dev: DeviceId) {
-        self.rx_routes.entry(dev).or_default().push_back(RxRoute::Local);
+        self.rx_routes
+            .entry(dev)
+            .or_default()
+            .push_back(RxRoute::Local);
     }
 
     /// Delivers a frame arriving from the wire at local NIC `dev`:
@@ -377,7 +380,13 @@ impl Agent {
             } => {
                 let clock = self.clock;
                 let result = match self.accels.get_mut(&dev) {
-                    Some(a) => a.offload(fabric, clock, BufRef::Pool(inbuf), len, BufRef::Pool(outbuf)),
+                    Some(a) => a.offload(
+                        fabric,
+                        clock,
+                        BufRef::Pool(inbuf),
+                        len,
+                        BufRef::Pool(outbuf),
+                    ),
                     None => Err(DeviceError::Failed(dev)),
                 };
                 self.complete(fabric, link_idx, op, dev, result);
@@ -479,8 +488,10 @@ mod tests {
                 rx: ch.ab.1,
             },
         );
-        a0.nics
-            .insert(DeviceId(0), Nic::new(DeviceId(0), HostId(0), NicConfig::default()));
+        a0.nics.insert(
+            DeviceId(0),
+            Nic::new(DeviceId(0), HostId(0), NicConfig::default()),
+        );
         (f, a0, a1)
     }
 
@@ -488,7 +499,9 @@ mod tests {
     fn forwarded_tx_executes_and_completes() {
         let (mut f, mut a0, mut a1) = duo();
         // Host 1 stages a payload in a shared buffer.
-        let seg = f.alloc_shared(&[HostId(0), HostId(1)], 4096).expect("alloc");
+        let seg = f
+            .alloc_shared(&[HostId(0), HostId(1)], 4096)
+            .expect("alloc");
         let t = f
             .nt_store(Nanos(0), HostId(1), seg.base(), &[9u8; 128])
             .expect("store");
@@ -520,7 +533,9 @@ mod tests {
     fn failed_device_reports_status_one() {
         let (mut f, mut a0, mut a1) = duo();
         a0.nics.get_mut(&DeviceId(0)).expect("nic").fail();
-        let seg = f.alloc_shared(&[HostId(0), HostId(1)], 4096).expect("alloc");
+        let seg = f
+            .alloc_shared(&[HostId(0), HostId(1)], 4096)
+            .expect("alloc");
         a1.send_to(
             &mut f,
             Peer::Host(HostId(0)),
@@ -541,7 +556,9 @@ mod tests {
     #[test]
     fn unknown_device_is_a_failure_not_a_panic() {
         let (mut f, mut a0, mut a1) = duo();
-        let seg = f.alloc_shared(&[HostId(0), HostId(1)], 4096).expect("alloc");
+        let seg = f
+            .alloc_shared(&[HostId(0), HostId(1)], 4096)
+            .expect("alloc");
         a1.send_to(
             &mut f,
             Peer::Host(HostId(0)),

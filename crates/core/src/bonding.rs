@@ -132,11 +132,7 @@ impl BondedNic {
     /// Submits a single frame on the next NIC in the bond without
     /// awaiting it (callers interleaving several bonds' traffic pair
     /// this with [`PodSim::await_submitted`]).
-    pub fn submit_one(
-        &mut self,
-        pod: &mut PodSim,
-        payload: &[u8],
-    ) -> Result<Submitted, PoolError> {
+    pub fn submit_one(&mut self, pod: &mut PodSim, payload: &[u8]) -> Result<Submitted, PoolError> {
         let dev = self.devs[self.next % self.devs.len()];
         self.next += 1;
         self.submit_on(pod, dev, payload)
@@ -164,7 +160,12 @@ impl BondedNic {
             let t = staged + nic.doorbell_cost();
             nic.ring_doorbell();
             let frame = nic
-                .transmit(&mut pod.fabric, t, pcie_sim::BufRef::Pool(buf), payload.len() as u32)
+                .transmit(
+                    &mut pod.fabric,
+                    t,
+                    pcie_sim::BufRef::Pool(buf),
+                    payload.len() as u32,
+                )
                 .map_err(PoolError::Device)?;
             let at = frame.wire_exit;
             agent.out_frames.push((dev, frame));

@@ -24,9 +24,9 @@
 //!   accelerator disaggregation, ToR-less availability modelling, and
 //!   TCP-connection migration between pooled NICs.
 
+pub mod accelpool;
 pub mod agent;
 pub mod bonding;
-pub mod accelpool;
 pub mod migration;
 pub mod orchestrator;
 pub mod pod;

@@ -66,7 +66,9 @@ impl Connection {
         block[0..4].copy_from_slice(&self.next_seq.to_le_bytes());
         block[4..8].copy_from_slice(b"CONN");
         let now = pod.agents[self.owner.0 as usize].clock();
-        let t = pod.fabric.nt_store(now, self.owner, self.state_addr, &block)?;
+        let t = pod
+            .fabric
+            .nt_store(now, self.owner, self.state_addr, &block)?;
         pod.agents[self.owner.0 as usize].advance_clock(t);
         Ok(t)
     }
@@ -104,8 +106,7 @@ impl Connection {
         let quiesced_at = self.checkpoint(pod)?;
         // Rebind: one orchestrator assignment, pushed over the control
         // channel and applied by the owner's agent.
-        pod.orch
-            .advance_clock(quiesced_at);
+        pod.orch.advance_clock(quiesced_at);
         pod.orch
             .allocate_specific(&mut pod.fabric, self.owner, DeviceKind::Nic, to)?;
         // Let the Assign land.

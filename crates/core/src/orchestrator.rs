@@ -219,10 +219,7 @@ impl Orchestrator {
         kind: DeviceKind,
         dev: DeviceId,
     ) -> Result<(), PoolError> {
-        let info = self
-            .registry
-            .get(&dev)
-            .ok_or(PoolError::NoDevice(kind))?;
+        let info = self.registry.get(&dev).ok_or(PoolError::NoDevice(kind))?;
         if !info.up || info.kind != kind {
             return Err(PoolError::NoDevice(kind));
         }
@@ -479,7 +476,9 @@ mod tests {
     #[test]
     fn allocation_tracks_users_and_assignment() {
         let (mut f, mut o) = orch(AllocPolicy::LeastUtilized);
-        let dev = o.allocate(&mut f, HostId(2), DeviceKind::Nic).expect("alloc");
+        let dev = o
+            .allocate(&mut f, HostId(2), DeviceKind::Nic)
+            .expect("alloc");
         assert_eq!(o.assignment(HostId(2), DeviceKind::Nic), Some(dev));
         assert!(o.device(dev).unwrap().users.contains(&HostId(2)));
     }
@@ -487,10 +486,14 @@ mod tests {
     #[test]
     fn reallocation_unlinks_previous_device() {
         let (mut f, mut o) = orch(AllocPolicy::LeastUtilized);
-        let d1 = o.allocate(&mut f, HostId(2), DeviceKind::Nic).expect("alloc");
+        let d1 = o
+            .allocate(&mut f, HostId(2), DeviceKind::Nic)
+            .expect("alloc");
         // Tilt loads so the other device is picked next time.
         o.set_load(d1, 90);
-        let d2 = o.allocate(&mut f, HostId(2), DeviceKind::Nic).expect("realloc");
+        let d2 = o
+            .allocate(&mut f, HostId(2), DeviceKind::Nic)
+            .expect("realloc");
         assert_ne!(d1, d2);
         assert!(!o.device(d1).unwrap().users.contains(&HostId(2)));
         assert!(o.device(d2).unwrap().users.contains(&HostId(2)));
@@ -499,8 +502,10 @@ mod tests {
     #[test]
     fn failure_moves_users_to_survivor() {
         let (mut f, mut o) = orch(AllocPolicy::LeastUtilized);
-        o.allocate(&mut f, HostId(2), DeviceKind::Nic).expect("alloc");
-        o.allocate(&mut f, HostId(3), DeviceKind::Nic).expect("alloc");
+        o.allocate(&mut f, HostId(2), DeviceKind::Nic)
+            .expect("alloc");
+        o.allocate(&mut f, HostId(3), DeviceKind::Nic)
+            .expect("alloc");
         // Both land on different devices (least-utilized + estimate);
         // fail device 0 and everyone must end up on device 1.
         o.on_failure(&mut f, DeviceId(0));
@@ -514,7 +519,8 @@ mod tests {
     #[test]
     fn duplicate_failure_reports_are_idempotent() {
         let (mut f, mut o) = orch(AllocPolicy::LeastUtilized);
-        o.allocate(&mut f, HostId(2), DeviceKind::Nic).expect("alloc");
+        o.allocate(&mut f, HostId(2), DeviceKind::Nic)
+            .expect("alloc");
         o.on_failure(&mut f, DeviceId(0));
         let log_len = o.failover_log.len();
         o.on_failure(&mut f, DeviceId(0));
@@ -545,10 +551,15 @@ mod tests {
     #[test]
     fn balance_moves_user_off_hot_device() {
         let (mut f, mut o) = orch(AllocPolicy::LeastUtilized);
-        o.allocate(&mut f, HostId(2), DeviceKind::Nic).expect("alloc");
+        o.allocate(&mut f, HostId(2), DeviceKind::Nic)
+            .expect("alloc");
         // Find where host 2 landed and make it hot.
         let hot = o.assignment(HostId(2), DeviceKind::Nic).unwrap();
-        let cool = if hot == DeviceId(0) { DeviceId(1) } else { DeviceId(0) };
+        let cool = if hot == DeviceId(0) {
+            DeviceId(1)
+        } else {
+            DeviceId(0)
+        };
         o.set_load(hot, 90);
         o.set_load(cool, 5);
         let moved = o.balance(&mut f, 30);
@@ -559,7 +570,8 @@ mod tests {
     #[test]
     fn balance_respects_spread_threshold() {
         let (mut f, mut o) = orch(AllocPolicy::LeastUtilized);
-        o.allocate(&mut f, HostId(2), DeviceKind::Nic).expect("alloc");
+        o.allocate(&mut f, HostId(2), DeviceKind::Nic)
+            .expect("alloc");
         o.set_load(DeviceId(0), 50);
         o.set_load(DeviceId(1), 45);
         assert_eq!(o.balance(&mut f, 30), 0, "spread 5 < threshold 30");
@@ -569,7 +581,10 @@ mod tests {
     fn devices_of_filters_by_kind() {
         let (_f, mut o) = orch(AllocPolicy::Random);
         o.register(DeviceId(9), DeviceKind::Ssd, HostId(0));
-        assert_eq!(o.devices_of(DeviceKind::Nic), vec![DeviceId(0), DeviceId(1)]);
+        assert_eq!(
+            o.devices_of(DeviceKind::Nic),
+            vec![DeviceId(0), DeviceId(1)]
+        );
         assert_eq!(o.devices_of(DeviceKind::Ssd), vec![DeviceId(9)]);
         assert!(o.devices_of(DeviceKind::Accel).is_empty());
     }

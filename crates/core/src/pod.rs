@@ -120,6 +120,21 @@ pub struct PodSim {
 }
 
 impl PodSim {
+    /// Turns on fabric coherence auditing (see `cxl_fabric::audit`):
+    /// every subsequent pool access by agents, devices, and the
+    /// orchestrator is checked for stale reads, lost writes,
+    /// write-write conflicts, and torn reads.
+    pub fn enable_audit(&mut self) {
+        self.fabric.enable_audit(cxl_fabric::AuditConfig::default());
+    }
+
+    /// Settles in-flight writes and returns the final audit report
+    /// (None when auditing was never enabled).
+    pub fn audit_finalize(&mut self) -> Option<cxl_fabric::AuditReport> {
+        let now = self.time();
+        self.fabric.audit_finalize(now)
+    }
+
     /// Builds and wires the whole pod, performing initial device
     /// allocation for every host and device kind present.
     pub fn new(params: PodParams) -> PodSim {
@@ -266,7 +281,12 @@ impl PodSim {
     /// The latest clock across agents and orchestrator — "now" for the
     /// pod as a whole.
     pub fn time(&self) -> Nanos {
-        let agents = self.agents.iter().map(|a| a.clock()).max().unwrap_or(Nanos::ZERO);
+        let agents = self
+            .agents
+            .iter()
+            .map(|a| a.clock())
+            .max()
+            .unwrap_or(Nanos::ZERO);
         agents.max(self.orch.clock())
     }
 
@@ -394,8 +414,7 @@ impl PodSim {
         }
 
         // Orchestrator channels.
-        let orch: Vec<(u16, cxl_fabric::SegmentId, cxl_fabric::SegmentId)> =
-            self.orch_segs.clone();
+        let orch: Vec<(u16, cxl_fabric::SegmentId, cxl_fabric::SegmentId)> = self.orch_segs.clone();
         for (i, (h, s_to, s_from)) in orch.into_iter().enumerate() {
             if !uses_dead(&self.fabric, s_to) && !uses_dead(&self.fabric, s_from) {
                 continue;
@@ -508,9 +527,7 @@ impl PodSim {
             .ok_or(PoolError::NoDevice(DeviceKind::Nic))?;
         let buf = self.io_buf(owner);
         let now = self.agents[owner.0 as usize].clock();
-        let staged = self
-            .fabric
-            .nt_store(now, owner, buf, payload)?;
+        let staged = self.fabric.nt_store(now, owner, buf, payload)?;
         self.agents[owner.0 as usize].advance_clock(now + Nanos(50));
 
         if attach == owner {
@@ -522,20 +539,16 @@ impl PodSim {
             };
             let t = staged + nic.doorbell_cost();
             nic.ring_doorbell();
-            let frame = match nic.transmit(
-                &mut self.fabric,
-                t,
-                BufRef::Pool(buf),
-                payload.len() as u32,
-            ) {
-                Ok(f) => f,
-                Err(e) => {
-                    // A failed local device is reported upstream just
-                    // like a remote one.
-                    agent.report_failure(dev);
-                    return Err(PoolError::Device(e));
-                }
-            };
+            let frame =
+                match nic.transmit(&mut self.fabric, t, BufRef::Pool(buf), payload.len() as u32) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        // A failed local device is reported upstream just
+                        // like a remote one.
+                        agent.report_failure(dev);
+                        return Err(PoolError::Device(e));
+                    }
+                };
             let at = frame.wire_exit;
             agent.out_frames.push((dev, frame));
             agent.advance_clock(t);
@@ -635,9 +648,10 @@ impl PodSim {
         let buf = self.io_buf(owner);
         if attach == owner {
             let agent = &mut self.agents[owner.0 as usize];
-            let nic = agent.nics.get_mut(&dev).ok_or(PoolError::Device(
-                pcie_sim::DeviceError::Failed(dev),
-            ))?;
+            let nic = agent
+                .nics
+                .get_mut(&dev)
+                .ok_or(PoolError::Device(pcie_sim::DeviceError::Failed(dev)))?;
             nic.post_rx(BufRef::Pool(buf), IO_SLOT as u32)?;
             agent.note_local_rx(dev);
             return Ok(buf);
@@ -747,6 +761,7 @@ impl PodSim {
 
     /// Explicit-device SSD operation (used by striping, which spans
     /// several SSDs at once).
+    #[allow(clippy::too_many_arguments)]
     pub fn ssd_op_on(
         &mut self,
         owner: HostId,
@@ -1018,7 +1033,9 @@ mod tests {
         // Host 0 has a local NIC and local-first policy: local binding.
         let dev = pod.binding(HostId(0), DeviceKind::Nic).unwrap();
         assert_eq!(pod.attach_of(dev), Some(HostId(0)));
-        let r = pod.vnic_send(HostId(0), &[1u8; 256], deadline()).expect("send");
+        let r = pod
+            .vnic_send(HostId(0), &[1u8; 256], deadline())
+            .expect("send");
         assert!(r.local);
         let frames = pod.take_frames(dev);
         assert_eq!(frames.len(), 1);
@@ -1033,7 +1050,9 @@ mod tests {
         let attach = pod.attach_of(dev).unwrap();
         assert_ne!(attach, HostId(3));
         let payload: Vec<u8> = (0..900u32).map(|i| i as u8).collect();
-        let r = pod.vnic_send(HostId(3), &payload, deadline()).expect("send");
+        let r = pod
+            .vnic_send(HostId(3), &payload, deadline())
+            .expect("send");
         assert!(!r.local);
         let frames = pod.take_frames(dev);
         assert_eq!(frames.len(), 1);
@@ -1044,7 +1063,9 @@ mod tests {
     fn remote_send_latency_is_microseconds() {
         let mut pod = PodSim::new(PodParams::new(4, 2));
         let t0 = pod.time();
-        let _ = pod.vnic_send(HostId(3), &[0u8; 128], deadline()).expect("send");
+        let _ = pod
+            .vnic_send(HostId(3), &[0u8; 128], deadline())
+            .expect("send");
         let elapsed = pod.time() - t0;
         // Forwarded op: channel + agent poll + DMA + reply. Must be
         // microseconds, not milliseconds.
@@ -1079,7 +1100,9 @@ mod tests {
         assert_ne!(pod.attach_of(dev), Some(owner));
         let buf = pod.vnic_post_rx(owner, deadline()).expect("post");
         let frame: Vec<u8> = (0..700u32).map(|i| (i * 5) as u8).collect();
-        pod.deliver_frame(dev, &frame).expect("deliver").expect("no drop");
+        pod.deliver_frame(dev, &frame)
+            .expect("deliver")
+            .expect("no drop");
         // The owner learns about the frame through its inbox (RxDone
         // over the channel), not through the deliver_frame return.
         let ev = pod
@@ -1100,7 +1123,9 @@ mod tests {
         let dev = pod.binding(owner, DeviceKind::Nic).unwrap();
         assert_eq!(pod.attach_of(dev), Some(owner));
         let buf = pod.vnic_post_rx(owner, deadline()).expect("post");
-        pod.deliver_frame(dev, &[1u8; 64]).expect("deliver").expect("no drop");
+        pod.deliver_frame(dev, &[1u8; 64])
+            .expect("deliver")
+            .expect("no drop");
         let ev = pod
             .vnic_poll_rx(owner, Nanos::from_millis(10))
             .expect("local event");
@@ -1113,7 +1138,9 @@ mod tests {
         let dev = pod.binding(HostId(3), DeviceKind::Nic).unwrap();
         pod.fail_nic(dev);
         // The send fails (remote device down).
-        let err = pod.vnic_send(HostId(3), &[0u8; 64], deadline()).unwrap_err();
+        let err = pod
+            .vnic_send(HostId(3), &[0u8; 64], deadline())
+            .unwrap_err();
         assert!(matches!(
             err,
             PoolError::RemoteFailed { .. } | PoolError::Device(_)
@@ -1123,7 +1150,9 @@ mod tests {
         pod.run_control(Nanos::from_millis(1));
         let newdev = pod.binding(HostId(3), DeviceKind::Nic).unwrap();
         assert_ne!(newdev, dev, "binding must move off the dead NIC");
-        let r = pod.vnic_send(HostId(3), &[5u8; 64], deadline()).expect("retry works");
+        let r = pod
+            .vnic_send(HostId(3), &[5u8; 64], deadline())
+            .expect("retry works");
         assert!(r.at > Nanos::ZERO);
         assert!(!pod.orch.failover_log.is_empty());
     }
@@ -1137,9 +1166,13 @@ mod tests {
         let buf = pod.io_buf(HostId(2));
         let block: Vec<u8> = (0..4096u32).map(|i| (i % 256) as u8).collect();
         let now = pod.agents[2].clock();
-        let staged = pod.fabric.nt_store(now, HostId(2), buf, &block).expect("stage");
+        let staged = pod
+            .fabric
+            .nt_store(now, HostId(2), buf, &block)
+            .expect("stage");
         pod.agents[2].advance_clock(staged);
-        pod.vssd_write(HostId(2), 10, 1, buf, deadline()).expect("write");
+        pod.vssd_write(HostId(2), 10, 1, buf, deadline())
+            .expect("write");
         let (rbuf, r) = pod.vssd_read(HostId(2), 10, 1, deadline()).expect("read");
         // The device reports when its DMA into the buffer is visible;
         // reading earlier would be the coherence bug the paper warns
@@ -1177,7 +1210,8 @@ mod tests {
         use cxl_fabric::MhdId;
         let mut pod = PodSim::new(PodParams::new(4, 2));
         // Warm traffic on the forwarded path.
-        pod.vnic_send(HostId(3), &[1u8; 64], deadline()).expect("warm");
+        pod.vnic_send(HostId(3), &[1u8; 64], deadline())
+            .expect("warm");
         // Kill MHD 0: roughly half the isolated control rings and all
         // interleaved I/O segments die.
         pod.fabric.topology_mut().fail_mhd(MhdId(0));

@@ -5,8 +5,8 @@
 //! sender and one load on the receiver. Encoding is a hand-rolled
 //! little-endian TLV: `[kind: u8][fields…]`; no self-describing overhead.
 
-use pcie_sim::DeviceId;
 use cxl_fabric::HostId;
+use pcie_sim::DeviceId;
 
 /// A pooling control message.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -94,7 +94,7 @@ impl StripedVolume {
         deadline: Nanos,
     ) -> Result<VolumeOp, PoolError> {
         assert!(
-            data.len() as u64 % BLOCK == 0,
+            (data.len() as u64).is_multiple_of(BLOCK),
             "data must be block-aligned ({} B)",
             data.len()
         );
@@ -230,9 +230,14 @@ mod tests {
     fn write_read_roundtrip_over_three_ssds() {
         let (mut pod, devs) = pod_with_ssds(3);
         let v = StripedVolume::new(devs, 2);
-        let data: Vec<u8> = (0..(12 * BLOCK) as usize).map(|i| (i % 241) as u8).collect();
-        v.write(&mut pod, HostId(3), 100, &data, deadline()).expect("write");
-        let (back, _) = v.read(&mut pod, HostId(3), 100, 12, deadline()).expect("read");
+        let data: Vec<u8> = (0..(12 * BLOCK) as usize)
+            .map(|i| (i % 241) as u8)
+            .collect();
+        v.write(&mut pod, HostId(3), 100, &data, deadline())
+            .expect("write");
+        let (back, _) = v
+            .read(&mut pod, HostId(3), 100, 12, deadline())
+            .expect("read");
         assert_eq!(back, data);
     }
 
@@ -243,11 +248,15 @@ mod tests {
         let (mut pod1, devs1) = pod_with_ssds(1);
         let v1 = StripedVolume::new(devs1, 2);
         let data: Vec<u8> = vec![7u8; (32 * BLOCK) as usize];
-        let w1 = v1.write(&mut pod1, HostId(3), 0, &data, deadline()).expect("w1");
+        let w1 = v1
+            .write(&mut pod1, HostId(3), 0, &data, deadline())
+            .expect("w1");
 
         let (mut pod4, devs4) = pod_with_ssds(4);
         let v4 = StripedVolume::new(devs4, 2);
-        let w4 = v4.write(&mut pod4, HostId(3), 0, &data, deadline()).expect("w4");
+        let w4 = v4
+            .write(&mut pod4, HostId(3), 0, &data, deadline())
+            .expect("w4");
 
         assert!(
             w4.gbps() > w1.gbps() * 1.5,
@@ -263,7 +272,8 @@ mod tests {
             let (mut pod, devs) = pod_with_ssds(width);
             let v = StripedVolume::new(devs, 1);
             let data: Vec<u8> = (0..(8 * BLOCK) as usize).map(|i| (i / 7) as u8).collect();
-            v.write(&mut pod, HostId(2), 0, &data, deadline()).expect("write");
+            v.write(&mut pod, HostId(2), 0, &data, deadline())
+                .expect("write");
             let (back, _) = v.read(&mut pod, HostId(2), 0, 8, deadline()).expect("read");
             assert_eq!(back, data, "width {width} corrupted data");
         }

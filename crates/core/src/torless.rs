@@ -132,21 +132,13 @@ mod tests {
     #[test]
     fn dual_tor_beats_single_tor() {
         let r = FailureRates::default();
-        assert!(
-            p_unreachable(RackDesign::DualTor, &r) < p_unreachable(RackDesign::SingleTor, &r)
-        );
+        assert!(p_unreachable(RackDesign::DualTor, &r) < p_unreachable(RackDesign::SingleTor, &r));
     }
 
     #[test]
     fn torless_with_redundancy_beats_dual_tor() {
         let r = FailureRates::default();
-        let torless = p_unreachable(
-            RackDesign::TorLess {
-                lambda: 4,
-                nics: 8,
-            },
-            &r,
-        );
+        let torless = p_unreachable(RackDesign::TorLess { lambda: 4, nics: 8 }, &r);
         let dual = p_unreachable(RackDesign::DualTor, &r);
         assert!(torless < dual, "torless {torless} vs dual {dual}");
     }
@@ -157,14 +149,8 @@ mod tests {
         // path's failure probability — the paper's "requires high CXL
         // pod reliability" caveat.
         let r = FailureRates::default();
-        let l1 = p_unreachable(
-            RackDesign::TorLess { lambda: 1, nics: 8 },
-            &r,
-        );
-        let l4 = p_unreachable(
-            RackDesign::TorLess { lambda: 4, nics: 8 },
-            &r,
-        );
+        let l1 = p_unreachable(RackDesign::TorLess { lambda: 1, nics: 8 }, &r);
+        let l4 = p_unreachable(RackDesign::TorLess { lambda: 4, nics: 8 }, &r);
         assert!(l1 > l4 * 100.0, "λ=1 {l1} vs λ=4 {l4}");
     }
 

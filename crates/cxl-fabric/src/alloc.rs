@@ -275,10 +275,7 @@ mod tests {
         let t = topo();
         let mut a = alloc4();
         let seg = a.alloc(&t, &[HostId(0)], 256, 1).expect("alloc");
-        assert!(matches!(
-            a.segment_at(0),
-            Err(FabricError::Unmapped { .. })
-        ));
+        assert!(matches!(a.segment_at(0), Err(FabricError::Unmapped { .. })));
         assert!(matches!(
             a.segment_at(seg.end()),
             Err(FabricError::Unmapped { .. })

@@ -1,0 +1,1223 @@
+//! Coherence-violation checker: a shadow-state race/staleness detector.
+//!
+//! CXL pool memory is not cache-coherent across hosts, so correctness
+//! rests on a *discipline*: writers publish with non-temporal stores or
+//! explicit flushes, readers invalidate before loading, and no two
+//! hosts hold the same line dirty. The fabric makes violations of that
+//! discipline *observable* (stale bytes come back), but a test only
+//! notices if the stale bytes happen to change its outcome. This module
+//! makes violations *diagnosable*: an opt-in [`Auditor`] shadows every
+//! pool access and reports each hazard with full provenance — who
+//! wrote, when it became visible, and who read around it.
+//!
+//! ## Shadow state
+//!
+//! Per cache line the auditor tracks the latest *visible* write event
+//! (writer, kind, issue/visibility times) plus a monotone application
+//! `version` assigned in visibility order — issue order and visibility
+//! order differ when a slow large write overlaps a fast small one, so
+//! staleness is judged on versions, never on issue ids. Per (host,
+//! line) it tracks the version that host's cached copy reflects and
+//! whether the host holds the line dirty. In-flight writes live in a
+//! mirror of the fabric's pending-write buffer and advance in lockstep
+//! with it.
+//!
+//! ## Violations
+//!
+//! - [`ViolationKind::StaleRead`]: a host load was served from a cached
+//!   copy older than another host's visible write to that line.
+//! - [`ViolationKind::TornRead`]: one load spanning several lines
+//!   observed a multi-line write event on some lines but not others
+//!   (e.g. a partial invalidate), outside tear-tolerant ranges.
+//! - [`ViolationKind::LostWrite`]: dirty data was discarded
+//!   (invalidate / overwrite without publish) or a publish based on a
+//!   stale copy clobbered another host's newer visible write.
+//! - [`ViolationKind::WriteWriteConflict`]: two hosts held the same
+//!   line dirty at once — whichever publishes second silently wins.
+//! - [`ViolationKind::UnflushedWrite`]: at finalize, a host still held
+//!   dirty data on a segment other hosts can read — a write the
+//!   discipline never published.
+//!
+//! Protocols that *tolerate* tearing by design (the seqlock re-reads
+//! until versions match) register their payload range as tear-tolerant
+//! so retry loops are not reported as hazards.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use simkit::Nanos;
+
+use crate::params::CACHELINE;
+use crate::topology::HostId;
+
+/// How a visible write reached the pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WriteKind {
+    /// Non-temporal store.
+    NtStore,
+    /// Explicit flush of dirty cached lines.
+    Flush,
+    /// Device DMA write.
+    DmaWrite,
+    /// Capacity eviction of a dirty line (an *accidental* publish).
+    Eviction,
+}
+
+/// Why dirty data never reached (or was overwritten in) the pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LostWriteCause {
+    /// The owner invalidated its own dirty line without flushing.
+    InvalidateDiscard,
+    /// An overwrite (nt-store / DMA) dropped dirty bytes outside the
+    /// overwritten range.
+    OverwriteDiscard,
+    /// A publish based on a stale copy clobbered a newer visible write
+    /// by another host.
+    StaleBasePublish,
+}
+
+/// One detected coherence violation, with provenance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A load served stale cached data.
+    StaleRead {
+        /// Host whose load returned stale bytes.
+        reader: HostId,
+        /// Host whose visible write the reader missed.
+        writer: HostId,
+        /// How the missed write was published.
+        write_kind: WriteKind,
+        /// When the missed write was issued.
+        written_at: Nanos,
+        /// When the missed write became visible pool-wide.
+        visible_at: Nanos,
+    },
+    /// One load observed a multi-line write on some lines only.
+    TornRead {
+        /// Host whose load mixed old and new lines.
+        reader: HostId,
+        /// Host that published the partially-observed write.
+        writer: HostId,
+        /// A line where the write *was* observed.
+        fresh_line: u64,
+        /// A line (same write event) where it was *not*.
+        stale_line: u64,
+        /// When the partially-observed write became visible.
+        visible_at: Nanos,
+    },
+    /// Dirty data was lost without ever being readable by others.
+    LostWrite {
+        /// Host whose data was overwritten or discarded.
+        victim: HostId,
+        /// Host performing the discarding/clobbering operation.
+        by: HostId,
+        /// What happened.
+        cause: LostWriteCause,
+        /// When the lost data was first made dirty (or visible).
+        dirty_since: Nanos,
+    },
+    /// Two hosts held the same line dirty simultaneously.
+    WriteWriteConflict {
+        /// Host that dirtied the line first.
+        first: HostId,
+        /// When the first host dirtied it.
+        first_dirty_since: Nanos,
+        /// Host that dirtied it second (trigger of the report).
+        second: HostId,
+    },
+    /// Dirty data on a shared segment never published by finalize time.
+    UnflushedWrite {
+        /// Host still holding the dirty line.
+        writer: HostId,
+        /// When the line was dirtied.
+        dirty_since: Nanos,
+    },
+}
+
+impl ViolationKind {
+    fn name(&self) -> &'static str {
+        match self {
+            ViolationKind::StaleRead { .. } => "stale-read",
+            ViolationKind::TornRead { .. } => "torn-read",
+            ViolationKind::LostWrite { .. } => "lost-write",
+            ViolationKind::WriteWriteConflict { .. } => "write-write-conflict",
+            ViolationKind::UnflushedWrite { .. } => "unflushed-write",
+        }
+    }
+}
+
+/// A violation anchored to a line address and detection time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The cache-line address the hazard was detected on.
+    pub line: u64,
+    /// Simulated time of detection.
+    pub detected_at: Nanos,
+    /// The hazard and its provenance.
+    pub kind: ViolationKind,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{} @ {} ns] line {:#x}: ",
+            self.kind.name(),
+            self.detected_at.as_nanos(),
+            self.line
+        )?;
+        match &self.kind {
+            ViolationKind::StaleRead {
+                reader,
+                writer,
+                write_kind,
+                written_at,
+                visible_at,
+            } => write!(
+                f,
+                "host {} read a cached copy predating host {}'s {:?} \
+                 (issued {} ns, visible {} ns)",
+                reader.0,
+                writer.0,
+                write_kind,
+                written_at.as_nanos(),
+                visible_at.as_nanos()
+            ),
+            ViolationKind::TornRead {
+                reader,
+                writer,
+                fresh_line,
+                stale_line,
+                visible_at,
+            } => write!(
+                f,
+                "host {} observed host {}'s write (visible {} ns) on line \
+                 {:#x} but not on line {:#x} in the same load",
+                reader.0,
+                writer.0,
+                visible_at.as_nanos(),
+                fresh_line,
+                stale_line
+            ),
+            ViolationKind::LostWrite {
+                victim,
+                by,
+                cause,
+                dirty_since,
+            } => write!(
+                f,
+                "host {}'s data (dirty/visible since {} ns) lost to host \
+                 {}'s {:?}",
+                victim.0,
+                dirty_since.as_nanos(),
+                by.0,
+                cause
+            ),
+            ViolationKind::WriteWriteConflict {
+                first,
+                first_dirty_since,
+                second,
+            } => write!(
+                f,
+                "hosts {} (dirty since {} ns) and {} both hold the line dirty",
+                first.0,
+                first_dirty_since.as_nanos(),
+                second.0
+            ),
+            ViolationKind::UnflushedWrite {
+                writer,
+                dirty_since,
+            } => write!(
+                f,
+                "host {} never published dirty data held since {} ns on a \
+                 shared segment",
+                writer.0,
+                dirty_since.as_nanos()
+            ),
+        }
+    }
+}
+
+/// Per-kind violation counters (every occurrence, deduplicated or not).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ViolationCounts {
+    /// Stale reads observed.
+    pub stale_reads: u64,
+    /// Torn multi-line reads observed.
+    pub torn_reads: u64,
+    /// Lost/discarded/clobbered writes observed.
+    pub lost_writes: u64,
+    /// Write-write conflicts observed.
+    pub ww_conflicts: u64,
+    /// Unflushed dirty lines at finalize.
+    pub unflushed_writes: u64,
+}
+
+impl ViolationCounts {
+    /// Total violations across all kinds.
+    pub fn total(&self) -> u64 {
+        self.stale_reads
+            + self.torn_reads
+            + self.lost_writes
+            + self.ww_conflicts
+            + self.unflushed_writes
+    }
+}
+
+/// The auditor's cumulative findings.
+#[derive(Clone, Debug, Default)]
+pub struct AuditReport {
+    /// Recorded violations (deduplicated, capped by
+    /// [`AuditConfig::max_recorded`]).
+    pub violations: Vec<Violation>,
+    /// Per-kind occurrence counters (never capped).
+    pub counts: ViolationCounts,
+    /// Occurrences not recorded in `violations` (duplicates or
+    /// over-cap).
+    pub suppressed: u64,
+    /// Pool operations that passed through the audit layer.
+    pub ops_audited: u64,
+    /// Local-DRAM operations seen (always coherent; counted only).
+    pub local_ops: u64,
+}
+
+impl AuditReport {
+    /// True when no violation of any kind was observed.
+    pub fn is_clean(&self) -> bool {
+        self.counts.total() == 0
+    }
+
+    /// A multi-line human-readable summary of recorded violations.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "audit: {} violation(s) over {} pool ops ({} suppressed)",
+            self.counts.total(),
+            self.ops_audited,
+            self.suppressed
+        );
+        for v in &self.violations {
+            let _ = writeln!(out, "  {v}");
+        }
+        out
+    }
+}
+
+/// Tuning for the auditor.
+#[derive(Clone, Copy, Debug)]
+pub struct AuditConfig {
+    /// Maximum violations kept in [`AuditReport::violations`]; counters
+    /// keep counting past the cap.
+    pub max_recorded: usize,
+}
+
+impl Default for AuditConfig {
+    fn default() -> AuditConfig {
+        AuditConfig { max_recorded: 1024 }
+    }
+}
+
+/// Latest visible write on one line.
+#[derive(Clone, Copy, Debug)]
+struct LineState {
+    /// Issue-order id of the event (provenance / torn-read identity).
+    event: u64,
+    /// Visibility-order version (staleness comparisons).
+    version: u64,
+    writer: HostId,
+    kind: WriteKind,
+    written_at: Nanos,
+    visible_at: Nanos,
+}
+
+/// What one host's cached copy of a line reflects.
+#[derive(Clone, Copy, Debug)]
+struct HostView {
+    /// Version the cached bytes reflect.
+    version: u64,
+    /// Event id the cached bytes reflect.
+    event: u64,
+    dirty: bool,
+    dirty_since: Nanos,
+    /// Version of the copy the dirty data was merged onto (frozen at
+    /// the first store; a publish from a stale base loses others'
+    /// writes).
+    base_version: u64,
+}
+
+/// A visible-write event's line set and provenance, kept while the
+/// event is still current on at least one line.
+#[derive(Clone, Debug)]
+struct EventMeta {
+    writer: HostId,
+    visible_at: Nanos,
+    lines: Vec<u64>,
+    /// Number of lines whose current event is this one.
+    refs: usize,
+}
+
+/// A mirror of one in-flight fabric write.
+#[derive(Clone, Debug)]
+struct PendingEvent {
+    event: u64,
+    writer: HostId,
+    kind: WriteKind,
+    written_at: Nanos,
+    /// (line, base version the write was derived from).
+    lines: Vec<(u64, u64)>,
+}
+
+/// Dedup identity of a violation (kind + site + parties).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum DedupKey {
+    Stale {
+        line: u64,
+        reader: u16,
+        event: u64,
+    },
+    Torn {
+        stale_line: u64,
+        event: u64,
+    },
+    Lost {
+        line: u64,
+        victim: u16,
+        by: u16,
+        cause: LostWriteCause,
+    },
+    Ww {
+        line: u64,
+        a: u16,
+        b: u16,
+    },
+    Unflushed {
+        line: u64,
+        writer: u16,
+    },
+}
+
+/// The shadow-state coherence checker. Owned by the fabric when audit
+/// mode is enabled; see `Fabric::enable_audit`.
+pub struct Auditor {
+    config: AuditConfig,
+    next_event: u64,
+    next_version: u64,
+    pending: BTreeMap<(Nanos, u64), PendingEvent>,
+    pending_seq: u64,
+    lines: HashMap<u64, LineState>,
+    views: HashMap<(u16, u64), HostView>,
+    events: HashMap<u64, EventMeta>,
+    seen: HashSet<DedupKey>,
+    report: AuditReport,
+}
+
+fn line_of(addr: u64) -> u64 {
+    addr & !(CACHELINE - 1)
+}
+
+fn lines_of(hpa: u64, len: u64) -> impl Iterator<Item = u64> {
+    let first = line_of(hpa);
+    let last = line_of(hpa + len.max(1) - 1);
+    (first..=last).step_by(CACHELINE as usize)
+}
+
+/// True if `[hpa, hpa+64)` lies inside any tear-tolerant range.
+fn in_ranges(ranges: &[(u64, u64)], la: u64) -> bool {
+    ranges
+        .iter()
+        .any(|&(start, end)| la >= start && la + CACHELINE <= end)
+}
+
+impl Auditor {
+    /// A fresh auditor with the given config.
+    pub fn new(config: AuditConfig) -> Auditor {
+        Auditor {
+            config,
+            next_event: 1,
+            next_version: 1,
+            pending: BTreeMap::new(),
+            pending_seq: 0,
+            lines: HashMap::new(),
+            views: HashMap::new(),
+            events: HashMap::new(),
+            seen: HashSet::new(),
+            report: AuditReport::default(),
+        }
+    }
+
+    /// Findings so far.
+    pub fn report(&self) -> &AuditReport {
+        &self.report
+    }
+
+    /// Removes and returns recorded violations, keeping the counters.
+    pub fn drain_violations(&mut self) -> Vec<Violation> {
+        std::mem::take(&mut self.report.violations)
+    }
+
+    // ---------------------------------------------------------------
+    // Pending-write mirror
+    // ---------------------------------------------------------------
+
+    /// Applies every mirrored write visible at or before `now`, in the
+    /// same (time, sequence) order the fabric applies its own buffer.
+    pub fn advance(&mut self, now: Nanos) {
+        while let Some((&(ts, seq), _)) = self.pending.first_key_value() {
+            if ts > now {
+                break;
+            }
+            let ev = self.pending.remove(&(ts, seq)).expect("key just seen");
+            self.apply_event(ts, ev);
+        }
+    }
+
+    fn apply_event(&mut self, visible_at: Nanos, ev: PendingEvent) {
+        let version = self.next_version;
+        self.next_version += 1;
+        let mut covered = Vec::with_capacity(ev.lines.len());
+        for &(la, base_version) in &ev.lines {
+            // A newer visible write by someone else landed between this
+            // write's base and its visibility: that write is clobbered.
+            if let Some(cur) = self.lines.get(&la) {
+                if cur.version > base_version && cur.writer != ev.writer {
+                    self.record(
+                        la,
+                        visible_at,
+                        ViolationKind::LostWrite {
+                            victim: cur.writer,
+                            by: ev.writer,
+                            cause: LostWriteCause::StaleBasePublish,
+                            dirty_since: cur.visible_at,
+                        },
+                        DedupKey::Lost {
+                            line: la,
+                            victim: cur.writer.0,
+                            by: ev.writer.0,
+                            cause: LostWriteCause::StaleBasePublish,
+                        },
+                    );
+                }
+            }
+            self.set_line_state(
+                la,
+                LineState {
+                    event: ev.event,
+                    version,
+                    writer: ev.writer,
+                    kind: ev.kind,
+                    written_at: ev.written_at,
+                    visible_at,
+                },
+            );
+            covered.push(la);
+        }
+        self.events.insert(
+            ev.event,
+            EventMeta {
+                writer: ev.writer,
+                visible_at,
+                refs: covered.len(),
+                lines: covered,
+            },
+        );
+    }
+
+    /// Updates a line's current write and the event refcounts.
+    fn set_line_state(&mut self, la: u64, state: LineState) {
+        if let Some(old) = self.lines.insert(la, state) {
+            if old.event != state.event {
+                if let Some(meta) = self.events.get_mut(&old.event) {
+                    meta.refs -= 1;
+                    if meta.refs == 0 {
+                        self.events.remove(&old.event);
+                    }
+                }
+            } else {
+                // Same event re-applied to the line (it was already
+                // counted); keep the refcount balanced.
+                if let Some(meta) = self.events.get_mut(&state.event) {
+                    meta.refs -= 1;
+                }
+            }
+        }
+    }
+
+    fn enqueue(
+        &mut self,
+        written_at: Nanos,
+        visible_at: Nanos,
+        writer: HostId,
+        kind: WriteKind,
+        lines: Vec<(u64, u64)>,
+    ) -> u64 {
+        let event = self.next_event;
+        self.next_event += 1;
+        let seq = self.pending_seq;
+        self.pending_seq += 1;
+        self.pending.insert(
+            (visible_at, seq),
+            PendingEvent {
+                event,
+                writer,
+                kind,
+                written_at,
+                lines,
+            },
+        );
+        event
+    }
+
+    // ---------------------------------------------------------------
+    // Access hooks (called by the fabric)
+    // ---------------------------------------------------------------
+
+    /// Audits one CPU load. `served` lists each line the load touched
+    /// and whether it was served from the host's cache (`true`) or
+    /// fetched fresh from the pool (`false`). `tolerant` holds ranges
+    /// where torn reads are by-design (seqlock bodies).
+    pub fn on_load(
+        &mut self,
+        now: Nanos,
+        host: HostId,
+        served: &[(u64, bool)],
+        tolerant: &[(u64, u64)],
+    ) {
+        self.report.ops_audited += 1;
+        // (line, observed version, observed event) per served line.
+        let mut observed: Vec<(u64, u64, u64)> = Vec::with_capacity(served.len());
+        for &(la, hit) in served {
+            let cur = self.lines.get(&la).copied();
+            if hit {
+                let view = *self.views.entry((host.0, la)).or_insert_with(|| HostView {
+                    // Audit enabled mid-run: seed the cached copy
+                    // as current rather than inventing a hazard.
+                    version: cur.map(|c| c.version).unwrap_or(0),
+                    event: cur.map(|c| c.event).unwrap_or(0),
+                    dirty: false,
+                    dirty_since: Nanos::ZERO,
+                    base_version: cur.map(|c| c.version).unwrap_or(0),
+                });
+                if let Some(cur) = cur {
+                    // Reading your own dirty merge is read-own-writes;
+                    // the stale *base* is reported at publish instead.
+                    if !view.dirty && view.version < cur.version && cur.writer != host {
+                        self.record(
+                            la,
+                            now,
+                            ViolationKind::StaleRead {
+                                reader: host,
+                                writer: cur.writer,
+                                write_kind: cur.kind,
+                                written_at: cur.written_at,
+                                visible_at: cur.visible_at,
+                            },
+                            DedupKey::Stale {
+                                line: la,
+                                reader: host.0,
+                                event: cur.event,
+                            },
+                        );
+                    }
+                }
+                observed.push((la, view.version, view.event));
+            } else {
+                // Miss: the host now caches the pool-current bytes.
+                let (version, event) = cur.map(|c| (c.version, c.event)).unwrap_or((0, 0));
+                self.views.insert(
+                    (host.0, la),
+                    HostView {
+                        version,
+                        event,
+                        dirty: false,
+                        dirty_since: Nanos::ZERO,
+                        base_version: version,
+                    },
+                );
+                observed.push((la, version, event));
+            }
+        }
+        if observed.len() > 1 {
+            self.check_torn(now, host, &observed, tolerant);
+        }
+    }
+
+    /// Flags loads that saw a multi-line write event on one line but an
+    /// older state on another line the same event covered.
+    fn check_torn(
+        &mut self,
+        now: Nanos,
+        host: HostId,
+        observed: &[(u64, u64, u64)],
+        tolerant: &[(u64, u64)],
+    ) {
+        let Some(&(fresh_line, fresh_version, fresh_event)) =
+            observed.iter().max_by_key(|&&(_, v, _)| v)
+        else {
+            return;
+        };
+        if fresh_event == 0 {
+            return;
+        }
+        let Some(meta) = self.events.get(&fresh_event) else {
+            // The event is no longer current anywhere else; partial
+            // observation of it is reported as staleness instead.
+            return;
+        };
+        let writer = meta.writer;
+        let visible_at = meta.visible_at;
+        let covered: HashSet<u64> = meta.lines.iter().copied().collect();
+        let torn: Vec<(u64, u64)> = observed
+            .iter()
+            .filter(|&&(la, v, _)| {
+                la != fresh_line
+                    && v < fresh_version
+                    && covered.contains(&la)
+                    && !in_ranges(tolerant, la)
+            })
+            .map(|&(la, v, _)| (la, v))
+            .collect();
+        for (stale_line, _) in torn {
+            self.record(
+                stale_line,
+                now,
+                ViolationKind::TornRead {
+                    reader: host,
+                    writer,
+                    fresh_line,
+                    stale_line,
+                    visible_at,
+                },
+                DedupKey::Torn {
+                    stale_line,
+                    event: fresh_event,
+                },
+            );
+        }
+    }
+
+    /// Audits the read-for-ownership fill of one line (write miss) or a
+    /// load-miss fill: the host's copy now reflects the pool-current
+    /// version.
+    pub fn on_fill(&mut self, host: HostId, la: u64) {
+        let (version, event) = self
+            .lines
+            .get(&la)
+            .map(|c| (c.version, c.event))
+            .unwrap_or((0, 0));
+        self.views.insert(
+            (host.0, la),
+            HostView {
+                version,
+                event,
+                dirty: false,
+                dirty_since: Nanos::ZERO,
+                base_version: version,
+            },
+        );
+    }
+
+    /// Audits one cached (write-back) store to one line. Reports a
+    /// write-write conflict when another host already holds the line
+    /// dirty.
+    pub fn on_store(&mut self, now: Nanos, host: HostId, la: u64) {
+        // Dirty elsewhere? Both hosts intend to publish: a race.
+        let other = self
+            .views
+            .iter()
+            .find(|(&(h, l), view)| l == la && h != host.0 && view.dirty)
+            .map(|(&(h, _), view)| (HostId(h), view.dirty_since));
+        if let Some((first, first_dirty_since)) = other {
+            self.record(
+                la,
+                now,
+                ViolationKind::WriteWriteConflict {
+                    first,
+                    first_dirty_since,
+                    second: host,
+                },
+                DedupKey::Ww {
+                    line: la,
+                    a: first.0.min(host.0),
+                    b: first.0.max(host.0),
+                },
+            );
+        }
+        let cur = self.lines.get(&la).copied();
+        let view = self.views.entry((host.0, la)).or_insert_with(|| HostView {
+            version: cur.map(|c| c.version).unwrap_or(0),
+            event: cur.map(|c| c.event).unwrap_or(0),
+            dirty: false,
+            dirty_since: Nanos::ZERO,
+            base_version: cur.map(|c| c.version).unwrap_or(0),
+        });
+        if !view.dirty {
+            view.dirty = true;
+            view.dirty_since = now;
+            // Freeze the merge base: publishing later writes back the
+            // whole line as seen *now*.
+            view.base_version = view.version;
+        }
+    }
+
+    /// Counts a cached-store op (once per `Fabric::store` call).
+    pub fn count_store(&mut self) {
+        self.report.ops_audited += 1;
+    }
+
+    /// Audits a non-temporal store: the writer's own cached lines are
+    /// dropped (dirty bytes outside the written range are lost) and the
+    /// write is queued for visibility at `done`.
+    pub fn on_nt_store(&mut self, now: Nanos, host: HostId, hpa: u64, len: u64, done: Nanos) {
+        self.report.ops_audited += 1;
+        self.discard_for_overwrite(now, host, host, hpa, len);
+        let lines = self.bases_for(hpa, len);
+        self.enqueue(now, done, host, WriteKind::NtStore, lines);
+    }
+
+    /// Audits a device DMA write via attach host `host`: snoop drops
+    /// the attach host's copies; remote hosts keep theirs (and go
+    /// stale).
+    pub fn on_dma_write(&mut self, now: Nanos, host: HostId, hpa: u64, len: u64, done: Nanos) {
+        self.report.ops_audited += 1;
+        self.discard_for_overwrite(now, host, host, hpa, len);
+        let lines = self.bases_for(hpa, len);
+        self.enqueue(now, done, host, WriteKind::DmaWrite, lines);
+    }
+
+    /// Audits a flush: `dirty` lists the dirty lines being published
+    /// (visible at `done`); clean lines in the range are just dropped.
+    pub fn on_flush(
+        &mut self,
+        now: Nanos,
+        host: HostId,
+        hpa: u64,
+        len: u64,
+        dirty: &[u64],
+        done: Nanos,
+    ) {
+        self.report.ops_audited += 1;
+        let mut published = Vec::with_capacity(dirty.len());
+        for &la in dirty {
+            let base = self
+                .views
+                .get(&(host.0, la))
+                .map(|v| v.base_version)
+                .unwrap_or(0);
+            published.push((la, base));
+        }
+        // clflush semantics: every line in the range leaves the cache.
+        for la in lines_of(hpa, len) {
+            self.views.remove(&(host.0, la));
+        }
+        if !published.is_empty() {
+            self.enqueue(now, done, host, WriteKind::Flush, published);
+        }
+    }
+
+    /// Audits an invalidate: dropping a dirty line without write-back
+    /// loses the data.
+    pub fn on_invalidate(&mut self, now: Nanos, host: HostId, hpa: u64, len: u64) {
+        self.report.ops_audited += 1;
+        for la in lines_of(hpa, len) {
+            if let Some(view) = self.views.remove(&(host.0, la)) {
+                if view.dirty {
+                    self.record(
+                        la,
+                        now,
+                        ViolationKind::LostWrite {
+                            victim: host,
+                            by: host,
+                            cause: LostWriteCause::InvalidateDiscard,
+                            dirty_since: view.dirty_since,
+                        },
+                        DedupKey::Lost {
+                            line: la,
+                            victim: host.0,
+                            by: host.0,
+                            cause: LostWriteCause::InvalidateDiscard,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Audits a DMA read via attach host `host`: the device sees the
+    /// pool plus that host's dirty lines — any *other* host's dirty
+    /// line in the range is invisible to it (an unpublished write the
+    /// device reads around).
+    pub fn on_dma_read(&mut self, now: Nanos, host: HostId, hpa: u64, len: u64) {
+        self.report.ops_audited += 1;
+        for la in lines_of(hpa, len) {
+            let remote_dirty = self
+                .views
+                .iter()
+                .find(|(&(h, l), view)| l == la && h != host.0 && view.dirty)
+                .map(|(&(h, _), view)| (HostId(h), view.dirty_since));
+            if let Some((writer, dirty_since)) = remote_dirty {
+                self.record(
+                    la,
+                    now,
+                    ViolationKind::StaleRead {
+                        reader: host,
+                        writer,
+                        write_kind: WriteKind::Flush,
+                        written_at: dirty_since,
+                        // Never yet visible; report the dirtying time.
+                        visible_at: dirty_since,
+                    },
+                    DedupKey::Stale {
+                        line: la,
+                        reader: host.0,
+                        event: u64::MAX ^ la,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Audits a dirty capacity eviction: the line is published *now*
+    /// (the fabric writes it back immediately), an accidental publish
+    /// the owner never ordered.
+    pub fn on_dirty_eviction(&mut self, now: Nanos, host: HostId, la: u64) {
+        let base = self
+            .views
+            .remove(&(host.0, la))
+            .map(|v| v.base_version)
+            .unwrap_or(0);
+        let event = self.next_event;
+        self.next_event += 1;
+        self.apply_event(
+            now,
+            PendingEvent {
+                event,
+                writer: host,
+                kind: WriteKind::Eviction,
+                written_at: now,
+                lines: vec![(la, base)],
+            },
+        );
+    }
+
+    /// Counts a local-DRAM access (always coherent; nothing to check).
+    pub fn on_local(&mut self) {
+        self.report.local_ops += 1;
+    }
+
+    /// Lines still dirty per host: `(host, line, dirty_since)`. Used by
+    /// finalize to flag unpublished writes on shared segments.
+    pub fn dirty_lines(&self) -> Vec<(HostId, u64, Nanos)> {
+        let mut out: Vec<(HostId, u64, Nanos)> = self
+            .views
+            .iter()
+            .filter(|(_, v)| v.dirty)
+            .map(|(&(h, la), v)| (HostId(h), la, v.dirty_since))
+            .collect();
+        out.sort_by_key(|&(h, la, _)| (h.0, la));
+        out
+    }
+
+    /// Records an [`ViolationKind::UnflushedWrite`] found by finalize.
+    pub fn record_unflushed(&mut self, now: Nanos, writer: HostId, la: u64, dirty_since: Nanos) {
+        self.record(
+            la,
+            now,
+            ViolationKind::UnflushedWrite {
+                writer,
+                dirty_since,
+            },
+            DedupKey::Unflushed {
+                line: la,
+                writer: writer.0,
+            },
+        );
+    }
+
+    // ---------------------------------------------------------------
+    // Internals
+    // ---------------------------------------------------------------
+
+    /// Drops `by`'s (== the overwriting host's) cached lines in the
+    /// overwritten range, reporting dirty bytes the overwrite does not
+    /// fully replace.
+    fn discard_for_overwrite(
+        &mut self,
+        now: Nanos,
+        victim: HostId,
+        by: HostId,
+        hpa: u64,
+        len: u64,
+    ) {
+        let end = hpa + len;
+        for la in lines_of(hpa, len) {
+            if let Some(view) = self.views.remove(&(victim.0, la)) {
+                let fully_covered = hpa <= la && la + CACHELINE <= end;
+                if view.dirty && !fully_covered {
+                    self.record(
+                        la,
+                        now,
+                        ViolationKind::LostWrite {
+                            victim,
+                            by,
+                            cause: LostWriteCause::OverwriteDiscard,
+                            dirty_since: view.dirty_since,
+                        },
+                        DedupKey::Lost {
+                            line: la,
+                            victim: victim.0,
+                            by: by.0,
+                            cause: LostWriteCause::OverwriteDiscard,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// The (line, current-version) base pairs an overwrite of
+    /// `[hpa, hpa+len)` is derived from.
+    fn bases_for(&self, hpa: u64, len: u64) -> Vec<(u64, u64)> {
+        lines_of(hpa, len)
+            .map(|la| {
+                let base = self.lines.get(&la).map(|c| c.version).unwrap_or(0);
+                (la, base)
+            })
+            .collect()
+    }
+
+    fn record(&mut self, line: u64, detected_at: Nanos, kind: ViolationKind, key: DedupKey) {
+        match &kind {
+            ViolationKind::StaleRead { .. } => self.report.counts.stale_reads += 1,
+            ViolationKind::TornRead { .. } => self.report.counts.torn_reads += 1,
+            ViolationKind::LostWrite { .. } => self.report.counts.lost_writes += 1,
+            ViolationKind::WriteWriteConflict { .. } => self.report.counts.ww_conflicts += 1,
+            ViolationKind::UnflushedWrite { .. } => self.report.counts.unflushed_writes += 1,
+        }
+        if !self.seen.insert(key) || self.report.violations.len() >= self.config.max_recorded {
+            self.report.suppressed += 1;
+            return;
+        }
+        self.report.violations.push(Violation {
+            line,
+            detected_at,
+            kind,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L: u64 = CACHELINE;
+
+    /// Drives the auditor directly (no fabric) through a stale-read
+    /// scenario: host 1 caches a line, host 0 publishes, host 1 hits.
+    #[test]
+    fn stale_hit_after_remote_publish_is_flagged() {
+        let mut a = Auditor::new(AuditConfig::default());
+        // Host 1 load-misses line 0 (caches pool state, version 0).
+        a.on_load(Nanos(0), HostId(1), &[(0, false)], &[]);
+        // Host 0 nt-stores the line, visible at t=100.
+        a.on_nt_store(Nanos(10), HostId(0), 0, L, Nanos(100));
+        a.advance(Nanos(100));
+        // Host 1 hits its stale copy.
+        a.on_load(Nanos(200), HostId(1), &[(0, true)], &[]);
+        let r = a.report();
+        assert_eq!(r.counts.stale_reads, 1);
+        match &r.violations[0].kind {
+            ViolationKind::StaleRead { reader, writer, .. } => {
+                assert_eq!(*reader, HostId(1));
+                assert_eq!(*writer, HostId(0));
+            }
+            other => panic!("expected StaleRead, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn own_write_hit_is_not_stale() {
+        let mut a = Auditor::new(AuditConfig::default());
+        a.on_load(Nanos(0), HostId(0), &[(0, false)], &[]);
+        a.on_nt_store(Nanos(10), HostId(0), 0, L, Nanos(100));
+        a.advance(Nanos(100));
+        // Host 0 re-caching pre-publish bytes of its *own* write is an
+        // ordering quirk, not a cross-host hazard.
+        a.on_load(Nanos(200), HostId(0), &[(0, true)], &[]);
+        assert!(a.report().is_clean());
+    }
+
+    #[test]
+    fn visibility_order_not_issue_order_decides_staleness() {
+        let mut a = Auditor::new(AuditConfig::default());
+        // Host 0 issues a slow write first (visible at 200), host 1 a
+        // fast one second (visible at 100). Final state is host 0's.
+        a.on_nt_store(Nanos(0), HostId(0), 0, L, Nanos(200));
+        a.on_nt_store(Nanos(10), HostId(1), 0, L, Nanos(100));
+        a.advance(Nanos(300));
+        // A host that missed *after* both applied observes the final
+        // (host 0) version: fresh, no violation.
+        a.on_load(Nanos(300), HostId(1), &[(0, false)], &[]);
+        a.on_load(Nanos(310), HostId(1), &[(0, true)], &[]);
+        assert_eq!(a.report().counts.stale_reads, 0);
+    }
+
+    #[test]
+    fn invalidate_of_dirty_line_loses_the_write() {
+        let mut a = Auditor::new(AuditConfig::default());
+        a.on_fill(HostId(0), 0);
+        a.on_store(Nanos(5), HostId(0), 0);
+        a.on_invalidate(Nanos(10), HostId(0), 0, L);
+        let r = a.report();
+        assert_eq!(r.counts.lost_writes, 1);
+        match &r.violations[0].kind {
+            ViolationKind::LostWrite { cause, victim, .. } => {
+                assert_eq!(*cause, LostWriteCause::InvalidateDiscard);
+                assert_eq!(*victim, HostId(0));
+            }
+            other => panic!("expected LostWrite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_dirty_hosts_conflict() {
+        let mut a = Auditor::new(AuditConfig::default());
+        a.on_fill(HostId(0), 0);
+        a.on_store(Nanos(5), HostId(0), 0);
+        a.on_fill(HostId(1), 0);
+        a.on_store(Nanos(9), HostId(1), 0);
+        let r = a.report();
+        assert_eq!(r.counts.ww_conflicts, 1);
+        match &r.violations[0].kind {
+            ViolationKind::WriteWriteConflict { first, second, .. } => {
+                assert_eq!(*first, HostId(0));
+                assert_eq!(*second, HostId(1));
+            }
+            other => panic!("expected WriteWriteConflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_base_flush_clobbers_newer_write() {
+        let mut a = Auditor::new(AuditConfig::default());
+        // Host 1 fills at version 0 and dirties the line.
+        a.on_fill(HostId(1), 0);
+        a.on_store(Nanos(5), HostId(1), 0);
+        // Host 0 publishes a newer value.
+        a.on_nt_store(Nanos(10), HostId(0), 0, L, Nanos(50));
+        a.advance(Nanos(50));
+        // Host 1 flushes its version-0-based merge over it.
+        a.on_flush(Nanos(60), HostId(1), 0, L, &[0], Nanos(120));
+        a.advance(Nanos(120));
+        let r = a.report();
+        assert_eq!(r.counts.lost_writes, 1);
+        match &r.violations[0].kind {
+            ViolationKind::LostWrite {
+                cause, victim, by, ..
+            } => {
+                assert_eq!(*cause, LostWriteCause::StaleBasePublish);
+                assert_eq!(*victim, HostId(0));
+                assert_eq!(*by, HostId(1));
+            }
+            other => panic!("expected LostWrite, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_multi_line_read_is_flagged_and_tolerance_suppresses_it() {
+        let mut a = Auditor::new(AuditConfig::default());
+        // Host 1 caches both lines at version 0.
+        a.on_load(Nanos(0), HostId(1), &[(0, false), (L, false)], &[]);
+        // Host 0 publishes a 2-line write.
+        a.on_nt_store(Nanos(10), HostId(0), 0, 2 * L, Nanos(100));
+        a.advance(Nanos(100));
+        // Host 1's next load hits line 0 stale but misses line 1
+        // (fresh): a torn observation of one event.
+        a.on_load(Nanos(200), HostId(1), &[(0, true), (L, false)], &[]);
+        let r = a.report();
+        assert_eq!(r.counts.torn_reads, 1);
+        match &r
+            .violations
+            .iter()
+            .find(|v| matches!(v.kind, ViolationKind::TornRead { .. }))
+            .unwrap()
+            .kind
+        {
+            ViolationKind::TornRead {
+                fresh_line,
+                stale_line,
+                writer,
+                reader,
+                ..
+            } => {
+                assert_eq!(*fresh_line, L);
+                assert_eq!(*stale_line, 0);
+                assert_eq!(*writer, HostId(0));
+                assert_eq!(*reader, HostId(1));
+            }
+            other => panic!("expected TornRead, got {other:?}"),
+        }
+
+        // The same pattern inside a tear-tolerant range stays quiet.
+        let mut b = Auditor::new(AuditConfig::default());
+        b.on_load(Nanos(0), HostId(1), &[(0, false), (L, false)], &[]);
+        b.on_nt_store(Nanos(10), HostId(0), 0, 2 * L, Nanos(100));
+        b.advance(Nanos(100));
+        b.on_load(
+            Nanos(200),
+            HostId(1),
+            &[(0, true), (L, false)],
+            &[(0, 2 * L)],
+        );
+        assert_eq!(b.report().counts.torn_reads, 0);
+    }
+
+    #[test]
+    fn duplicate_violations_count_but_record_once() {
+        let mut a = Auditor::new(AuditConfig::default());
+        a.on_load(Nanos(0), HostId(1), &[(0, false)], &[]);
+        a.on_nt_store(Nanos(10), HostId(0), 0, L, Nanos(100));
+        a.advance(Nanos(100));
+        a.on_load(Nanos(200), HostId(1), &[(0, true)], &[]);
+        a.on_load(Nanos(300), HostId(1), &[(0, true)], &[]);
+        a.on_load(Nanos(400), HostId(1), &[(0, true)], &[]);
+        let r = a.report();
+        assert_eq!(r.counts.stale_reads, 3);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.suppressed, 2);
+    }
+
+    #[test]
+    fn record_cap_suppresses_overflow() {
+        let mut a = Auditor::new(AuditConfig { max_recorded: 1 });
+        a.on_fill(HostId(0), 0);
+        a.on_store(Nanos(1), HostId(0), 0);
+        a.on_invalidate(Nanos(2), HostId(0), 0, L);
+        a.on_fill(HostId(0), L);
+        a.on_store(Nanos(3), HostId(0), L);
+        a.on_invalidate(Nanos(4), HostId(0), L, L);
+        let r = a.report();
+        assert_eq!(r.counts.lost_writes, 2);
+        assert_eq!(r.violations.len(), 1);
+        assert_eq!(r.suppressed, 1);
+    }
+
+    #[test]
+    fn display_mentions_parties_and_kind() {
+        let v = Violation {
+            line: 0x40,
+            detected_at: Nanos(7),
+            kind: ViolationKind::StaleRead {
+                reader: HostId(1),
+                writer: HostId(0),
+                write_kind: WriteKind::NtStore,
+                written_at: Nanos(1),
+                visible_at: Nanos(2),
+            },
+        };
+        let s = v.to_string();
+        assert!(s.contains("stale-read"));
+        assert!(s.contains("host 1"));
+        assert!(s.contains("host 0"));
+    }
+}

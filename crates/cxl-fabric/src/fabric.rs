@@ -15,6 +15,7 @@ use simkit::server::BandwidthPipe;
 use simkit::Nanos;
 
 use crate::alloc::{PoolAllocator, Segment, SegmentId};
+use crate::audit::{AuditConfig, AuditReport, Auditor, Violation};
 use crate::cache::{CacheStats, HostCache, LoadOutcome};
 use crate::error::FabricError;
 use crate::params::{FabricParams, CACHELINE};
@@ -109,6 +110,13 @@ pub struct Fabric {
     mhd_pipes: Vec<BandwidthPipe>,
     default_ways: usize,
     stats: AccessStats,
+    /// Opt-in coherence checker; boxed to keep the disabled fast path
+    /// small.
+    audit: Option<Box<Auditor>>,
+    /// Ranges where torn multi-line reads are tolerated by protocol
+    /// design (seqlock bodies). Kept even while auditing is off so a
+    /// later [`Fabric::enable_audit`] still honours them.
+    tear_tolerant: Vec<(u64, u64)>,
 }
 
 impl Fabric {
@@ -126,8 +134,12 @@ impl Fabric {
             local_pipes: (0..config.hosts)
                 .map(|_| BandwidthPipe::new(config.local_dram_gbps))
                 .collect(),
-            uplinks: (0..n_links).map(|_| BandwidthPipe::new(link_gbps)).collect(),
-            downlinks: (0..n_links).map(|_| BandwidthPipe::new(link_gbps)).collect(),
+            uplinks: (0..n_links)
+                .map(|_| BandwidthPipe::new(link_gbps))
+                .collect(),
+            downlinks: (0..n_links)
+                .map(|_| BandwidthPipe::new(link_gbps))
+                .collect(),
             mhd_pipes: (0..config.mhds)
                 .map(|_| BandwidthPipe::new(config.params.mhd_dram_gbps))
                 .collect(),
@@ -138,6 +150,63 @@ impl Fabric {
             params: config.params,
             topology,
             stats: AccessStats::default(),
+            audit: None,
+            tear_tolerant: Vec::new(),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Coherence auditing
+    // ---------------------------------------------------------------
+
+    /// Turns on the coherence-violation checker. Every subsequent pool
+    /// access is shadowed; see [`crate::audit`] for the hazards
+    /// detected. Cached state present before the call is treated as
+    /// current (enabling mid-run never invents violations).
+    pub fn enable_audit(&mut self, config: AuditConfig) {
+        self.audit = Some(Box::new(Auditor::new(config)));
+    }
+
+    /// True when audit mode is on.
+    pub fn audit_enabled(&self) -> bool {
+        self.audit.is_some()
+    }
+
+    /// The auditor's findings so far, if auditing is enabled.
+    pub fn audit_report(&self) -> Option<&AuditReport> {
+        self.audit.as_deref().map(Auditor::report)
+    }
+
+    /// Removes and returns recorded violations (counters are kept).
+    pub fn drain_audit_violations(&mut self) -> Vec<Violation> {
+        self.audit
+            .as_deref_mut()
+            .map(Auditor::drain_violations)
+            .unwrap_or_default()
+    }
+
+    /// Settles all in-flight writes, flags dirty lines still unpublished
+    /// on segments other hosts can read, and returns the final report.
+    /// `now` stamps the unflushed-write findings.
+    pub fn audit_finalize(&mut self, now: Nanos) -> Option<AuditReport> {
+        self.apply_pending(Nanos::MAX);
+        let audit = self.audit.as_deref_mut()?;
+        for (host, la, dirty_since) in audit.dirty_lines() {
+            if let Ok(seg) = self.alloc.segment_at(la) {
+                if seg.owners().len() > 1 {
+                    audit.record_unflushed(now, host, la, dirty_since);
+                }
+            }
+        }
+        Some(audit.report().clone())
+    }
+
+    /// Declares `[hpa, hpa + len)` tear-tolerant: a protocol there
+    /// (e.g. a seqlock) detects and retries torn reads itself, so the
+    /// auditor does not report them.
+    pub fn mark_tear_tolerant(&mut self, hpa: u64, len: u64) {
+        if len > 0 {
+            self.tear_tolerant.push((hpa, hpa + len));
         }
     }
 
@@ -194,8 +263,13 @@ impl Fabric {
         self.alloc.alloc(&self.topology, hosts, len, ways)
     }
 
-    /// Releases a segment.
+    /// Releases a segment. Tear-tolerant ranges inside it are dropped
+    /// so a reallocation of the space is audited normally.
     pub fn free_segment(&mut self, id: SegmentId) -> Result<(), FabricError> {
+        if let Some(seg) = self.alloc.segment(id) {
+            let (base, end) = (seg.base(), seg.end());
+            self.tear_tolerant.retain(|&(s, e)| e <= base || s >= end);
+        }
         self.alloc.free(id)
     }
 
@@ -237,12 +311,22 @@ impl Fabric {
         self.stats.bytes_read += len;
 
         let mut missed_lines: Vec<u64> = Vec::new();
+        let mut served: Vec<(u64, bool)> = Vec::new();
         let cache = &mut self.caches[host.0 as usize];
         for la in lines(hpa, len) {
             match cache.load(la) {
-                LoadOutcome::Hit(data) => copy_line_to_buf(la, &data, hpa, buf),
-                LoadOutcome::Miss => missed_lines.push(la),
+                LoadOutcome::Hit(data) => {
+                    copy_line_to_buf(la, &data, hpa, buf);
+                    served.push((la, true));
+                }
+                LoadOutcome::Miss => {
+                    missed_lines.push(la);
+                    served.push((la, false));
+                }
             }
+        }
+        if let Some(a) = self.audit.as_deref_mut() {
+            a.on_load(now, host, &served, &self.tear_tolerant);
         }
         if missed_lines.is_empty() {
             return Ok(now + Nanos(CACHE_HIT_NS));
@@ -263,6 +347,9 @@ impl Fabric {
         for (addr, data) in writebacks {
             self.pool.write(addr, &data);
             self.stats.bytes_written += CACHELINE;
+            if let Some(a) = self.audit.as_deref_mut() {
+                a.on_dirty_eviction(now, host, addr);
+            }
         }
 
         let bytes = missed_lines.len() as u64 * CACHELINE;
@@ -285,6 +372,9 @@ impl Fabric {
         let len = data.len() as u64;
         self.check(host, hpa, len)?;
         self.stats.stores += 1;
+        if let Some(a) = self.audit.as_deref_mut() {
+            a.count_store();
+        }
 
         // RFO: fetch lines we don't own yet so partial-line stores merge
         // correctly.
@@ -296,6 +386,12 @@ impl Fabric {
                 if let Some((addr, wb)) = self.caches[host.0 as usize].fill(la, line) {
                     self.pool.write(addr, &wb);
                     self.stats.bytes_written += CACHELINE;
+                    if let Some(a) = self.audit.as_deref_mut() {
+                        a.on_dirty_eviction(now, host, addr);
+                    }
+                }
+                if let Some(a) = self.audit.as_deref_mut() {
+                    a.on_fill(host, la);
                 }
                 fetched += CACHELINE;
             }
@@ -307,11 +403,15 @@ impl Fabric {
             let la = line_of(cur);
             let n = ((la + CACHELINE).min(end) - cur) as usize;
             let off = (cur - hpa) as usize;
-            if let Some((addr, wb)) =
-                self.caches[host.0 as usize].store(cur, &data[off..off + n])
-            {
+            if let Some((addr, wb)) = self.caches[host.0 as usize].store(cur, &data[off..off + n]) {
                 self.pool.write(addr, &wb);
                 self.stats.bytes_written += CACHELINE;
+                if let Some(a) = self.audit.as_deref_mut() {
+                    a.on_dirty_eviction(now, host, addr);
+                }
+            }
+            if let Some(a) = self.audit.as_deref_mut() {
+                a.on_store(now, host, la);
             }
             cur += n as u64;
         }
@@ -344,6 +444,9 @@ impl Fabric {
         }
         let seg = self.alloc.segment_at(hpa)?.clone();
         let done = self.timed_pool_write(now, host, &seg, hpa, len)?;
+        if let Some(a) = self.audit.as_deref_mut() {
+            a.on_nt_store(now, host, hpa, len, done);
+        }
         self.enqueue_write(done, hpa, data.to_vec());
         Ok(done)
     }
@@ -369,12 +472,19 @@ impl Fabric {
             }
         }
         if dirty.is_empty() {
+            if let Some(a) = self.audit.as_deref_mut() {
+                a.on_flush(now, host, hpa, len, &[], now);
+            }
             return Ok(now + Nanos(CACHE_HIT_NS));
         }
         let bytes = dirty.len() as u64 * CACHELINE;
         self.stats.bytes_written += bytes;
         let seg = self.alloc.segment_at(hpa)?.clone();
         let done = self.timed_pool_write(now, host, &seg, hpa, bytes)?;
+        if let Some(a) = self.audit.as_deref_mut() {
+            let dirty_lines: Vec<u64> = dirty.iter().map(|&(la, _)| la).collect();
+            a.on_flush(now, host, hpa, len, &dirty_lines, done);
+        }
         for (la, data) in dirty {
             self.enqueue_write(done, la, data.to_vec());
         }
@@ -389,6 +499,9 @@ impl Fabric {
         for la in lines(hpa, len) {
             self.caches[host.0 as usize].invalidate(la);
             n += 1;
+        }
+        if let Some(a) = self.audit.as_deref_mut() {
+            a.on_invalidate(now, host, hpa, len);
         }
         now + Nanos(INVALIDATE_NS * n)
     }
@@ -413,6 +526,9 @@ impl Fabric {
         self.check(host, hpa, len)?;
         self.stats.dma_reads += 1;
         self.stats.bytes_read += len;
+        if let Some(a) = self.audit.as_deref_mut() {
+            a.on_dma_read(now, host, hpa, len);
+        }
 
         self.pool.read(hpa, buf);
         // Overlay the attach host's dirty lines.
@@ -449,6 +565,9 @@ impl Fabric {
         }
         let seg = self.alloc.segment_at(hpa)?.clone();
         let done = self.timed_pool_write_dev(now, host, &seg, hpa, len)?;
+        if let Some(a) = self.audit.as_deref_mut() {
+            a.on_dma_write(now, host, hpa, len, done);
+        }
         self.enqueue_write(done, hpa, data.to_vec());
         Ok(done)
     }
@@ -460,6 +579,9 @@ impl Fabric {
     /// CPU load from the host's local DRAM (always coherent within the
     /// host).
     pub fn local_load(&mut self, now: Nanos, host: HostId, addr: u64, buf: &mut [u8]) -> Nanos {
+        if let Some(a) = self.audit.as_deref_mut() {
+            a.on_local();
+        }
         self.local_mem[host.0 as usize].read(addr, buf);
         let xfer = self.local_pipes[host.0 as usize].transfer(now, buf.len() as u64);
         xfer + Nanos(self.params.local_load_ns)
@@ -467,32 +589,29 @@ impl Fabric {
 
     /// CPU store to the host's local DRAM.
     pub fn local_store(&mut self, now: Nanos, host: HostId, addr: u64, data: &[u8]) -> Nanos {
+        if let Some(a) = self.audit.as_deref_mut() {
+            a.on_local();
+        }
         self.local_mem[host.0 as usize].write(addr, data);
         let xfer = self.local_pipes[host.0 as usize].transfer(now, data.len() as u64);
         xfer + Nanos(self.params.local_store_ns)
     }
 
     /// Device DMA read from the attach host's local DRAM.
-    pub fn local_dma_read(
-        &mut self,
-        now: Nanos,
-        host: HostId,
-        addr: u64,
-        buf: &mut [u8],
-    ) -> Nanos {
+    pub fn local_dma_read(&mut self, now: Nanos, host: HostId, addr: u64, buf: &mut [u8]) -> Nanos {
+        if let Some(a) = self.audit.as_deref_mut() {
+            a.on_local();
+        }
         self.local_mem[host.0 as usize].read(addr, buf);
         let xfer = self.local_pipes[host.0 as usize].transfer(now, buf.len() as u64);
         xfer + Nanos(self.params.local_load_ns)
     }
 
     /// Device DMA write to the attach host's local DRAM.
-    pub fn local_dma_write(
-        &mut self,
-        now: Nanos,
-        host: HostId,
-        addr: u64,
-        data: &[u8],
-    ) -> Nanos {
+    pub fn local_dma_write(&mut self, now: Nanos, host: HostId, addr: u64, data: &[u8]) -> Nanos {
+        if let Some(a) = self.audit.as_deref_mut() {
+            a.on_local();
+        }
         self.local_mem[host.0 as usize].write(addr, data);
         let xfer = self.local_pipes[host.0 as usize].transfer(now, data.len() as u64);
         xfer + Nanos(self.params.local_store_ns)
@@ -503,14 +622,18 @@ impl Fabric {
     // ---------------------------------------------------------------
 
     /// Forces all in-flight writes visible and reads raw pool contents
-    /// (no timing, no cache). For tests and assertions only.
+    /// (no timing, no cache). For tests and assertions only; production
+    /// builds compile this escape hatch out (`debug-peek` feature).
+    #[cfg(any(test, feature = "debug-peek"))]
     pub fn peek_settled(&mut self, hpa: u64, buf: &mut [u8]) {
         self.apply_pending(Nanos::MAX);
         self.pool.read(hpa, buf);
     }
 
     /// Reads raw pool contents as currently visible (in-flight writes
-    /// excluded). For tests only.
+    /// excluded). For tests only; production builds compile this escape
+    /// hatch out (`debug-peek` feature).
+    #[cfg(any(test, feature = "debug-peek"))]
     pub fn peek(&self, hpa: u64, buf: &mut [u8]) {
         self.pool.read(hpa, buf);
     }
@@ -542,10 +665,12 @@ impl Fabric {
     }
 
     fn apply_pending(&mut self, now: Nanos) {
-        loop {
-            let Some((&(ts, seq), _)) = self.pending.first_key_value() else {
-                break;
-            };
+        // The auditor's pending mirror advances in lockstep so its
+        // shadow versions always match pool-visible contents.
+        if let Some(a) = self.audit.as_deref_mut() {
+            a.advance(now);
+        }
+        while let Some((&(ts, seq), _)) = self.pending.first_key_value() {
             if ts > now {
                 break;
             }
@@ -710,7 +835,9 @@ mod tests {
     #[test]
     fn nt_store_visible_to_other_host_after_completion() {
         let mut f = pod();
-        let seg = f.alloc_shared(&[HostId(0), HostId(1)], 4096).expect("alloc");
+        let seg = f
+            .alloc_shared(&[HostId(0), HostId(1)], 4096)
+            .expect("alloc");
         let done = f
             .nt_store(Nanos(0), HostId(0), seg.base(), &[0xAB; 64])
             .expect("store");
@@ -728,16 +855,22 @@ mod tests {
     #[test]
     fn cached_store_is_stale_until_flush() {
         let mut f = pod();
-        let seg = f.alloc_shared(&[HostId(0), HostId(1)], 4096).expect("alloc");
+        let seg = f
+            .alloc_shared(&[HostId(0), HostId(1)], 4096)
+            .expect("alloc");
         // Host 0 writes through its cache (no flush).
-        f.store(Nanos(0), HostId(0), seg.base(), &[1u8; 64]).expect("store");
+        f.store(Nanos(0), HostId(0), seg.base(), &[1u8; 64])
+            .expect("store");
         // Host 1 sees zeroes: the write sits in host 0's cache.
         let mut buf = [9u8; 64];
-        f.load(Nanos(10_000), HostId(1), seg.base(), &mut buf).expect("load");
+        f.load(Nanos(10_000), HostId(1), seg.base(), &mut buf)
+            .expect("load");
         assert_eq!(buf, [0u8; 64], "host 1 must not see unflushed data");
         // After host 0 flushes, a *fresh* read by host 1 still returns
         // stale data from host 1's own cache...
-        let done = f.flush(Nanos(20_000), HostId(0), seg.base(), 64).expect("flush");
+        let done = f
+            .flush(Nanos(20_000), HostId(0), seg.base(), 64)
+            .expect("flush");
         let mut buf = [9u8; 64];
         f.load(done, HostId(1), seg.base(), &mut buf).expect("load");
         assert_eq!(buf, [0u8; 64], "host 1's cached copy is stale");
@@ -753,7 +886,9 @@ mod tests {
         let mut f = pod();
         let seg = f.alloc_shared(&[HostId(0)], 4096).expect("alloc");
         let mut buf = [0u8; 64];
-        let done = f.load(Nanos(0), HostId(0), seg.base(), &mut buf).expect("load");
+        let done = f
+            .load(Nanos(0), HostId(0), seg.base(), &mut buf)
+            .expect("load");
         let idle = done.as_nanos();
         // Paper: ~2.15x local 90 ns => ~194 ns, allow ±10%.
         assert!(
@@ -767,8 +902,11 @@ mod tests {
         let mut f = pod();
         let seg = f.alloc_shared(&[HostId(0)], 4096).expect("alloc");
         let mut buf = [0u8; 64];
-        f.load(Nanos(0), HostId(0), seg.base(), &mut buf).expect("miss");
-        let done = f.load(Nanos(1000), HostId(0), seg.base(), &mut buf).expect("hit");
+        f.load(Nanos(0), HostId(0), seg.base(), &mut buf)
+            .expect("miss");
+        let done = f
+            .load(Nanos(1000), HostId(0), seg.base(), &mut buf)
+            .expect("hit");
         assert_eq!(done, Nanos(1000 + CACHE_HIT_NS));
     }
 
@@ -777,7 +915,9 @@ mod tests {
         let mut f = pod();
         let seg = f.alloc_shared(&[HostId(0)], 4096).expect("alloc");
         let mut buf = [0u8; 64];
-        let pool_t = f.load(Nanos(0), HostId(0), seg.base(), &mut buf).expect("load");
+        let pool_t = f
+            .load(Nanos(0), HostId(0), seg.base(), &mut buf)
+            .expect("load");
         let local_t = f.local_load(Nanos(0), HostId(0), 0x1000, &mut buf);
         assert!(local_t < pool_t, "local {local_t:?} vs pool {pool_t:?}");
         let ratio = pool_t.as_nanos() as f64 / local_t.as_nanos() as f64;
@@ -789,7 +929,9 @@ mod tests {
         let mut f = pod();
         let seg = f.alloc_private(HostId(0), 4096).expect("alloc");
         let mut buf = [0u8; 8];
-        let err = f.load(Nanos(0), HostId(2), seg.base(), &mut buf).unwrap_err();
+        let err = f
+            .load(Nanos(0), HostId(2), seg.base(), &mut buf)
+            .unwrap_err();
         assert!(matches!(err, FabricError::AccessDenied { .. }));
     }
 
@@ -806,10 +948,13 @@ mod tests {
     #[test]
     fn dma_write_then_remote_load_needs_invalidate() {
         let mut f = pod();
-        let seg = f.alloc_shared(&[HostId(0), HostId(1)], 4096).expect("alloc");
+        let seg = f
+            .alloc_shared(&[HostId(0), HostId(1)], 4096)
+            .expect("alloc");
         // Host 1 caches the line first.
         let mut buf = [0u8; 64];
-        f.load(Nanos(0), HostId(1), seg.base(), &mut buf).expect("load");
+        f.load(Nanos(0), HostId(1), seg.base(), &mut buf)
+            .expect("load");
         // A device on host 0 DMA-writes it.
         let done = f
             .dma_write(Nanos(1000), HostId(0), seg.base(), &[5u8; 64])
@@ -827,10 +972,12 @@ mod tests {
     fn dma_read_snoops_attach_host_dirty_lines() {
         let mut f = pod();
         let seg = f.alloc_shared(&[HostId(0)], 4096).expect("alloc");
-        f.store(Nanos(0), HostId(0), seg.base(), &[3u8; 64]).expect("store");
+        f.store(Nanos(0), HostId(0), seg.base(), &[3u8; 64])
+            .expect("store");
         // DMA by a device on host 0 sees the dirty cached data.
         let mut buf = [0u8; 64];
-        f.dma_read(Nanos(100), HostId(0), seg.base(), &mut buf).expect("dma");
+        f.dma_read(Nanos(100), HostId(0), seg.base(), &mut buf)
+            .expect("dma");
         assert_eq!(buf, [3u8; 64]);
     }
 
@@ -869,9 +1016,12 @@ mod tests {
         let mut f = pod();
         let seg = f.alloc_shared(&[HostId(0)], 4096).expect("alloc");
         let mut buf = [0u8; 64];
-        f.load(Nanos(0), HostId(0), seg.base(), &mut buf).expect("load");
-        f.nt_store(Nanos(10), HostId(0), seg.base(), &[0u8; 64]).expect("nt");
-        f.flush(Nanos(20), HostId(0), seg.base(), 64).expect("flush");
+        f.load(Nanos(0), HostId(0), seg.base(), &mut buf)
+            .expect("load");
+        f.nt_store(Nanos(10), HostId(0), seg.base(), &[0u8; 64])
+            .expect("nt");
+        f.flush(Nanos(20), HostId(0), seg.base(), 64)
+            .expect("flush");
         let s = f.stats();
         assert_eq!(s.loads, 1);
         assert_eq!(s.nt_stores, 1);
@@ -889,10 +1039,16 @@ mod tests {
     #[test]
     fn pending_writes_apply_in_timestamp_order() {
         let mut f = pod();
-        let seg = f.alloc_shared(&[HostId(0), HostId(1)], 4096).expect("alloc");
+        let seg = f
+            .alloc_shared(&[HostId(0), HostId(1)], 4096)
+            .expect("alloc");
         // Two writes to the same line; the later-visible one wins.
-        let d1 = f.nt_store(Nanos(0), HostId(0), seg.base(), &[1u8; 64]).expect("w1");
-        let d2 = f.nt_store(d1, HostId(0), seg.base(), &[2u8; 64]).expect("w2");
+        let d1 = f
+            .nt_store(Nanos(0), HostId(0), seg.base(), &[1u8; 64])
+            .expect("w1");
+        let d2 = f
+            .nt_store(d1, HostId(0), seg.base(), &[2u8; 64])
+            .expect("w2");
         let mut buf = [0u8; 64];
         f.peek_settled(seg.base(), &mut buf);
         assert_eq!(buf, [2u8; 64]);

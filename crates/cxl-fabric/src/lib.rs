@@ -43,6 +43,7 @@
 //! ```
 
 pub mod alloc;
+pub mod audit;
 pub mod cache;
 pub mod error;
 pub mod fabric;
@@ -51,6 +52,10 @@ pub mod sparse;
 pub mod topology;
 
 pub use alloc::{PoolAllocator, Segment, SegmentId};
+pub use audit::{
+    AuditConfig, AuditReport, Auditor, LostWriteCause, Violation, ViolationCounts, ViolationKind,
+    WriteKind,
+};
 pub use error::FabricError;
 pub use fabric::{AccessStats, Fabric, PodConfig};
 pub use params::FabricParams;

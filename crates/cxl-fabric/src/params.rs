@@ -117,7 +117,8 @@ impl FabricParams {
     /// the component budget, for a 64 B line.
     pub fn idle_cxl_load(&self) -> Nanos {
         let ser = simkit::time::transfer_time(CACHELINE, self.link_gbps());
-        Nanos(self.cxl_host_overhead_ns) + Nanos(self.cxl_wire_ns) * 2
+        Nanos(self.cxl_host_overhead_ns)
+            + Nanos(self.cxl_wire_ns) * 2
             + ser * 2
             + Nanos(self.cxl_device_ns)
     }
@@ -127,7 +128,9 @@ impl FabricParams {
     /// the data to land in the device).
     pub fn idle_cxl_store(&self) -> Nanos {
         let ser = simkit::time::transfer_time(CACHELINE, self.link_gbps());
-        Nanos(self.cxl_host_overhead_ns) + Nanos(self.cxl_wire_ns) + ser
+        Nanos(self.cxl_host_overhead_ns)
+            + Nanos(self.cxl_wire_ns)
+            + ser
             + Nanos(self.cxl_device_ns / 2)
     }
 

@@ -55,7 +55,10 @@ impl Topology {
     /// Panics if any count is zero or `lambda > mhds` (λ distinct
     /// devices are required for λ *independent* paths).
     pub fn dense(hosts: u16, mhds: u16, lambda: u16) -> Topology {
-        assert!(hosts > 0 && mhds > 0 && lambda > 0, "counts must be nonzero");
+        assert!(
+            hosts > 0 && mhds > 0 && lambda > 0,
+            "counts must be nonzero"
+        );
         assert!(
             lambda <= mhds,
             "lambda ({lambda}) redundant paths need lambda distinct MHDs ({mhds} available)"

@@ -191,13 +191,12 @@ struct EchoWorld {
 impl EchoWorld {
     fn new(cfg: UdpConfig) -> EchoWorld {
         let mut fabric = Fabric::new(PodConfig::new(2, 2, 2));
-        let buf_size = (cfg.payload as u64 + HEADERS as u64).next_multiple_of(256).max(2048);
+        let buf_size = (cfg.payload as u64 + HEADERS as u64)
+            .next_multiple_of(256)
+            .max(2048);
         let n_bufs = cfg.rx_buffers * 2;
         let (stack_host, pool) = match cfg.mode {
-            BufferMode::LocalDram => (
-                HostId(0),
-                BufferPool::Local { base: 0x100_0000 },
-            ),
+            BufferMode::LocalDram => (HostId(0), BufferPool::Local { base: 0x100_0000 }),
             BufferMode::CxlPool => {
                 let seg = fabric
                     .alloc_shared(&[HostId(0), HostId(1)], n_bufs * buf_size)
@@ -232,8 +231,8 @@ impl EchoWorld {
         }
     }
 
-    /// When the NIC is remote, a submission ready at `t` reaches the
-    /// device only after the channel hop and the attach agent's turn.
+    // When the NIC is remote, a submission ready at `t` reaches the
+    // device only after the channel hop and the attach agent's turn.
 
     fn frame_len(&self) -> u64 {
         self.cfg.payload as u64 + HEADERS as u64
@@ -250,8 +249,7 @@ impl World for EchoWorld {
                 self.next_id += 1;
                 self.inflight.insert(id, now);
                 let mut bytes = vec![0u8; self.frame_len() as usize];
-                bytes[HEADERS as usize..]
-                    .copy_from_slice(&pattern(id, self.cfg.payload as usize));
+                bytes[HEADERS as usize..].copy_from_slice(&pattern(id, self.cfg.payload as usize));
                 let on_wire = self.client.send(now, self.frame_len());
                 let arrive = self.wire_fwd.carry(on_wire, self.frame_len());
                 sched.schedule(arrive, Ev::Arrive { id, bytes });
@@ -287,7 +285,13 @@ impl World for EchoWorld {
                                 .transmit(&mut self.fabric, ready, tx_buf, len)
                                 .expect("response tx");
                             let back = self.wire_rev.carry(frame.wire_exit, len as u64);
-                            sched.schedule(back, Ev::Return { id, bytes: frame.bytes });
+                            sched.schedule(
+                                back,
+                                Ev::Return {
+                                    id,
+                                    bytes: frame.bytes,
+                                },
+                            );
                         }
                     }
                     Ok(None) => {
@@ -298,7 +302,10 @@ impl World for EchoWorld {
                 }
             }
             Ev::Return { id, bytes } => {
-                let sent = self.inflight.remove(&id).expect("response matches a request");
+                let sent = self
+                    .inflight
+                    .remove(&id)
+                    .expect("response matches a request");
                 // Only responses inside the measurement window count;
                 // the post-window drain would otherwise inflate
                 // saturation throughput.
@@ -339,7 +346,12 @@ impl World for EchoWorld {
                     },
                 );
             }
-            Ev::AgentTx { id, buf, len, rx_buf } => {
+            Ev::AgentTx {
+                id,
+                buf,
+                len,
+                rx_buf,
+            } => {
                 let costs = self.cfg.remote_nic.expect("remote path");
                 let submit_at = self.forward_agent.serve(now, costs.agent_occupancy);
                 let frame = self
@@ -348,7 +360,13 @@ impl World for EchoWorld {
                     .expect("response tx");
                 let _ = self.nic.post_rx(rx_buf, self.buf_size as u32);
                 let back = self.wire_rev.carry(frame.wire_exit, len as u64);
-                sched.schedule(back.max(now), Ev::Return { id, bytes: frame.bytes });
+                sched.schedule(
+                    back.max(now),
+                    Ev::Return {
+                        id,
+                        bytes: frame.bytes,
+                    },
+                );
             }
         }
     }
@@ -427,7 +445,12 @@ mod tests {
         // Survivors queue visibly relative to light load, but do not
         // run away (the ring bounds the backlog).
         let light = point(64, 10_000.0, BufferMode::LocalDram);
-        assert!(p.p99 > light.p99, "overload p99 {} vs light {}", p.p99, light.p99);
+        assert!(
+            p.p99 > light.p99,
+            "overload p99 {} vs light {}",
+            p.p99,
+            light.p99
+        );
     }
 
     #[test]

@@ -60,7 +60,9 @@ mod tests {
     fn poisson_gaps_have_right_mean() {
         let mut rng = Rng::new(1);
         let n = 100_000;
-        let total: u64 = (0..n).map(|_| next_gap(&mut rng, 1_000_000.0).as_nanos()).sum();
+        let total: u64 = (0..n)
+            .map(|_| next_gap(&mut rng, 1_000_000.0).as_nanos())
+            .sum();
         let mean = total as f64 / n as f64;
         assert!((mean - 1_000.0).abs() < 20.0, "mean gap {mean} ns");
     }

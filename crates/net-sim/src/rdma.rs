@@ -84,17 +84,12 @@ impl RdmaSsd {
         let arrived = self.to_target.carry(now, 64) + self.params.verb_overhead;
         let handled = arrived + self.params.target_cpu;
         // Drive I/O into the target's local DRAM bounce buffer.
-        let flash_done = self.ssd.read(
-            fabric,
-            handled,
-            lba,
-            blocks,
-            BufRef::Local(self.staging),
-        )?;
+        let flash_done =
+            self.ssd
+                .read(fabric, handled, lba, blocks, BufRef::Local(self.staging))?;
         fabric.local_dma_read(flash_done, self.target_host, self.staging, out);
         // RDMA write of the payload back to the client.
-        let landed =
-            self.to_client.carry(flash_done, blocks * BLOCK) + self.params.verb_overhead;
+        let landed = self.to_client.carry(flash_done, blocks * BLOCK) + self.params.verb_overhead;
         Ok(landed)
     }
 
@@ -110,17 +105,12 @@ impl RdmaSsd {
     ) -> Result<Nanos, DeviceError> {
         assert_eq!(data.len() as u64, blocks * BLOCK, "buffer size mismatch");
         // Payload travels with the request.
-        let arrived =
-            self.to_target.carry(now, 64 + blocks * BLOCK) + self.params.verb_overhead;
+        let arrived = self.to_target.carry(now, 64 + blocks * BLOCK) + self.params.verb_overhead;
         let handled = arrived + self.params.target_cpu;
         fabric.local_dma_write(handled, self.target_host, self.staging, data);
-        let flash_done = self.ssd.write(
-            fabric,
-            handled,
-            lba,
-            blocks,
-            BufRef::Local(self.staging),
-        )?;
+        let flash_done =
+            self.ssd
+                .write(fabric, handled, lba, blocks, BufRef::Local(self.staging))?;
         // Completion capsule back.
         let landed = self.to_client.carry(flash_done, 64) + self.params.verb_overhead;
         Ok(landed)
@@ -136,12 +126,7 @@ mod tests {
     fn setup() -> (Fabric, RdmaSsd) {
         let f = Fabric::new(PodConfig::new(2, 2, 2));
         let ssd = Ssd::new(DeviceId(0), HostId(1), SsdConfig::default());
-        let r = RdmaSsd::new(
-            ssd,
-            HostId(1),
-            WireParams::default(),
-            RdmaParams::default(),
-        );
+        let r = RdmaSsd::new(ssd, HostId(1), WireParams::default(), RdmaParams::default());
         (f, r)
     }
 

@@ -235,7 +235,9 @@ mod tests {
     #[test]
     fn echo_copies_rx_payload_to_tx_buffer() {
         let mut f = fabric();
-        let seg = f.alloc_shared(&[HostId(0), HostId(1)], 1 << 16).expect("alloc");
+        let seg = f
+            .alloc_shared(&[HostId(0), HostId(1)], 1 << 16)
+            .expect("alloc");
         let base = seg.base();
         let mut stack = EchoStack::new(
             HostId(1),
@@ -246,7 +248,9 @@ mod tests {
         );
         // Simulate the NIC's DMA write of a request into RX buffer 0.
         let payload = vec![0x3Cu8; 512];
-        let rx_done = f.dma_write(Nanos(0), HostId(0), base, &payload).expect("dma");
+        let rx_done = f
+            .dma_write(Nanos(0), HostId(0), base, &payload)
+            .expect("dma");
         let (tx_buf, len, done) = stack
             .handle(&mut f, rx_done, BufRef::Pool(base), 512)
             .expect("handle");
@@ -254,7 +258,8 @@ mod tests {
         assert!(done > rx_done);
         // The NIC (host 0) DMA-reads the TX buffer and must see the echo.
         let mut out = vec![0u8; 512];
-        f.dma_read(done, HostId(0), tx_buf.addr(), &mut out).expect("dma read");
+        f.dma_read(done, HostId(0), tx_buf.addr(), &mut out)
+            .expect("dma read");
         assert_eq!(out, payload);
     }
 
@@ -307,7 +312,9 @@ mod tests {
     #[test]
     fn cxl_handle_is_slower_but_same_order() {
         let mut f = fabric();
-        let seg = f.alloc_shared(&[HostId(0), HostId(1)], 1 << 16).expect("alloc");
+        let seg = f
+            .alloc_shared(&[HostId(0), HostId(1)], 1 << 16)
+            .expect("alloc");
         let base = seg.base();
         // Copying mode makes the payload-size-dependent difference
         // visible; zero-copy hides most of it (which is the point).
@@ -325,9 +332,13 @@ mod tests {
             8,
         );
         let payload = vec![1u8; 1024];
-        let rx_cxl = f.dma_write(Nanos(0), HostId(0), base, &payload).expect("dma");
+        let rx_cxl = f
+            .dma_write(Nanos(0), HostId(0), base, &payload)
+            .expect("dma");
         f.local_dma_write(Nanos(0), HostId(0), 0x10_0000, &payload);
-        let (_, _, d_cxl) = cxl.handle(&mut f, rx_cxl, BufRef::Pool(base), 1024).expect("cxl");
+        let (_, _, d_cxl) = cxl
+            .handle(&mut f, rx_cxl, BufRef::Pool(base), 1024)
+            .expect("cxl");
         let (_, _, d_loc) = local
             .handle(&mut f, rx_cxl, BufRef::Local(0x10_0000), 1024)
             .expect("local");

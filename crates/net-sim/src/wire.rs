@@ -46,7 +46,9 @@ impl Wire {
     /// arrival time at the far NIC.
     pub fn carry(&mut self, now: Nanos, bytes: u64) -> Nanos {
         // Store-and-forward at the switch egress port.
-        let forwarded = self.port.transfer(now + self.params.prop + self.params.switch, bytes);
+        let forwarded = self
+            .port
+            .transfer(now + self.params.prop + self.params.switch, bytes);
         forwarded + self.params.prop
     }
 

@@ -157,7 +157,9 @@ mod tests {
         let (mut f, mut acc, base) = setup();
         let input: Vec<u8> = (0..128u8).collect();
         // Remote host 1 stages input in the pool.
-        let t = f.nt_store(Nanos(0), HostId(1), base, &input).expect("store");
+        let t = f
+            .nt_store(Nanos(0), HostId(1), base, &input)
+            .expect("store");
         let out = base + 4096;
         let t = acc
             .offload(&mut f, t, BufRef::Pool(base), 128, BufRef::Pool(out))
@@ -183,13 +185,26 @@ mod tests {
     #[test]
     fn jobs_queue_on_the_engine() {
         let (mut f, mut acc, base) = setup();
-        f.nt_store(Nanos(0), HostId(0), base, &[0u8; 1024]).expect("store");
+        f.nt_store(Nanos(0), HostId(0), base, &[0u8; 1024])
+            .expect("store");
         // Two large jobs submitted at t=0 must serialize on the engine.
         let t1 = acc
-            .offload(&mut f, Nanos(0), BufRef::Pool(base), 1024, BufRef::Pool(base + 8192))
+            .offload(
+                &mut f,
+                Nanos(0),
+                BufRef::Pool(base),
+                1024,
+                BufRef::Pool(base + 8192),
+            )
             .expect("job1");
         let t2 = acc
-            .offload(&mut f, Nanos(0), BufRef::Pool(base), 1024, BufRef::Pool(base + 16384))
+            .offload(
+                &mut f,
+                Nanos(0),
+                BufRef::Pool(base),
+                1024,
+                BufRef::Pool(base + 16384),
+            )
             .expect("job2");
         assert!(t2 > t1, "second job should finish later");
         assert_eq!(acc.stats().jobs, 2);
@@ -200,7 +215,13 @@ mod tests {
         let (mut f, mut acc, base) = setup();
         acc.fail();
         let err = acc
-            .offload(&mut f, Nanos(0), BufRef::Pool(base), 64, BufRef::Pool(base + 4096))
+            .offload(
+                &mut f,
+                Nanos(0),
+                BufRef::Pool(base),
+                64,
+                BufRef::Pool(base + 4096),
+            )
             .unwrap_err();
         assert!(matches!(err, DeviceError::Failed(_)));
     }
@@ -208,9 +229,16 @@ mod tests {
     #[test]
     fn launch_overhead_dominates_small_jobs() {
         let (mut f, mut acc, base) = setup();
-        f.nt_store(Nanos(0), HostId(0), base, &[0u8; 64]).expect("store");
+        f.nt_store(Nanos(0), HostId(0), base, &[0u8; 64])
+            .expect("store");
         let t = acc
-            .offload(&mut f, Nanos(0), BufRef::Pool(base), 64, BufRef::Pool(base + 4096))
+            .offload(
+                &mut f,
+                Nanos(0),
+                BufRef::Pool(base),
+                64,
+                BufRef::Pool(base + 4096),
+            )
             .expect("job");
         let us = t.as_nanos() as f64 / 1e3;
         assert!((2.0..6.0).contains(&us), "small job took {us} us");

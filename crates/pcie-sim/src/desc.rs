@@ -164,7 +164,10 @@ mod tests {
     fn empty_ring_fetches_none() {
         let (mut f, mut dma, base) = setup();
         let mut ring = DescRing::new(BufRef::Pool(base), 4);
-        assert!(ring.fetch(&mut f, Nanos(0), &mut dma).expect("fetch").is_none());
+        assert!(ring
+            .fetch(&mut f, Nanos(0), &mut dma)
+            .expect("fetch")
+            .is_none());
     }
 
     #[test]
@@ -192,7 +195,13 @@ mod tests {
         let mut t = Nanos(0);
         for i in 0..5u32 {
             t = ring
-                .post(&mut f, t, HostId(0), BufRef::Pool(base + 4096 + i as u64 * 64), i)
+                .post(
+                    &mut f,
+                    t,
+                    HostId(0),
+                    BufRef::Pool(base + 4096 + i as u64 * 64),
+                    i,
+                )
                 .expect("post");
         }
         for i in 0..5u32 {

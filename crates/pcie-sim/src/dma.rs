@@ -78,7 +78,9 @@ impl DmaEngine {
     /// Backlog on the device's PCIe link at `now` (max over the two
     /// directions).
     pub fn backlog(&self, now: Nanos) -> Nanos {
-        self.read_pipe.backlog(now).max(self.write_pipe.backlog(now))
+        self.read_pipe
+            .backlog(now)
+            .max(self.write_pipe.backlog(now))
     }
 }
 
@@ -99,9 +101,12 @@ mod tests {
     fn pool_write_then_pool_read_roundtrip() {
         let (mut f, mut dma, base) = setup();
         let data: Vec<u8> = (0..200u8).collect();
-        let t = dma.write(&mut f, Nanos(0), BufRef::Pool(base), &data).expect("write");
+        let t = dma
+            .write(&mut f, Nanos(0), BufRef::Pool(base), &data)
+            .expect("write");
         let mut back = vec![0u8; 200];
-        dma.read(&mut f, t, BufRef::Pool(base), &mut back).expect("read");
+        dma.read(&mut f, t, BufRef::Pool(base), &mut back)
+            .expect("read");
         assert_eq!(back, data);
     }
 
@@ -109,7 +114,9 @@ mod tests {
     fn local_roundtrip_is_faster_than_pool() {
         let (mut f, mut dma, base) = setup();
         let data = vec![7u8; 4096];
-        let tp = dma.write(&mut f, Nanos(0), BufRef::Pool(base), &data).expect("pool");
+        let tp = dma
+            .write(&mut f, Nanos(0), BufRef::Pool(base), &data)
+            .expect("pool");
         let mut dma2 = DmaEngine::new(HostId(0), 16.0);
         let tl = dma2
             .write(&mut f, Nanos(0), BufRef::Local(0x100), &data)
@@ -121,7 +128,9 @@ mod tests {
     fn remote_host_sees_dma_written_pool_data() {
         let (mut f, mut dma, base) = setup();
         let data = vec![0x5Au8; 64];
-        let t = dma.write(&mut f, Nanos(0), BufRef::Pool(base), &data).expect("write");
+        let t = dma
+            .write(&mut f, Nanos(0), BufRef::Pool(base), &data)
+            .expect("write");
         // Host 1 (not the attach host) reads it coherently after
         // invalidating.
         let t = f.invalidate(t, HostId(1), base, 64);
@@ -134,7 +143,9 @@ mod tests {
     fn bulk_transfer_is_bandwidth_limited() {
         let (mut f, mut dma, base) = setup();
         let data = vec![1u8; 1 << 20];
-        let t = dma.write(&mut f, Nanos(0), BufRef::Pool(base), &data).expect("write");
+        let t = dma
+            .write(&mut f, Nanos(0), BufRef::Pool(base), &data)
+            .expect("write");
         // 1 MiB at 16 GB/s PCIe needs >= 65 us... but the pool link (2x30)
         // is wider, so PCIe dominates: ~65-70 us plus bases.
         let us = t.as_nanos() as f64 / 1e3;
@@ -145,7 +156,9 @@ mod tests {
     fn unmapped_pool_address_errors() {
         let (mut f, mut dma, _base) = setup();
         let mut buf = [0u8; 8];
-        let err = dma.read(&mut f, Nanos(0), BufRef::Pool(0), &mut buf).unwrap_err();
+        let err = dma
+            .read(&mut f, Nanos(0), BufRef::Pool(0), &mut buf)
+            .unwrap_err();
         assert!(matches!(err, DeviceError::Fabric(_)));
     }
 }

@@ -281,8 +281,12 @@ mod tests {
         let (mut f, mut nic, base) = setup();
         // Host 1 (remote!) writes the TX payload into the pool buffer.
         let payload = vec![0xABu8; 1500];
-        let t = f.nt_store(Nanos(0), HostId(1), base, &payload).expect("store");
-        let frame = nic.transmit(&mut f, t, BufRef::Pool(base), 1500).expect("tx");
+        let t = f
+            .nt_store(Nanos(0), HostId(1), base, &payload)
+            .expect("store");
+        let frame = nic
+            .transmit(&mut f, t, BufRef::Pool(base), 1500)
+            .expect("tx");
         assert_eq!(frame.bytes, payload, "NIC must read remote host's data");
         assert!(frame.wire_exit > t);
     }
@@ -290,12 +294,15 @@ mod tests {
     #[test]
     fn tx_serializes_at_line_rate() {
         let (mut f, mut nic, base) = setup();
-        f.nt_store(Nanos(0), HostId(0), base, &[1u8; 1500]).expect("store");
+        f.nt_store(Nanos(0), HostId(0), base, &[1u8; 1500])
+            .expect("store");
         // Saturate: back-to-back 1500 B frames for ~100 us.
         let mut last = Nanos(0);
         let n = 1000;
         for _ in 0..n {
-            let fr = nic.transmit(&mut f, Nanos(0), BufRef::Pool(base), 1500).expect("tx");
+            let fr = nic
+                .transmit(&mut f, Nanos(0), BufRef::Pool(base), 1500)
+                .expect("tx");
             last = fr.wire_exit;
         }
         let gbps = (n as f64 * 1500.0 * 8.0) / last.as_nanos() as f64;
@@ -341,11 +348,16 @@ mod tests {
         let (mut f, mut nic, base) = setup();
         nic.fail();
         assert!(!nic.is_up());
-        let err = nic.transmit(&mut f, Nanos(0), BufRef::Pool(base), 64).unwrap_err();
+        let err = nic
+            .transmit(&mut f, Nanos(0), BufRef::Pool(base), 64)
+            .unwrap_err();
         assert!(matches!(err, DeviceError::Failed(_)));
         nic.restore();
-        f.nt_store(Nanos(0), HostId(0), base, &[0u8; 64]).expect("store");
-        assert!(nic.transmit(&mut f, Nanos(1000), BufRef::Pool(base), 64).is_ok());
+        f.nt_store(Nanos(0), HostId(0), base, &[0u8; 64])
+            .expect("store");
+        assert!(nic
+            .transmit(&mut f, Nanos(1000), BufRef::Pool(base), 64)
+            .is_ok());
     }
 
     #[test]
@@ -355,7 +367,8 @@ mod tests {
             (f, n, b)
         };
         for i in 0..1024 {
-            nic.post_rx(BufRef::Pool(base + i * 2048), 2048).expect("post");
+            nic.post_rx(BufRef::Pool(base + i * 2048), 2048)
+                .expect("post");
         }
         let err = nic.post_rx(BufRef::Pool(base), 2048).unwrap_err();
         assert!(matches!(err, DeviceError::QueueFull(_)));
@@ -365,10 +378,17 @@ mod tests {
     fn ring_transmit_carries_descriptor_payload() {
         let (mut f, mut nic, base) = setup();
         let payload = vec![0x5Cu8; 700];
-        f.nt_store(Nanos(0), HostId(1), base + 4096, &payload).expect("stage");
+        f.nt_store(Nanos(0), HostId(1), base + 4096, &payload)
+            .expect("stage");
         let mut ring = crate::desc::DescRing::new(BufRef::Pool(base), 8);
         let t = ring
-            .post(&mut f, Nanos(200), HostId(1), BufRef::Pool(base + 4096), 700)
+            .post(
+                &mut f,
+                Nanos(200),
+                HostId(1),
+                BufRef::Pool(base + 4096),
+                700,
+            )
             .expect("post");
         let frame = nic
             .transmit_from_ring(&mut f, t, &mut ring)
@@ -385,7 +405,8 @@ mod tests {
     #[test]
     fn ring_placement_changes_tx_latency() {
         let (mut f, mut nic, base) = setup();
-        f.nt_store(Nanos(0), HostId(0), base + 4096, &[1u8; 64]).expect("stage");
+        f.nt_store(Nanos(0), HostId(0), base + 4096, &[1u8; 64])
+            .expect("stage");
         f.local_store(Nanos(0), HostId(0), 0x9000, &[1u8; 64]);
         // Pool-resident ring.
         let mut pool_ring = crate::desc::DescRing::new(BufRef::Pool(base), 8);

@@ -74,7 +74,9 @@ impl Ssd {
         Ssd {
             id,
             dma: DmaEngine::new(host, config.pcie_gbps),
-            channels: (0..config.channels).map(|_| TimelineServer::new()).collect(),
+            channels: (0..config.channels)
+                .map(|_| TimelineServer::new())
+                .collect(),
             flash: SparseMem::new(),
             config,
             up: true,
@@ -217,11 +219,17 @@ mod tests {
         let (mut f, mut ssd, base) = setup();
         // Remote host 1 stages a block in the pool.
         let payload: Vec<u8> = (0..BLOCK as usize).map(|i| (i % 251) as u8).collect();
-        let t = f.nt_store(Nanos(0), HostId(1), base, &payload).expect("store");
-        let t = ssd.write(&mut f, t, 100, 1, BufRef::Pool(base)).expect("write");
+        let t = f
+            .nt_store(Nanos(0), HostId(1), base, &payload)
+            .expect("store");
+        let t = ssd
+            .write(&mut f, t, 100, 1, BufRef::Pool(base))
+            .expect("write");
         // Read back into a different pool buffer.
         let out = base + 2 * BLOCK;
-        let t = ssd.read(&mut f, t, 100, 1, BufRef::Pool(out)).expect("read");
+        let t = ssd
+            .read(&mut f, t, 100, 1, BufRef::Pool(out))
+            .expect("read");
         let t = f.invalidate(t, HostId(1), out, BLOCK);
         let mut buf = vec![0u8; BLOCK as usize];
         f.load(t, HostId(1), out, &mut buf).expect("load");
@@ -231,7 +239,9 @@ mod tests {
     #[test]
     fn read_latency_is_flash_dominated() {
         let (mut f, mut ssd, base) = setup();
-        let t = ssd.read(&mut f, Nanos(0), 0, 1, BufRef::Pool(base)).expect("read");
+        let t = ssd
+            .read(&mut f, Nanos(0), 0, 1, BufRef::Pool(base))
+            .expect("read");
         let us = t.as_nanos() as f64 / 1e3;
         // ~80 us flash + ~1 us DMA.
         assert!((80.0..90.0).contains(&us), "read took {us} us");
@@ -240,10 +250,15 @@ mod tests {
     #[test]
     fn write_is_faster_than_read() {
         let (mut f, mut ssd, base) = setup();
-        f.nt_store(Nanos(0), HostId(0), base, &[0u8; BLOCK as usize]).expect("store");
-        let w = ssd.write(&mut f, Nanos(0), 0, 1, BufRef::Pool(base)).expect("write");
+        f.nt_store(Nanos(0), HostId(0), base, &[0u8; BLOCK as usize])
+            .expect("store");
+        let w = ssd
+            .write(&mut f, Nanos(0), 0, 1, BufRef::Pool(base))
+            .expect("write");
         let mut ssd2 = Ssd::new(DeviceId(2), HostId(0), SsdConfig::default());
-        let r = ssd2.read(&mut f, Nanos(0), 0, 1, BufRef::Pool(base)).expect("read");
+        let r = ssd2
+            .read(&mut f, Nanos(0), 0, 1, BufRef::Pool(base))
+            .expect("read");
         assert!(w < r, "write {w:?} should beat read {r:?}");
     }
 
@@ -265,7 +280,9 @@ mod tests {
         let mut ssd2 = Ssd::new(DeviceId(3), HostId(0), SsdConfig::default());
         let mut done2 = Nanos::ZERO;
         for _ in 0..3 {
-            let t = ssd2.read(&mut f, Nanos(0), 0, 1, BufRef::Pool(base)).expect("read");
+            let t = ssd2
+                .read(&mut f, Nanos(0), 0, 1, BufRef::Pool(base))
+                .expect("read");
             done2 = done2.max(t);
         }
         assert!(
@@ -288,14 +305,18 @@ mod tests {
     fn failed_ssd_rejects_io() {
         let (mut f, mut ssd, base) = setup();
         ssd.fail();
-        let err = ssd.read(&mut f, Nanos(0), 0, 1, BufRef::Pool(base)).unwrap_err();
+        let err = ssd
+            .read(&mut f, Nanos(0), 0, 1, BufRef::Pool(base))
+            .unwrap_err();
         assert!(matches!(err, DeviceError::Failed(_)));
     }
 
     #[test]
     fn unwritten_blocks_read_zero() {
         let (mut f, mut ssd, base) = setup();
-        let t = ssd.read(&mut f, Nanos(0), 500, 1, BufRef::Pool(base)).expect("read");
+        let t = ssd
+            .read(&mut f, Nanos(0), 500, 1, BufRef::Pool(base))
+            .expect("read");
         let mut buf = vec![0xFFu8; BLOCK as usize];
         let t = f.invalidate(t, HostId(0), base, BLOCK);
         f.load(t, HostId(0), base, &mut buf).expect("load");

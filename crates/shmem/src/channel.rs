@@ -93,7 +93,10 @@ pub struct ChannelSender {
 
 impl ChannelSender {
     fn new(ring: RingSender) -> ChannelSender {
-        ChannelSender { ring, pending: None }
+        ChannelSender {
+            ring,
+            pending: None,
+        }
     }
 
     /// Sends `msg`, fragmenting as needed. If a previous send blocked,
@@ -184,7 +187,8 @@ impl ChannelReceiver {
                 assert!(data.len() >= FRAG_HDR, "malformed fragment");
                 let more = data[0];
                 let len = data[1] as usize;
-                self.partial.extend_from_slice(&data[FRAG_HDR..FRAG_HDR + len]);
+                self.partial
+                    .extend_from_slice(&data[FRAG_HDR..FRAG_HDR + len]);
                 if more == 1 {
                     Ok(PollOutcome::Empty(at))
                 } else {
@@ -289,10 +293,7 @@ mod tests {
         // Drain + resume until the whole message lands.
         let mut got = None;
         for _ in 0..100 {
-            if let Some((m, _at)) = rx
-                .poll_until(&mut f, t, t + Nanos(50_000))
-                .expect("poll")
-            {
+            if let Some((m, _at)) = rx.poll_until(&mut f, t, t + Nanos(50_000)).expect("poll") {
                 got = Some(m);
                 break;
             }

@@ -45,8 +45,8 @@ pub mod mailbox;
 pub mod mpsc;
 pub mod pingpong;
 pub mod real;
-pub mod seqlock;
 pub mod ring;
+pub mod seqlock;
 
 pub use channel::{Channel, ChannelReceiver, ChannelSender};
 pub use mailbox::{HeartbeatTable, Mailbox};

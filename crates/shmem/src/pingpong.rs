@@ -36,7 +36,7 @@ impl Default for PingPongConfig {
         PingPongConfig {
             iterations: 100_000,
             capacity: 64,
-            seed: 0xF16_4,
+            seed: 0xF164,
             mean_gap: Nanos(2_000),
             params: FabricParams::x16(),
         }
@@ -58,9 +58,7 @@ pub struct PingPongResult {
 /// for visibility plus a random exponential gap, and repeats. Each
 /// sample is `poll_completion - send_issue`.
 pub fn run(config: &PingPongConfig) -> Result<PingPongResult, FabricError> {
-    let mut fabric = Fabric::new(
-        PodConfig::new(2, 2, 2).with_params(config.params.clone()),
-    );
+    let mut fabric = Fabric::new(PodConfig::new(2, 2, 2).with_params(config.params.clone()));
     let ring = RingBuf::allocate(&mut fabric, HostId(0), HostId(1), config.capacity)?;
     let (mut tx, mut rx) = ring.split();
     let mut rng = Rng::new(config.seed);

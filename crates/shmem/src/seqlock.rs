@@ -52,6 +52,9 @@ impl SeqLock {
         assert!(payload_len > 0, "payload must be nonempty");
         let total = 64 + payload_len.next_multiple_of(64) + 64;
         let seg = fabric.alloc_shared(members, total)?;
+        // The version protocol detects and retries torn payload reads,
+        // so the coherence auditor must not report them as hazards.
+        fabric.mark_tear_tolerant(seg.base(), total);
         Ok(SeqLock {
             seg,
             payload_len,
@@ -173,8 +176,8 @@ mod tests {
 
     fn setup(len: u64) -> (Fabric, SeqLock) {
         let mut f = Fabric::new(PodConfig::new(2, 2, 2));
-        let lock = SeqLock::allocate(&mut f, &[HostId(0), HostId(1)], HostId(0), len)
-            .expect("alloc");
+        let lock =
+            SeqLock::allocate(&mut f, &[HostId(0), HostId(1)], HostId(0), len).expect("alloc");
         (f, lock)
     }
 
@@ -185,9 +188,7 @@ mod tests {
         let t = lock.publish(&mut f, Nanos(0), &data).expect("publish");
         match lock.read(&mut f, t, HostId(1)).expect("read") {
             ReadOutcome::Snapshot {
-                version,
-                data: got,
-                ..
+                version, data: got, ..
             } => {
                 assert_eq!(version, 2);
                 assert_eq!(got, data);

@@ -334,7 +334,9 @@ mod tests {
     fn fork_produces_independent_stream() {
         let mut a = Rng::new(12);
         let mut child = a.fork();
-        let overlap = (0..100).filter(|_| a.next_u64() == child.next_u64()).count();
+        let overlap = (0..100)
+            .filter(|_| a.next_u64() == child.next_u64())
+            .count();
         assert_eq!(overlap, 0);
     }
 

@@ -408,7 +408,16 @@ mod tests {
 
     #[test]
     fn bucket_roundtrip_error_is_small() {
-        for v in [1u64, 63, 64, 100, 1_000, 123_456, 10_000_000, u32::MAX as u64] {
+        for v in [
+            1u64,
+            63,
+            64,
+            100,
+            1_000,
+            123_456,
+            10_000_000,
+            u32::MAX as u64,
+        ] {
             let mid = bucket_midpoint(bucket_index(v));
             let rel = (mid as f64 - v as f64).abs() / v as f64;
             assert!(rel < 0.016, "v={v} mid={mid} rel={rel}");

@@ -46,7 +46,8 @@ impl Table {
             cells.len(),
             self.headers.len()
         );
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
     }
 
     /// Appends one row of already-owned cells.
@@ -161,7 +162,7 @@ mod tests {
     fn fmt_f64_scales_precision() {
         assert_eq!(fmt_f64(0.0), "0");
         assert_eq!(fmt_f64(0.12345), "0.1235");
-        assert_eq!(fmt_f64(3.14159), "3.14");
+        assert_eq!(fmt_f64(1.23456), "1.23");
         assert_eq!(fmt_f64(123.456), "123.5");
     }
 }

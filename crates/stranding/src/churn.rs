@@ -215,7 +215,10 @@ impl World for ChurnWorld {
 
 /// Runs the churn simulation and reduces to time-averaged stranding.
 pub fn run_churn(cfg: ChurnConfig) -> ChurnStats {
-    assert!(cfg.hosts % cfg.pool_n == 0, "hosts must divide into pods");
+    assert!(
+        cfg.hosts.is_multiple_of(cfg.pool_n),
+        "hosts must divide into pods"
+    );
     let duration = cfg.duration;
     let hosts = cfg.hosts as f64;
     let shape = HostShape::default_cloud();

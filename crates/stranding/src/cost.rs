@@ -134,7 +134,12 @@ mod tests {
         let pcie = rows.iter().find(|r| r.option.contains("PCIe")).unwrap();
         let cxl_new = rows.iter().find(|r| r.option.contains("new")).unwrap();
         let cxl_free = rows.iter().find(|r| r.option.contains("already")).unwrap();
-        assert!(cxl_new.net < pcie.net, "CXL {0} vs PCIe {1}", cxl_new.net, pcie.net);
+        assert!(
+            cxl_new.net < pcie.net,
+            "CXL {0} vs PCIe {1}",
+            cxl_new.net,
+            pcie.net
+        );
         assert!(cxl_free.net < 0.0, "pre-deployed pod must be pure savings");
     }
 

@@ -128,7 +128,13 @@ mod tests {
         // across the sweep (it is an asymptotic approximation).
         for r in &rows {
             let rel = (r.erlang - r.sqrt_rule).abs() / r.sqrt_rule;
-            assert!(rel < 0.35, "N={}: erlang {} vs rule {}", r.n, r.erlang, r.sqrt_rule);
+            assert!(
+                rel < 0.35,
+                "N={}: erlang {} vs rule {}",
+                r.n,
+                r.erlang,
+                r.sqrt_rule
+            );
         }
     }
 

@@ -152,8 +152,18 @@ mod tests {
         let s = run(11);
         // The paper's Figure 2 headline: SSD and NIC are the two most
         // stranded resources, ≈ 54 % and ≈ 29 % on average.
-        assert!(s.ssd > s.nic, "SSD ({}) should strand more than NIC ({})", s.ssd, s.nic);
-        assert!(s.nic > s.cpu, "NIC ({}) should strand more than CPU ({})", s.nic, s.cpu);
+        assert!(
+            s.ssd > s.nic,
+            "SSD ({}) should strand more than NIC ({})",
+            s.ssd,
+            s.nic
+        );
+        assert!(
+            s.nic > s.cpu,
+            "NIC ({}) should strand more than CPU ({})",
+            s.nic,
+            s.cpu
+        );
         assert!(
             (0.42..0.64).contains(&s.ssd),
             "SSD stranding {} outside the Figure 2 band",
@@ -183,7 +193,12 @@ mod tests {
     #[test]
     fn stranding_fractions_are_valid() {
         let s = run(14);
-        for (name, v) in [("cpu", s.cpu), ("mem", s.mem), ("ssd", s.ssd), ("nic", s.nic)] {
+        for (name, v) in [
+            ("cpu", s.cpu),
+            ("mem", s.mem),
+            ("ssd", s.ssd),
+            ("nic", s.nic),
+        ] {
             assert!((0.0..=1.0).contains(&v), "{name} = {v}");
         }
         assert!(s.placed > 1000, "placed {}", s.placed);

@@ -193,7 +193,10 @@ mod tests {
         let mean = ssd.iter().sum::<f64>() / ssd.len() as f64;
         let var = ssd.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / ssd.len() as f64;
         let cv = var.sqrt() / mean;
-        assert!(cv > 0.15, "demand too uniform (cv {cv}) for pooling to matter");
+        assert!(
+            cv > 0.15,
+            "demand too uniform (cv {cv}) for pooling to matter"
+        );
         assert!(mean > 500.0, "mean SSD demand {mean} implausibly low");
     }
 

@@ -182,7 +182,10 @@ mod tests {
         let mut cat = VmCatalog::azure_like().with_correlation(0.5);
         let mut rng = Rng::new(2);
         let n = 50_000;
-        let mean_ssd: f64 = (0..n).map(|_| cat.sample(&mut rng).ssd_gb as f64).sum::<f64>() / n as f64;
+        let mean_ssd: f64 = (0..n)
+            .map(|_| cat.sample(&mut rng).ssd_gb as f64)
+            .sum::<f64>()
+            / n as f64;
         let (_, base_ssd, _) = VmCatalog::azure_like().mean_per_core();
         // Lognormal multiplier biases the mean upward a little; just
         // require the same order of magnitude.
@@ -207,7 +210,9 @@ mod tests {
         assert!(rho > 0.05, "lag-1 autocorrelation {rho}");
         // And the uncorrelated stream should have much less.
         let mut cat0 = VmCatalog::azure_like();
-        let ys: Vec<f64> = (0..10_000).map(|_| cat0.sample(&mut rng).nic_gbps).collect();
+        let ys: Vec<f64> = (0..10_000)
+            .map(|_| cat0.sample(&mut rng).nic_gbps)
+            .collect();
         let mean0 = ys.iter().sum::<f64>() / ys.len() as f64;
         let var0: f64 = ys.iter().map(|x| (x - mean0).powi(2)).sum();
         let cov0: f64 = ys.windows(2).map(|w| (w[0] - mean0) * (w[1] - mean0)).sum();

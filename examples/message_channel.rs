@@ -17,7 +17,10 @@ fn main() {
     let ring = RingBuf::allocate(&mut fabric, HostId(0), HostId(1), 64).expect("alloc");
     let (mut tx, mut rx) = ring.split();
 
-    let visible = match tx.send(&mut fabric, Nanos(0), b"doorbell: queue 3, tail 17").unwrap() {
+    let visible = match tx
+        .send(&mut fabric, Nanos(0), b"doorbell: queue 3, tail 17")
+        .unwrap()
+    {
         SendOutcome::Sent(t) => t,
         SendOutcome::Full(_) => unreachable!(),
     };

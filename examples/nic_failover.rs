@@ -5,10 +5,10 @@
 //! cargo run --example nic_failover
 //! ```
 
+use cxl_fabric::HostId;
 use cxl_pcie_pool::pool::pod::{PodParams, PodSim};
 use cxl_pcie_pool::pool::vdev::DeviceKind;
 use cxl_pcie_pool::simkit::Nanos;
-use cxl_fabric::HostId;
 
 fn main() {
     let mut pod = PodSim::new(PodParams::new(4, 2));
@@ -16,9 +16,13 @@ fn main() {
 
     // Warm traffic on the assigned NIC.
     let deadline = pod.time() + Nanos::from_millis(10);
-    pod.vnic_send(victim_host, b"warm-up", deadline).expect("warm-up");
+    pod.vnic_send(victim_host, b"warm-up", deadline)
+        .expect("warm-up");
     let dev = pod.binding(victim_host, DeviceKind::Nic).expect("bound");
-    println!("host 3 is using NIC {dev:?} (attached to host {:?})", pod.attach_of(dev));
+    println!(
+        "host 3 is using NIC {dev:?} (attached to host {:?})",
+        pod.attach_of(dev)
+    );
 
     // The NIC dies.
     pod.fail_nic(dev);

@@ -5,10 +5,10 @@
 //! cargo run --release --example nic_harvest
 //! ```
 
+use cxl_fabric::HostId;
 use cxl_pcie_pool::pool::bonding::BondedNic;
 use cxl_pcie_pool::pool::pod::{PodParams, PodSim};
 use cxl_pcie_pool::simkit::Nanos;
-use cxl_fabric::HostId;
 
 fn main() {
     println!("NICs harvested   aggregate goodput   vs one NIC");

@@ -5,11 +5,11 @@
 //! cargo run --release --example pod_report
 //! ```
 
+use cxl_fabric::HostId;
 use cxl_pcie_pool::pool::pod::{PodParams, PodSim};
 use cxl_pcie_pool::pool::telemetry;
 use cxl_pcie_pool::pool::vdev::DeviceKind;
 use cxl_pcie_pool::simkit::Nanos;
-use cxl_fabric::HostId;
 
 fn main() {
     let mut params = PodParams::new(6, 2);
@@ -22,7 +22,8 @@ fn main() {
         for h in 0..6u16 {
             let host = HostId(h);
             let d = pod.time() + Nanos::from_millis(50);
-            pod.vnic_send(host, &vec![round as u8; 512], d).expect("send");
+            pod.vnic_send(host, &vec![round as u8; 512], d)
+                .expect("send");
             let d = pod.time() + Nanos::from_millis(50);
             pod.vssd_read(host, (round * 8) as u64, 1, d).expect("read");
             if h % 2 == 0 {

@@ -5,26 +5,35 @@
 //! cargo run --example quickstart
 //! ```
 
+use cxl_fabric::HostId;
 use cxl_pcie_pool::pool::pod::{PodParams, PodSim};
 use cxl_pcie_pool::pool::vdev::DeviceKind;
 use cxl_pcie_pool::simkit::Nanos;
-use cxl_fabric::HostId;
 
 fn main() {
     // A 4-host pod over 2 MHDs with 2-way path redundancy. NICs exist
     // only on hosts 0 and 1 — hosts 2 and 3 will borrow them.
     let mut pod = PodSim::new(PodParams::new(4, 2));
 
-    println!("pod built: {} hosts, orchestrator on host 0", pod.agents.len());
+    println!(
+        "pod built: {} hosts, orchestrator on host 0",
+        pod.agents.len()
+    );
     for h in 0..4 {
         let host = HostId(h);
-        let dev = pod.binding(host, DeviceKind::Nic).expect("every host gets a NIC");
+        let dev = pod
+            .binding(host, DeviceKind::Nic)
+            .expect("every host gets a NIC");
         let attach = pod.attach_of(dev).expect("registered");
         println!(
             "  host {h}: NIC {:?} attached to host {} ({})",
             dev,
             attach.0,
-            if attach == host { "local" } else { "remote, via MMIO forwarding" }
+            if attach == host {
+                "local"
+            } else {
+                "remote, via MMIO forwarding"
+            }
         );
     }
 
@@ -40,7 +49,11 @@ fn main() {
         let r = pod.vnic_send(host, &payload, deadline).expect("send");
         println!(
             "host {h} sent 1500 B via {} path; device completion in {}",
-            if r.local { "the local" } else { "the forwarded" },
+            if r.local {
+                "the local"
+            } else {
+                "the forwarded"
+            },
             r.at.saturating_sub(t0),
         );
         let dev = pod.binding(host, DeviceKind::Nic).expect("bound");

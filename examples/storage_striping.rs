@@ -5,11 +5,11 @@
 //! cargo run --example storage_striping
 //! ```
 
+use cxl_fabric::HostId;
 use cxl_pcie_pool::pool::pod::{PodParams, PodSim};
 use cxl_pcie_pool::pool::striping::StripedVolume;
 use cxl_pcie_pool::pool::vdev::DeviceKind;
 use cxl_pcie_pool::simkit::Nanos;
-use cxl_fabric::HostId;
 use pcie_sim::ssd::BLOCK;
 
 fn main() {
@@ -22,7 +22,9 @@ fn main() {
         let volume = StripedVolume::new(devs, 2);
 
         let blocks = 48u64;
-        let data: Vec<u8> = (0..(blocks * BLOCK) as usize).map(|i| (i % 251) as u8).collect();
+        let data: Vec<u8> = (0..(blocks * BLOCK) as usize)
+            .map(|i| (i % 251) as u8)
+            .collect();
         let deadline = pod.time() + Nanos::from_millis(200);
         let w = volume
             .write(&mut pod, HostId(3), 0, &data, deadline)

@@ -13,10 +13,22 @@ fn main() {
     let designs = [
         ("single ToR".to_string(), RackDesign::SingleTor),
         ("dual ToR".to_string(), RackDesign::DualTor),
-        ("ToR-less λ=1, 8 NICs".to_string(), RackDesign::TorLess { lambda: 1, nics: 8 }),
-        ("ToR-less λ=2, 8 NICs".to_string(), RackDesign::TorLess { lambda: 2, nics: 8 }),
-        ("ToR-less λ=4, 8 NICs".to_string(), RackDesign::TorLess { lambda: 4, nics: 8 }),
-        ("ToR-less λ=8, 8 NICs".to_string(), RackDesign::TorLess { lambda: 8, nics: 8 }),
+        (
+            "ToR-less λ=1, 8 NICs".to_string(),
+            RackDesign::TorLess { lambda: 1, nics: 8 },
+        ),
+        (
+            "ToR-less λ=2, 8 NICs".to_string(),
+            RackDesign::TorLess { lambda: 2, nics: 8 },
+        ),
+        (
+            "ToR-less λ=4, 8 NICs".to_string(),
+            RackDesign::TorLess { lambda: 4, nics: 8 },
+        ),
+        (
+            "ToR-less λ=8, 8 NICs".to_string(),
+            RackDesign::TorLess { lambda: 8, nics: 8 },
+        ),
     ];
     for (name, d) in designs {
         let p = p_unreachable(d, &rates);

@@ -1,0 +1,377 @@
+//! Negative tests for the coherence auditor: each test commits a
+//! deliberate protocol sin through the real `Fabric` API and asserts
+//! the auditor reports the right violation kind with the right
+//! provenance (writer, reader, timing). The flip side — that correct
+//! protocols run audit-clean — is asserted by `chaos.rs` and
+//! `properties.rs`.
+
+use cxl_fabric::{
+    AuditConfig, Fabric, HostId, LostWriteCause, PodConfig, Segment, ViolationKind, WriteKind,
+};
+use shmem::seqlock::{ReadOutcome, SeqLock};
+use simkit::Nanos;
+
+const LINE: u64 = 64;
+
+fn audited_pod() -> (Fabric, Segment) {
+    let mut f = Fabric::new(PodConfig::new(2, 2, 2));
+    f.enable_audit(AuditConfig::default());
+    let seg = f
+        .alloc_shared(&[HostId(0), HostId(1)], 4096)
+        .expect("alloc");
+    (f, seg)
+}
+
+/// Omitting the reader-side invalidate after a remote publish is the
+/// canonical staleness bug: the reader must be told who wrote and when.
+#[test]
+fn omitted_invalidate_fires_stale_read_with_provenance() {
+    let (mut f, seg) = audited_pod();
+    // Host 1 caches the line.
+    let mut buf = [0u8; LINE as usize];
+    let t = f
+        .load(Nanos(0), HostId(1), seg.base(), &mut buf)
+        .expect("load");
+    // Host 0 publishes with an nt-store; wait for visibility.
+    let done = f
+        .nt_store(t, HostId(0), seg.base(), &[0xAA; LINE as usize])
+        .expect("nt");
+    // BUG under test: host 1 reads again WITHOUT invalidating.
+    f.load(done + Nanos(10), HostId(1), seg.base(), &mut buf)
+        .expect("load");
+    assert_eq!(buf, [0u8; LINE as usize], "stale bytes served");
+
+    let report = f.audit_report().expect("audit on");
+    assert_eq!(report.counts.stale_reads, 1);
+    let v = &report.violations[0];
+    assert_eq!(v.line, seg.base());
+    match &v.kind {
+        ViolationKind::StaleRead {
+            reader,
+            writer,
+            write_kind,
+            written_at,
+            visible_at,
+        } => {
+            assert_eq!(*reader, HostId(1));
+            assert_eq!(*writer, HostId(0));
+            assert_eq!(*write_kind, WriteKind::NtStore);
+            assert_eq!(*written_at, t);
+            assert_eq!(*visible_at, done);
+        }
+        other => panic!("expected StaleRead, got {other:?}"),
+    }
+    // The report renders the parties for humans.
+    let text = report.render();
+    assert!(text.contains("stale-read"), "render: {text}");
+    assert!(text.contains("host 1"), "render: {text}");
+}
+
+/// Omitting the writer-side flush leaves the write invisible forever:
+/// finalize must flag it against the writer.
+#[test]
+fn omitted_flush_fires_unflushed_write_with_provenance() {
+    let (mut f, seg) = audited_pod();
+    // BUG under test: host 0 writes through its cache and never
+    // flushes.
+    let t = f
+        .store(Nanos(0), HostId(0), seg.base(), &[0x55; LINE as usize])
+        .expect("store");
+    // Host 1 reads fresh from the pool and sees nothing — which is the
+    // point: the write was never published.
+    let mut buf = [0xFF; LINE as usize];
+    let end = f.load(t, HostId(1), seg.base(), &mut buf).expect("load");
+    assert_eq!(buf, [0u8; LINE as usize]);
+
+    let report = f.audit_finalize(end).expect("audit on");
+    assert_eq!(report.counts.unflushed_writes, 1);
+    let v = report
+        .violations
+        .iter()
+        .find(|v| matches!(v.kind, ViolationKind::UnflushedWrite { .. }))
+        .expect("unflushed write recorded");
+    assert_eq!(v.line, seg.base());
+    match &v.kind {
+        ViolationKind::UnflushedWrite {
+            writer,
+            dirty_since,
+        } => {
+            assert_eq!(*writer, HostId(0));
+            assert_eq!(*dirty_since, Nanos(0));
+        }
+        other => panic!("expected UnflushedWrite, got {other:?}"),
+    }
+}
+
+/// A flushed write on a shared segment satisfies finalize.
+#[test]
+fn flushed_write_passes_finalize() {
+    let (mut f, seg) = audited_pod();
+    let t = f
+        .store(Nanos(0), HostId(0), seg.base(), &[0x55; LINE as usize])
+        .expect("store");
+    let t = f.flush(t, HostId(0), seg.base(), LINE).expect("flush");
+    let report = f.audit_finalize(t).expect("audit on");
+    assert!(report.is_clean(), "violations:\n{}", report.render());
+}
+
+/// Dirty data on a *private* segment concerns nobody else; finalize
+/// stays quiet.
+#[test]
+fn private_dirty_line_is_not_unflushed() {
+    let mut f = Fabric::new(PodConfig::new(2, 2, 2));
+    f.enable_audit(AuditConfig::default());
+    let seg = f.alloc_private(HostId(0), 4096).expect("alloc");
+    let t = f
+        .store(Nanos(0), HostId(0), seg.base(), &[9u8; LINE as usize])
+        .expect("store");
+    let report = f.audit_finalize(t).expect("audit on");
+    assert_eq!(report.counts.unflushed_writes, 0);
+}
+
+/// Invalidating your own dirty line throws the write away.
+#[test]
+fn invalidate_of_dirty_line_fires_lost_write() {
+    let (mut f, seg) = audited_pod();
+    let t = f
+        .store(Nanos(0), HostId(0), seg.base(), &[7u8; LINE as usize])
+        .expect("store");
+    // BUG under test: invalidate instead of flush.
+    let t = f.invalidate(t, HostId(0), seg.base(), LINE);
+    let report = f.audit_finalize(t).expect("audit on");
+    assert_eq!(report.counts.lost_writes, 1);
+    match &report.violations[0].kind {
+        ViolationKind::LostWrite {
+            victim, by, cause, ..
+        } => {
+            assert_eq!(*victim, HostId(0));
+            assert_eq!(*by, HostId(0));
+            assert_eq!(*cause, LostWriteCause::InvalidateDiscard);
+        }
+        other => panic!("expected LostWrite, got {other:?}"),
+    }
+    // The data really is gone: nothing was ever published.
+    assert_eq!(report.counts.unflushed_writes, 0);
+}
+
+/// Two hosts holding the same line dirty race on write-back order.
+#[test]
+fn concurrent_dirty_stores_fire_write_write_conflict() {
+    let (mut f, seg) = audited_pod();
+    let t = f
+        .store(Nanos(0), HostId(0), seg.base(), &[1u8; LINE as usize])
+        .expect("store");
+    let _ = f
+        .store(t, HostId(1), seg.base(), &[2u8; LINE as usize])
+        .expect("store");
+    let report = f.audit_report().expect("audit on");
+    assert_eq!(report.counts.ww_conflicts, 1);
+    match &report.violations[0].kind {
+        ViolationKind::WriteWriteConflict { first, second, .. } => {
+            assert_eq!(*first, HostId(0));
+            assert_eq!(*second, HostId(1));
+        }
+        other => panic!("expected WriteWriteConflict, got {other:?}"),
+    }
+}
+
+/// Publishing a merge based on a stale copy silently clobbers the
+/// other host's newer visible write.
+#[test]
+fn stale_base_flush_fires_lost_write() {
+    let (mut f, seg) = audited_pod();
+    // Host 1 dirties the line on a version-0 base.
+    let t = f
+        .store(Nanos(0), HostId(1), seg.base(), &[3u8; LINE as usize])
+        .expect("store");
+    // Host 0 publishes a newer value, fully visible.
+    let done = f
+        .nt_store(t, HostId(0), seg.base(), &[4u8; LINE as usize])
+        .expect("nt");
+    // BUG under test: host 1 flushes its stale-based merge over it.
+    let t2 = f.flush(done, HostId(1), seg.base(), LINE).expect("flush");
+    let report = f.audit_finalize(t2).expect("audit on");
+    assert!(
+        report.counts.lost_writes >= 1,
+        "report:\n{}",
+        report.render()
+    );
+    let v = report
+        .violations
+        .iter()
+        .find(|v| {
+            matches!(
+                v.kind,
+                ViolationKind::LostWrite {
+                    cause: LostWriteCause::StaleBasePublish,
+                    ..
+                }
+            )
+        })
+        .expect("stale-base publish recorded");
+    match &v.kind {
+        ViolationKind::LostWrite { victim, by, .. } => {
+            assert_eq!(*victim, HostId(0), "host 0's write was clobbered");
+            assert_eq!(*by, HostId(1));
+        }
+        other => panic!("expected LostWrite, got {other:?}"),
+    }
+}
+
+/// A load spanning a multi-line write must not mix old and new lines:
+/// a half-invalidate leaves exactly that mix.
+#[test]
+fn partial_invalidate_fires_torn_read() {
+    let (mut f, seg) = audited_pod();
+    // Host 1 caches both lines of the record.
+    let mut buf = [0u8; 2 * LINE as usize];
+    let t = f
+        .load(Nanos(0), HostId(1), seg.base(), &mut buf)
+        .expect("load");
+    // Host 0 publishes a 2-line record in one nt-store.
+    let done = f
+        .nt_store(t, HostId(0), seg.base(), &[0xBB; 2 * LINE as usize])
+        .expect("nt");
+    // BUG under test: host 1 invalidates only the second line, then
+    // reads the whole record.
+    let t2 = f.invalidate(done, HostId(1), seg.base() + LINE, LINE);
+    f.load(t2, HostId(1), seg.base(), &mut buf).expect("load");
+    // The returned record really is a mix.
+    assert_eq!(&buf[..LINE as usize], &[0u8; LINE as usize][..]);
+    assert_eq!(&buf[LINE as usize..], &[0xBB; LINE as usize][..]);
+
+    let report = f.audit_report().expect("audit on");
+    assert_eq!(report.counts.torn_reads, 1, "report:\n{}", report.render());
+    let v = report
+        .violations
+        .iter()
+        .find(|v| matches!(v.kind, ViolationKind::TornRead { .. }))
+        .expect("torn read recorded");
+    match &v.kind {
+        ViolationKind::TornRead {
+            reader,
+            writer,
+            fresh_line,
+            stale_line,
+            visible_at,
+        } => {
+            assert_eq!(*reader, HostId(1));
+            assert_eq!(*writer, HostId(0));
+            assert_eq!(*fresh_line, seg.base() + LINE);
+            assert_eq!(*stale_line, seg.base());
+            assert_eq!(*visible_at, done);
+        }
+        other => panic!("expected TornRead, got {other:?}"),
+    }
+}
+
+/// A device reading a buffer the CPU dirtied but never flushed gets
+/// pre-write bytes: flagged against the forgetful writer.
+#[test]
+fn dma_read_around_remote_dirty_line_fires_stale_read() {
+    let (mut f, seg) = audited_pod();
+    // Host 1 dirties the buffer in cache (never flushes).
+    let t = f
+        .store(Nanos(0), HostId(1), seg.base(), &[6u8; LINE as usize])
+        .expect("store");
+    // A device attached to host 0 DMA-reads it: host 1's data is
+    // invisible to the device.
+    let mut buf = [0xFFu8; LINE as usize];
+    f.dma_read(t, HostId(0), seg.base(), &mut buf).expect("dma");
+    assert_eq!(buf, [0u8; LINE as usize]);
+    let report = f.audit_report().expect("audit on");
+    assert_eq!(report.counts.stale_reads, 1);
+    match &report.violations[0].kind {
+        ViolationKind::StaleRead { reader, writer, .. } => {
+            assert_eq!(*reader, HostId(0));
+            assert_eq!(*writer, HostId(1));
+        }
+        other => panic!("expected StaleRead, got {other:?}"),
+    }
+}
+
+/// The seqlock's read loop is designed to tolerate mid-update reads;
+/// its retries must not be reported as hazards.
+#[test]
+fn seqlock_retry_loop_is_audit_clean() {
+    let mut f = Fabric::new(PodConfig::new(2, 2, 2));
+    f.enable_audit(AuditConfig::default());
+    let mut lock =
+        SeqLock::allocate(&mut f, &[HostId(0), HostId(1)], HostId(0), 256).expect("alloc");
+    let mut t = Nanos(0);
+    for round in 0..8u8 {
+        let data = vec![round; 256];
+        let done = lock.publish(&mut f, t, &data).expect("publish");
+        // Read from mid-publish (tolerated torn window) and settled.
+        let mid = t + (done - t) / 2;
+        match lock.read(&mut f, mid, HostId(1)).expect("read") {
+            ReadOutcome::Snapshot { data: got, .. } => {
+                assert!(got.iter().all(|&b| b == round) || got.iter().all(|&b| b + 1 == round));
+            }
+            ReadOutcome::Torn(_) => {}
+        }
+        let (_, got, at) = lock
+            .read_consistent(&mut f, done, HostId(1), done + Nanos::from_micros(100))
+            .expect("read")
+            .expect("snapshot");
+        assert_eq!(got, data);
+        t = at;
+    }
+    let report = f.audit_finalize(t).expect("audit on");
+    assert!(
+        report.is_clean(),
+        "seqlock violations:\n{}",
+        report.render()
+    );
+}
+
+/// Counters keep counting past the recording cap; nothing is lost
+/// silently.
+#[test]
+fn repeat_offenders_are_counted_but_deduplicated() {
+    let (mut f, seg) = audited_pod();
+    let mut buf = [0u8; LINE as usize];
+    let t = f
+        .load(Nanos(0), HostId(1), seg.base(), &mut buf)
+        .expect("load");
+    let done = f
+        .nt_store(t, HostId(0), seg.base(), &[1u8; LINE as usize])
+        .expect("nt");
+    let mut t = done;
+    for _ in 0..5 {
+        t = f
+            .load(t + Nanos(10), HostId(1), seg.base(), &mut buf)
+            .expect("load");
+    }
+    let report = f.audit_report().expect("audit on");
+    assert_eq!(report.counts.stale_reads, 5);
+    assert_eq!(
+        report
+            .violations
+            .iter()
+            .filter(|v| matches!(v.kind, ViolationKind::StaleRead { .. }))
+            .count(),
+        1
+    );
+    assert_eq!(report.suppressed, 4);
+}
+
+/// Draining violations keeps counters so long-running monitors can
+/// poll without unbounded memory.
+#[test]
+fn drain_keeps_counters() {
+    let (mut f, seg) = audited_pod();
+    let mut buf = [0u8; LINE as usize];
+    let t = f
+        .load(Nanos(0), HostId(1), seg.base(), &mut buf)
+        .expect("load");
+    let done = f
+        .nt_store(t, HostId(0), seg.base(), &[1u8; LINE as usize])
+        .expect("nt");
+    f.load(done, HostId(1), seg.base(), &mut buf).expect("load");
+    let drained = f.drain_audit_violations();
+    assert_eq!(drained.len(), 1);
+    let report = f.audit_report().expect("audit on");
+    assert!(report.violations.is_empty());
+    assert_eq!(report.counts.stale_reads, 1);
+}

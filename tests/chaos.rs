@@ -24,6 +24,7 @@ fn random_failures_never_corrupt_traffic() {
     let mut params = PodParams::new(6, 3);
     params.seed = 0xC8A0;
     let mut pod = PodSim::new(params);
+    pod.enable_audit();
     let nics = pod.orch.devices_of(DeviceKind::Nic);
     let mut down: Vec<bool> = vec![false; nics.len()];
     let mut sent = 0u64;
@@ -77,12 +78,22 @@ fn random_failures_never_corrupt_traffic() {
     }
     assert_eq!(sent, delivered);
     assert!(sent >= 720);
+    // Even under chaos the protocols must follow the coherence
+    // discipline to the letter.
+    let report = pod.audit_finalize().expect("audit on");
+    assert!(
+        report.is_clean(),
+        "coherence violations:\n{}",
+        report.render()
+    );
+    assert!(report.ops_audited > 0, "audit saw no traffic");
 }
 
 #[test]
 fn orchestrator_never_binds_to_known_dead_devices() {
     let mut rng = Rng::new(0xC8A1);
     let mut pod = PodSim::new(PodParams::new(8, 4));
+    pod.enable_audit();
     let nics = pod.orch.devices_of(DeviceKind::Nic);
     for _ in 0..60 {
         let victim = nics[rng.below(nics.len() as u64) as usize];
@@ -101,6 +112,12 @@ fn orchestrator_never_binds_to_known_dead_devices() {
         let fix = nics[rng.below(nics.len() as u64) as usize];
         pod.repair_nic(fix);
     }
+    let report = pod.audit_finalize().expect("audit on");
+    assert!(
+        report.is_clean(),
+        "coherence violations:\n{}",
+        report.render()
+    );
 }
 
 #[test]
@@ -109,6 +126,7 @@ fn mixed_device_chaos_keeps_all_kinds_functional() {
     params.ssd_hosts = vec![0, 1];
     params.accel_hosts = vec![2, 3];
     let mut pod = PodSim::new(params);
+    pod.enable_audit();
     let mut rng = Rng::new(0xC8A2);
     let input: Vec<u8> = (0..128u32).map(|i| i as u8).collect();
     for round in 0..30u32 {
@@ -160,4 +178,10 @@ fn mixed_device_chaos_keeps_all_kinds_functional() {
             DeviceKind::Accel => pod.repair_accel(victim),
         }
     }
+    let report = pod.audit_finalize().expect("audit on");
+    assert!(
+        report.is_clean(),
+        "coherence violations:\n{}",
+        report.render()
+    );
 }

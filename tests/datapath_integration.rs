@@ -37,12 +37,22 @@ fn rx_path_delivers_to_remote_owner_with_coherence() {
     let b2 = pod.vnic_post_rx(owner, deadline(&pod)).expect("post 2");
     let f1: Vec<u8> = (0..800u32).map(|i| i as u8).collect();
     let f2: Vec<u8> = (0..1200u32).map(|i| (i * 7) as u8).collect();
-    let (r1, t1) = pod.deliver_frame(dev, &f1).expect("deliver").expect("no drop");
-    let (r2, t2) = pod.deliver_frame(dev, &f2).expect("deliver").expect("no drop");
+    let (r1, t1) = pod
+        .deliver_frame(dev, &f1)
+        .expect("deliver")
+        .expect("no drop");
+    let (r2, t2) = pod
+        .deliver_frame(dev, &f2)
+        .expect("deliver")
+        .expect("no drop");
     assert_eq!(r1.addr(), b1);
     assert_eq!(r2.addr(), b2);
-    let (p1, _) = pod.read_rx_payload(owner, b1, f1.len(), t1).expect("read 1");
-    let (p2, _) = pod.read_rx_payload(owner, b2, f2.len(), t2).expect("read 2");
+    let (p1, _) = pod
+        .read_rx_payload(owner, b1, f1.len(), t1)
+        .expect("read 1");
+    let (p2, _) = pod
+        .read_rx_payload(owner, b2, f2.len(), t2)
+        .expect("read 2");
     assert_eq!(p1, f1);
     assert_eq!(p2, f2);
 }
@@ -59,10 +69,15 @@ fn skipping_invalidate_reads_stale_rx_data() {
     // Owner touches (and caches) the empty buffer first.
     let mut stale = vec![0u8; 64];
     let now = pod.agents[owner.0 as usize].clock();
-    pod.fabric.load(now, owner, buf, &mut stale).expect("prefetch");
+    pod.fabric
+        .load(now, owner, buf, &mut stale)
+        .expect("prefetch");
     // A frame lands via DMA.
     let frame = vec![0xEEu8; 64];
-    let (_, done) = pod.deliver_frame(dev, &frame).expect("deliver").expect("no drop");
+    let (_, done) = pod
+        .deliver_frame(dev, &frame)
+        .expect("deliver")
+        .expect("no drop");
     // Read WITHOUT invalidating: stale zeroes.
     let mut raw = vec![0u8; 64];
     pod.fabric.load(done, owner, buf, &mut raw).expect("load");
@@ -82,13 +97,18 @@ fn ssd_data_written_by_one_host_read_by_another() {
     let block: Vec<u8> = (0..4096u32).map(|i| (i % 253) as u8).collect();
     let wbuf = pod.io_buf(HostId(1));
     let now = pod.agents[1].clock();
-    let staged = pod.fabric.nt_store(now, HostId(1), wbuf, &block).expect("stage");
+    let staged = pod
+        .fabric
+        .nt_store(now, HostId(1), wbuf, &block)
+        .expect("stage");
     pod.agents[1].advance_clock(staged);
     let d = deadline(&pod);
     pod.vssd_write(HostId(1), 42, 1, wbuf, d).expect("write");
     let d = deadline(&pod);
     let (rbuf, r) = pod.vssd_read(HostId(3), 42, 1, d).expect("read");
-    let (data, _) = pod.read_rx_payload(HostId(3), rbuf, 4096, r.at).expect("load");
+    let (data, _) = pod
+        .read_rx_payload(HostId(3), rbuf, 4096, r.at)
+        .expect("load");
     assert_eq!(data, block, "cross-host SSD roundtrip corrupted");
 }
 
@@ -98,7 +118,9 @@ fn accelerator_jobs_from_many_hosts_interleave_correctly() {
     params.accel_hosts = vec![0];
     let mut pod = PodSim::new(params);
     for h in 1..6u16 {
-        let input: Vec<u8> = (0..512u32).map(|i| (i as u8).wrapping_mul(h as u8)).collect();
+        let input: Vec<u8> = (0..512u32)
+            .map(|i| (i as u8).wrapping_mul(h as u8))
+            .collect();
         let d = deadline(&pod);
         let (outbuf, r) = pod.vaccel_run(HostId(h), &input, d).expect("run");
         let (out, _) = pod
@@ -139,7 +161,8 @@ fn nic_less_pod_reports_not_assigned() {
     assert!(matches!(err, PoolError::NotAssigned(DeviceKind::Nic)));
     // The SSD kind still works.
     let d = deadline(&pod);
-    pod.vssd_read(HostId(1), 0, 1, d).expect("ssd path unaffected");
+    pod.vssd_read(HostId(1), 0, 1, d)
+        .expect("ssd path unaffected");
 }
 
 #[test]
@@ -177,8 +200,12 @@ fn interleaved_rx_buffers_from_two_owners_route_correctly() {
         .expect("owner 2 notified");
     assert_eq!(e2.buf, b2);
     assert_eq!(e2.len as usize, f2.len());
-    let (p1, _) = pod.read_rx_payload(HostId(1), e1.buf, f1.len(), e1.at).expect("read 1");
-    let (p2, _) = pod.read_rx_payload(HostId(2), e2.buf, f2.len(), e2.at).expect("read 2");
+    let (p1, _) = pod
+        .read_rx_payload(HostId(1), e1.buf, f1.len(), e1.at)
+        .expect("read 1");
+    let (p2, _) = pod
+        .read_rx_payload(HostId(2), e2.buf, f2.len(), e2.at)
+        .expect("read 2");
     assert_eq!(p1, f1);
     assert_eq!(p2, f2);
 }

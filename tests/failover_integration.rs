@@ -167,7 +167,9 @@ fn heartbeats_survive_device_failures() {
     pod.fail_nic(dev);
     let mut t = pod.time();
     for beat in 1..=5u64 {
-        t = table.beat(&mut pod.fabric, t, HostId(3), beat, 50).expect("beat");
+        t = table
+            .beat(&mut pod.fabric, t, HostId(3), beat, 50)
+            .expect("beat");
     }
     let (beat, load, _, _) = table
         .read(&mut pod.fabric, t, HostId(0), HostId(3))

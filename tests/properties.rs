@@ -38,6 +38,7 @@ proptest! {
     ) {
         let cap = 1u64 << cap_pow;
         let mut fabric = Fabric::new(PodConfig::new(2, 2, 2));
+        fabric.enable_audit(cxl_fabric::AuditConfig::default());
         let ring = RingBuf::allocate(&mut fabric, HostId(0), HostId(1), cap).expect("alloc");
         let (mut tx, mut rx) = ring.split();
         let mut t = Nanos(0);
@@ -60,6 +61,9 @@ proptest! {
                 PollOutcome::Empty(at) => t = at,
             }
         }
+        // The ring's nt-store/invalidate discipline must be audit-clean.
+        let report = fabric.audit_finalize(t).expect("audit on");
+        prop_assert!(report.is_clean(), "ring protocol violations:\n{}", report.render());
     }
 
     /// The real-memory ring preserves the same invariant single-threaded
@@ -98,6 +102,7 @@ proptest! {
         use shmem::channel::{Channel, ChannelSend};
         let cap = 1u64 << cap_pow;
         let mut fabric = Fabric::new(PodConfig::new(2, 2, 2));
+        fabric.enable_audit(cxl_fabric::AuditConfig::default());
         let ch = Channel::allocate(&mut fabric, HostId(0), HostId(1), cap).expect("alloc");
         let (mut tx, mut rx) = (ch.ab.0, ch.ab.1);
         let mut t = Nanos(0);
@@ -128,6 +133,9 @@ proptest! {
                 shmem::ring::PollOutcome::Empty(at) => t = at,
             }
         }
+        // Framing rides the same discipline; it must be audit-clean.
+        let report = fabric.audit_finalize(t).expect("audit on");
+        prop_assert!(report.is_clean(), "channel protocol violations:\n{}", report.render());
     }
 
     /// Fabric writes are exactly-once and last-writer-wins: any
@@ -140,6 +148,7 @@ proptest! {
         )
     ) {
         let mut fabric = Fabric::new(PodConfig::new(2, 2, 2));
+        fabric.enable_audit(cxl_fabric::AuditConfig::default());
         let seg = fabric.alloc_shared(&[HostId(0)], 2048).expect("alloc");
         let mut model = vec![0u8; 2048];
         let mut t = Nanos(0);
@@ -150,6 +159,64 @@ proptest! {
         let mut buf = vec![0u8; 2048];
         fabric.peek_settled(seg.base(), &mut buf);
         prop_assert_eq!(buf, model);
+        // Single-writer nt-stores never violate the discipline.
+        let report = fabric.audit_finalize(t).expect("audit on");
+        prop_assert!(report.is_clean(), "nt-store violations:\n{}", report.render());
+    }
+
+    /// The seqlock never serves a torn payload: for arbitrary payload
+    /// sizes and read timings — including reads landing anywhere inside
+    /// a publish window — every snapshot is exactly one published value,
+    /// and its version identifies which one.
+    #[test]
+    fn seqlock_snapshots_are_never_torn(
+        payload_len in 65u64..320,
+        rounds in 1usize..6,
+        fracs in proptest::collection::vec(0u64..300, 1..20),
+    ) {
+        use shmem::seqlock::{ReadOutcome, SeqLock};
+        let mut fabric = Fabric::new(PodConfig::new(2, 2, 2));
+        fabric.enable_audit(cxl_fabric::AuditConfig::default());
+        let mut lock =
+            SeqLock::allocate(&mut fabric, &[HostId(0), HostId(1)], HostId(0), payload_len)
+                .expect("alloc");
+        // Version v carries payload fill byte v/2 (version 0 = the
+        // unwritten all-zeros record).
+        let payload_for = |v: u64| vec![(v / 2) as u8; payload_len as usize];
+        let mut t = Nanos(0);
+        for round in 0..rounds {
+            let start = t;
+            let done = lock
+                .publish(&mut fabric, t, &payload_for((round as u64 + 1) * 2))
+                .expect("publish");
+            // Reads scattered through (and past) the publish window.
+            for &frac in &fracs {
+                let at = Nanos(start.0 + (done.0 - start.0) * frac / 256);
+                match lock.read(&mut fabric, at, HostId(1)).expect("read") {
+                    ReadOutcome::Snapshot { version, data, .. } => {
+                        prop_assert_eq!(version % 2, 0);
+                        prop_assert_eq!(
+                            &data,
+                            &payload_for(version),
+                            "torn payload at version {}", version
+                        );
+                    }
+                    ReadOutcome::Torn(_) => {}
+                }
+            }
+            t = done;
+        }
+        // A settled read always lands on the newest version.
+        let (version, data, at) = lock
+            .read_consistent(&mut fabric, t, HostId(1), t + Nanos::from_micros(100))
+            .expect("read")
+            .expect("snapshot");
+        prop_assert_eq!(version, rounds as u64 * 2);
+        prop_assert_eq!(data, payload_for(version));
+        // Retry loops are the protocol working as designed, not
+        // coherence hazards.
+        let report = fabric.audit_finalize(at).expect("audit on");
+        prop_assert!(report.is_clean(), "seqlock violations:\n{}", report.render());
     }
 
     /// Histogram quantiles are monotone in q and bounded by min/max for

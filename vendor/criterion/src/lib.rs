@@ -1,0 +1,218 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Mirrors the API surface the bench files use (`criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Throughput`, `BenchmarkId`, `black_box`) and
+//! runs each benchmark for a short, fixed budget, printing the mean
+//! iteration time. Statistical machinery (outlier analysis, HTML
+//! reports) is intentionally absent: in this repository benches gate
+//! regressions by eye and by the CI smoke run (`cargo bench -- --test`),
+//! which only needs the harness to execute every benchmark body.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement throughput annotation (accepted, echoed in output).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id like `name/param`.
+    pub fn new(name: impl Display, param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{param}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-iteration timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`].
+    mean_ns: f64,
+    iters_done: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly within the time budget and records the mean
+    /// iteration time.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // One warmup call, then measure in growing batches until the
+        // budget elapses.
+        black_box(f());
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        let mut batch: u64 = 1;
+        while start.elapsed() < self.budget {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+            batch = (batch * 2).min(1 << 16);
+        }
+        let elapsed = start.elapsed();
+        self.iters_done = iters;
+        self.mean_ns = if iters == 0 {
+            0.0
+        } else {
+            elapsed.as_nanos() as f64 / iters as f64
+        };
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench -- --test` asks for a smoke run; this stub is
+        // always in smoke mode, so the flag only shrinks the budget.
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion {
+            budget: if smoke {
+                Duration::from_millis(10)
+            } else {
+                Duration::from_millis(200)
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        run_one(self.budget, &format!("{id}"), f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepts (and ignores) a sample-size hint.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepts (and ignores) a throughput annotation.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(self.criterion.budget, &format!("{}/{id}", self.name), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(self.criterion.budget, &format!("{}/{id}", self.name), |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one(budget: Duration, name: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        mean_ns: 0.0,
+        iters_done: 0,
+        budget,
+    };
+    f(&mut b);
+    println!(
+        "bench {name:<48} {:>12.1} ns/iter ({} iters)",
+        b.mean_ns, b.iters_done
+    );
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_body_and_measures() {
+        let mut hits = 0u64;
+        run_one(Duration::from_millis(5), "self_test", |b| {
+            b.iter(|| hits += 1)
+        });
+        assert!(hits > 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Collection strategies: `vec(strategy, size_range)`.
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A length range for generated collections.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    start: usize,
+    /// Exclusive.
+    end: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            start: r.start,
+            end: r.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange {
+            start: n,
+            end: n + 1,
+        }
+    }
+}
+
+/// Generates `Vec`s whose length lies in `size` and whose elements come
+/// from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn lengths_span_the_range() {
+        let mut rng = TestRng::new(11);
+        let s = vec(any::<u8>(), 1..4);
+        let mut seen = [false; 3];
+        for _ in 0..128 {
+            let v = s.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            seen[v.len() - 1] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+}

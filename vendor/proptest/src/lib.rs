@@ -1,0 +1,142 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses —
+//! `proptest!`, `prop_oneof!`, `any::<T>()`, integer-range and tuple
+//! strategies, `collection::vec`, `prop_map`, `prop_assert*`, and
+//! `ProptestConfig::with_cases` — over a deterministic SplitMix64
+//! generator. There is no shrinking: failures reproduce exactly because
+//! the per-test seed is derived from the test's module path and name
+//! (override with `PROPTEST_SEED=<u64>`), so the failing case replays
+//! on every run.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property; panics (failing the case)
+/// with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Builds a union strategy choosing uniformly among the arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr; $($(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let seed = $crate::test_runner::resolve_seed(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(seed, case);
+                    let rng = &mut rng;
+                    $crate::__prop_bindings! { rng; $($args)* }
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_bindings {
+    ($rng:ident;) => {};
+    ($rng:ident; $arg:ident in $strat:expr) => {
+        let $arg = $crate::strategy::Strategy::generate(&$strat, $rng);
+    };
+    ($rng:ident; $arg:ident in $strat:expr, $($rest:tt)*) => {
+        let $arg = $crate::strategy::Strategy::generate(&$strat, $rng);
+        $crate::__prop_bindings! { $rng; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn determinism_same_seed_same_values() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(any::<u8>(), 3..10);
+        let mut a = crate::test_runner::TestRng::for_case(42, 7);
+        let mut b = crate::test_runner::TestRng::for_case(42, 7);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 10u64..20, y in 0u8..3) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y < 3);
+        }
+
+        #[test]
+        fn vec_sizes_respect_range(v in crate::collection::vec(any::<bool>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            v in prop_oneof![
+                (0u8..4).prop_map(u32::from),
+                100u32..104,
+            ]
+        ) {
+            prop_assert!(v < 4 || (100..104).contains(&v));
+        }
+    }
+}

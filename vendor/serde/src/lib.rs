@@ -1,0 +1,42 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The real `serde` is unavailable in this build environment (no
+//! registry access), and the workspace only ever uses
+//! `#[derive(Serialize)]` as a marker — experiment output is emitted
+//! through the hand-rolled `serde_json::Value` tree, never through
+//! generic serialization. This crate keeps the source-level API
+//! (`use serde::Serialize`, `#[derive(serde::Serialize)]`) compiling
+//! against a no-op trait so the workspace builds hermetically.
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// No methods: nothing in the workspace drives generic serialization,
+/// so a derive only needs to certify "this type is plain data".
+pub trait Serialize {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<T: Serialize> Serialize for [T] {}
+
+macro_rules! impl_primitive {
+    ($($t:ty),*) => { $(impl Serialize for $t {})* };
+}
+impl_primitive!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, str,
+    String
+);
+
+macro_rules! impl_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {}
+    };
+}
+impl_tuple!(A);
+impl_tuple!(A, B);
+impl_tuple!(A, B, C);
+impl_tuple!(A, B, C, D);
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;

@@ -1,0 +1,114 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `#[derive(Serialize)]` here expands to an empty
+//! `impl ::serde::Serialize for T` — the workspace's stand-in
+//! `Serialize` trait has no methods, so the derive only has to name the
+//! type correctly, including simple generic parameter lists.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the no-op `serde::Serialize` marker for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility/qualifier keywords until
+    // the `struct`/`enum`/`union` keyword.
+    let mut name: Option<String> = None;
+    while let Some(tok) = tokens.next() {
+        if let TokenTree::Ident(id) = &tok {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(n)) = tokens.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+        }
+    }
+    let name = name.expect("derive(Serialize): no type name found");
+
+    // Capture a generic parameter list if one follows the name. Only
+    // plain parameter lists (lifetimes, type idents, simple bounds) are
+    // supported, which covers everything in this workspace.
+    let mut generics = String::new();
+    let mut generic_args = String::new();
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        let mut depth = 0i32;
+        let mut raw = String::new();
+        for tok in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            raw.push('>');
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            raw.push_str(&tok.to_string());
+            raw.push(' ');
+        }
+        generics = raw.clone();
+        // Argument list = parameter names with bounds stripped.
+        let inner = raw.trim_start_matches('<').trim_end_matches('>');
+        let args: Vec<String> = split_top_level(inner)
+            .into_iter()
+            .map(|p| p.split(':').next().unwrap_or("").trim().to_string())
+            .filter(|p| !p.is_empty())
+            .collect();
+        generic_args = format!("<{}>", args.join(", "));
+    }
+    // Swallow the rest (body, where-clauses are unsupported but unused
+    // in this workspace).
+    let mut where_clause = String::new();
+    for tok in tokens {
+        if let TokenTree::Ident(id) = &tok {
+            if id.to_string() == "where" {
+                // Conservatively refuse: the workspace has no
+                // where-clauses on serialized types.
+                panic!("derive(Serialize) stub does not support where-clauses");
+            }
+        }
+        if matches!(&tok, TokenTree::Group(g) if g.delimiter() == Delimiter::Brace) {
+            break;
+        }
+        where_clause.clear();
+    }
+
+    format!("impl{generics} ::serde::Serialize for {name}{generic_args} {{}}")
+        .parse()
+        .expect("derive(Serialize): generated impl must parse")
+}
+
+/// Splits `a, b, c` at top-level commas (ignoring commas nested in
+/// `< >`).
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '<' => {
+                depth += 1;
+                cur.push(c);
+            }
+            '>' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                out.push(cur.trim().to_string());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
