@@ -128,11 +128,27 @@ impl PodSim {
         self.fabric.enable_audit(cxl_fabric::AuditConfig::default());
     }
 
+    /// Like [`PodSim::enable_audit`] but with an explicit analysis
+    /// mode (`AuditMode::VectorClock` turns on the happens-before race
+    /// detector; the CLI surfaces this as `--audit=vc`).
+    pub fn enable_audit_mode(&mut self, mode: cxl_fabric::AuditMode) {
+        self.fabric.enable_audit(cxl_fabric::AuditConfig {
+            mode,
+            ..cxl_fabric::AuditConfig::default()
+        });
+    }
+
     /// Settles in-flight writes and returns the final audit report
     /// (None when auditing was never enabled).
     pub fn audit_finalize(&mut self) -> Option<cxl_fabric::AuditReport> {
         let now = self.time();
         self.fabric.audit_finalize(now)
+    }
+
+    /// Race findings with per-line clock snapshots (vector-clock audit
+    /// mode; None when auditing was never enabled).
+    pub fn race_report(&self) -> Option<cxl_fabric::RaceReport> {
+        self.fabric.race_report()
     }
 
     /// Builds and wires the whole pod, performing initial device

@@ -22,6 +22,37 @@
 //! mirror of the fabric's pending-write buffer and advance in lockstep
 //! with it.
 //!
+//! ## Audit modes
+//!
+//! [`AuditMode::Version`] is the original scheme: one pool-wide
+//! monotone version. It is sound but over-approximate — two writes
+//! applied in the same `apply_pending` batch get an arbitrary relative
+//! order, so a DMA write racing a CPU publish is misreported as a
+//! definitely-ordered stale read.
+//!
+//! [`AuditMode::VectorClock`] adds a happens-before race detector on
+//! top. Every ordering agent is an [`Actor`] — one per host CPU plus
+//! one per DMA attach point — with its own [`VClock`] component.
+//! Cross-actor edges come only from real coherence actions:
+//!
+//! - **release**: every visible write (nt-store, flush, DMA write,
+//!   eviction) snapshots its actor's clock;
+//! - **acquire**: a load miss on a line inside a registered *sync
+//!   range* (message rings, mailboxes, seqlock words — see
+//!   `Fabric::mark_sync_range`) joins the observed write's clock;
+//! - **DMA issue**: a DMA op joins the attach host's CPU clock (the
+//!   doorbell orders it after the CPU's prior work);
+//! - **DMA completion**: [`Auditor::on_dma_complete`] joins the DMA
+//!   clock back into the CPU clock (the CQE orders the device's writes
+//!   before subsequent CPU work).
+//!
+//! Conflicting accesses whose clocks are incomparable race: they are
+//! reported as [`ViolationKind::ConcurrentConflict`] with both actors'
+//! full clock snapshots. The version-based violations stay and become
+//! *precise*: staleness is only reported as [`ViolationKind::StaleRead`]
+//! when the missed write happens-before the reader; otherwise it is a
+//! race, not staleness.
+//!
 //! ## Violations
 //!
 //! - [`ViolationKind::StaleRead`]: a host load was served from a cached
@@ -37,6 +68,8 @@
 //! - [`ViolationKind::UnflushedWrite`]: at finalize, a host still held
 //!   dirty data on a segment other hosts can read — a write the
 //!   discipline never published.
+//! - [`ViolationKind::ConcurrentConflict`]: two conflicting accesses
+//!   with incomparable vector clocks (vector-clock mode only).
 //!
 //! Protocols that *tolerate* tearing by design (the seqlock re-reads
 //! until versions match) register their payload range as tear-tolerant
@@ -48,6 +81,136 @@ use simkit::Nanos;
 
 use crate::params::CACHELINE;
 use crate::topology::HostId;
+
+/// Which analysis the auditor runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AuditMode {
+    /// One pool-wide monotone visibility version: sound but
+    /// over-approximate (batch-mates get an arbitrary order).
+    Version,
+    /// Per-actor vector clocks with happens-before race detection.
+    VectorClock,
+}
+
+/// An agent with its own ordering component in the vector-clock model.
+/// Each host contributes its CPU and its DMA attach point: devices are
+/// ordered against their attach host's CPU only through doorbell and
+/// completion edges, and against remote hosts only through messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Actor {
+    /// The CPU of a host.
+    Cpu(HostId),
+    /// The DMA attach point of a host (all devices behind it).
+    Dma(HostId),
+}
+
+impl Actor {
+    /// This actor's fixed component index in every [`VClock`].
+    pub fn index(self) -> usize {
+        match self {
+            Actor::Cpu(h) => 2 * h.0 as usize,
+            Actor::Dma(h) => 2 * h.0 as usize + 1,
+        }
+    }
+
+    /// The actor owning component index `i` (inverse of
+    /// [`Actor::index`]).
+    pub fn from_index(i: usize) -> Actor {
+        let h = HostId((i / 2) as u16);
+        if i.is_multiple_of(2) {
+            Actor::Cpu(h)
+        } else {
+            Actor::Dma(h)
+        }
+    }
+
+    /// The host this actor belongs to.
+    pub fn host(self) -> HostId {
+        match self {
+            Actor::Cpu(h) | Actor::Dma(h) => h,
+        }
+    }
+}
+
+impl std::fmt::Display for Actor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Actor::Cpu(h) => write!(f, "cpu{}", h.0),
+            Actor::Dma(h) => write!(f, "dma{}", h.0),
+        }
+    }
+}
+
+/// A vector clock over actor components ([`Actor::index`]). Missing
+/// components read as zero, so clocks grow lazily with the pod.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock(Vec<u64>);
+
+impl VClock {
+    /// The component at index `i`.
+    pub fn get(&self, i: usize) -> u64 {
+        self.0.get(i).copied().unwrap_or(0)
+    }
+
+    /// Advances one component (an actor's own tick).
+    fn bump(&mut self, i: usize) {
+        if self.0.len() <= i {
+            self.0.resize(i + 1, 0);
+        }
+        self.0[i] += 1;
+    }
+
+    /// Componentwise maximum: the happens-before join.
+    pub fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if v > self.0[i] {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// True when `self` happens-before-or-equals `other`.
+    pub fn leq(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(i, &v)| v <= other.get(i))
+    }
+
+    /// True when neither clock is ordered before the other: the two
+    /// accesses race.
+    pub fn concurrent_with(&self, other: &VClock) -> bool {
+        !self.leq(other) && !other.leq(self)
+    }
+}
+
+impl std::fmt::Display for VClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (i, &v) in self.0.iter().enumerate() {
+            if v == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}:{}", Actor::from_index(i), v)?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Which side of a conflicting access pair an actor was on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A CPU load or device DMA read.
+    Read,
+    /// A visible write (nt-store, flush, DMA write, eviction) or a
+    /// cached store.
+    Write,
+}
 
 /// How a visible write reached the pool.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -131,6 +294,27 @@ pub enum ViolationKind {
         /// When the line was dirtied.
         dirty_since: Nanos,
     },
+    /// Two conflicting accesses whose vector clocks are incomparable:
+    /// no coherence action orders them, so their outcome depends on
+    /// fabric timing alone (vector-clock mode only).
+    ConcurrentConflict {
+        /// Actor of the earlier-observed access.
+        first: Actor,
+        /// What the first access was.
+        first_access: AccessKind,
+        /// When the first access was issued.
+        first_at: Nanos,
+        /// The first actor's clock at that access.
+        first_clock: VClock,
+        /// Actor of the access that exposed the race.
+        second: Actor,
+        /// What the second access was.
+        second_access: AccessKind,
+        /// When the second access was issued.
+        second_at: Nanos,
+        /// The second actor's clock at that access.
+        second_clock: VClock,
+    },
 }
 
 impl ViolationKind {
@@ -141,6 +325,7 @@ impl ViolationKind {
             ViolationKind::LostWrite { .. } => "lost-write",
             ViolationKind::WriteWriteConflict { .. } => "write-write-conflict",
             ViolationKind::UnflushedWrite { .. } => "unflushed-write",
+            ViolationKind::ConcurrentConflict { .. } => "concurrent-conflict",
         }
     }
 }
@@ -233,6 +418,24 @@ impl std::fmt::Display for Violation {
                 writer.0,
                 dirty_since.as_nanos()
             ),
+            ViolationKind::ConcurrentConflict {
+                first,
+                first_access,
+                first_at,
+                first_clock,
+                second,
+                second_access,
+                second_at,
+                second_clock,
+            } => write!(
+                f,
+                "{first} {first_access:?} (issued {} ns, clock \
+                 {first_clock}) races {second} {second_access:?} (issued \
+                 {} ns, clock {second_clock}): no happens-before edge \
+                 orders them",
+                first_at.as_nanos(),
+                second_at.as_nanos()
+            ),
         }
     }
 }
@@ -250,6 +453,8 @@ pub struct ViolationCounts {
     pub ww_conflicts: u64,
     /// Unflushed dirty lines at finalize.
     pub unflushed_writes: u64,
+    /// Happens-before races observed (vector-clock mode).
+    pub concurrent_conflicts: u64,
 }
 
 impl ViolationCounts {
@@ -260,6 +465,7 @@ impl ViolationCounts {
             + self.lost_writes
             + self.ww_conflicts
             + self.unflushed_writes
+            + self.concurrent_conflicts
     }
 }
 
@@ -304,17 +510,68 @@ impl AuditReport {
     }
 }
 
+/// Race findings with per-line clock snapshots (vector-clock mode); see
+/// [`Auditor::race_report`].
+#[derive(Clone, Debug, Default)]
+pub struct RaceReport {
+    /// Recorded [`ViolationKind::ConcurrentConflict`] violations.
+    pub conflicts: Vec<Violation>,
+    /// Current clock of every actor that has performed an operation.
+    pub actor_clocks: Vec<(Actor, VClock)>,
+    /// Last visible write per line: `(line, writing actor, clock)`.
+    pub line_clocks: Vec<(u64, Actor, VClock)>,
+}
+
+impl RaceReport {
+    /// A multi-line human-readable rendering.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "races: {} concurrent conflict(s)",
+            self.conflicts.len()
+        );
+        for v in &self.conflicts {
+            let _ = writeln!(out, "  {v}");
+        }
+        let _ = writeln!(out, "actor clocks:");
+        for (a, c) in &self.actor_clocks {
+            let _ = writeln!(out, "  {a}: {c}");
+        }
+        if !self.line_clocks.is_empty() {
+            let _ = writeln!(out, "line write clocks:");
+            for (la, a, c) in &self.line_clocks {
+                let _ = writeln!(out, "  {la:#x}: {a} {c}");
+            }
+        }
+        out
+    }
+}
+
 /// Tuning for the auditor.
 #[derive(Clone, Copy, Debug)]
 pub struct AuditConfig {
     /// Maximum violations kept in [`AuditReport::violations`]; counters
     /// keep counting past the cap.
     pub max_recorded: usize,
+    /// Which analysis to run.
+    pub mode: AuditMode,
 }
 
 impl Default for AuditConfig {
+    /// Defaults to [`AuditMode::Version`]; set `CXL_AUDIT=vc` in the
+    /// environment to get vector clocks everywhere audit is enabled
+    /// with a default config (PodSim, the chaos/property suites).
     fn default() -> AuditConfig {
-        AuditConfig { max_recorded: 1024 }
+        let mode = match std::env::var("CXL_AUDIT").ok().as_deref() {
+            Some("vc") | Some("vclock") | Some("vector-clock") => AuditMode::VectorClock,
+            _ => AuditMode::Version,
+        };
+        AuditConfig {
+            max_recorded: 1024,
+            mode,
+        }
     }
 }
 
@@ -362,6 +619,10 @@ struct EventMeta {
 struct PendingEvent {
     event: u64,
     writer: HostId,
+    /// Actor that issued the write (vector-clock mode provenance).
+    actor: Actor,
+    /// The actor's clock when the write was issued (its release clock).
+    wclock: VClock,
     kind: WriteKind,
     written_at: Nanos,
     /// (line, base version the write was derived from).
@@ -395,6 +656,12 @@ enum DedupKey {
         line: u64,
         writer: u16,
     },
+    Concurrent {
+        line: u64,
+        a: usize,
+        b: usize,
+        accesses: (AccessKind, AccessKind),
+    },
 }
 
 /// The shadow-state coherence checker. Owned by the fabric when audit
@@ -410,6 +677,15 @@ pub struct Auditor {
     events: HashMap<u64, EventMeta>,
     seen: HashSet<DedupKey>,
     report: AuditReport,
+    /// Per-actor clocks, indexed by [`Actor::index`] (vector-clock
+    /// mode; empty otherwise).
+    clocks: Vec<VClock>,
+    /// Actor and release clock of the last visible write per line.
+    wclocks: HashMap<u64, (Actor, VClock)>,
+    /// Release clock of the write each cached view reflects.
+    view_clocks: HashMap<(u16, u64), VClock>,
+    /// The owner's clock when each dirty view was first dirtied.
+    dirty_clocks: HashMap<(u16, u64), VClock>,
 }
 
 fn line_of(addr: u64) -> u64 {
@@ -422,7 +698,7 @@ fn lines_of(hpa: u64, len: u64) -> impl Iterator<Item = u64> {
     (first..=last).step_by(CACHELINE as usize)
 }
 
-/// True if `[hpa, hpa+64)` lies inside any tear-tolerant range.
+/// True if `[hpa, hpa+64)` lies inside any of the given ranges.
 fn in_ranges(ranges: &[(u64, u64)], la: u64) -> bool {
     ranges
         .iter()
@@ -443,6 +719,10 @@ impl Auditor {
             events: HashMap::new(),
             seen: HashSet::new(),
             report: AuditReport::default(),
+            clocks: Vec::new(),
+            wclocks: HashMap::new(),
+            view_clocks: HashMap::new(),
+            dirty_clocks: HashMap::new(),
         }
     }
 
@@ -451,9 +731,99 @@ impl Auditor {
         &self.report
     }
 
+    /// The analysis mode in force.
+    pub fn mode(&self) -> AuditMode {
+        self.config.mode
+    }
+
     /// Removes and returns recorded violations, keeping the counters.
     pub fn drain_violations(&mut self) -> Vec<Violation> {
         std::mem::take(&mut self.report.violations)
+    }
+
+    /// Race findings with full clock snapshots (vector-clock mode; in
+    /// version mode everything is empty).
+    pub fn race_report(&self) -> RaceReport {
+        let conflicts = self
+            .report
+            .violations
+            .iter()
+            .filter(|v| matches!(v.kind, ViolationKind::ConcurrentConflict { .. }))
+            .cloned()
+            .collect();
+        let actor_clocks = self
+            .clocks
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c != VClock::default())
+            .map(|(i, c)| (Actor::from_index(i), c.clone()))
+            .collect();
+        let mut line_clocks: Vec<(u64, Actor, VClock)> = self
+            .wclocks
+            .iter()
+            .map(|(&la, (a, c))| (la, *a, c.clone()))
+            .collect();
+        line_clocks.sort_by_key(|&(la, _, _)| la);
+        RaceReport {
+            conflicts,
+            actor_clocks,
+            line_clocks,
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Vector-clock plumbing
+    // ---------------------------------------------------------------
+
+    fn vc_on(&self) -> bool {
+        self.config.mode == AuditMode::VectorClock
+    }
+
+    fn clock_mut(&mut self, actor: Actor) -> &mut VClock {
+        let i = actor.index();
+        if self.clocks.len() <= i {
+            self.clocks.resize(i + 1, VClock::default());
+        }
+        &mut self.clocks[i]
+    }
+
+    /// Advances an actor's own component (one op in its program order).
+    fn tick(&mut self, actor: Actor) {
+        if !self.vc_on() {
+            return;
+        }
+        let i = actor.index();
+        self.clock_mut(actor).bump(i);
+    }
+
+    /// The actor's current clock (empty if it never acted).
+    fn snapshot(&self, actor: Actor) -> VClock {
+        self.clocks.get(actor.index()).cloned().unwrap_or_default()
+    }
+
+    /// Joins `clock` into `dst`'s clock (an incoming hb edge).
+    fn join_from(&mut self, dst: Actor, clock: &VClock) {
+        if !self.vc_on() {
+            return;
+        }
+        self.clock_mut(dst).join(clock);
+    }
+
+    /// Joins `src`'s current clock into `dst`'s (e.g. a DMA doorbell
+    /// or completion edge).
+    fn join_actor(&mut self, dst: Actor, src: Actor) {
+        if !self.vc_on() {
+            return;
+        }
+        let c = self.snapshot(src);
+        self.clock_mut(dst).join(&c);
+    }
+
+    /// Removes a host's view of a line along with its clock shadows.
+    fn drop_view(&mut self, host: u16, la: u64) -> Option<HostView> {
+        self.view_clocks.remove(&(host, la));
+        self.dirty_clocks.remove(&(host, la));
+        self.views.remove(&(host, la))
     }
 
     // ---------------------------------------------------------------
@@ -477,9 +847,10 @@ impl Auditor {
         self.next_version += 1;
         let mut covered = Vec::with_capacity(ev.lines.len());
         for &(la, base_version) in &ev.lines {
+            let cur = self.lines.get(&la).copied();
             // A newer visible write by someone else landed between this
             // write's base and its visibility: that write is clobbered.
-            if let Some(cur) = self.lines.get(&la) {
+            if let Some(cur) = cur {
                 if cur.version > base_version && cur.writer != ev.writer {
                     self.record(
                         la,
@@ -498,6 +869,36 @@ impl Auditor {
                         },
                     );
                 }
+            }
+            if self.vc_on() {
+                // Write-write race: the previous visible write and this
+                // one carry incomparable release clocks — their relative
+                // order is pure fabric timing, not program order.
+                if let Some((pactor, pclock)) = self.wclocks.get(&la).cloned() {
+                    if pactor != ev.actor && pclock.concurrent_with(&ev.wclock) {
+                        self.record(
+                            la,
+                            visible_at,
+                            ViolationKind::ConcurrentConflict {
+                                first: pactor,
+                                first_access: AccessKind::Write,
+                                first_at: cur.map(|c| c.written_at).unwrap_or(Nanos::ZERO),
+                                first_clock: pclock,
+                                second: ev.actor,
+                                second_access: AccessKind::Write,
+                                second_at: ev.written_at,
+                                second_clock: ev.wclock.clone(),
+                            },
+                            DedupKey::Concurrent {
+                                line: la,
+                                a: pactor.index().min(ev.actor.index()),
+                                b: pactor.index().max(ev.actor.index()),
+                                accesses: (AccessKind::Write, AccessKind::Write),
+                            },
+                        );
+                    }
+                }
+                self.wclocks.insert(la, (ev.actor, ev.wclock.clone()));
             }
             self.set_line_state(
                 la,
@@ -547,7 +948,7 @@ impl Auditor {
         &mut self,
         written_at: Nanos,
         visible_at: Nanos,
-        writer: HostId,
+        actor: Actor,
         kind: WriteKind,
         lines: Vec<(u64, u64)>,
     ) -> u64 {
@@ -555,11 +956,18 @@ impl Auditor {
         self.next_event += 1;
         let seq = self.pending_seq;
         self.pending_seq += 1;
+        let wclock = if self.vc_on() {
+            self.snapshot(actor)
+        } else {
+            VClock::default()
+        };
         self.pending.insert(
             (visible_at, seq),
             PendingEvent {
                 event,
-                writer,
+                writer: actor.host(),
+                actor,
+                wclock,
                 kind,
                 written_at,
                 lines,
@@ -575,15 +983,18 @@ impl Auditor {
     /// Audits one CPU load. `served` lists each line the load touched
     /// and whether it was served from the host's cache (`true`) or
     /// fetched fresh from the pool (`false`). `tolerant` holds ranges
-    /// where torn reads are by-design (seqlock bodies).
+    /// where torn reads are by-design (seqlock bodies); `sync` holds
+    /// synchronization ranges where reads are acquire operations.
     pub fn on_load(
         &mut self,
         now: Nanos,
         host: HostId,
         served: &[(u64, bool)],
         tolerant: &[(u64, u64)],
+        sync: &[(u64, u64)],
     ) {
         self.report.ops_audited += 1;
+        self.tick(Actor::Cpu(host));
         // (line, observed version, observed event) per served line.
         let mut observed: Vec<(u64, u64, u64)> = Vec::with_capacity(served.len());
         for &(la, hit) in served {
@@ -598,10 +1009,74 @@ impl Auditor {
                     dirty_since: Nanos::ZERO,
                     base_version: cur.map(|c| c.version).unwrap_or(0),
                 });
+                if self.vc_on() && !self.view_clocks.contains_key(&(host.0, la)) {
+                    let wc = self
+                        .wclocks
+                        .get(&la)
+                        .map(|(_, c)| c.clone())
+                        .unwrap_or_default();
+                    self.view_clocks.insert((host.0, la), wc);
+                }
+                let mut stale = None;
                 if let Some(cur) = cur {
                     // Reading your own dirty merge is read-own-writes;
                     // the stale *base* is reported at publish instead.
                     if !view.dirty && view.version < cur.version && cur.writer != host {
+                        stale = Some(cur);
+                    }
+                }
+                if let Some(cur) = stale {
+                    if self.vc_on() {
+                        let (wactor, wclock) = self
+                            .wclocks
+                            .get(&la)
+                            .cloned()
+                            .unwrap_or((Actor::Cpu(cur.writer), VClock::default()));
+                        let rclock = self.snapshot(Actor::Cpu(host));
+                        if wclock.leq(&rclock) {
+                            // The missed write happens-before this read:
+                            // a genuine (precisely ordered) stale read.
+                            self.record(
+                                la,
+                                now,
+                                ViolationKind::StaleRead {
+                                    reader: host,
+                                    writer: cur.writer,
+                                    write_kind: cur.kind,
+                                    written_at: cur.written_at,
+                                    visible_at: cur.visible_at,
+                                },
+                                DedupKey::Stale {
+                                    line: la,
+                                    reader: host.0,
+                                    event: cur.event,
+                                },
+                            );
+                        } else {
+                            // No edge orders the write before the read:
+                            // a race, not definite staleness.
+                            self.record(
+                                la,
+                                now,
+                                ViolationKind::ConcurrentConflict {
+                                    first: wactor,
+                                    first_access: AccessKind::Write,
+                                    first_at: cur.written_at,
+                                    first_clock: wclock,
+                                    second: Actor::Cpu(host),
+                                    second_access: AccessKind::Read,
+                                    second_at: now,
+                                    second_clock: rclock,
+                                },
+                                DedupKey::Concurrent {
+                                    line: la,
+                                    a: wactor.index().min(Actor::Cpu(host).index()),
+                                    b: wactor.index().max(Actor::Cpu(host).index()),
+                                    accesses: (AccessKind::Write, AccessKind::Read),
+                                },
+                            );
+                        }
+                    } else {
                         self.record(
                             la,
                             now,
@@ -619,6 +1094,12 @@ impl Auditor {
                             },
                         );
                     }
+                } else if self.vc_on() && in_ranges(sync, la) {
+                    // Fresh (or own-dirty) hit on a sync line: acquire
+                    // the ordering of the write the copy reflects.
+                    if let Some(vc) = self.view_clocks.get(&(host.0, la)).cloned() {
+                        self.join_from(Actor::Cpu(host), &vc);
+                    }
                 }
                 observed.push((la, view.version, view.event));
             } else {
@@ -634,6 +1115,52 @@ impl Auditor {
                         base_version: version,
                     },
                 );
+                if self.vc_on() {
+                    match self.wclocks.get(&la).cloned() {
+                        Some((wactor, wclock)) => {
+                            if in_ranges(sync, la) {
+                                // Acquire: the protocol on this line
+                                // (ring slot, mailbox, seqlock word)
+                                // creates the cross-actor edge.
+                                self.join_from(Actor::Cpu(host), &wclock);
+                            } else {
+                                let rclock = self.snapshot(Actor::Cpu(host));
+                                if wactor != Actor::Cpu(host) && wclock.concurrent_with(&rclock) {
+                                    self.record(
+                                        la,
+                                        now,
+                                        ViolationKind::ConcurrentConflict {
+                                            first: wactor,
+                                            first_access: AccessKind::Write,
+                                            first_at: cur
+                                                .map(|c| c.written_at)
+                                                .unwrap_or(Nanos::ZERO),
+                                            first_clock: wclock.clone(),
+                                            second: Actor::Cpu(host),
+                                            second_access: AccessKind::Read,
+                                            second_at: now,
+                                            second_clock: rclock,
+                                        },
+                                        DedupKey::Concurrent {
+                                            line: la,
+                                            a: wactor.index().min(Actor::Cpu(host).index()),
+                                            b: wactor.index().max(Actor::Cpu(host).index()),
+                                            accesses: (AccessKind::Write, AccessKind::Read),
+                                        },
+                                    );
+                                }
+                                // Join anyway so one unordered publish
+                                // does not cascade into a conflict on
+                                // every later access.
+                                self.join_from(Actor::Cpu(host), &wclock);
+                            }
+                            self.view_clocks.insert((host.0, la), wclock);
+                        }
+                        None => {
+                            self.view_clocks.insert((host.0, la), VClock::default());
+                        }
+                    }
+                }
                 observed.push((la, version, event));
             }
         }
@@ -715,6 +1242,20 @@ impl Auditor {
                 base_version: version,
             },
         );
+        if self.vc_on() {
+            let wc = self
+                .wclocks
+                .get(&la)
+                .map(|(_, c)| c.clone())
+                .unwrap_or_default();
+            self.view_clocks.insert((host.0, la), wc);
+        }
+    }
+
+    /// Audits a capacity eviction of a *clean* line: the host simply
+    /// forgets its copy, so the shadow view is dropped too.
+    pub fn on_clean_eviction(&mut self, host: HostId, la: u64) {
+        self.drop_view(host.0, la);
     }
 
     /// Audits one cached (write-back) store to one line. Reports a
@@ -751,18 +1292,24 @@ impl Auditor {
             dirty_since: Nanos::ZERO,
             base_version: cur.map(|c| c.version).unwrap_or(0),
         });
-        if !view.dirty {
+        let newly_dirty = !view.dirty;
+        if newly_dirty {
             view.dirty = true;
             view.dirty_since = now;
             // Freeze the merge base: publishing later writes back the
             // whole line as seen *now*.
             view.base_version = view.version;
         }
+        if self.vc_on() && newly_dirty {
+            let c = self.snapshot(Actor::Cpu(host));
+            self.dirty_clocks.insert((host.0, la), c);
+        }
     }
 
     /// Counts a cached-store op (once per `Fabric::store` call).
-    pub fn count_store(&mut self) {
+    pub fn count_store(&mut self, host: HostId) {
         self.report.ops_audited += 1;
+        self.tick(Actor::Cpu(host));
     }
 
     /// Audits a non-temporal store: the writer's own cached lines are
@@ -770,19 +1317,23 @@ impl Auditor {
     /// write is queued for visibility at `done`.
     pub fn on_nt_store(&mut self, now: Nanos, host: HostId, hpa: u64, len: u64, done: Nanos) {
         self.report.ops_audited += 1;
+        self.tick(Actor::Cpu(host));
         self.discard_for_overwrite(now, host, host, hpa, len);
         let lines = self.bases_for(hpa, len);
-        self.enqueue(now, done, host, WriteKind::NtStore, lines);
+        self.enqueue(now, done, Actor::Cpu(host), WriteKind::NtStore, lines);
     }
 
     /// Audits a device DMA write via attach host `host`: snoop drops
     /// the attach host's copies; remote hosts keep theirs (and go
-    /// stale).
+    /// stale). The doorbell orders the DMA after the attach CPU's prior
+    /// work (one hb edge); remote CPUs get no edge.
     pub fn on_dma_write(&mut self, now: Nanos, host: HostId, hpa: u64, len: u64, done: Nanos) {
         self.report.ops_audited += 1;
+        self.join_actor(Actor::Dma(host), Actor::Cpu(host));
+        self.tick(Actor::Dma(host));
         self.discard_for_overwrite(now, host, host, hpa, len);
         let lines = self.bases_for(hpa, len);
-        self.enqueue(now, done, host, WriteKind::DmaWrite, lines);
+        self.enqueue(now, done, Actor::Dma(host), WriteKind::DmaWrite, lines);
     }
 
     /// Audits a flush: `dirty` lists the dirty lines being published
@@ -797,6 +1348,7 @@ impl Auditor {
         done: Nanos,
     ) {
         self.report.ops_audited += 1;
+        self.tick(Actor::Cpu(host));
         let mut published = Vec::with_capacity(dirty.len());
         for &la in dirty {
             let base = self
@@ -808,10 +1360,10 @@ impl Auditor {
         }
         // clflush semantics: every line in the range leaves the cache.
         for la in lines_of(hpa, len) {
-            self.views.remove(&(host.0, la));
+            self.drop_view(host.0, la);
         }
         if !published.is_empty() {
-            self.enqueue(now, done, host, WriteKind::Flush, published);
+            self.enqueue(now, done, Actor::Cpu(host), WriteKind::Flush, published);
         }
     }
 
@@ -820,7 +1372,7 @@ impl Auditor {
     pub fn on_invalidate(&mut self, now: Nanos, host: HostId, hpa: u64, len: u64) {
         self.report.ops_audited += 1;
         for la in lines_of(hpa, len) {
-            if let Some(view) = self.views.remove(&(host.0, la)) {
+            if let Some(view) = self.drop_view(host.0, la) {
                 if view.dirty {
                     self.record(
                         la,
@@ -846,9 +1398,19 @@ impl Auditor {
     /// Audits a DMA read via attach host `host`: the device sees the
     /// pool plus that host's dirty lines — any *other* host's dirty
     /// line in the range is invisible to it (an unpublished write the
-    /// device reads around).
-    pub fn on_dma_read(&mut self, now: Nanos, host: HostId, hpa: u64, len: u64) {
+    /// device reads around). In vector-clock mode the read also checks
+    /// that the last visible write on each line is ordered before it.
+    pub fn on_dma_read(
+        &mut self,
+        now: Nanos,
+        host: HostId,
+        hpa: u64,
+        len: u64,
+        sync: &[(u64, u64)],
+    ) {
         self.report.ops_audited += 1;
+        self.join_actor(Actor::Dma(host), Actor::Cpu(host));
+        self.tick(Actor::Dma(host));
         for la in lines_of(hpa, len) {
             let remote_dirty = self
                 .views
@@ -856,25 +1418,117 @@ impl Auditor {
                 .find(|(&(h, l), view)| l == la && h != host.0 && view.dirty)
                 .map(|(&(h, _), view)| (HostId(h), view.dirty_since));
             if let Some((writer, dirty_since)) = remote_dirty {
-                self.record(
-                    la,
-                    now,
-                    ViolationKind::StaleRead {
-                        reader: host,
-                        writer,
-                        write_kind: WriteKind::Flush,
-                        written_at: dirty_since,
-                        // Never yet visible; report the dirtying time.
-                        visible_at: dirty_since,
-                    },
-                    DedupKey::Stale {
-                        line: la,
-                        reader: host.0,
-                        event: u64::MAX ^ la,
-                    },
-                );
+                if self.vc_on() {
+                    let dclock = self
+                        .dirty_clocks
+                        .get(&(writer.0, la))
+                        .cloned()
+                        .unwrap_or_default();
+                    let rclock = self.snapshot(Actor::Dma(host));
+                    if dclock.leq(&rclock) {
+                        // The store happens-before the DMA yet was never
+                        // published: the device definitely reads around
+                        // it.
+                        self.record_dma_stale(la, now, host, writer, dirty_since);
+                    } else {
+                        // Unpublished store racing the DMA read.
+                        self.record(
+                            la,
+                            now,
+                            ViolationKind::ConcurrentConflict {
+                                first: Actor::Cpu(writer),
+                                first_access: AccessKind::Write,
+                                first_at: dirty_since,
+                                first_clock: dclock,
+                                second: Actor::Dma(host),
+                                second_access: AccessKind::Read,
+                                second_at: now,
+                                second_clock: rclock,
+                            },
+                            DedupKey::Concurrent {
+                                line: la,
+                                a: Actor::Cpu(writer).index().min(Actor::Dma(host).index()),
+                                b: Actor::Cpu(writer).index().max(Actor::Dma(host).index()),
+                                accesses: (AccessKind::Write, AccessKind::Read),
+                            },
+                        );
+                    }
+                } else {
+                    self.record_dma_stale(la, now, host, writer, dirty_since);
+                }
+            }
+            if self.vc_on() {
+                if let Some((wactor, wclock)) = self.wclocks.get(&la).cloned() {
+                    if in_ranges(sync, la) {
+                        self.join_from(Actor::Dma(host), &wclock);
+                    } else {
+                        let rclock = self.snapshot(Actor::Dma(host));
+                        if wactor != Actor::Dma(host) && wclock.concurrent_with(&rclock) {
+                            let written_at = self
+                                .lines
+                                .get(&la)
+                                .map(|c| c.written_at)
+                                .unwrap_or(Nanos::ZERO);
+                            self.record(
+                                la,
+                                now,
+                                ViolationKind::ConcurrentConflict {
+                                    first: wactor,
+                                    first_access: AccessKind::Write,
+                                    first_at: written_at,
+                                    first_clock: wclock.clone(),
+                                    second: Actor::Dma(host),
+                                    second_access: AccessKind::Read,
+                                    second_at: now,
+                                    second_clock: rclock,
+                                },
+                                DedupKey::Concurrent {
+                                    line: la,
+                                    a: wactor.index().min(Actor::Dma(host).index()),
+                                    b: wactor.index().max(Actor::Dma(host).index()),
+                                    accesses: (AccessKind::Write, AccessKind::Read),
+                                },
+                            );
+                        }
+                        self.join_from(Actor::Dma(host), &wclock);
+                    }
+                }
             }
         }
+    }
+
+    fn record_dma_stale(
+        &mut self,
+        la: u64,
+        now: Nanos,
+        host: HostId,
+        writer: HostId,
+        dirty_since: Nanos,
+    ) {
+        self.record(
+            la,
+            now,
+            ViolationKind::StaleRead {
+                reader: host,
+                writer,
+                write_kind: WriteKind::Flush,
+                written_at: dirty_since,
+                // Never yet visible; report the dirtying time.
+                visible_at: dirty_since,
+            },
+            DedupKey::Stale {
+                line: la,
+                reader: host.0,
+                event: u64::MAX ^ la,
+            },
+        );
+    }
+
+    /// Records the completion edge of a DMA operation: the attach
+    /// host's CPU observed the CQE/doorbell, so everything the device
+    /// did happens-before the CPU's subsequent work.
+    pub fn on_dma_complete(&mut self, host: HostId) {
+        self.join_actor(Actor::Cpu(host), Actor::Dma(host));
     }
 
     /// Audits a dirty capacity eviction: the line is published *now*
@@ -883,21 +1537,62 @@ impl Auditor {
     pub fn on_dirty_eviction(&mut self, now: Nanos, host: HostId, la: u64) {
         let base = self
             .views
-            .remove(&(host.0, la))
+            .get(&(host.0, la))
             .map(|v| v.base_version)
             .unwrap_or(0);
+        self.drop_view(host.0, la);
+        self.tick(Actor::Cpu(host));
         let event = self.next_event;
         self.next_event += 1;
+        let wclock = if self.vc_on() {
+            self.snapshot(Actor::Cpu(host))
+        } else {
+            VClock::default()
+        };
         self.apply_event(
             now,
             PendingEvent {
                 event,
                 writer: host,
+                actor: Actor::Cpu(host),
+                wclock,
                 kind: WriteKind::Eviction,
                 written_at: now,
                 lines: vec![(la, base)],
             },
         );
+    }
+
+    /// Forgets all shadow state for `[base, end)` when the segment is
+    /// freed: a reallocation of the space must be audited from scratch,
+    /// not against ghosts of the previous tenant.
+    pub fn on_segment_free(&mut self, base: u64, end: u64) {
+        let las: Vec<u64> = self
+            .lines
+            .keys()
+            .copied()
+            .filter(|&la| la >= base && la < end)
+            .collect();
+        for la in las {
+            if let Some(old) = self.lines.remove(&la) {
+                if let Some(meta) = self.events.get_mut(&old.event) {
+                    meta.refs -= 1;
+                    if meta.refs == 0 {
+                        self.events.remove(&old.event);
+                    }
+                }
+            }
+        }
+        self.views.retain(|&(_, la), _| la < base || la >= end);
+        self.view_clocks
+            .retain(|&(_, la), _| la < base || la >= end);
+        self.dirty_clocks
+            .retain(|&(_, la), _| la < base || la >= end);
+        self.wclocks.retain(|&la, _| la < base || la >= end);
+        for ev in self.pending.values_mut() {
+            ev.lines.retain(|&(la, _)| la < base || la >= end);
+        }
+        self.pending.retain(|_, ev| !ev.lines.is_empty());
     }
 
     /// Counts a local-DRAM access (always coherent; nothing to check).
@@ -951,7 +1646,7 @@ impl Auditor {
     ) {
         let end = hpa + len;
         for la in lines_of(hpa, len) {
-            if let Some(view) = self.views.remove(&(victim.0, la)) {
+            if let Some(view) = self.drop_view(victim.0, la) {
                 let fully_covered = hpa <= la && la + CACHELINE <= end;
                 if view.dirty && !fully_covered {
                     self.record(
@@ -993,6 +1688,9 @@ impl Auditor {
             ViolationKind::LostWrite { .. } => self.report.counts.lost_writes += 1,
             ViolationKind::WriteWriteConflict { .. } => self.report.counts.ww_conflicts += 1,
             ViolationKind::UnflushedWrite { .. } => self.report.counts.unflushed_writes += 1,
+            ViolationKind::ConcurrentConflict { .. } => {
+                self.report.counts.concurrent_conflicts += 1
+            }
         }
         if !self.seen.insert(key) || self.report.violations.len() >= self.config.max_recorded {
             self.report.suppressed += 1;
@@ -1012,18 +1710,35 @@ mod tests {
 
     const L: u64 = CACHELINE;
 
+    /// Version-mode config regardless of `CXL_AUDIT` (these tests pin
+    /// the single-version semantics).
+    fn ver() -> AuditConfig {
+        AuditConfig {
+            mode: AuditMode::Version,
+            ..AuditConfig::default()
+        }
+    }
+
+    /// Vector-clock-mode config regardless of `CXL_AUDIT`.
+    fn vc() -> AuditConfig {
+        AuditConfig {
+            mode: AuditMode::VectorClock,
+            ..AuditConfig::default()
+        }
+    }
+
     /// Drives the auditor directly (no fabric) through a stale-read
     /// scenario: host 1 caches a line, host 0 publishes, host 1 hits.
     #[test]
     fn stale_hit_after_remote_publish_is_flagged() {
-        let mut a = Auditor::new(AuditConfig::default());
+        let mut a = Auditor::new(ver());
         // Host 1 load-misses line 0 (caches pool state, version 0).
-        a.on_load(Nanos(0), HostId(1), &[(0, false)], &[]);
+        a.on_load(Nanos(0), HostId(1), &[(0, false)], &[], &[]);
         // Host 0 nt-stores the line, visible at t=100.
         a.on_nt_store(Nanos(10), HostId(0), 0, L, Nanos(100));
         a.advance(Nanos(100));
         // Host 1 hits its stale copy.
-        a.on_load(Nanos(200), HostId(1), &[(0, true)], &[]);
+        a.on_load(Nanos(200), HostId(1), &[(0, true)], &[], &[]);
         let r = a.report();
         assert_eq!(r.counts.stale_reads, 1);
         match &r.violations[0].kind {
@@ -1037,19 +1752,19 @@ mod tests {
 
     #[test]
     fn own_write_hit_is_not_stale() {
-        let mut a = Auditor::new(AuditConfig::default());
-        a.on_load(Nanos(0), HostId(0), &[(0, false)], &[]);
+        let mut a = Auditor::new(ver());
+        a.on_load(Nanos(0), HostId(0), &[(0, false)], &[], &[]);
         a.on_nt_store(Nanos(10), HostId(0), 0, L, Nanos(100));
         a.advance(Nanos(100));
         // Host 0 re-caching pre-publish bytes of its *own* write is an
         // ordering quirk, not a cross-host hazard.
-        a.on_load(Nanos(200), HostId(0), &[(0, true)], &[]);
+        a.on_load(Nanos(200), HostId(0), &[(0, true)], &[], &[]);
         assert!(a.report().is_clean());
     }
 
     #[test]
     fn visibility_order_not_issue_order_decides_staleness() {
-        let mut a = Auditor::new(AuditConfig::default());
+        let mut a = Auditor::new(ver());
         // Host 0 issues a slow write first (visible at 200), host 1 a
         // fast one second (visible at 100). Final state is host 0's.
         a.on_nt_store(Nanos(0), HostId(0), 0, L, Nanos(200));
@@ -1057,14 +1772,14 @@ mod tests {
         a.advance(Nanos(300));
         // A host that missed *after* both applied observes the final
         // (host 0) version: fresh, no violation.
-        a.on_load(Nanos(300), HostId(1), &[(0, false)], &[]);
-        a.on_load(Nanos(310), HostId(1), &[(0, true)], &[]);
+        a.on_load(Nanos(300), HostId(1), &[(0, false)], &[], &[]);
+        a.on_load(Nanos(310), HostId(1), &[(0, true)], &[], &[]);
         assert_eq!(a.report().counts.stale_reads, 0);
     }
 
     #[test]
     fn invalidate_of_dirty_line_loses_the_write() {
-        let mut a = Auditor::new(AuditConfig::default());
+        let mut a = Auditor::new(ver());
         a.on_fill(HostId(0), 0);
         a.on_store(Nanos(5), HostId(0), 0);
         a.on_invalidate(Nanos(10), HostId(0), 0, L);
@@ -1081,7 +1796,7 @@ mod tests {
 
     #[test]
     fn two_dirty_hosts_conflict() {
-        let mut a = Auditor::new(AuditConfig::default());
+        let mut a = Auditor::new(ver());
         a.on_fill(HostId(0), 0);
         a.on_store(Nanos(5), HostId(0), 0);
         a.on_fill(HostId(1), 0);
@@ -1099,7 +1814,7 @@ mod tests {
 
     #[test]
     fn stale_base_flush_clobbers_newer_write() {
-        let mut a = Auditor::new(AuditConfig::default());
+        let mut a = Auditor::new(ver());
         // Host 1 fills at version 0 and dirties the line.
         a.on_fill(HostId(1), 0);
         a.on_store(Nanos(5), HostId(1), 0);
@@ -1125,15 +1840,15 @@ mod tests {
 
     #[test]
     fn torn_multi_line_read_is_flagged_and_tolerance_suppresses_it() {
-        let mut a = Auditor::new(AuditConfig::default());
+        let mut a = Auditor::new(ver());
         // Host 1 caches both lines at version 0.
-        a.on_load(Nanos(0), HostId(1), &[(0, false), (L, false)], &[]);
+        a.on_load(Nanos(0), HostId(1), &[(0, false), (L, false)], &[], &[]);
         // Host 0 publishes a 2-line write.
         a.on_nt_store(Nanos(10), HostId(0), 0, 2 * L, Nanos(100));
         a.advance(Nanos(100));
         // Host 1's next load hits line 0 stale but misses line 1
         // (fresh): a torn observation of one event.
-        a.on_load(Nanos(200), HostId(1), &[(0, true), (L, false)], &[]);
+        a.on_load(Nanos(200), HostId(1), &[(0, true), (L, false)], &[], &[]);
         let r = a.report();
         assert_eq!(r.counts.torn_reads, 1);
         match &r
@@ -1159,8 +1874,8 @@ mod tests {
         }
 
         // The same pattern inside a tear-tolerant range stays quiet.
-        let mut b = Auditor::new(AuditConfig::default());
-        b.on_load(Nanos(0), HostId(1), &[(0, false), (L, false)], &[]);
+        let mut b = Auditor::new(ver());
+        b.on_load(Nanos(0), HostId(1), &[(0, false), (L, false)], &[], &[]);
         b.on_nt_store(Nanos(10), HostId(0), 0, 2 * L, Nanos(100));
         b.advance(Nanos(100));
         b.on_load(
@@ -1168,19 +1883,20 @@ mod tests {
             HostId(1),
             &[(0, true), (L, false)],
             &[(0, 2 * L)],
+            &[],
         );
         assert_eq!(b.report().counts.torn_reads, 0);
     }
 
     #[test]
     fn duplicate_violations_count_but_record_once() {
-        let mut a = Auditor::new(AuditConfig::default());
-        a.on_load(Nanos(0), HostId(1), &[(0, false)], &[]);
+        let mut a = Auditor::new(ver());
+        a.on_load(Nanos(0), HostId(1), &[(0, false)], &[], &[]);
         a.on_nt_store(Nanos(10), HostId(0), 0, L, Nanos(100));
         a.advance(Nanos(100));
-        a.on_load(Nanos(200), HostId(1), &[(0, true)], &[]);
-        a.on_load(Nanos(300), HostId(1), &[(0, true)], &[]);
-        a.on_load(Nanos(400), HostId(1), &[(0, true)], &[]);
+        a.on_load(Nanos(200), HostId(1), &[(0, true)], &[], &[]);
+        a.on_load(Nanos(300), HostId(1), &[(0, true)], &[], &[]);
+        a.on_load(Nanos(400), HostId(1), &[(0, true)], &[], &[]);
         let r = a.report();
         assert_eq!(r.counts.stale_reads, 3);
         assert_eq!(r.violations.len(), 1);
@@ -1189,7 +1905,10 @@ mod tests {
 
     #[test]
     fn record_cap_suppresses_overflow() {
-        let mut a = Auditor::new(AuditConfig { max_recorded: 1 });
+        let mut a = Auditor::new(AuditConfig {
+            max_recorded: 1,
+            ..ver()
+        });
         a.on_fill(HostId(0), 0);
         a.on_store(Nanos(1), HostId(0), 0);
         a.on_invalidate(Nanos(2), HostId(0), 0, L);
@@ -1219,5 +1938,180 @@ mod tests {
         assert!(s.contains("stale-read"));
         assert!(s.contains("host 1"));
         assert!(s.contains("host 0"));
+    }
+
+    // -----------------------------------------------------------------
+    // Vector-clock mode
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn vclock_partial_order_basics() {
+        let mut a = VClock::default();
+        let mut b = VClock::default();
+        a.bump(Actor::Cpu(HostId(0)).index());
+        b.bump(Actor::Cpu(HostId(1)).index());
+        assert!(a.concurrent_with(&b));
+        assert!(!a.leq(&b) && !b.leq(&a));
+        // Join orders them.
+        b.join(&a);
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+        assert!(!a.concurrent_with(&b));
+        assert_eq!(b.get(Actor::Cpu(HostId(0)).index()), 1);
+        assert_eq!(b.get(Actor::Cpu(HostId(1)).index()), 1);
+    }
+
+    #[test]
+    fn actor_index_roundtrip_and_display() {
+        for actor in [
+            Actor::Cpu(HostId(0)),
+            Actor::Dma(HostId(0)),
+            Actor::Cpu(HostId(5)),
+            Actor::Dma(HostId(5)),
+        ] {
+            assert_eq!(Actor::from_index(actor.index()), actor);
+        }
+        assert_eq!(Actor::Cpu(HostId(3)).to_string(), "cpu3");
+        assert_eq!(Actor::Dma(HostId(3)).to_string(), "dma3");
+    }
+
+    #[test]
+    fn unordered_writes_race_in_vc_mode_but_not_version_mode() {
+        // Two hosts publish the same line with no coherence edge
+        // between them: version mode invents an order, vector clocks
+        // call the race out.
+        let run = |cfg: AuditConfig| {
+            let mut a = Auditor::new(cfg);
+            a.on_nt_store(Nanos(0), HostId(0), 0, L, Nanos(100));
+            a.on_nt_store(Nanos(10), HostId(1), 0, L, Nanos(110));
+            a.advance(Nanos(200));
+            a.report().clone()
+        };
+        assert_eq!(run(ver()).counts.concurrent_conflicts, 0);
+        let r = run(vc());
+        assert_eq!(r.counts.concurrent_conflicts, 1);
+        match &r
+            .violations
+            .iter()
+            .find(|v| matches!(v.kind, ViolationKind::ConcurrentConflict { .. }))
+            .unwrap()
+            .kind
+        {
+            ViolationKind::ConcurrentConflict {
+                first,
+                second,
+                first_clock,
+                second_clock,
+                ..
+            } => {
+                assert_eq!(*first, Actor::Cpu(HostId(0)));
+                assert_eq!(*second, Actor::Cpu(HostId(1)));
+                assert!(first_clock.concurrent_with(second_clock));
+            }
+            other => panic!("expected ConcurrentConflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dma_completion_edge_orders_cpu_read_after_dma_write() {
+        // Without the completion edge the attach CPU's fresh read of a
+        // DMA-written line races it; with the edge it is ordered.
+        let run = |complete: bool| {
+            let mut a = Auditor::new(vc());
+            a.on_dma_write(Nanos(0), HostId(0), 0, L, Nanos(100));
+            a.advance(Nanos(100));
+            if complete {
+                a.on_dma_complete(HostId(0));
+            }
+            a.on_load(Nanos(200), HostId(0), &[(0, false)], &[], &[]);
+            a.report().counts.concurrent_conflicts
+        };
+        assert_eq!(run(false), 1);
+        assert_eq!(run(true), 0);
+    }
+
+    #[test]
+    fn sync_range_miss_is_an_acquire_edge() {
+        // Host 0 publishes a flag line registered as a sync range;
+        // host 1's fresh read of it joins host 0's clock, ordering a
+        // subsequent read of host 0's earlier data write.
+        let run = |sync: &[(u64, u64)]| {
+            let mut a = Auditor::new(vc());
+            // Data write, then flag write (program order on cpu0).
+            a.on_nt_store(Nanos(0), HostId(0), 2 * L, L, Nanos(90));
+            a.on_nt_store(Nanos(10), HostId(0), 0, L, Nanos(100));
+            a.advance(Nanos(150));
+            // Host 1 reads flag then data, both fresh.
+            a.on_load(Nanos(200), HostId(1), &[(0, false)], &[], sync);
+            a.on_load(Nanos(210), HostId(1), &[(2 * L, false)], &[], sync);
+            a.report().counts.concurrent_conflicts
+        };
+        // No sync range: the flag read itself races host 0's write.
+        assert!(run(&[]) > 0);
+        // Flag line registered: acquire edge, everything ordered.
+        assert_eq!(run(&[(0, L)]), 0);
+    }
+
+    #[test]
+    fn stale_hit_with_edge_is_precise_stale_read_not_race() {
+        let mut a = Auditor::new(vc());
+        // Host 1 caches the data line.
+        a.on_load(Nanos(0), HostId(1), &[(2 * L, false)], &[], &[]);
+        // Host 0 publishes data then a sync flag.
+        a.on_nt_store(Nanos(10), HostId(0), 2 * L, L, Nanos(90));
+        a.on_nt_store(Nanos(20), HostId(0), 0, L, Nanos(100));
+        a.advance(Nanos(150));
+        // Host 1 acquires via the flag, then hits its stale data copy:
+        // the missed write is hb-ordered before the read, so this is a
+        // definite stale read, not a race.
+        a.on_load(Nanos(200), HostId(1), &[(0, false)], &[], &[(0, L)]);
+        a.on_load(Nanos(210), HostId(1), &[(2 * L, true)], &[], &[(0, L)]);
+        let r = a.report();
+        assert_eq!(r.counts.stale_reads, 1);
+        assert_eq!(r.counts.concurrent_conflicts, 0);
+    }
+
+    #[test]
+    fn segment_free_clears_shadow_state() {
+        let mut a = Auditor::new(vc());
+        a.on_nt_store(Nanos(0), HostId(0), 0, 2 * L, Nanos(100));
+        a.advance(Nanos(100));
+        a.on_load(Nanos(110), HostId(1), &[(0, false)], &[], &[(0, 2 * L)]);
+        a.on_segment_free(0, 2 * L);
+        // The next tenant of the space starts from scratch: a fresh
+        // read finds no prior write to race with.
+        a.on_load(Nanos(200), HostId(2), &[(0, false), (L, false)], &[], &[]);
+        assert!(a.report().is_clean());
+        assert!(a.race_report().line_clocks.is_empty());
+    }
+
+    #[test]
+    fn race_report_carries_clock_snapshots() {
+        let mut a = Auditor::new(vc());
+        a.on_nt_store(Nanos(0), HostId(0), 0, L, Nanos(100));
+        a.on_nt_store(Nanos(10), HostId(1), 0, L, Nanos(110));
+        a.advance(Nanos(200));
+        let rr = a.race_report();
+        assert_eq!(rr.conflicts.len(), 1);
+        assert_eq!(rr.line_clocks.len(), 1);
+        assert_eq!(rr.line_clocks[0].0, 0);
+        assert!(rr
+            .actor_clocks
+            .iter()
+            .any(|(actor, _)| *actor == Actor::Cpu(HostId(0))));
+        let rendered = rr.render();
+        assert!(rendered.contains("concurrent conflict"));
+        assert!(rendered.contains("cpu0"));
+    }
+
+    #[test]
+    fn version_mode_keeps_empty_race_report() {
+        let mut a = Auditor::new(ver());
+        a.on_nt_store(Nanos(0), HostId(0), 0, L, Nanos(100));
+        a.advance(Nanos(100));
+        let rr = a.race_report();
+        assert!(rr.conflicts.is_empty());
+        assert!(rr.actor_clocks.is_empty());
+        assert!(rr.line_clocks.is_empty());
     }
 }

@@ -54,6 +54,18 @@ pub enum LoadOutcome {
     Miss,
 }
 
+/// A line evicted to make room for an incoming one. Dirty victims
+/// carry their data (`writeback` is `Some`) and the caller must push
+/// it to the pool; clean victims are simply forgotten, but the caller
+/// (the audit layer) still needs to know the host no longer has them.
+#[derive(Clone, Copy, Debug)]
+pub struct Eviction {
+    /// Line address of the victim.
+    pub addr: u64,
+    /// The victim's data when it was dirty (must be written back).
+    pub writeback: Option<[u8; CACHELINE as usize]>,
+}
+
 impl HostCache {
     /// Creates a cache holding at most `capacity` lines.
     ///
@@ -89,18 +101,14 @@ impl HostCache {
         }
     }
 
-    /// Inserts a clean line fetched from the pool. Returns any dirty
-    /// line evicted to make room, as `(line_addr, data)` — the caller
-    /// must write it back to the pool.
+    /// Inserts a clean line fetched from the pool. Returns any line
+    /// evicted to make room; a dirty victim's data must be written
+    /// back to the pool.
     ///
     /// Filling over a line that is already resident is a no-op: the
     /// resident copy (and in particular its dirty data) wins, so a
     /// redundant fetch can never silently discard unpublished stores.
-    pub fn fill(
-        &mut self,
-        addr: u64,
-        data: [u8; CACHELINE as usize],
-    ) -> Option<(u64, [u8; CACHELINE as usize])> {
+    pub fn fill(&mut self, addr: u64, data: [u8; CACHELINE as usize]) -> Option<Eviction> {
         let la = Self::line_addr(addr);
         if self.lines.contains_key(&la) {
             return None;
@@ -115,8 +123,8 @@ impl HostCache {
     /// `addr`. `offset` is `addr`'s offset within the line. The caller
     /// must have filled the line first if partial-line data matters;
     /// absent a fill, the rest of the line is treated as zero (caller
-    /// normally fetches on write-miss). Returns any dirty eviction.
-    pub fn store(&mut self, addr: u64, data: &[u8]) -> Option<(u64, [u8; CACHELINE as usize])> {
+    /// normally fetches on write-miss). Returns any eviction.
+    pub fn store(&mut self, addr: u64, data: &[u8]) -> Option<Eviction> {
         let la = Self::line_addr(addr);
         let offset = (addr - la) as usize;
         assert!(
@@ -196,7 +204,7 @@ impl HostCache {
         self.stats
     }
 
-    fn make_room(&mut self, incoming: u64) -> Option<(u64, [u8; CACHELINE as usize])> {
+    fn make_room(&mut self, incoming: u64) -> Option<Eviction> {
         if self.lines.len() < self.capacity || self.lines.contains_key(&incoming) {
             return None;
         }
@@ -205,9 +213,15 @@ impl HostCache {
             if let Some(line) = self.lines.remove(&victim) {
                 if line.dirty {
                     self.stats.writebacks += 1;
-                    return Some((victim, line.data));
+                    return Some(Eviction {
+                        addr: victim,
+                        writeback: Some(line.data),
+                    });
                 }
-                return None;
+                return Some(Eviction {
+                    addr: victim,
+                    writeback: None,
+                });
             }
         }
         None
@@ -271,19 +285,23 @@ mod tests {
         c.fill(0x40, [2u8; L]); // clean
                                 // Third line evicts 0x0 (dirty) -> write-back surfaces.
         let ev = c.store(0x80, &[3u8; 4]);
-        let (addr, data) = ev.expect("dirty eviction");
-        assert_eq!(addr, 0x0);
+        let ev = ev.expect("dirty eviction");
+        assert_eq!(ev.addr, 0x0);
+        let data = ev.writeback.expect("dirty victim carries data");
         assert_eq!(&data[..4], &[1u8; 4]);
         assert_eq!(c.resident(), 2);
     }
 
     #[test]
-    fn clean_eviction_returns_none() {
+    fn clean_eviction_reports_victim_without_writeback() {
         let mut c = HostCache::new(1);
         c.fill(0x0, [1u8; L]);
-        assert!(c.fill(0x40, [2u8; L]).is_none());
+        let ev = c.fill(0x40, [2u8; L]).expect("clean eviction surfaces");
+        assert_eq!(ev.addr, 0x0);
+        assert!(ev.writeback.is_none(), "clean victim has no write-back");
         assert!(c.contains(0x40));
         assert!(!c.contains(0x0));
+        assert_eq!(c.stats().writebacks, 0);
     }
 
     #[test]
@@ -316,8 +334,9 @@ mod tests {
         c.store(0x40, &[2u8; 4]); // dirty
         assert_eq!(c.stats().writebacks, 0, "no eviction yet");
         // One incoming line evicts exactly one victim (0x0).
-        let ev = c.fill(0x80, [3u8; L]);
-        assert_eq!(ev.expect("dirty eviction").0, 0x0);
+        let ev = c.fill(0x80, [3u8; L]).expect("dirty eviction");
+        assert_eq!(ev.addr, 0x0);
+        assert!(ev.writeback.is_some());
         assert_eq!(c.stats().writebacks, 1);
         // The victim is gone, so re-flushing it cannot double-count.
         assert!(c.flush(0x0).is_none());

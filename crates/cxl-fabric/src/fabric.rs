@@ -15,8 +15,8 @@ use simkit::server::BandwidthPipe;
 use simkit::Nanos;
 
 use crate::alloc::{PoolAllocator, Segment, SegmentId};
-use crate::audit::{AuditConfig, AuditReport, Auditor, Violation};
-use crate::cache::{CacheStats, HostCache, LoadOutcome};
+use crate::audit::{AuditConfig, AuditReport, Auditor, RaceReport, Violation};
+use crate::cache::{CacheStats, Eviction, HostCache, LoadOutcome};
 use crate::error::FabricError;
 use crate::params::{FabricParams, CACHELINE};
 use crate::sparse::SparseMem;
@@ -117,6 +117,11 @@ pub struct Fabric {
     /// design (seqlock bodies). Kept even while auditing is off so a
     /// later [`Fabric::enable_audit`] still honours them.
     tear_tolerant: Vec<(u64, u64)>,
+    /// Ranges holding synchronization protocol state (ring slots,
+    /// mailboxes, seqlock words): reads there are acquire operations
+    /// in the vector-clock model. Kept even while auditing is off, as
+    /// with `tear_tolerant`.
+    sync_ranges: Vec<(u64, u64)>,
 }
 
 impl Fabric {
@@ -152,6 +157,7 @@ impl Fabric {
             stats: AccessStats::default(),
             audit: None,
             tear_tolerant: Vec::new(),
+            sync_ranges: Vec::new(),
         }
     }
 
@@ -210,6 +216,34 @@ impl Fabric {
         }
     }
 
+    /// Declares `[hpa, hpa + len)` a synchronization range: the
+    /// protocol state there (ring slots, mailbox lines, seqlock words)
+    /// transfers ordering, so in vector-clock audit mode a fresh read
+    /// of such a line is an *acquire* of the observed write's clock.
+    /// Registered by the shmem channel/mailbox/seqlock constructors.
+    pub fn mark_sync_range(&mut self, hpa: u64, len: u64) {
+        if len > 0 {
+            self.sync_ranges.push((hpa, hpa + len));
+        }
+    }
+
+    /// The happens-before race findings with clock snapshots, if
+    /// auditing is enabled (empty unless the auditor runs in
+    /// [`crate::audit::AuditMode::VectorClock`]).
+    pub fn race_report(&self) -> Option<RaceReport> {
+        self.audit.as_deref().map(Auditor::race_report)
+    }
+
+    /// Records a DMA completion observed by `host`'s CPU (the CQE /
+    /// doorbell read): everything the device did happens-before the
+    /// CPU's subsequent work. Called by `DmaEngine` after each pool
+    /// DMA; a no-op unless vector-clock auditing is on.
+    pub fn dma_complete(&mut self, host: HostId) {
+        if let Some(a) = self.audit.as_deref_mut() {
+            a.on_dma_complete(host);
+        }
+    }
+
     /// The pod topology (for failure injection and path inspection).
     pub fn topology(&self) -> &Topology {
         &self.topology
@@ -263,12 +297,17 @@ impl Fabric {
         self.alloc.alloc(&self.topology, hosts, len, ways)
     }
 
-    /// Releases a segment. Tear-tolerant ranges inside it are dropped
-    /// so a reallocation of the space is audited normally.
+    /// Releases a segment. Tear-tolerant and sync ranges inside it are
+    /// dropped, and the auditor forgets its shadow state for the
+    /// space, so a reallocation is audited from scratch.
     pub fn free_segment(&mut self, id: SegmentId) -> Result<(), FabricError> {
         if let Some(seg) = self.alloc.segment(id) {
             let (base, end) = (seg.base(), seg.end());
             self.tear_tolerant.retain(|&(s, e)| e <= base || s >= end);
+            self.sync_ranges.retain(|&(s, e)| e <= base || s >= end);
+            if let Some(a) = self.audit.as_deref_mut() {
+                a.on_segment_free(base, end);
+            }
         }
         self.alloc.free(id)
     }
@@ -326,30 +365,26 @@ impl Fabric {
             }
         }
         if let Some(a) = self.audit.as_deref_mut() {
-            a.on_load(now, host, &served, &self.tear_tolerant);
+            a.on_load(now, host, &served, &self.tear_tolerant, &self.sync_ranges);
         }
         if missed_lines.is_empty() {
             return Ok(now + Nanos(CACHE_HIT_NS));
         }
 
         // Fetch missing lines from the pool and install them.
-        let mut writebacks: Vec<(u64, [u8; CACHELINE as usize])> = Vec::new();
+        let mut evictions: Vec<Eviction> = Vec::new();
         for &la in &missed_lines {
             let mut line = [0u8; CACHELINE as usize];
             self.pool.read(la, &mut line);
             copy_line_to_buf(la, &line, hpa, buf);
-            if let Some(wb) = self.caches[host.0 as usize].fill(la, line) {
-                writebacks.push(wb);
+            if let Some(ev) = self.caches[host.0 as usize].fill(la, line) {
+                evictions.push(ev);
             }
         }
         // Dirty evictions write back immediately (they ride the same
         // link traffic; visibility now is the conservative choice).
-        for (addr, data) in writebacks {
-            self.pool.write(addr, &data);
-            self.stats.bytes_written += CACHELINE;
-            if let Some(a) = self.audit.as_deref_mut() {
-                a.on_dirty_eviction(now, host, addr);
-            }
+        for ev in evictions {
+            self.apply_eviction(now, host, ev);
         }
 
         let bytes = missed_lines.len() as u64 * CACHELINE;
@@ -373,7 +408,7 @@ impl Fabric {
         self.check(host, hpa, len)?;
         self.stats.stores += 1;
         if let Some(a) = self.audit.as_deref_mut() {
-            a.count_store();
+            a.count_store(host);
         }
 
         // RFO: fetch lines we don't own yet so partial-line stores merge
@@ -383,12 +418,8 @@ impl Fabric {
             if !self.caches[host.0 as usize].contains(la) {
                 let mut line = [0u8; CACHELINE as usize];
                 self.pool.read(la, &mut line);
-                if let Some((addr, wb)) = self.caches[host.0 as usize].fill(la, line) {
-                    self.pool.write(addr, &wb);
-                    self.stats.bytes_written += CACHELINE;
-                    if let Some(a) = self.audit.as_deref_mut() {
-                        a.on_dirty_eviction(now, host, addr);
-                    }
+                if let Some(ev) = self.caches[host.0 as usize].fill(la, line) {
+                    self.apply_eviction(now, host, ev);
                 }
                 if let Some(a) = self.audit.as_deref_mut() {
                     a.on_fill(host, la);
@@ -403,12 +434,8 @@ impl Fabric {
             let la = line_of(cur);
             let n = ((la + CACHELINE).min(end) - cur) as usize;
             let off = (cur - hpa) as usize;
-            if let Some((addr, wb)) = self.caches[host.0 as usize].store(cur, &data[off..off + n]) {
-                self.pool.write(addr, &wb);
-                self.stats.bytes_written += CACHELINE;
-                if let Some(a) = self.audit.as_deref_mut() {
-                    a.on_dirty_eviction(now, host, addr);
-                }
+            if let Some(ev) = self.caches[host.0 as usize].store(cur, &data[off..off + n]) {
+                self.apply_eviction(now, host, ev);
             }
             if let Some(a) = self.audit.as_deref_mut() {
                 a.on_store(now, host, la);
@@ -527,7 +554,7 @@ impl Fabric {
         self.stats.dma_reads += 1;
         self.stats.bytes_read += len;
         if let Some(a) = self.audit.as_deref_mut() {
-            a.on_dma_read(now, host, hpa, len);
+            a.on_dma_read(now, host, hpa, len, &self.sync_ranges);
         }
 
         self.pool.read(hpa, buf);
@@ -662,6 +689,26 @@ impl Fabric {
             return Err(FabricError::OutOfBounds { hpa, len });
         }
         Ok(())
+    }
+
+    /// Settles one cache eviction: dirty victims write back to the
+    /// pool immediately; clean victims just leave the host's shadow
+    /// view so a later refetch is audited as a fresh miss.
+    fn apply_eviction(&mut self, now: Nanos, host: HostId, ev: Eviction) {
+        match ev.writeback {
+            Some(data) => {
+                self.pool.write(ev.addr, &data);
+                self.stats.bytes_written += CACHELINE;
+                if let Some(a) = self.audit.as_deref_mut() {
+                    a.on_dirty_eviction(now, host, ev.addr);
+                }
+            }
+            None => {
+                if let Some(a) = self.audit.as_deref_mut() {
+                    a.on_clean_eviction(host, ev.addr);
+                }
+            }
+        }
     }
 
     fn apply_pending(&mut self, now: Nanos) {
@@ -826,6 +873,10 @@ fn copy_line_to_buf(la: u64, line: &[u8; CACHELINE as usize], hpa: u64, buf: &mu
 
 #[cfg(test)]
 mod tests {
+    // peek/peek_settled are the whole point of these assertions
+    // (clippy.toml forbids them outside test code).
+    #![allow(clippy::disallowed_methods)]
+
     use super::*;
 
     fn pod() -> Fabric {

@@ -53,8 +53,8 @@ pub mod topology;
 
 pub use alloc::{PoolAllocator, Segment, SegmentId};
 pub use audit::{
-    AuditConfig, AuditReport, Auditor, LostWriteCause, Violation, ViolationCounts, ViolationKind,
-    WriteKind,
+    AccessKind, Actor, AuditConfig, AuditMode, AuditReport, Auditor, LostWriteCause, RaceReport,
+    VClock, Violation, ViolationCounts, ViolationKind, WriteKind,
 };
 pub use error::FabricError;
 pub use fabric::{AccessStats, Fabric, PodConfig};

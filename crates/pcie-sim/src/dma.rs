@@ -53,7 +53,13 @@ impl DmaEngine {
         let pcie_done = self.read_pipe.transfer(now, buf.len() as u64);
         let mem_done = match src {
             BufRef::Local(addr) => fabric.local_dma_read(now, self.host, addr, buf),
-            BufRef::Pool(hpa) => fabric.dma_read(now, self.host, hpa, buf)?,
+            BufRef::Pool(hpa) => {
+                let t = fabric.dma_read(now, self.host, hpa, buf)?;
+                // The caller holds the completion before using the
+                // data: a happens-before edge from device to CPU.
+                fabric.dma_complete(self.host);
+                t
+            }
         };
         Ok(pcie_done.max(mem_done) + DMA_READ_BASE)
     }
@@ -70,7 +76,13 @@ impl DmaEngine {
         let pcie_done = self.write_pipe.transfer(now, data.len() as u64);
         let mem_done = match dst {
             BufRef::Local(addr) => fabric.local_dma_write(now, self.host, addr, data),
-            BufRef::Pool(hpa) => fabric.dma_write(now, self.host, hpa, data)?,
+            BufRef::Pool(hpa) => {
+                let t = fabric.dma_write(now, self.host, hpa, data)?;
+                // Completion (the CQE the driver polls) orders the
+                // device's write before the attach CPU's later work.
+                fabric.dma_complete(self.host);
+                t
+            }
         };
         Ok(pcie_done.max(mem_done) + DMA_WRITE_BASE)
     }

@@ -26,12 +26,32 @@ pub struct Mailbox {
 impl Mailbox {
     /// Creates a mailbox at `addr` (one 64 B line inside a shared
     /// segment) written by `writer`.
+    ///
+    /// The caller is responsible for the segment; when placing
+    /// mailboxes by hand inside a larger shared region, also call
+    /// `Fabric::mark_sync_range` on their lines so vector-clock
+    /// auditing treats reads as acquires (see [`Mailbox::allocate`],
+    /// which does both).
     pub fn new(addr: u64, writer: HostId) -> Mailbox {
         Mailbox {
             addr,
             writer,
             version: 0,
         }
+    }
+
+    /// Allocates a dedicated one-line shared segment for the mailbox
+    /// and registers it as a synchronization range: the version-stamped
+    /// handshake transfers ordering, so round trips over the mailbox
+    /// (MMIO forwarding ping-pong) do not surface as spurious races.
+    pub fn allocate(
+        fabric: &mut Fabric,
+        members: &[HostId],
+        writer: HostId,
+    ) -> Result<Mailbox, FabricError> {
+        let seg = fabric.alloc_shared(members, 64)?;
+        fabric.mark_sync_range(seg.base(), 64);
+        Ok(Mailbox::new(seg.base(), writer))
     }
 
     /// Publishes a new value; visible to readers at the returned time.
@@ -101,6 +121,9 @@ impl HeartbeatTable {
         hosts: u16,
     ) -> Result<HeartbeatTable, FabricError> {
         let seg = fabric.alloc_shared(members, hosts as u64 * 64)?;
+        // Beat lines are single-writer versioned registers; a monitor
+        // observing a beat acquires the agent's ordering up to it.
+        fabric.mark_sync_range(seg.base(), hosts as u64 * 64);
         Ok(HeartbeatTable { seg, hosts })
     }
 

@@ -83,6 +83,12 @@ impl RingBuf {
             "capacity must be a power of two, got {capacity}"
         );
         let seg = fabric.alloc_shared(&[sender, receiver], (capacity + 1) * SLOT)?;
+        // Slot sequence numbers and the credit line transfer ordering:
+        // a receiver observing a slot's seq acquires everything the
+        // sender did before publishing it (and vice versa for
+        // credits). Registering the ring keeps the vector-clock
+        // auditor's happens-before graph in step with the protocol.
+        fabric.mark_sync_range(seg.base(), (capacity + 1) * SLOT);
         Ok(RingBuf {
             seg,
             capacity,
@@ -107,6 +113,7 @@ impl RingBuf {
             "capacity must be a power of two, got {capacity}"
         );
         let seg = fabric.alloc_interleaved(&[sender, receiver], (capacity + 1) * SLOT, 1)?;
+        fabric.mark_sync_range(seg.base(), (capacity + 1) * SLOT);
         Ok(RingBuf {
             seg,
             capacity,

@@ -55,6 +55,9 @@ impl SeqLock {
         // The version protocol detects and retries torn payload reads,
         // so the coherence auditor must not report them as hazards.
         fabric.mark_tear_tolerant(seg.base(), total);
+        // A reader that sees matching head/tail versions acquires the
+        // writer's publish ordering (vector-clock audit mode).
+        fabric.mark_sync_range(seg.base(), total);
         Ok(SeqLock {
             seg,
             payload_len,

@@ -6,16 +6,39 @@
 //! `properties.rs`.
 
 use cxl_fabric::{
-    AuditConfig, Fabric, HostId, LostWriteCause, PodConfig, Segment, ViolationKind, WriteKind,
+    AccessKind, Actor, AuditConfig, AuditMode, Fabric, HostId, LostWriteCause, PodConfig, Segment,
+    ViolationKind, WriteKind,
 };
 use shmem::seqlock::{ReadOutcome, SeqLock};
 use simkit::Nanos;
 
 const LINE: u64 = 64;
 
+/// Version-mode audit config regardless of `CXL_AUDIT`: the provenance
+/// assertions below are about the single-version scheme's exact
+/// reports (the vector-clock analysis reclassifies some of them as
+/// races — covered by the `*_concurrent_conflict` tests).
+fn version_cfg() -> AuditConfig {
+    AuditConfig {
+        mode: AuditMode::Version,
+        ..AuditConfig::default()
+    }
+}
+
+fn vc_cfg() -> AuditConfig {
+    AuditConfig {
+        mode: AuditMode::VectorClock,
+        ..AuditConfig::default()
+    }
+}
+
 fn audited_pod() -> (Fabric, Segment) {
+    audited_pod_mode(version_cfg())
+}
+
+fn audited_pod_mode(cfg: AuditConfig) -> (Fabric, Segment) {
     let mut f = Fabric::new(PodConfig::new(2, 2, 2));
-    f.enable_audit(AuditConfig::default());
+    f.enable_audit(cfg);
     let seg = f
         .alloc_shared(&[HostId(0), HostId(1)], 4096)
         .expect("alloc");
@@ -120,7 +143,7 @@ fn flushed_write_passes_finalize() {
 #[test]
 fn private_dirty_line_is_not_unflushed() {
     let mut f = Fabric::new(PodConfig::new(2, 2, 2));
-    f.enable_audit(AuditConfig::default());
+    f.enable_audit(version_cfg());
     let seg = f.alloc_private(HostId(0), 4096).expect("alloc");
     let t = f
         .store(Nanos(0), HostId(0), seg.base(), &[9u8; LINE as usize])
@@ -296,6 +319,8 @@ fn dma_read_around_remote_dirty_line_fires_stale_read() {
 fn seqlock_retry_loop_is_audit_clean() {
     let mut f = Fabric::new(PodConfig::new(2, 2, 2));
     f.enable_audit(AuditConfig::default());
+    // (Deliberately env-sensitive: the seqlock protocol must be clean
+    // in both audit modes.)
     let mut lock =
         SeqLock::allocate(&mut f, &[HostId(0), HostId(1)], HostId(0), 256).expect("alloc");
     let mut t = Nanos(0);
@@ -354,6 +379,204 @@ fn repeat_offenders_are_counted_but_deduplicated() {
         1
     );
     assert_eq!(report.suppressed, 4);
+}
+
+// ---------------------------------------------------------------------
+// Vector-clock race detection (DMA-aware happens-before analysis)
+// ---------------------------------------------------------------------
+
+/// The ROADMAP false-positive regression: a device DMA write and a CPU
+/// publish settling in the same `apply_pending` batch have *no*
+/// coherence edge between them, so a reader that misses the CPU write
+/// is racing it, not definitely behind it. The single-version scheme
+/// invents an order and misreports a stale read; vector clocks carry
+/// incomparable write clocks and report the race as such.
+fn run_batch_scenario(cfg: AuditConfig) -> cxl_fabric::AuditReport {
+    let (mut f, seg) = audited_pod_mode(cfg);
+    // Host 1 caches the line.
+    let mut buf = [0u8; LINE as usize];
+    f.load(Nanos(0), HostId(1), seg.base(), &mut buf)
+        .expect("load");
+    // A device on host 0 DMA-writes the line (raw fabric op: no
+    // completion edge back to any CPU)...
+    f.dma_write(Nanos(10), HostId(0), seg.base(), &[1u8; LINE as usize])
+        .expect("dma");
+    // ...and host 0's CPU publishes over it, unordered with the DMA.
+    f.nt_store(Nanos(5_000), HostId(0), seg.base(), &[2u8; LINE as usize])
+        .expect("nt");
+    // Both writes settle in the same batch here; host 1 then hits its
+    // stale cached copy with no edge to either write.
+    f.load(Nanos(1_000_000), HostId(1), seg.base(), &mut buf)
+        .expect("load");
+    f.audit_report().expect("audit on").clone()
+}
+
+#[test]
+fn version_mode_misreports_batch_race_as_stale_read() {
+    let report = run_batch_scenario(version_cfg());
+    assert_eq!(report.counts.stale_reads, 1, "{}", report.render());
+    assert_eq!(report.counts.concurrent_conflicts, 0);
+}
+
+#[test]
+fn vc_mode_reports_batch_race_as_concurrent_conflicts() {
+    let report = run_batch_scenario(vc_cfg());
+    assert_eq!(
+        report.counts.stale_reads,
+        0,
+        "no definite staleness without an edge:\n{}",
+        report.render()
+    );
+    // Two races: the DMA write vs the CPU publish (write-write, same
+    // batch), and the CPU publish vs host 1's unordered read.
+    assert_eq!(report.counts.concurrent_conflicts, 2, "{}", report.render());
+    let ww = report
+        .violations
+        .iter()
+        .find_map(|v| match &v.kind {
+            ViolationKind::ConcurrentConflict {
+                first,
+                first_access: AccessKind::Write,
+                first_clock,
+                second,
+                second_access: AccessKind::Write,
+                second_clock,
+                ..
+            } => Some((*first, first_clock.clone(), *second, second_clock.clone())),
+            _ => None,
+        })
+        .expect("write-write race recorded");
+    assert_eq!(ww.0, Actor::Dma(HostId(0)));
+    assert_eq!(ww.2, Actor::Cpu(HostId(0)));
+    assert!(
+        ww.1.concurrent_with(&ww.3),
+        "batch-mates must carry incomparable clocks: {} vs {}",
+        ww.1,
+        ww.3
+    );
+}
+
+/// With a real coherence edge (a sync-marked flag line the reader
+/// acquires), the same stale hit *is* definitely ordered: vector-clock
+/// mode reports a precise `StaleRead` and no race — the precision
+/// guarantee over PR 1.
+#[test]
+fn coherence_edge_makes_vc_stale_read_precise() {
+    let (mut f, seg) = audited_pod_mode(vc_cfg());
+    let flag = seg.base();
+    let data = seg.base() + LINE;
+    f.mark_sync_range(flag, LINE);
+    // Host 1 caches the data line.
+    let mut buf = [0u8; LINE as usize];
+    f.load(Nanos(0), HostId(1), data, &mut buf).expect("load");
+    // Host 0 publishes data, then the flag (program order on cpu0).
+    let done_d = f
+        .nt_store(Nanos(10), HostId(0), data, &[1u8; LINE as usize])
+        .expect("nt data");
+    let done_f = f
+        .nt_store(done_d, HostId(0), flag, &[1u8; LINE as usize])
+        .expect("nt flag");
+    // Host 1 properly acquires via the flag...
+    let t = f.invalidate(done_f + Nanos(10), HostId(1), flag, LINE);
+    let t = f.load(t, HostId(1), flag, &mut buf).expect("load flag");
+    // ...then forgets to invalidate the data line: a *definite* stale
+    // read (the missed write happens-before the acquire).
+    f.load(t, HostId(1), data, &mut buf).expect("load data");
+    let report = f.audit_report().expect("audit on");
+    assert_eq!(report.counts.concurrent_conflicts, 0, "{}", report.render());
+    assert_eq!(report.counts.stale_reads, 1, "{}", report.render());
+    match &report.violations[0].kind {
+        ViolationKind::StaleRead { reader, writer, .. } => {
+            assert_eq!(*reader, HostId(1));
+            assert_eq!(*writer, HostId(0));
+        }
+        other => panic!("expected StaleRead, got {other:?}"),
+    }
+}
+
+/// An unordered DMA write racing a CPU load that *misses* returns
+/// fresh bytes — the version scheme sees nothing wrong at all. Only
+/// the happens-before analysis can flag that the outcome depended on
+/// fabric timing.
+fn run_dma_write_vs_load(cfg: AuditConfig) -> cxl_fabric::AuditReport {
+    let (mut f, seg) = audited_pod_mode(cfg);
+    // A device on host 1 DMA-writes the line (no completion edge).
+    let done = f
+        .dma_write(Nanos(0), HostId(1), seg.base(), &[9u8; LINE as usize])
+        .expect("dma");
+    // Host 0 reads fresh, with no handshake ordering it after the DMA.
+    let t = f.invalidate(done + Nanos(100), HostId(0), seg.base(), LINE);
+    let mut buf = [0u8; LINE as usize];
+    f.load(t, HostId(0), seg.base(), &mut buf).expect("load");
+    f.audit_report().expect("audit on").clone()
+}
+
+#[test]
+fn unordered_dma_write_vs_load_is_a_race_only_vc_can_see() {
+    let version = run_dma_write_vs_load(version_cfg());
+    assert_eq!(version.counts.total(), 0, "{}", version.render());
+
+    let vc = run_dma_write_vs_load(vc_cfg());
+    assert_eq!(vc.counts.concurrent_conflicts, 1, "{}", vc.render());
+    match &vc.violations[0].kind {
+        ViolationKind::ConcurrentConflict {
+            first,
+            first_access,
+            first_clock,
+            second,
+            second_access,
+            second_clock,
+            ..
+        } => {
+            assert_eq!(*first, Actor::Dma(HostId(1)));
+            assert_eq!(*first_access, AccessKind::Write);
+            assert_eq!(*second, Actor::Cpu(HostId(0)));
+            assert_eq!(*second_access, AccessKind::Read);
+            assert!(first_clock.concurrent_with(second_clock));
+            // The snapshots carry each actor's own component.
+            assert_eq!(first_clock.get(Actor::Dma(HostId(1)).index()), 1);
+            assert_eq!(second_clock.get(Actor::Cpu(HostId(0)).index()), 1);
+        }
+        other => panic!("expected ConcurrentConflict, got {other:?}"),
+    }
+}
+
+/// A device DMA-reading around a store the owning CPU never published:
+/// vector-clock mode reports the unpublished store racing the DMA read
+/// (with both clock snapshots) instead of a definite stale read.
+#[test]
+fn dma_read_of_unpublished_store_races_in_vc_mode() {
+    let (mut f, seg) = audited_pod_mode(vc_cfg());
+    // Host 1 dirties the line in cache, never flushes.
+    let t = f
+        .store(Nanos(0), HostId(1), seg.base(), &[6u8; LINE as usize])
+        .expect("store");
+    // A device on host 0 DMA-reads it, unordered with the store.
+    let mut buf = [0u8; LINE as usize];
+    f.dma_read(t, HostId(0), seg.base(), &mut buf).expect("dma");
+    let report = f.audit_report().expect("audit on");
+    assert_eq!(report.counts.stale_reads, 0, "{}", report.render());
+    assert_eq!(report.counts.concurrent_conflicts, 1, "{}", report.render());
+    match &report.violations[0].kind {
+        ViolationKind::ConcurrentConflict {
+            first,
+            first_access,
+            first_clock,
+            second,
+            second_access,
+            second_clock,
+            ..
+        } => {
+            assert_eq!(*first, Actor::Cpu(HostId(1)), "the unpublished writer");
+            assert_eq!(*first_access, AccessKind::Write);
+            assert_eq!(*second, Actor::Dma(HostId(0)), "the device reader");
+            assert_eq!(*second_access, AccessKind::Read);
+            assert!(first_clock.concurrent_with(second_clock));
+            assert_eq!(first_clock.get(Actor::Cpu(HostId(1)).index()), 1);
+            assert_eq!(second_clock.get(Actor::Dma(HostId(0)).index()), 1);
+        }
+        other => panic!("expected ConcurrentConflict, got {other:?}"),
+    }
 }
 
 /// Draining violations keeps counters so long-running monitors can

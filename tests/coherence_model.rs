@@ -17,10 +17,20 @@
 //! base), the auditor must have flagged it. The auditor may flag more
 //! (it tracks write *events*, so byte-identical overwrites still
 //! count), never less.
+//!
+//! Under `CXL_AUDIT=vc` the auditor runs the vector-clock analysis:
+//! an oracle-provable stale read whose missed write is *not*
+//! happens-before-ordered with the reader is then (correctly) reported
+//! as a `ConcurrentConflict` instead of a `StaleRead`, so the
+//! cross-check accepts either counter advancing in that mode.
+
+// peek_settled is the whole point of the settle-after-every-op driver
+// (clippy.toml forbids it outside test code).
+#![allow(clippy::disallowed_methods)]
 
 use std::collections::HashMap;
 
-use cxl_fabric::{Fabric, HostId, PodConfig};
+use cxl_fabric::{AuditMode, Fabric, HostId, PodConfig};
 use proptest::prelude::*;
 use simkit::Nanos;
 
@@ -131,7 +141,9 @@ proptest! {
     #[test]
     fn fabric_matches_the_coherence_oracle(ops in proptest::collection::vec(op_strategy(), 1..120)) {
         let mut fabric = Fabric::new(PodConfig::new(2, 2, 2));
-        fabric.enable_audit(cxl_fabric::AuditConfig::default());
+        let audit_cfg = cxl_fabric::AuditConfig::default();
+        let vc_mode = audit_cfg.mode == AuditMode::VectorClock;
+        fabric.enable_audit(audit_cfg);
         let seg = fabric
             .alloc_shared(&[HostId(0), HostId(1)], LINES * LINE)
             .expect("alloc");
@@ -165,8 +177,16 @@ proptest! {
                     prop_assert_eq!(&buf[..], &expect[..], "load host {} line {}", host, line);
                     if provably_stale {
                         let counts = fabric.audit_report().expect("audit on").counts;
+                        let flagged = if vc_mode {
+                            // The missed write may be unordered with the
+                            // reader: then it is a race, not staleness.
+                            counts.stale_reads + counts.concurrent_conflicts
+                                > counts_before.stale_reads + counts_before.concurrent_conflicts
+                        } else {
+                            counts.stale_reads > counts_before.stale_reads
+                        };
                         prop_assert!(
-                            counts.stale_reads > counts_before.stale_reads,
+                            flagged,
                             "oracle-provable stale read not flagged (host {host} line {line})"
                         );
                     }

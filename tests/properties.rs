@@ -1,5 +1,9 @@
 //! Property-based tests over the core data structures and protocols.
 
+// The settle-driver uses peek_settled to force visibility between
+// steps (clippy.toml forbids it outside test code).
+#![allow(clippy::disallowed_methods)]
+
 use cxl_fabric::sparse::SparseMem;
 use cxl_fabric::{Fabric, HostId, PodConfig};
 use proptest::prelude::*;
