@@ -15,18 +15,43 @@ use std::env;
 use cxl_pool_bench::{
     baselines, extensions, fig2, fig3, fig4, microbench, orchestrator, sqrtn, Scale,
 };
+use simkit::stats::Summary;
 use simkit::table::Table;
 
 struct Emitter {
-    json: Vec<(String, String)>,
+    json: Vec<(String, serde_json::Value)>,
 }
 
 impl Emitter {
     fn emit(&mut self, title: &str, table: Table) {
         println!("\n=== {title} ===\n");
         println!("{}", table.render());
-        self.json.push((title.to_string(), table.to_csv()));
+        self.json
+            .push((title.to_string(), serde_json::Value::String(table.to_csv())));
     }
+
+    /// Adds a JSON-only entry (no table rendering) for structured data
+    /// like histogram summaries.
+    fn emit_json(&mut self, title: &str, value: serde_json::Value) {
+        self.json.push((title.to_string(), value));
+    }
+}
+
+/// Compact, layout-stable serialization of a latency distribution:
+/// fixed quantiles instead of raw buckets (those stay behind
+/// `Histogram::bucket_counts`).
+fn summary_json(s: &Summary) -> serde_json::Value {
+    serde_json::Value::Object(vec![
+        ("count".into(), serde_json::Value::Number(s.count as f64)),
+        ("mean".into(), serde_json::Value::Number(s.mean)),
+        ("min".into(), serde_json::Value::Number(s.min as f64)),
+        ("p10".into(), serde_json::Value::Number(s.p10 as f64)),
+        ("p50".into(), serde_json::Value::Number(s.p50 as f64)),
+        ("p90".into(), serde_json::Value::Number(s.p90 as f64)),
+        ("p99".into(), serde_json::Value::Number(s.p99 as f64)),
+        ("p999".into(), serde_json::Value::Number(s.p999 as f64)),
+        ("max".into(), serde_json::Value::Number(s.max as f64)),
+    ])
 }
 
 fn main() {
@@ -105,10 +130,9 @@ fn main() {
         );
     }
     if want("fig4") {
-        out.emit(
-            "Figure 4: CXL shared-memory message-passing latency",
-            fig4::run(scale),
-        );
+        let (table, summary) = fig4::run_with_summary(scale);
+        out.emit("Figure 4: CXL shared-memory message-passing latency", table);
+        out.emit_json("Figure 4 summary (latency ns)", summary_json(&summary));
         out.emit("Figure 4 ablation: link width", fig4::run_ablation(scale));
         out.emit(
             "Figure 4 ablation: pool under background load",
@@ -202,12 +226,7 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let obj: serde_json::Value = serde_json::Value::Object(
-            out.json
-                .into_iter()
-                .map(|(k, v)| (k, serde_json::Value::String(v)))
-                .collect(),
-        );
+        let obj = serde_json::Value::Object(out.json);
         std::fs::write(
             &path,
             serde_json::to_string_pretty(&obj).expect("serialize"),

@@ -16,6 +16,13 @@ use crate::Scale;
 
 /// Runs the measurement and renders the distribution table.
 pub fn run(scale: Scale) -> Table {
+    run_with_summary(scale).0
+}
+
+/// Like [`run`], but also returns the compact [`Summary`] so `--json`
+/// output can carry stable quantiles instead of raw histogram buckets
+/// (those stay behind `Histogram::bucket_counts`).
+pub fn run_with_summary(scale: Scale) -> (Table, simkit::stats::Summary) {
     let config = PingPongConfig {
         iterations: scale.pick(20_000, 200_000),
         ..PingPongConfig::default()
@@ -36,7 +43,7 @@ pub fn run(scale: Scale) -> Table {
     t.row(&["max", &s.max.to_string(), ""]);
     t.row(&["mean", &fmt_f64(s.mean), ""]);
     t.row(&["samples", &s.count.to_string(), ""]);
-    t
+    (t, s)
 }
 
 /// The CDF as a table (for plotting).
@@ -165,6 +172,14 @@ mod tests {
         let t = run(Scale::Quick);
         assert_eq!(t.len(), 9);
         assert!(t.render().contains("p50"));
+    }
+
+    #[test]
+    fn summary_agrees_with_table() {
+        let (t, s) = run_with_summary(Scale::Quick);
+        assert!(s.count > 0);
+        assert!(t.render().contains(&s.p50.to_string()));
+        assert!(s.min <= s.p50 && s.p50 <= s.p99 && s.p99 <= s.max);
     }
 
     #[test]

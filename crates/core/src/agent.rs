@@ -14,6 +14,7 @@ use pcie_sim::nic::TxFrame;
 use pcie_sim::{Accelerator, BufRef, DeviceError, DeviceId, Nic, Ssd};
 use shmem::channel::{ChannelReceiver, ChannelSend, ChannelSender};
 use shmem::ring::PollOutcome;
+use simkit::trace::{self, Track};
 use simkit::Nanos;
 
 use crate::proto::Msg;
@@ -244,6 +245,14 @@ impl Agent {
         msg: &Msg,
     ) -> Result<Nanos, crate::vdev::PoolError> {
         let clock = self.clock;
+        if let Some(tr) = fabric.trace_mut() {
+            tr.instant_note(
+                Track::HostCpu(self.host.0),
+                "proto/encode",
+                clock,
+                msg.kind_name().to_string(),
+            );
+        }
         let link = self
             .links
             .iter_mut()
@@ -306,14 +315,29 @@ impl Agent {
         }
     }
 
+    /// Marks the arrival of a forwarded operation on this agent's CPU
+    /// track (no-op when the recorder is off).
+    fn trace_dispatch(&self, fabric: &mut Fabric) {
+        let clock = self.clock;
+        if let Some(tr) = fabric.trace_mut() {
+            tr.instant(Track::HostCpu(self.host.0), "agent/dispatch", clock);
+        }
+    }
+
     fn dispatch(&mut self, fabric: &mut Fabric, link_idx: usize, msg: Msg) {
+        let host = self.host.0;
         match msg {
             Msg::TxSubmit { op, dev, buf, len } => {
+                fabric.trace_push(op, trace::KIND_NIC);
+                self.trace_dispatch(fabric);
                 let clock = self.clock;
                 let result = match self.nics.get_mut(&dev) {
                     Some(nic) => {
                         let t = clock + nic.doorbell_cost();
                         nic.ring_doorbell();
+                        if let Some(tr) = fabric.trace_mut() {
+                            tr.instant(Track::HostCpu(host), "dev/doorbell", t);
+                        }
                         nic.transmit(fabric, t, BufRef::Pool(buf), len)
                     }
                     None => Err(DeviceError::Failed(dev)),
@@ -324,8 +348,11 @@ impl Agent {
                     at
                 });
                 self.complete(fabric, link_idx, op, dev, result);
+                fabric.trace_pop();
             }
             Msg::RxPost { op, dev, buf, len } => {
+                fabric.trace_push(op, trace::KIND_NIC);
+                self.trace_dispatch(fabric);
                 let clock = self.clock;
                 let result = match self.nics.get_mut(&dev) {
                     Some(nic) => nic
@@ -333,15 +360,20 @@ impl Agent {
                         .map(|()| clock + nic.doorbell_cost()),
                     None => Err(DeviceError::Failed(dev)),
                 };
-                if result.is_ok() {
+                if let Ok(t) = &result {
                     // Remember whose buffer this is so the RX
                     // completion can be forwarded back.
                     self.rx_routes
                         .entry(dev)
                         .or_default()
                         .push_back(RxRoute::Link(link_idx));
+                    let t = *t;
+                    if let Some(tr) = fabric.trace_mut() {
+                        tr.instant(Track::HostCpu(host), "dev/doorbell", t);
+                    }
                 }
                 self.complete(fabric, link_idx, op, dev, result);
+                fabric.trace_pop();
             }
             Msg::SsdRead {
                 op,
@@ -350,12 +382,15 @@ impl Agent {
                 blocks,
                 buf,
             } => {
+                fabric.trace_push(op, trace::KIND_SSD);
+                self.trace_dispatch(fabric);
                 let clock = self.clock;
                 let result = match self.ssds.get_mut(&dev) {
                     Some(ssd) => ssd.read(fabric, clock, lba, blocks as u64, BufRef::Pool(buf)),
                     None => Err(DeviceError::Failed(dev)),
                 };
                 self.complete(fabric, link_idx, op, dev, result);
+                fabric.trace_pop();
             }
             Msg::SsdWrite {
                 op,
@@ -364,12 +399,15 @@ impl Agent {
                 blocks,
                 buf,
             } => {
+                fabric.trace_push(op, trace::KIND_SSD);
+                self.trace_dispatch(fabric);
                 let clock = self.clock;
                 let result = match self.ssds.get_mut(&dev) {
                     Some(ssd) => ssd.write(fabric, clock, lba, blocks as u64, BufRef::Pool(buf)),
                     None => Err(DeviceError::Failed(dev)),
                 };
                 self.complete(fabric, link_idx, op, dev, result);
+                fabric.trace_pop();
             }
             Msg::AccelRun {
                 op,
@@ -378,6 +416,8 @@ impl Agent {
                 len,
                 outbuf,
             } => {
+                fabric.trace_push(op, trace::KIND_ACCEL);
+                self.trace_dispatch(fabric);
                 let clock = self.clock;
                 let result = match self.accels.get_mut(&dev) {
                     Some(a) => a.offload(
@@ -390,8 +430,20 @@ impl Agent {
                     None => Err(DeviceError::Failed(dev)),
                 };
                 self.complete(fabric, link_idx, op, dev, result);
+                fabric.trace_pop();
             }
             Msg::Done { op, status, at } => {
+                if let Some(tr) = fabric.trace_mut() {
+                    let (_, kind) = tr.ctx();
+                    tr.instant_for(
+                        Track::HostCpu(host),
+                        "op/complete",
+                        op,
+                        kind,
+                        Nanos(at),
+                        None,
+                    );
+                }
                 self.completions.insert(
                     op,
                     Completion {
@@ -412,6 +464,15 @@ impl Agent {
                     if let Some(k) = DeviceKind::from_u8(kind) {
                         self.assigned.insert(k, dev);
                         self.stats.assigns += 1;
+                        let clock = self.clock;
+                        if let Some(tr) = fabric.trace_mut() {
+                            tr.instant_note(
+                                Track::HostCpu(self.host.0),
+                                "agent/assign",
+                                clock,
+                                format!("{k:?} -> {dev:?}"),
+                            );
+                        }
                     }
                 }
             }
@@ -439,6 +500,14 @@ impl Agent {
             Err(_) => {
                 self.stats.failures_seen += 1;
                 let clock = self.clock;
+                if let Some(tr) = fabric.trace_mut() {
+                    tr.instant_note(
+                        Track::HostCpu(self.host.0),
+                        "dev/failed",
+                        clock,
+                        format!("{dev:?}"),
+                    );
+                }
                 self.outbox_orch.push(Msg::DevFailed {
                     dev,
                     at: clock.as_nanos(),

@@ -18,6 +18,7 @@ use std::collections::HashMap;
 use cxl_fabric::{Fabric, HostId, PodConfig};
 use pcie_sim::nic::TxFrame;
 use pcie_sim::{Accelerator, BufRef, DeviceId, Nic, NicConfig, Ssd, SsdConfig};
+use simkit::trace::{self, TraceConfig, TraceRecorder, Track};
 use simkit::Nanos;
 
 use crate::agent::{Agent, Completion, Link, Peer};
@@ -149,6 +150,70 @@ impl PodSim {
     /// mode; None when auditing was never enabled).
     pub fn race_report(&self) -> Option<cxl_fabric::RaceReport> {
         self.fabric.race_report()
+    }
+
+    /// Turns on the pod-wide flight recorder (see `simkit::trace`):
+    /// every subsequent client operation leaves a causal span chain —
+    /// payload staging, protocol encode, channel send/poll, agent
+    /// dispatch, doorbell, device + DMA execution, completion delivery
+    /// — exportable with [`PodSim::export_trace`]. Honours
+    /// `CXL_TRACE=full` / `CXL_TRACE_CAPACITY` via
+    /// [`TraceConfig::default`].
+    pub fn enable_trace(&mut self) {
+        self.fabric.enable_trace(TraceConfig::default());
+    }
+
+    /// Like [`PodSim::enable_trace`] but with an explicit
+    /// configuration (capacity, per-access fabric spans).
+    pub fn enable_trace_config(&mut self, config: TraceConfig) {
+        self.fabric.enable_trace(config);
+    }
+
+    /// The flight recorder, if enabled.
+    pub fn trace(&self) -> Option<&TraceRecorder> {
+        self.fabric.trace()
+    }
+
+    /// Exports the recording as Chrome/Perfetto trace-event JSON
+    /// (None when tracing was never enabled).
+    pub fn export_trace(&self) -> Option<String> {
+        self.fabric.trace().map(|t| t.export_chrome_json())
+    }
+
+    /// Wraps one client-side pooled operation in a trace context: the
+    /// next operation id is peeked (not allocated — allocation order is
+    /// untouched), pushed as the recording context so every stage the
+    /// call touches inherits `(op, kind)`, and a root span is emitted
+    /// on the owner's CPU track. The root span is skipped when the call
+    /// never allocated an op id (e.g. a local RX post or an early
+    /// binding error), so it can't mislabel a later operation.
+    fn traced_op<T>(
+        &mut self,
+        owner: HostId,
+        kind: u8,
+        name: &'static str,
+        end_of: impl Fn(&T) -> Option<Nanos>,
+        f: impl FnOnce(&mut Self) -> Result<T, PoolError>,
+    ) -> Result<T, PoolError> {
+        if !self.fabric.trace_enabled() {
+            return f(self);
+        }
+        let op_hint = self.next_op;
+        let start = self.agents[owner.0 as usize].clock();
+        self.fabric.trace_push(op_hint, kind);
+        let r = f(self);
+        self.fabric.trace_pop();
+        if self.next_op != op_hint {
+            let clock = self.agents[owner.0 as usize].clock();
+            let end = match &r {
+                Ok(v) => end_of(v).unwrap_or(clock).max(clock),
+                Err(_) => clock,
+            };
+            if let Some(tr) = self.fabric.trace_mut() {
+                tr.span_for(Track::HostCpu(owner.0), name, op_hint, kind, start, end);
+            }
+        }
+        r
     }
 
     /// Builds and wires the whole pod, performing initial device
@@ -292,6 +357,19 @@ impl PodSim {
         }
         pod.run_control(Nanos::from_micros(200));
         pod
+    }
+
+    /// Marks a local-fast-path device failure on the owner's CPU track
+    /// (remote failures are marked by the executing agent instead).
+    fn trace_dev_failed(&mut self, owner: HostId, dev: DeviceId, at: Nanos) {
+        if let Some(tr) = self.fabric.trace_mut() {
+            tr.instant_note(
+                Track::HostCpu(owner.0),
+                "dev/failed",
+                at,
+                format!("{dev:?}"),
+            );
+        }
     }
 
     /// The latest clock across agents and orchestrator — "now" for the
@@ -535,6 +613,21 @@ impl PodSim {
         payload: &[u8],
         deadline: Nanos,
     ) -> Result<OpResult, PoolError> {
+        self.traced_op(
+            owner,
+            trace::KIND_NIC,
+            "op/vnic_send",
+            |r: &OpResult| Some(r.at),
+            |pod| pod.vnic_send_inner(owner, payload, deadline),
+        )
+    }
+
+    fn vnic_send_inner(
+        &mut self,
+        owner: HostId,
+        payload: &[u8],
+        deadline: Nanos,
+    ) -> Result<OpResult, PoolError> {
         let dev = self
             .binding(owner, DeviceKind::Nic)
             .ok_or(PoolError::NotAssigned(DeviceKind::Nic))?;
@@ -551,10 +644,14 @@ impl PodSim {
             let agent = &mut self.agents[owner.0 as usize];
             let Some(nic) = agent.nics.get_mut(&dev) else {
                 agent.report_failure(dev);
+                self.trace_dev_failed(owner, dev, now);
                 return Err(PoolError::Device(pcie_sim::DeviceError::Failed(dev)));
             };
             let t = staged + nic.doorbell_cost();
             nic.ring_doorbell();
+            if let Some(tr) = self.fabric.trace_mut() {
+                tr.instant(Track::HostCpu(owner.0), "dev/doorbell", t);
+            }
             let frame =
                 match nic.transmit(&mut self.fabric, t, BufRef::Pool(buf), payload.len() as u32) {
                     Ok(f) => f,
@@ -562,6 +659,7 @@ impl PodSim {
                         // A failed local device is reported upstream just
                         // like a remote one.
                         agent.report_failure(dev);
+                        self.trace_dev_failed(owner, dev, t);
                         return Err(PoolError::Device(e));
                     }
                 };
@@ -655,6 +753,16 @@ impl PodSim {
     /// Posts one RX buffer on `owner`'s pooled NIC; returns the buffer's
     /// pool address.
     pub fn vnic_post_rx(&mut self, owner: HostId, deadline: Nanos) -> Result<u64, PoolError> {
+        self.traced_op(
+            owner,
+            trace::KIND_NIC,
+            "op/vnic_post_rx",
+            |_| None,
+            |pod| pod.vnic_post_rx_inner(owner, deadline),
+        )
+    }
+
+    fn vnic_post_rx_inner(&mut self, owner: HostId, deadline: Nanos) -> Result<u64, PoolError> {
         let dev = self
             .binding(owner, DeviceKind::Nic)
             .ok_or(PoolError::NotAssigned(DeviceKind::Nic))?;
@@ -751,12 +859,20 @@ impl PodSim {
         blocks: u32,
         deadline: Nanos,
     ) -> Result<(u64, OpResult), PoolError> {
-        let dev = self
-            .binding(owner, DeviceKind::Ssd)
-            .ok_or(PoolError::NotAssigned(DeviceKind::Ssd))?;
-        let buf = self.io_buf(owner);
-        let r = self.ssd_op_on(owner, dev, lba, blocks, buf, false, deadline)?;
-        Ok((buf, r))
+        self.traced_op(
+            owner,
+            trace::KIND_SSD,
+            "op/vssd_read",
+            |(_, r): &(u64, OpResult)| Some(r.at),
+            |pod| {
+                let dev = pod
+                    .binding(owner, DeviceKind::Ssd)
+                    .ok_or(PoolError::NotAssigned(DeviceKind::Ssd))?;
+                let buf = pod.io_buf(owner);
+                let r = pod.ssd_op_on(owner, dev, lba, blocks, buf, false, deadline)?;
+                Ok((buf, r))
+            },
+        )
     }
 
     /// Writes `blocks` blocks (already staged at `buf`) to `owner`'s
@@ -769,10 +885,18 @@ impl PodSim {
         buf: u64,
         deadline: Nanos,
     ) -> Result<OpResult, PoolError> {
-        let dev = self
-            .binding(owner, DeviceKind::Ssd)
-            .ok_or(PoolError::NotAssigned(DeviceKind::Ssd))?;
-        self.ssd_op_on(owner, dev, lba, blocks, buf, true, deadline)
+        self.traced_op(
+            owner,
+            trace::KIND_SSD,
+            "op/vssd_write",
+            |r: &OpResult| Some(r.at),
+            |pod| {
+                let dev = pod
+                    .binding(owner, DeviceKind::Ssd)
+                    .ok_or(PoolError::NotAssigned(DeviceKind::Ssd))?;
+                pod.ssd_op_on(owner, dev, lba, blocks, buf, true, deadline)
+            },
+        )
     }
 
     /// Explicit-device SSD operation (used by striping, which spans
@@ -820,6 +944,7 @@ impl PodSim {
             let now = agent.clock();
             let Some(ssd) = agent.ssds.get_mut(&dev) else {
                 agent.report_failure(dev);
+                self.trace_dev_failed(owner, dev, now);
                 return Err(PoolError::Device(pcie_sim::DeviceError::Failed(dev)));
             };
             let result = if write {
@@ -831,6 +956,7 @@ impl PodSim {
                 Ok(t) => t,
                 Err(e) => {
                     agent.report_failure(dev);
+                    self.trace_dev_failed(owner, dev, now);
                     return Err(PoolError::Device(e));
                 }
             };
@@ -897,6 +1023,21 @@ impl PodSim {
         input: &[u8],
         deadline: Nanos,
     ) -> Result<(u64, OpResult), PoolError> {
+        self.traced_op(
+            owner,
+            trace::KIND_ACCEL,
+            "op/vaccel_run",
+            |(_, r): &(u64, OpResult)| Some(r.at),
+            |pod| pod.vaccel_run_inner(owner, input, deadline),
+        )
+    }
+
+    fn vaccel_run_inner(
+        &mut self,
+        owner: HostId,
+        input: &[u8],
+        deadline: Nanos,
+    ) -> Result<(u64, OpResult), PoolError> {
         let dev = self
             .binding(owner, DeviceKind::Accel)
             .ok_or(PoolError::NotAssigned(DeviceKind::Accel))?;
@@ -927,6 +1068,7 @@ impl PodSim {
             let now = agent.clock();
             let Some(acc) = agent.accels.get_mut(&dev) else {
                 agent.report_failure(dev);
+                self.trace_dev_failed(owner, dev, now);
                 return Err(PoolError::Device(pcie_sim::DeviceError::Failed(dev)));
             };
             let at = match acc.offload(
@@ -939,6 +1081,7 @@ impl PodSim {
                 Ok(t) => t,
                 Err(e) => {
                     agent.report_failure(dev);
+                    self.trace_dev_failed(owner, dev, now);
                     return Err(PoolError::Device(e));
                 }
             };

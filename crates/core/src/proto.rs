@@ -192,6 +192,24 @@ impl<'a> Reader<'a> {
 }
 
 impl Msg {
+    /// Stable short name of the message kind (used as the trace
+    /// annotation on `proto/encode` events).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Msg::TxSubmit { .. } => "TxSubmit",
+            Msg::RxPost { .. } => "RxPost",
+            Msg::SsdRead { .. } => "SsdRead",
+            Msg::SsdWrite { .. } => "SsdWrite",
+            Msg::AccelRun { .. } => "AccelRun",
+            Msg::Done { .. } => "Done",
+            Msg::DevFailed { .. } => "DevFailed",
+            Msg::Assign { .. } => "Assign",
+            Msg::HostLoad { .. } => "HostLoad",
+            Msg::DevLoad { .. } => "DevLoad",
+            Msg::RxDone { .. } => "RxDone",
+        }
+    }
+
     /// Serializes to bytes (≤ 30 for every variant).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(30);

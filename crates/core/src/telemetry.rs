@@ -3,7 +3,9 @@
 
 use core::fmt;
 
+use cxl_fabric::ViolationCounts;
 use pcie_sim::DeviceId;
+use simkit::stats::Summary;
 
 use crate::pod::PodSim;
 use crate::vdev::DeviceKind;
@@ -27,6 +29,28 @@ pub struct DeviceReport {
     pub bytes: u64,
 }
 
+/// Coherence-audit tallies carried by a report (present only when
+/// auditing was enabled on the pod).
+#[derive(Clone, Copy, Debug)]
+pub struct AuditSummary {
+    /// Per-kind violation counters, including `concurrent_conflicts`
+    /// from the vector-clock race detector.
+    pub counts: ViolationCounts,
+    /// Pool operations that passed through the audit layer.
+    pub ops_audited: u64,
+}
+
+/// One row of per-stage latency attribution from the flight recorder.
+#[derive(Clone, Copy, Debug)]
+pub struct StageReport {
+    /// Datapath stage name, e.g. `"chan/send"`.
+    pub stage: &'static str,
+    /// Device-kind tag the stage latencies are attributed to.
+    pub kind: &'static str,
+    /// Latency distribution (nanoseconds).
+    pub latency: Summary,
+}
+
 /// A full pod snapshot.
 #[derive(Clone, Debug)]
 pub struct PodReport {
@@ -47,6 +71,13 @@ pub struct PodReport {
     pub pool_bytes_read: u64,
     /// Fabric: bytes written to the pool.
     pub pool_bytes_written: u64,
+    /// Coherence-audit tallies (None when auditing is off).
+    pub audit: Option<AuditSummary>,
+    /// Per-stage latency attribution from the flight recorder (empty
+    /// when tracing is off).
+    pub stages: Vec<StageReport>,
+    /// Trace events dropped because the recorder's ring was full.
+    pub trace_dropped: u64,
 }
 
 /// Builds a report from the pod's current counters.
@@ -104,6 +135,25 @@ pub fn snapshot(pod: &PodSim) -> PodReport {
         }
     }
 
+    let audit = pod.fabric.audit_report().map(|r| AuditSummary {
+        counts: r.counts,
+        ops_audited: r.ops_audited,
+    });
+    let (stages, trace_dropped) = match pod.trace() {
+        Some(tr) => (
+            tr.stage_summaries()
+                .into_iter()
+                .map(|(stage, kind, latency)| StageReport {
+                    stage,
+                    kind: simkit::trace::kind_name(kind),
+                    latency,
+                })
+                .collect(),
+            tr.dropped(),
+        ),
+        None => (Vec::new(), 0),
+    };
+
     let f = pod.fabric.stats();
     PodReport {
         agents,
@@ -114,6 +164,9 @@ pub fn snapshot(pod: &PodSim) -> PodReport {
         pool_writes: f.nt_stores + f.flushes + f.dma_writes,
         pool_bytes_read: f.bytes_read,
         pool_bytes_written: f.bytes_written,
+        audit,
+        stages,
+        trace_dropped,
     }
 }
 
@@ -130,6 +183,40 @@ impl fmt::Display for PodReport {
             "  control plane: {} failovers, {} migrations",
             self.failovers, self.migrations
         )?;
+        if let Some(a) = &self.audit {
+            let c = &a.counts;
+            writeln!(
+                f,
+                "  audit: {} violations over {} pool ops \
+                 (stale-read {}, torn-read {}, lost-write {}, ww-conflict {}, \
+                 unflushed {}, concurrent-conflict {})",
+                c.total(),
+                a.ops_audited,
+                c.stale_reads,
+                c.torn_reads,
+                c.lost_writes,
+                c.ww_conflicts,
+                c.unflushed_writes,
+                c.concurrent_conflicts
+            )?;
+        }
+        if !self.stages.is_empty() {
+            writeln!(f, "  stage latency (ns):")?;
+            for s in &self.stages {
+                writeln!(
+                    f,
+                    "    {:<16} {:<5} n={:<7} p50={:<9} p99={:<9} max={}",
+                    s.stage, s.kind, s.latency.count, s.latency.p50, s.latency.p99, s.latency.max
+                )?;
+            }
+        }
+        if self.trace_dropped > 0 {
+            writeln!(
+                f,
+                "  trace: {} events dropped (ring full)",
+                self.trace_dropped
+            )?;
+        }
         for (host, served, failures, assigns) in &self.agents {
             writeln!(
                 f,
@@ -191,6 +278,40 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("agent[0]"));
         assert!(text.contains("Nic"));
+    }
+
+    #[test]
+    fn snapshot_carries_audit_and_stage_attribution() {
+        let mut params = PodParams::new(4, 2);
+        params.ssd_hosts = vec![0];
+        let mut pod = PodSim::new(params);
+        pod.enable_audit();
+        pod.enable_trace_config(simkit::trace::TraceConfig {
+            capacity: 1 << 12,
+            fabric_ops: false,
+        });
+        let d = pod.time() + Nanos::from_millis(50);
+        pod.vnic_send(HostId(3), &[1u8; 256], d).expect("send");
+        let d = pod.time() + Nanos::from_millis(50);
+        pod.vssd_read(HostId(2), 0, 1, d).expect("read");
+        let r = snapshot(&pod);
+        let audit = r.audit.expect("audit enabled");
+        assert!(audit.ops_audited > 0, "pool traffic should be audited");
+        assert!(
+            r.stages
+                .iter()
+                .any(|s| s.stage == "op/vnic_send" && s.kind == "nic"),
+            "send root span should be attributed"
+        );
+        assert!(
+            r.stages
+                .iter()
+                .any(|s| s.stage == "dev/ssd_read" && s.kind == "ssd"),
+            "SSD execution should be attributed per kind"
+        );
+        let text = r.to_string();
+        assert!(text.contains("audit:"));
+        assert!(text.contains("stage latency"));
     }
 
     #[test]

@@ -318,7 +318,9 @@ pub enum ViolationKind {
 }
 
 impl ViolationKind {
-    fn name(&self) -> &'static str {
+    /// Stable short name of the violation kind (used by rendered
+    /// reports, telemetry counters, and trace instant labels).
+    pub fn name(&self) -> &'static str {
         match self {
             ViolationKind::StaleRead { .. } => "stale-read",
             ViolationKind::TornRead { .. } => "torn-read",

@@ -12,10 +12,13 @@
 use std::collections::BTreeMap;
 
 use simkit::server::BandwidthPipe;
+use simkit::trace::{TraceConfig, TraceRecorder, Track};
 use simkit::Nanos;
 
 use crate::alloc::{PoolAllocator, Segment, SegmentId};
-use crate::audit::{AuditConfig, AuditReport, Auditor, RaceReport, Violation};
+use crate::audit::{
+    Actor, AuditConfig, AuditReport, Auditor, RaceReport, Violation, ViolationKind,
+};
 use crate::cache::{CacheStats, Eviction, HostCache, LoadOutcome};
 use crate::error::FabricError;
 use crate::params::{FabricParams, CACHELINE};
@@ -122,6 +125,9 @@ pub struct Fabric {
     /// in the vector-clock model. Kept even while auditing is off, as
     /// with `tear_tolerant`.
     sync_ranges: Vec<(u64, u64)>,
+    /// Opt-in flight recorder (see [`simkit::trace`]); boxed so the
+    /// disabled fast path pays one pointer, mirroring `audit`.
+    trace: Option<Box<TraceRecorder>>,
 }
 
 impl Fabric {
@@ -158,6 +164,7 @@ impl Fabric {
             audit: None,
             tear_tolerant: Vec::new(),
             sync_ranges: Vec::new(),
+            trace: None,
         }
     }
 
@@ -185,6 +192,12 @@ impl Fabric {
 
     /// Removes and returns recorded violations (counters are kept).
     pub fn drain_audit_violations(&mut self) -> Vec<Violation> {
+        // Emit any not-yet-traced violations first, then rewind the
+        // trace watermark: the recorded list is about to reset.
+        self.sync_trace_audit();
+        if let Some(tr) = self.trace.as_deref_mut() {
+            tr.set_audit_watermark(0);
+        }
         self.audit
             .as_deref_mut()
             .map(Auditor::drain_violations)
@@ -204,7 +217,9 @@ impl Fabric {
                 }
             }
         }
-        Some(audit.report().clone())
+        let report = audit.report().clone();
+        self.sync_trace_audit();
+        Some(report)
     }
 
     /// Declares `[hpa, hpa + len)` tear-tolerant: a protocol there
@@ -242,6 +257,85 @@ impl Fabric {
         if let Some(a) = self.audit.as_deref_mut() {
             a.on_dma_complete(host);
         }
+    }
+
+    // ---------------------------------------------------------------
+    // Flight recorder
+    // ---------------------------------------------------------------
+
+    /// Turns on the flight recorder (see [`simkit::trace`]). Every
+    /// instrumented datapath stage records spans/instants from here on;
+    /// with [`TraceConfig::fabric_ops`] set, individual fabric accesses
+    /// get spans too. Recording is observation only: it never advances
+    /// any clock, so enabling it does not change simulated behavior.
+    pub fn enable_trace(&mut self, config: TraceConfig) {
+        self.trace = Some(Box::new(TraceRecorder::new(config)));
+    }
+
+    /// True when the flight recorder is on.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// The recorder, if enabled.
+    pub fn trace(&self) -> Option<&TraceRecorder> {
+        self.trace.as_deref()
+    }
+
+    /// Mutable recorder access for instrumentation sites. Callers must
+    /// treat a `None` as "tracing off" and skip all recording work.
+    pub fn trace_mut(&mut self) -> Option<&mut TraceRecorder> {
+        self.trace.as_deref_mut()
+    }
+
+    /// Pushes `(op, device kind)` trace context; a no-op when tracing
+    /// is off. Pair with [`Fabric::trace_pop`].
+    pub fn trace_push(&mut self, op: u64, kind: u8) {
+        if let Some(tr) = self.trace.as_deref_mut() {
+            tr.push_ctx(op, kind);
+        }
+    }
+
+    /// Pops the top trace context; a no-op when tracing is off.
+    pub fn trace_pop(&mut self) {
+        if let Some(tr) = self.trace.as_deref_mut() {
+            tr.pop_ctx();
+        }
+    }
+
+    /// Records a span for one fabric access when verbose fabric-op
+    /// tracing is requested.
+    fn trace_fabric_op(&mut self, track: Track, name: &'static str, start: Nanos, end: Nanos) {
+        if let Some(tr) = self.trace.as_deref_mut() {
+            if tr.config().fabric_ops {
+                tr.span(track, name, start, end);
+            }
+        }
+    }
+
+    /// Re-emits audit violations recorded since the last call as
+    /// instant events on the offending actor's track, so races and
+    /// stale reads are visible in context in the exported trace.
+    fn sync_trace_audit(&mut self) {
+        let (Some(tr), Some(a)) = (self.trace.as_deref_mut(), self.audit.as_deref()) else {
+            return;
+        };
+        let vs = &a.report().violations;
+        let mut seen = tr.audit_watermark();
+        let (op, kind) = tr.ctx();
+        while seen < vs.len() {
+            let v = &vs[seen];
+            tr.instant_for(
+                violation_track(&v.kind),
+                "audit/violation",
+                op,
+                kind,
+                v.detected_at,
+                Some(format!("{} @{:#x}", v.kind.name(), v.line)),
+            );
+            seen += 1;
+        }
+        tr.set_audit_watermark(seen);
     }
 
     /// The pod topology (for failure injection and path inspection).
@@ -367,8 +461,11 @@ impl Fabric {
         if let Some(a) = self.audit.as_deref_mut() {
             a.on_load(now, host, &served, &self.tear_tolerant, &self.sync_ranges);
         }
+        self.sync_trace_audit();
         if missed_lines.is_empty() {
-            return Ok(now + Nanos(CACHE_HIT_NS));
+            let done = now + Nanos(CACHE_HIT_NS);
+            self.trace_fabric_op(Track::HostCpu(host.0), "fabric/load", now, done);
+            return Ok(done);
         }
 
         // Fetch missing lines from the pool and install them.
@@ -389,7 +486,9 @@ impl Fabric {
 
         let bytes = missed_lines.len() as u64 * CACHELINE;
         let seg = self.alloc.segment_at(hpa)?.clone();
-        self.timed_pool_read(now, host, &seg, hpa, bytes)
+        let done = self.timed_pool_read(now, host, &seg, hpa, bytes)?;
+        self.trace_fabric_op(Track::HostCpu(host.0), "fabric/load", now, done);
+        Ok(done)
     }
 
     /// CPU cached (write-back) store. The data lands in the host's cache
@@ -443,11 +542,16 @@ impl Fabric {
             cur += n as u64;
         }
 
+        self.sync_trace_audit();
         if fetched == 0 {
-            return Ok(now + Nanos(CACHE_HIT_NS));
+            let done = now + Nanos(CACHE_HIT_NS);
+            self.trace_fabric_op(Track::HostCpu(host.0), "fabric/store", now, done);
+            return Ok(done);
         }
         let seg = self.alloc.segment_at(hpa)?.clone();
-        self.timed_pool_read(now, host, &seg, hpa, fetched)
+        let done = self.timed_pool_read(now, host, &seg, hpa, fetched)?;
+        self.trace_fabric_op(Track::HostCpu(host.0), "fabric/store", now, done);
+        Ok(done)
     }
 
     /// Non-temporal store: bypasses the host cache and becomes visible
@@ -474,6 +578,8 @@ impl Fabric {
         if let Some(a) = self.audit.as_deref_mut() {
             a.on_nt_store(now, host, hpa, len, done);
         }
+        self.sync_trace_audit();
+        self.trace_fabric_op(Track::HostCpu(host.0), "fabric/nt_store", now, done);
         self.enqueue_write(done, hpa, data.to_vec());
         Ok(done)
     }
@@ -502,7 +608,10 @@ impl Fabric {
             if let Some(a) = self.audit.as_deref_mut() {
                 a.on_flush(now, host, hpa, len, &[], now);
             }
-            return Ok(now + Nanos(CACHE_HIT_NS));
+            self.sync_trace_audit();
+            let done = now + Nanos(CACHE_HIT_NS);
+            self.trace_fabric_op(Track::HostCpu(host.0), "fabric/flush", now, done);
+            return Ok(done);
         }
         let bytes = dirty.len() as u64 * CACHELINE;
         self.stats.bytes_written += bytes;
@@ -512,6 +621,8 @@ impl Fabric {
             let dirty_lines: Vec<u64> = dirty.iter().map(|&(la, _)| la).collect();
             a.on_flush(now, host, hpa, len, &dirty_lines, done);
         }
+        self.sync_trace_audit();
+        self.trace_fabric_op(Track::HostCpu(host.0), "fabric/flush", now, done);
         for (la, data) in dirty {
             self.enqueue_write(done, la, data.to_vec());
         }
@@ -530,7 +641,10 @@ impl Fabric {
         if let Some(a) = self.audit.as_deref_mut() {
             a.on_invalidate(now, host, hpa, len);
         }
-        now + Nanos(INVALIDATE_NS * n)
+        self.sync_trace_audit();
+        let done = now + Nanos(INVALIDATE_NS * n);
+        self.trace_fabric_op(Track::HostCpu(host.0), "fabric/invalidate", now, done);
+        done
     }
 
     // ---------------------------------------------------------------
@@ -567,7 +681,10 @@ impl Fabric {
             }
         }
         let seg = self.alloc.segment_at(hpa)?.clone();
-        self.timed_pool_read_dev(now, host, &seg, hpa, len)
+        let done = self.timed_pool_read_dev(now, host, &seg, hpa, len)?;
+        self.sync_trace_audit();
+        self.trace_fabric_op(Track::Dma(host.0), "fabric/dma_read", now, done);
+        Ok(done)
     }
 
     /// Device DMA write to the pool, issued by a device attached to
@@ -595,6 +712,8 @@ impl Fabric {
         if let Some(a) = self.audit.as_deref_mut() {
             a.on_dma_write(now, host, hpa, len, done);
         }
+        self.sync_trace_audit();
+        self.trace_fabric_op(Track::Dma(host.0), "fabric/dma_write", now, done);
         self.enqueue_write(done, hpa, data.to_vec());
         Ok(done)
     }
@@ -842,6 +961,22 @@ impl Fabric {
             done = done.max(landed);
         }
         Ok(done)
+    }
+}
+
+/// The trace track of the actor that triggered a violation (the later
+/// access of the conflicting pair, where the hazard became observable).
+fn violation_track(kind: &ViolationKind) -> Track {
+    match kind {
+        ViolationKind::StaleRead { reader, .. } => Track::HostCpu(reader.0),
+        ViolationKind::TornRead { reader, .. } => Track::HostCpu(reader.0),
+        ViolationKind::LostWrite { by, .. } => Track::HostCpu(by.0),
+        ViolationKind::WriteWriteConflict { second, .. } => Track::HostCpu(second.0),
+        ViolationKind::UnflushedWrite { writer, .. } => Track::HostCpu(writer.0),
+        ViolationKind::ConcurrentConflict { second, .. } => match second {
+            Actor::Cpu(h) => Track::HostCpu(h.0),
+            Actor::Dma(h) => Track::Dma(h.0),
+        },
     }
 }
 

@@ -11,6 +11,7 @@
 use cxl_fabric::{Fabric, HostId};
 use simkit::server::TimelineServer;
 use simkit::time::transfer_time;
+use simkit::trace::Track;
 use simkit::Nanos;
 
 use crate::device::{BufRef, DeviceError, DeviceId};
@@ -128,6 +129,9 @@ impl Accelerator {
         let done = self.dma.write(fabric, processed, output, &data)?;
         self.stats.jobs += 1;
         self.stats.bytes += len as u64;
+        if let Some(tr) = fabric.trace_mut() {
+            tr.span(Track::Dma(self.dma.host().0), "dev/accel", now, done);
+        }
         Ok(done)
     }
 

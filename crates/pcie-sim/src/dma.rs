@@ -3,6 +3,7 @@
 
 use cxl_fabric::{Fabric, HostId};
 use simkit::server::BandwidthPipe;
+use simkit::trace::Track;
 use simkit::Nanos;
 
 use crate::device::{BufRef, DeviceError};
@@ -61,7 +62,11 @@ impl DmaEngine {
                 t
             }
         };
-        Ok(pcie_done.max(mem_done) + DMA_READ_BASE)
+        let done = pcie_done.max(mem_done) + DMA_READ_BASE;
+        if let Some(tr) = fabric.trace_mut() {
+            tr.span(Track::Dma(self.host.0), "dma/read", now, done);
+        }
+        Ok(done)
     }
 
     /// DMA write: device pushes `data` into host-side memory. Returns
@@ -84,7 +89,11 @@ impl DmaEngine {
                 t
             }
         };
-        Ok(pcie_done.max(mem_done) + DMA_WRITE_BASE)
+        let done = pcie_done.max(mem_done) + DMA_WRITE_BASE;
+        if let Some(tr) = fabric.trace_mut() {
+            tr.span(Track::Dma(self.host.0), "dma/write", now, done);
+        }
+        Ok(done)
     }
 
     /// Backlog on the device's PCIe link at `now` (max over the two

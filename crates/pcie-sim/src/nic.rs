@@ -9,6 +9,7 @@ use std::collections::VecDeque;
 
 use cxl_fabric::{Fabric, HostId};
 use simkit::server::BandwidthPipe;
+use simkit::trace::Track;
 use simkit::Nanos;
 
 use crate::device::{BufRef, DeviceError, DeviceId, MmioCost};
@@ -190,6 +191,9 @@ impl Nic {
         let wire_exit = self.tx_line.transfer(staged, len as u64);
         self.stats.tx_frames += 1;
         self.stats.tx_bytes += len as u64;
+        if let Some(tr) = fabric.trace_mut() {
+            tr.span(Track::Dma(self.dma.host().0), "dev/nic_tx", now, wire_exit);
+        }
         Ok(TxFrame { bytes, wire_exit })
     }
 
@@ -218,6 +222,9 @@ impl Nic {
         let wire_exit = self.tx_line.transfer(staged, len as u64);
         self.stats.tx_frames += 1;
         self.stats.tx_bytes += len as u64;
+        if let Some(tr) = fabric.trace_mut() {
+            tr.span(Track::Dma(self.dma.host().0), "dev/nic_tx", now, wire_exit);
+        }
         Ok(Some(TxFrame { bytes, wire_exit }))
     }
 
@@ -247,6 +254,9 @@ impl Nic {
         let done = self.dma.write(fabric, landed, slot.buf, frame)?;
         self.stats.rx_frames += 1;
         self.stats.rx_bytes += frame.len() as u64;
+        if let Some(tr) = fabric.trace_mut() {
+            tr.span(Track::Dma(self.dma.host().0), "dev/nic_rx", now, done);
+        }
         Ok(Some(RxCompletion {
             buf: slot.buf,
             len: frame.len() as u32,

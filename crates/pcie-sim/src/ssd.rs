@@ -9,6 +9,7 @@
 use cxl_fabric::sparse::SparseMem;
 use cxl_fabric::{Fabric, HostId};
 use simkit::server::TimelineServer;
+use simkit::trace::Track;
 use simkit::Nanos;
 
 use crate::device::{BufRef, DeviceError, DeviceId};
@@ -157,6 +158,9 @@ impl Ssd {
         let done = self.dma.write(fabric, done, buf, &data)?;
         self.stats.reads += 1;
         self.stats.bytes_read += blocks * BLOCK;
+        if let Some(tr) = fabric.trace_mut() {
+            tr.span(Track::Dma(self.dma.host().0), "dev/ssd_read", now, done);
+        }
         Ok(done)
     }
 
@@ -185,6 +189,9 @@ impl Ssd {
         }
         self.stats.writes += 1;
         self.stats.bytes_written += blocks * BLOCK;
+        if let Some(tr) = fabric.trace_mut() {
+            tr.span(Track::Dma(self.dma.host().0), "dev/ssd_write", now, done);
+        }
         Ok(done)
     }
 

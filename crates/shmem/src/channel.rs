@@ -7,6 +7,7 @@
 //! guarantee makes reassembly trivial.
 
 use cxl_fabric::{Fabric, FabricError, HostId};
+use simkit::trace::Track;
 use simkit::Nanos;
 
 use crate::ring::{PollOutcome, RingBuf, RingReceiver, RingSender, SendOutcome, SLOT_PAYLOAD};
@@ -84,11 +85,28 @@ pub enum ChannelSend {
     },
 }
 
+/// Counters kept by a [`ChannelSender`]. Backpressure used to be
+/// invisible: a `Blocked` → `resume` cycle left no trace in any
+/// statistic. These counters make stalls first-class.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Messages fully sent (all fragments written).
+    pub sends: u64,
+    /// Times a send or resume returned [`ChannelSend::Blocked`].
+    pub blocked_events: u64,
+    /// Cumulative nanoseconds messages spent stalled between the first
+    /// `Blocked` and the start of the resume that completed them.
+    pub stall_ns: u64,
+}
+
 /// Sending half: fragments and writes messages.
 pub struct ChannelSender {
     ring: RingSender,
     /// Resume state for a blocked multi-fragment send.
     pending: Option<(Vec<u8>, usize)>,
+    /// When the pending message first blocked (cleared on completion).
+    blocked_since: Option<Nanos>,
+    stats: ChannelStats,
 }
 
 impl ChannelSender {
@@ -96,7 +114,14 @@ impl ChannelSender {
         ChannelSender {
             ring,
             pending: None,
+            blocked_since: None,
+            stats: ChannelStats::default(),
         }
+    }
+
+    /// Backpressure and throughput counters for this direction.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
     }
 
     /// Sends `msg`, fragmenting as needed. If a previous send blocked,
@@ -156,9 +181,31 @@ impl ChannelSender {
                 SendOutcome::Sent(at) => t = at,
                 SendOutcome::Full(at) => {
                     self.pending = Some((msg.clone(), i));
+                    self.stats.blocked_events += 1;
+                    if self.blocked_since.is_none() {
+                        self.blocked_since = Some(at);
+                    }
+                    if let Some(tr) = fabric.trace_mut() {
+                        tr.instant(Track::Channel(self.ring.base()), "chan/blocked", at);
+                    }
                     return Ok(ChannelSend::Blocked { sent_frags: i, at });
                 }
             }
+        }
+        if let Some(blocked_at) = self.blocked_since.take() {
+            self.stats.stall_ns += now.saturating_sub(blocked_at).as_nanos();
+            if let Some(tr) = fabric.trace_mut() {
+                tr.span(
+                    Track::Channel(self.ring.base()),
+                    "chan/stall",
+                    blocked_at,
+                    now,
+                );
+            }
+        }
+        self.stats.sends += 1;
+        if let Some(tr) = fabric.trace_mut() {
+            tr.span(Track::Channel(self.ring.base()), "chan/send", now, t);
         }
         Ok(ChannelSend::Sent(t))
     }
@@ -192,6 +239,9 @@ impl ChannelReceiver {
                 if more == 1 {
                     Ok(PollOutcome::Empty(at))
                 } else {
+                    if let Some(tr) = fabric.trace_mut() {
+                        tr.instant(Track::Channel(self.ring.base()), "chan/recv", at);
+                    }
                     Ok(PollOutcome::Msg {
                         data: std::mem::take(&mut self.partial),
                         at,

@@ -48,6 +48,6 @@ pub mod real;
 pub mod ring;
 pub mod seqlock;
 
-pub use channel::{Channel, ChannelReceiver, ChannelSender};
+pub use channel::{Channel, ChannelReceiver, ChannelSend, ChannelSender, ChannelStats};
 pub use mailbox::{HeartbeatTable, Mailbox};
 pub use ring::{PollOutcome, RingBuf, RingReceiver, RingSender, SendOutcome};

@@ -74,7 +74,15 @@ impl Mailbox {
         let mut line = [0u8; 64];
         line[0..8].copy_from_slice(&self.version.to_le_bytes());
         line[8..8 + value.len()].copy_from_slice(value);
-        fabric.nt_store(now, self.writer, self.addr, &line)
+        let done = fabric.nt_store(now, self.writer, self.addr, &line)?;
+        if let Some(tr) = fabric.trace_mut() {
+            tr.instant(
+                simkit::trace::Track::HostCpu(self.writer.0),
+                "mbox/publish",
+                done,
+            );
+        }
+        Ok(done)
     }
 
     /// Reads the mailbox from `reader`'s perspective, returning

@@ -176,6 +176,13 @@ impl RingSender {
         self.next - self.credits_seen
     }
 
+    /// Base address of the ring in pool memory. Stable for the ring's
+    /// lifetime, so it doubles as the channel-track identity in trace
+    /// exports (see [`simkit::trace::Track::Channel`]).
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
     /// Sends one message of at most [`SLOT_PAYLOAD`] bytes.
     ///
     /// Fast path: one non-temporal 64 B store. If the ring looks full,
@@ -276,6 +283,12 @@ impl RingReceiver {
     /// Number of messages consumed so far.
     pub fn consumed(&self) -> u64 {
         self.next
+    }
+
+    /// Base address of the ring in pool memory (see
+    /// [`RingSender::base`]).
+    pub fn base(&self) -> u64 {
+        self.base
     }
 }
 

@@ -10,7 +10,9 @@
 //! - queueing primitives for modelling bandwidth-limited resources
 //!   ([`server::TimelineServer`]),
 //! - statistics collection ([`stats::Histogram`], [`stats::TimeWeighted`])
-//!   and table formatting ([`table`]).
+//!   and table formatting ([`table`]),
+//! - a bounded flight recorder with per-stage latency attribution and
+//!   Chrome/Perfetto trace export ([`trace`]).
 //!
 //! Determinism is a hard requirement: two runs with the same seed and the
 //! same event schedule must produce bit-identical results. The event queue
@@ -54,6 +56,7 @@ pub mod server;
 pub mod stats;
 pub mod table;
 pub mod time;
+pub mod trace;
 
 mod sched;
 

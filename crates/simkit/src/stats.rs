@@ -172,6 +172,22 @@ impl Histogram {
         }
     }
 
+    /// Full bucket contents as `(bucket_midpoint, count)` pairs, one per
+    /// non-empty bucket.
+    ///
+    /// This is the explicit escape hatch for consumers that genuinely
+    /// need the raw distribution; serialized output should prefer
+    /// [`Histogram::summary`], which is compact and stable across
+    /// bucket-layout changes.
+    pub fn bucket_counts(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_midpoint(i).clamp(self.min, self.max), c))
+            .collect()
+    }
+
     /// Returns `(value, cumulative_fraction)` pairs suitable for plotting
     /// a CDF, one point per non-empty bucket.
     pub fn cdf(&self) -> Vec<(u64, f64)> {
@@ -350,6 +366,21 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.min(), 100);
         assert_eq!(a.max(), 300);
+    }
+
+    #[test]
+    fn bucket_counts_cover_all_samples() {
+        let mut h = Histogram::new();
+        for v in [5u64, 5, 500, 50_000] {
+            h.record(v);
+        }
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets.iter().map(|&(_, c)| c).sum::<u64>(), h.count());
+        // Exactly three distinct buckets, midpoints within range.
+        assert_eq!(buckets.len(), 3);
+        for &(mid, _) in &buckets {
+            assert!(mid >= h.min() && mid <= h.max());
+        }
     }
 
     #[test]

@@ -16,6 +16,13 @@ fn main() {
     params.ssd_hosts = vec![0, 1];
     params.accel_hosts = vec![2];
     let mut pod = PodSim::new(params);
+    // Coherence auditing in vector-clock mode: the report's audit line
+    // breaks violations down by kind, including happens-before
+    // concurrent-conflict races.
+    pod.enable_audit_mode(cxl_fabric::AuditMode::VectorClock);
+    // Flight recorder: the report ends with per-stage latency
+    // attribution (p50/p99/max per datapath stage and device kind).
+    pod.enable_trace();
 
     // Mixed traffic from every host.
     for round in 0..5u32 {

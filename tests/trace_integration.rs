@@ -1,0 +1,135 @@
+//! Flight-recorder integration: a cross-host vSSD read must leave a
+//! complete causal span chain with monotone simulated-time stamps, the
+//! recorder must stay bounded under overflow, and tracing must be pure
+//! observation (identical simulated behavior on and off).
+
+use cxl_fabric::HostId;
+use cxl_pcie_pool::pool::pod::{PodParams, PodSim};
+use cxl_pcie_pool::pool::telemetry;
+use simkit::trace::{TraceConfig, TraceEvent, KIND_SSD};
+use simkit::Nanos;
+
+/// A pod where host 2 owns no devices: its SSD ops take the full
+/// forwarded path.
+fn ssd_pod() -> PodSim {
+    let mut params = PodParams::new(4, 1);
+    params.ssd_hosts = vec![0];
+    PodSim::new(params)
+}
+
+fn cfg(capacity: usize) -> TraceConfig {
+    TraceConfig {
+        capacity,
+        fabric_ops: true,
+    }
+}
+
+#[test]
+fn cross_host_ssd_read_leaves_complete_monotone_chain() {
+    let mut pod = ssd_pod();
+    pod.enable_trace_config(cfg(1 << 16));
+    let d = pod.time() + Nanos::from_millis(50);
+    let (_buf, r) = pod.vssd_read(HostId(2), 0, 1, d).expect("read");
+    assert!(!r.local, "host 2 has no SSD: the op must be forwarded");
+
+    let tr = pod.trace().expect("tracing enabled");
+    assert_eq!(tr.dropped(), 0, "capacity is ample for one op");
+    let evs: Vec<&TraceEvent> = tr.events().iter().filter(|e| e.op == r.op).collect();
+    let find = |name: &str| evs.iter().find(|e| e.name == name).copied();
+
+    // Every stage of the forwarded path is present for this op id —
+    // no orphaned chain.
+    let root = find("op/vssd_read").expect("root span");
+    let encode = find("proto/encode").expect("protocol encode");
+    let send = find("chan/send").expect("channel send");
+    let dispatch = find("agent/dispatch").expect("agent dispatch");
+    let dev = find("dev/ssd_read").expect("device execution");
+    let dma = find("dma/write").expect("DMA into the pool buffer");
+    let complete = find("op/complete").expect("completion delivery");
+
+    // Stage timestamps are monotone along the causal chain, in
+    // simulated time.
+    let root_end = root.start + root.dur.expect("root is a span");
+    assert!(root.start <= encode.start, "encode before root start");
+    assert!(encode.start <= send.start, "send before encode");
+    assert!(send.start <= dispatch.start, "dispatch before send");
+    assert!(dispatch.start <= dev.start, "device before dispatch");
+    assert!(dev.start <= dma.start, "DMA before device start");
+    assert!(dev.start <= complete.start, "completion before device");
+    assert!(complete.start <= root_end, "completion after root end");
+
+    // Context propagation tags every stage with the device kind.
+    for e in &evs {
+        assert_eq!(e.kind, KIND_SSD, "stage {} lost its kind tag", e.name);
+    }
+
+    // The same chain feeds per-stage attribution.
+    let sums = tr.stage_summaries();
+    assert!(sums
+        .iter()
+        .any(|&(n, k, s)| n == "dev/ssd_read" && k == KIND_SSD && s.count >= 1));
+    assert!(sums
+        .iter()
+        .any(|&(n, k, s)| n == "op/vssd_read" && k == KIND_SSD && s.count >= 1));
+}
+
+#[test]
+fn capacity_one_recorder_drops_without_panicking() {
+    let mut pod = ssd_pod();
+    pod.enable_trace_config(cfg(1));
+    let d = pod.time() + Nanos::from_millis(50);
+    pod.vssd_read(HostId(2), 0, 1, d)
+        .expect("the datapath is unaffected by recorder overflow");
+
+    let tr = pod.trace().expect("tracing enabled");
+    assert_eq!(tr.events().len(), 1, "the ring never grows past capacity");
+    assert!(tr.dropped() > 0, "overflow must be counted");
+    // Latency attribution survives the drops.
+    assert!(tr.stage_summaries().iter().any(|&(_, _, s)| s.count > 0));
+
+    // The export stays valid JSON and reports the drops.
+    let json = pod.export_trace().expect("export works under drops");
+    serde_json::from_str(&json).expect("valid JSON under drops");
+    assert!(json.contains("trace/dropped"));
+
+    // ... and the drop counter surfaces in the operator report.
+    let rep = telemetry::snapshot(&pod);
+    assert!(rep.trace_dropped > 0);
+    assert!(rep.to_string().contains("events dropped"));
+}
+
+#[test]
+fn tracing_does_not_perturb_simulated_time() {
+    let run = |trace: bool| -> (Nanos, Vec<u64>) {
+        let mut pod = ssd_pod();
+        if trace {
+            pod.enable_trace_config(cfg(1 << 14));
+        }
+        let mut ats = Vec::new();
+        for i in 0..4u64 {
+            let d = pod.time() + Nanos::from_millis(50);
+            let (_, r) = pod.vssd_read(HostId(2), i, 1, d).expect("read");
+            ats.push(r.at.as_nanos());
+            let d = pod.time() + Nanos::from_millis(50);
+            let r = pod.vnic_send(HostId(2), &[i as u8; 256], d).expect("send");
+            ats.push(r.at.as_nanos());
+        }
+        (pod.time(), ats)
+    };
+    let (time_off, ats_off) = run(false);
+    let (time_on, ats_on) = run(true);
+    assert_eq!(time_off, time_on, "tracing shifted the pod clock");
+    assert_eq!(ats_off, ats_on, "tracing shifted completion times");
+}
+
+#[test]
+fn trace_is_absent_when_never_enabled() {
+    let mut pod = ssd_pod();
+    let d = pod.time() + Nanos::from_millis(50);
+    pod.vssd_read(HostId(2), 0, 1, d).expect("read");
+    assert!(pod.trace().is_none());
+    assert!(pod.export_trace().is_none());
+    let rep = telemetry::snapshot(&pod);
+    assert!(rep.stages.is_empty());
+    assert_eq!(rep.trace_dropped, 0);
+}

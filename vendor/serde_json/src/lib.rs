@@ -1,6 +1,7 @@
 //! Offline stand-in for `serde_json`, covering exactly what the bench
-//! harness uses: a [`Value`] tree built by hand and
-//! [`to_string_pretty`].
+//! and trace harnesses use: a [`Value`] tree built by hand,
+//! [`to_string_pretty`], and a strict [`from_str`] parser with the
+//! usual accessor helpers.
 
 use std::fmt;
 
@@ -28,18 +29,236 @@ pub enum Value {
     Object(Map),
 }
 
-/// Serialization error (the stub serializer is infallible; the type
-/// exists so call sites can keep `.expect(..)`).
+impl Value {
+    /// Member lookup on objects (None for other variants or missing
+    /// keys; last duplicate wins, like a JSON object merge).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array's elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The object's entries, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as f64, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as u64, if this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n < 1.9e19 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/parse error with a short description (byte offset for
+/// parse failures).
 #[derive(Debug)]
-pub struct Error;
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("serde_json stub error")
+        write!(f, "serde_json stub: {}", self.msg)
     }
 }
 
 impl std::error::Error for Error {}
+
+/// Parses a complete JSON document. Strict: rejects trailing garbage,
+/// unterminated literals, and malformed escapes.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::new(format!("trailing data at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error::new(format!("expected `{lit}` at byte {}", *pos)))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(Error::new("unexpected end of input")),
+        Some(b'n') => expect(b, pos, "null").map(|()| Value::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Value::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::new(format!("expected , or ] at byte {}", *pos))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries: Map = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let value = parse_value(b, pos)?;
+                entries.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return Err(Error::new(format!("expected , or }} at byte {}", *pos))),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error::new(format!("expected string at byte {}", *pos)));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(Error::new("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error::new("bad \\u escape"))?;
+                        // Surrogate pairs are not needed by our traces;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(Error::new("bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so the
+                // byte stream is valid UTF-8).
+                let rest =
+                    std::str::from_utf8(&b[*pos..]).map_err(|_| Error::new("invalid utf-8"))?;
+                let c = rest.chars().next().ok_or_else(|| Error::new("empty"))?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| Error::new("invalid utf-8"))?;
+    text.parse::<f64>()
+        .map(Value::Number)
+        .map_err(|_| Error::new(format!("bad number `{text}` at byte {start}")))
+}
 
 /// Pretty-prints `value` with two-space indentation.
 pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
@@ -140,6 +359,49 @@ mod tests {
         assert!(s.contains("\"a\": \"x\\\"y\""));
         assert!(s.contains("\"b\": 3"));
         assert!(s.starts_with('{') && s.ends_with('}'));
+    }
+
+    #[test]
+    fn parse_round_trips_serializer_output() {
+        let v = Value::Object(vec![
+            ("s".to_string(), Value::String("a\"b\\c\nd".to_string())),
+            ("n".to_string(), Value::Number(1.5)),
+            ("i".to_string(), Value::Number(42.0)),
+            ("t".to_string(), Value::Bool(true)),
+            ("z".to_string(), Value::Null),
+            (
+                "arr".to_string(),
+                Value::Array(vec![Value::Number(1.0), Value::Object(vec![])]),
+            ),
+        ]);
+        let s = to_string_pretty(&v).expect("serialize");
+        let back = from_str(&s).expect("parse");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn accessors_navigate_the_tree() {
+        let v = from_str(r#"{"a": {"b": [1, "x", false]}, "c": 7}"#).expect("parse");
+        assert_eq!(v.get("c").and_then(Value::as_u64), Some(7));
+        let arr = v
+            .get("a")
+            .and_then(|a| a.get("b"))
+            .and_then(Value::as_array)
+            .expect("array");
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_str(), Some("x"));
+        assert_eq!(arr[2].as_bool(), Some(false));
+        assert!(v.get("missing").is_none());
+        assert!(arr[0].as_str().is_none());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1, 2,]").is_err());
+        assert!(from_str("\"unterminated").is_err());
+        assert!(from_str("{} trailing").is_err());
+        assert!(from_str("nulll").is_err());
     }
 
     #[test]
