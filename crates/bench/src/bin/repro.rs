@@ -12,9 +12,7 @@
 
 use std::env;
 
-use cxl_pool_bench::{
-    baselines, extensions, fig2, fig3, fig4, microbench, orchestrator, sqrtn, Scale,
-};
+use bench::{baselines, extensions, fig2, fig3, fig4, microbench, orchestrator, sqrtn, Scale};
 use simkit::stats::Summary;
 use simkit::table::Table;
 
@@ -54,8 +52,12 @@ fn summary_json(s: &Summary) -> serde_json::Value {
     ])
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
+    // `bench workload …` is its own harness (see bench::workload).
+    if args.first().map(String::as_str) == Some("workload") {
+        return bench::workload::run_cli(&args[1..]);
+    }
     let scale = if args.iter().any(|a| a == "--full") {
         Scale::Full
     } else {
@@ -234,4 +236,5 @@ fn main() {
         .expect("write json");
         println!("\nresults written to {path}");
     }
+    std::process::ExitCode::SUCCESS
 }

@@ -19,7 +19,8 @@ pub fn run(scale: Scale) -> Table {
     run_with_summary(scale).0
 }
 
-/// Like [`run`], but also returns the compact [`Summary`] so `--json`
+/// Like [`run`], but also returns the compact [`simkit::stats::Summary`]
+/// so `--json`
 /// output can carry stable quantiles instead of raw histogram buckets
 /// (those stay behind `Histogram::bucket_counts`).
 pub fn run_with_summary(scale: Scale) -> (Table, simkit::stats::Summary) {

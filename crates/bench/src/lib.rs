@@ -10,9 +10,11 @@
 //! | [`microbench`] | §3 calibration — idle latency ratio, link/interleave bandwidth |
 //! | [`orchestrator`] | §4.2 — allocation policy, failover, load balancing |
 //! | [`extensions`] | §5 — ToR-less availability, accelerator pooling, striping, migration |
+//! | [`workload`] | pool-scale workload + SLO capacity bench (`bench workload`) |
 //!
-//! Run everything with `cargo run -p cxl-pool-bench --bin repro --release`
-//! or a single experiment with `… -- fig3`.
+//! Run everything with `cargo run -p bench --release` or a single
+//! experiment with `… -- fig3`; the workload/capacity bench runs with
+//! `cargo run -p bench --release -- workload --seed 42`.
 
 pub mod baselines;
 pub mod extensions;
@@ -22,6 +24,7 @@ pub mod fig4;
 pub mod microbench;
 pub mod orchestrator;
 pub mod sqrtn;
+pub mod workload;
 
 /// Scale knob for experiment runtime: `Quick` keeps the full shape of
 /// every experiment with smaller samples (CI-friendly); `Full` uses

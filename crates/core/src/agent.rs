@@ -279,6 +279,7 @@ impl Agent {
     /// outbox and are flushed on each pass.
     pub fn pump(&mut self, fabric: &mut Fabric, until: Nanos) {
         while self.clock < until {
+            let before = self.clock;
             // Flush pending orchestrator notices first.
             let pending: Vec<Msg> = std::mem::take(&mut self.outbox_orch);
             for msg in pending {
@@ -304,12 +305,16 @@ impl Agent {
                     }
                     Err(_) => {
                         // Fabric trouble on this link (e.g. MHD failure):
-                        // skip it this round; time still advances via
-                        // the other links.
+                        // skip it this round; time advances via the
+                        // other links.
                     }
                 }
             }
-            if self.links.is_empty() {
+            if self.links.is_empty() || self.clock == before {
+                // No link consumed any time this pass — every ring is
+                // on failed pool memory (λ-interleaved rings all touch
+                // a failed MHD). The host busy-polls through the
+                // outage; burn the quantum instead of spinning forever.
                 self.clock = until;
             }
         }

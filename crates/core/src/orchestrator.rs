@@ -288,6 +288,7 @@ impl Orchestrator {
                 self.clock = until;
                 return;
             }
+            let before = self.clock;
             let mut inbox: Vec<Msg> = Vec::new();
             for i in 0..self.links.len() {
                 let clock = self.clock;
@@ -305,6 +306,12 @@ impl Orchestrator {
                     }
                     Err(_) => {}
                 }
+            }
+            if self.clock == before {
+                // Every link errored without consuming time (all rings
+                // sit on failed pool memory): burn the quantum rather
+                // than spinning forever during the outage.
+                self.clock = until;
             }
             for msg in inbox {
                 self.handle(fabric, msg);

@@ -389,6 +389,29 @@ impl PodSim {
         self.dev_attach.get(&dev).copied()
     }
 
+    /// Device kinds with at least one registered device in the pod
+    /// (load generators validate tenant mixes against this).
+    pub fn kinds_available(&self) -> Vec<DeviceKind> {
+        [DeviceKind::Nic, DeviceKind::Ssd, DeviceKind::Accel]
+            .into_iter()
+            .filter(|&k| !self.orch.devices_of(k).is_empty())
+            .collect()
+    }
+
+    /// Feeds a host-load observation into the orchestrator, as the
+    /// agent's periodic `HostLoad` report would. Load generators use
+    /// this to close the control loop: the orchestrator's balance pass
+    /// migrates the heaviest *reported* user off a hot device.
+    pub fn report_host_load(&mut self, host: HostId, load: u8) {
+        self.orch.set_host_load(host, load);
+    }
+
+    /// One orchestrator load-balancing pass (see
+    /// [`Orchestrator::balance`]); returns migrations performed.
+    pub fn rebalance(&mut self, spread_pct: u8) -> u64 {
+        self.orch.balance(&mut self.fabric, spread_pct)
+    }
+
     /// `host`'s current binding for `kind` (as known by its agent).
     pub fn binding(&self, host: HostId, kind: DeviceKind) -> Option<DeviceId> {
         self.agents[host.0 as usize].assigned.get(&kind).copied()

@@ -21,6 +21,8 @@ pub struct DeviceReport {
     pub attach: u16,
     /// Liveness per the orchestrator.
     pub up: bool,
+    /// Last load the orchestrator heard for this device (0-100).
+    pub load: u8,
     /// Hosts currently assigned.
     pub users: usize,
     /// Operations completed (TX frames / SSD commands / accel jobs).
@@ -128,6 +130,7 @@ pub fn snapshot(pod: &PodSim) -> PodReport {
                 kind,
                 attach,
                 up: info.up,
+                load: info.load,
                 users: info.users.len(),
                 ops,
                 bytes,
@@ -226,14 +229,15 @@ impl fmt::Display for PodReport {
         for d in &self.devices {
             writeln!(
                 f,
-                "  {:?} {:?} @host{} {}: {} users, {} ops, {} bytes",
+                "  {:?} {:?} @host{} {}: {} users, {} ops, {} bytes, load {}%",
                 d.kind,
                 d.dev,
                 d.attach,
                 if d.up { "up" } else { "DOWN" },
                 d.users,
                 d.ops,
-                d.bytes
+                d.bytes,
+                d.load
             )?;
         }
         Ok(())

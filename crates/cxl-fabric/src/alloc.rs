@@ -88,9 +88,11 @@ impl Segment {
 
     /// Splits the byte range `[hpa, hpa + len)` into per-MHD byte
     /// counts, following the interleave pattern. Used for bandwidth
-    /// accounting of bulk transfers.
-    pub fn spread(&self, hpa: u64, len: u64) -> HashMap<MhdId, u64> {
-        let mut out: HashMap<MhdId, u64> = HashMap::new();
+    /// accounting of bulk transfers. Ordered by MHD id so callers that
+    /// charge stateful link timelines stay deterministic across runs
+    /// (a `HashMap` here leaked iteration order into simulated time).
+    pub fn spread(&self, hpa: u64, len: u64) -> BTreeMap<MhdId, u64> {
+        let mut out: BTreeMap<MhdId, u64> = BTreeMap::new();
         let mut cur = hpa;
         let end = hpa + len;
         while cur < end {

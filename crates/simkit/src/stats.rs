@@ -143,6 +143,19 @@ impl Histogram {
         self.max
     }
 
+    /// Discards every recorded value, keeping the allocated buckets.
+    ///
+    /// Workload harnesses use this at the warmup/measurement boundary:
+    /// record through warmup (so the buckets are hot), then clear and
+    /// measure.
+    pub fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         if other.buckets.len() > self.buckets.len() {
@@ -353,6 +366,24 @@ mod tests {
         assert_eq!(h.min(), 10);
         assert_eq!(h.max(), 1_000_000);
         assert!((h.mean() - 250_015.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_resets_to_empty() {
+        let mut h = Histogram::new();
+        for v in [10, 1_000, 100_000] {
+            h.record(v);
+        }
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        // Recording after clear behaves like a fresh histogram.
+        h.record(42);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 42);
+        assert_eq!(h.max(), 42);
     }
 
     #[test]

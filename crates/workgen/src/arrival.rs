@@ -1,0 +1,309 @@
+//! Deterministic, seeded arrival processes.
+//!
+//! Open-loop processes pre-compute their whole schedule from a seed, so
+//! the offered load is independent of how fast the pod serves it — the
+//! property that makes saturation visible as growing queueing delay.
+//! The closed-loop process has no schedule: each of its workers issues
+//! the next operation only after the previous one completes.
+
+use simkit::rng::Rng;
+use simkit::Nanos;
+
+/// An arrival process for one tenant.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Arrival {
+    /// Open-loop Poisson arrivals at a constant rate.
+    Poisson {
+        /// Offered rate in operations per second.
+        rate_pps: f64,
+    },
+    /// Open-loop two-state Markov-modulated Poisson process: the rate
+    /// alternates between a low and a high state with exponentially
+    /// distributed dwell times (bursty traffic).
+    Bursty {
+        /// Rate while in the low state (ops/s).
+        low_pps: f64,
+        /// Rate while in the high state (ops/s).
+        high_pps: f64,
+        /// Mean dwell time in the low state.
+        dwell_low: Nanos,
+        /// Mean dwell time in the high state.
+        dwell_high: Nanos,
+    },
+    /// Open-loop non-homogeneous Poisson whose rate ramps sinusoidally
+    /// from `base_pps` up to `peak_pps` and back over each `period`
+    /// (a compressed diurnal curve), sampled by thinning.
+    Diurnal {
+        /// Trough rate (ops/s).
+        base_pps: f64,
+        /// Peak rate (ops/s).
+        peak_pps: f64,
+        /// Length of one full trough-peak-trough cycle.
+        period: Nanos,
+    },
+    /// Closed loop: `concurrency` workers, each re-issuing `think`
+    /// after its previous operation completes. Offered load adapts to
+    /// service capacity, so it can never overload the pod.
+    ClosedLoop {
+        /// Number of concurrent workers (outstanding-op bound).
+        concurrency: usize,
+        /// Think time between a completion and the worker's next issue.
+        think: Nanos,
+    },
+}
+
+impl Arrival {
+    /// True for processes whose arrivals are independent of completions.
+    pub fn is_open_loop(&self) -> bool {
+        !matches!(self, Arrival::ClosedLoop { .. })
+    }
+
+    /// Long-run mean offered rate in ops/s (None for closed loop,
+    /// whose rate is whatever the pod sustains).
+    pub fn mean_rate_pps(&self) -> Option<f64> {
+        match *self {
+            Arrival::Poisson { rate_pps } => Some(rate_pps),
+            Arrival::Bursty {
+                low_pps,
+                high_pps,
+                dwell_low,
+                dwell_high,
+            } => {
+                let (dl, dh) = (dwell_low.as_nanos() as f64, dwell_high.as_nanos() as f64);
+                Some((low_pps * dl + high_pps * dh) / (dl + dh))
+            }
+            // The sinusoid ramp averages to the midpoint over a period.
+            Arrival::Diurnal {
+                base_pps, peak_pps, ..
+            } => Some((base_pps + peak_pps) / 2.0),
+            Arrival::ClosedLoop { .. } => None,
+        }
+    }
+
+    /// The same process with every open-loop rate multiplied by
+    /// `factor` (capacity search sweeps this). Closed-loop processes
+    /// scale their worker count instead, never below one worker.
+    pub fn scaled(&self, factor: f64) -> Arrival {
+        assert!(factor > 0.0, "scale factor must be positive");
+        match *self {
+            Arrival::Poisson { rate_pps } => Arrival::Poisson {
+                rate_pps: rate_pps * factor,
+            },
+            Arrival::Bursty {
+                low_pps,
+                high_pps,
+                dwell_low,
+                dwell_high,
+            } => Arrival::Bursty {
+                low_pps: low_pps * factor,
+                high_pps: high_pps * factor,
+                dwell_low,
+                dwell_high,
+            },
+            Arrival::Diurnal {
+                base_pps,
+                peak_pps,
+                period,
+            } => Arrival::Diurnal {
+                base_pps: base_pps * factor,
+                peak_pps: peak_pps * factor,
+                period,
+            },
+            Arrival::ClosedLoop { concurrency, think } => Arrival::ClosedLoop {
+                concurrency: ((concurrency as f64 * factor).round() as usize).max(1),
+                think,
+            },
+        }
+    }
+
+    /// Pre-computes the open-loop arrival schedule over `[0, span)` as
+    /// offsets from the run start, strictly derived from `seed` (the
+    /// same seed yields a bit-identical schedule). Closed-loop
+    /// processes return an empty schedule — their issues are driven by
+    /// completions, not a clock.
+    pub fn schedule(&self, seed: u64, span: Nanos) -> Vec<Nanos> {
+        let mut rng = Rng::new(seed);
+        let mut out = Vec::new();
+        match *self {
+            Arrival::Poisson { rate_pps } => {
+                assert!(rate_pps > 0.0, "rate must be positive");
+                let mean_gap = 1e9 / rate_pps;
+                let mut t = 0.0f64;
+                loop {
+                    t += rng.exp(mean_gap).max(1.0);
+                    if t >= span.as_nanos() as f64 {
+                        break;
+                    }
+                    out.push(Nanos(t as u64));
+                }
+            }
+            Arrival::Bursty {
+                low_pps,
+                high_pps,
+                dwell_low,
+                dwell_high,
+            } => {
+                assert!(low_pps > 0.0 && high_pps > 0.0, "rates must be positive");
+                let span_ns = span.as_nanos() as f64;
+                let mut t = 0.0f64;
+                let mut high = false;
+                let mut state_end = rng.exp(dwell_low.as_nanos() as f64);
+                // Exponential gaps are memoryless, so re-drawing the
+                // gap at each state boundary samples the MMPP exactly.
+                loop {
+                    let rate = if high { high_pps } else { low_pps };
+                    let gap = rng.exp(1e9 / rate).max(1.0);
+                    if t + gap >= state_end {
+                        t = state_end;
+                        high = !high;
+                        let dwell = if high { dwell_high } else { dwell_low };
+                        state_end = t + rng.exp(dwell.as_nanos() as f64);
+                        if t >= span_ns {
+                            break;
+                        }
+                        continue;
+                    }
+                    t += gap;
+                    if t >= span_ns {
+                        break;
+                    }
+                    out.push(Nanos(t as u64));
+                }
+            }
+            Arrival::Diurnal {
+                base_pps,
+                peak_pps,
+                period,
+            } => {
+                assert!(
+                    base_pps > 0.0 && peak_pps >= base_pps,
+                    "need 0 < base <= peak"
+                );
+                // Lewis–Shedler thinning against the peak rate.
+                let span_ns = span.as_nanos() as f64;
+                let period_ns = period.as_nanos() as f64;
+                let mean_gap = 1e9 / peak_pps;
+                let mut t = 0.0f64;
+                loop {
+                    t += rng.exp(mean_gap).max(1.0);
+                    if t >= span_ns {
+                        break;
+                    }
+                    let phase = (core::f64::consts::TAU * t / period_ns).cos();
+                    let rate = base_pps + (peak_pps - base_pps) * 0.5 * (1.0 - phase);
+                    if rng.chance(rate / peak_pps) {
+                        out.push(Nanos(t as u64));
+                    }
+                }
+            }
+            Arrival::ClosedLoop { .. } => {}
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_rate(a: &Arrival, seed: u64, span: Nanos) -> f64 {
+        a.schedule(seed, span).len() as f64 / span.as_secs_f64()
+    }
+
+    #[test]
+    fn poisson_rate_matches_configured() {
+        let a = Arrival::Poisson { rate_pps: 50_000.0 };
+        let got = empirical_rate(&a, 7, Nanos::from_secs(2));
+        assert!(
+            (got - 50_000.0).abs() / 50_000.0 < 0.05,
+            "empirical {got} pps"
+        );
+    }
+
+    #[test]
+    fn bursty_rate_matches_time_weighted_mean() {
+        let a = Arrival::Bursty {
+            low_pps: 10_000.0,
+            high_pps: 90_000.0,
+            dwell_low: Nanos::from_millis(3),
+            dwell_high: Nanos::from_millis(1),
+        };
+        let want = a.mean_rate_pps().unwrap();
+        let got = empirical_rate(&a, 11, Nanos::from_secs(4));
+        assert!((got - want).abs() / want < 0.10, "got {got}, want {want}");
+    }
+
+    #[test]
+    fn diurnal_rate_matches_midpoint_over_whole_periods() {
+        let a = Arrival::Diurnal {
+            base_pps: 20_000.0,
+            peak_pps: 100_000.0,
+            period: Nanos::from_millis(10),
+        };
+        // An integral number of periods so the sinusoid averages out.
+        let got = empirical_rate(&a, 3, Nanos::from_millis(1000));
+        let want = a.mean_rate_pps().unwrap();
+        assert!((got - want).abs() / want < 0.05, "got {got}, want {want}");
+    }
+
+    #[test]
+    fn schedules_are_sorted_and_in_span() {
+        for a in [
+            Arrival::Poisson { rate_pps: 5_000.0 },
+            Arrival::Bursty {
+                low_pps: 2_000.0,
+                high_pps: 20_000.0,
+                dwell_low: Nanos::from_millis(1),
+                dwell_high: Nanos::from_millis(1),
+            },
+            Arrival::Diurnal {
+                base_pps: 1_000.0,
+                peak_pps: 10_000.0,
+                period: Nanos::from_millis(5),
+            },
+        ] {
+            let span = Nanos::from_millis(50);
+            let s = a.schedule(42, span);
+            assert!(!s.is_empty());
+            assert!(s.windows(2).all(|w| w[0] <= w[1]), "sorted");
+            assert!(s.iter().all(|&t| t < span), "in span");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule_different_seed_differs() {
+        let a = Arrival::Poisson { rate_pps: 10_000.0 };
+        let span = Nanos::from_millis(100);
+        assert_eq!(a.schedule(9, span), a.schedule(9, span));
+        assert_ne!(a.schedule(9, span), a.schedule(10, span));
+    }
+
+    #[test]
+    fn closed_loop_has_no_schedule_and_no_rate() {
+        let a = Arrival::ClosedLoop {
+            concurrency: 8,
+            think: Nanos(500),
+        };
+        assert!(!a.is_open_loop());
+        assert!(a.mean_rate_pps().is_none());
+        assert!(a.schedule(1, Nanos::from_millis(10)).is_empty());
+    }
+
+    #[test]
+    fn scaling_scales_rates_and_workers() {
+        let p = Arrival::Poisson { rate_pps: 1_000.0 }.scaled(2.5);
+        assert_eq!(p, Arrival::Poisson { rate_pps: 2_500.0 });
+        let c = Arrival::ClosedLoop {
+            concurrency: 4,
+            think: Nanos(100),
+        }
+        .scaled(0.1);
+        assert_eq!(
+            c,
+            Arrival::ClosedLoop {
+                concurrency: 1,
+                think: Nanos(100)
+            }
+        );
+    }
+}

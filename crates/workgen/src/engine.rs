@@ -1,0 +1,413 @@
+//! The workload engine: drives a [`PodSim`] through a [`WorkloadSpec`]
+//! in simulated time.
+//!
+//! Open-loop tenants pre-compute their arrival schedules from the seed;
+//! the engine issues each operation at (or as soon as possible after)
+//! its scheduled arrival and measures latency *from the scheduled
+//! arrival*, so a pod that falls behind accumulates queueing delay and
+//! the tail blows up — the hockey stick every capacity search walks.
+//! Closed-loop tenants run fixed-concurrency workers whose latency is
+//! measured from the actual issue instant.
+//!
+//! Operations scheduled inside the warmup window run but are not
+//! recorded; the measurement window follows. Failed or timed-out
+//! operations are censored at the per-op deadline and counted as
+//! errors (see [`crate::slo`]).
+
+use std::collections::BTreeMap;
+
+use cxl_fabric::{HostId, MhdId};
+use cxl_pool_core::pod::{PodSim, IO_SLOT};
+use cxl_pool_core::vdev::{DeviceKind, PoolError};
+use simkit::rng::Rng;
+use simkit::stats::{Histogram, Summary};
+use simkit::Nanos;
+
+use crate::arrival::Arrival;
+use crate::slo::SloVerdict;
+use crate::spec::{OpKind, WorkloadSpec};
+
+/// Per-tenant results for one run.
+#[derive(Clone, Debug)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub name: String,
+    /// Mean offered rate (ops/s) over the measurement window; for
+    /// closed-loop tenants this equals the achieved rate.
+    pub offered_pps: f64,
+    /// Successfully completed measured ops per second.
+    pub achieved_pps: f64,
+    /// Operations measured (including censored failures).
+    pub ops: u64,
+    /// Failed or timed-out operations among them.
+    pub errors: u64,
+    /// Measured latency distribution (ns).
+    pub latency: Summary,
+    /// The SLO verdict for this tenant.
+    pub verdict: SloVerdict,
+    /// Largest number of simultaneously outstanding operations
+    /// (closed-loop tenants only; 0 for open loop).
+    pub peak_in_flight: usize,
+}
+
+/// The outcome of one engine run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Per-tenant results.
+    pub tenants: Vec<TenantReport>,
+    /// Per-operation-class latency summaries, sorted by label.
+    pub kinds: Vec<(&'static str, Summary)>,
+    /// Total offered rate of the open-loop tenants (ops/s).
+    pub offered_pps: f64,
+    /// Total achieved rate across tenants (ops/s).
+    pub achieved_pps: f64,
+    /// Measured operations across tenants.
+    pub ops: u64,
+    /// Errors across tenants.
+    pub errors: u64,
+    /// Simulated time consumed by the run.
+    pub elapsed: Nanos,
+}
+
+impl RunReport {
+    /// True when every tenant met its SLO.
+    pub fn all_slos_pass(&self) -> bool {
+        self.tenants.iter().all(|t| t.verdict.pass)
+    }
+}
+
+/// One pending issue source during the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Issue {
+    /// Absolute simulated time of the (scheduled) issue.
+    at: Nanos,
+    /// Tenant index.
+    tenant: usize,
+    /// Closed-loop worker index, usize::MAX for open-loop arrivals.
+    worker: usize,
+}
+
+/// The workload engine. Construction is free; all state lives in
+/// [`Engine::run`].
+#[derive(Clone, Copy, Debug)]
+pub struct Engine {
+    seed: u64,
+}
+
+impl Engine {
+    /// Creates an engine whose every random choice derives from `seed`.
+    pub fn new(seed: u64) -> Engine {
+        Engine { seed }
+    }
+
+    /// Runs `spec` against `pod` and reports per-tenant latency and
+    /// SLO verdicts. Panics if the spec does not validate against the
+    /// pod (use [`WorkloadSpec::validate`] to pre-check).
+    pub fn run(&self, pod: &mut PodSim, spec: &WorkloadSpec) -> RunReport {
+        let kinds = pod.kinds_available();
+        spec.validate(pod.agents.len() as u16, &kinds)
+            .expect("workload spec fits the pod");
+
+        let t0 = pod.time();
+        let span = spec.warmup + spec.measure;
+        let meas_start = t0 + spec.warmup;
+        let meas_end = t0 + span;
+
+        // Seed derivation: one schedule stream and one choice stream
+        // per tenant, all forked from the master in tenant order.
+        let mut master = Rng::new(self.seed);
+        let mut schedules: Vec<Vec<Nanos>> = Vec::new();
+        let mut choice_rngs: Vec<Rng> = Vec::new();
+        for t in &spec.tenants {
+            let sched_seed = master.next_u64();
+            schedules.push(t.arrival.schedule(sched_seed, span));
+            choice_rngs.push(master.fork());
+        }
+
+        // Issue sources: open-loop cursors + closed-loop workers.
+        let mut cursors = vec![0usize; spec.tenants.len()];
+        let mut workers: Vec<Issue> = Vec::new();
+        for (ti, t) in spec.tenants.iter().enumerate() {
+            if let Arrival::ClosedLoop { concurrency, .. } = t.arrival {
+                for w in 0..concurrency {
+                    workers.push(Issue {
+                        at: t0,
+                        tenant: ti,
+                        worker: w,
+                    });
+                }
+            }
+        }
+
+        // Measurement state.
+        let n = spec.tenants.len();
+        let mut hists: Vec<Histogram> = vec![Histogram::new(); n];
+        let mut errors = vec![0u64; n];
+        let mut completed = vec![0u64; n];
+        let mut kind_hists: BTreeMap<&'static str, Histogram> = BTreeMap::new();
+        let mut intervals: Vec<Vec<(Nanos, Nanos)>> = vec![Vec::new(); n];
+        let mut host_issued: BTreeMap<u16, u64> = BTreeMap::new();
+
+        // Fault plan state.
+        let mut fault_pending = spec.fault;
+        let mut heal_at: Option<(Nanos, MhdId)> = None;
+        let mut next_balance = spec.balance_every.map(|every| t0 + every);
+
+        loop {
+            // Earliest pending issue, deterministic tie-break.
+            let open_head = cursors
+                .iter()
+                .enumerate()
+                .filter_map(|(ti, &c)| {
+                    schedules[ti].get(c).map(|&off| Issue {
+                        at: t0 + off,
+                        tenant: ti,
+                        worker: usize::MAX,
+                    })
+                })
+                .min_by_key(|i| (i.at, i.tenant));
+            let worker_head = workers
+                .iter()
+                .filter(|i| i.at < meas_end)
+                .min_by_key(|i| (i.at, i.tenant, i.worker))
+                .copied();
+            let issue = match (open_head, worker_head) {
+                (Some(a), Some(b)) => {
+                    if (a.at, a.tenant, a.worker) <= (b.at, b.tenant, b.worker) {
+                        a
+                    } else {
+                        b
+                    }
+                }
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => break,
+            };
+
+            // Fault plan: fail the MHD once the schedule crosses the
+            // plan's offset, recover `heal_after` later.
+            if let Some(f) = fault_pending {
+                if issue.at >= t0 + f.at {
+                    pod.fabric.topology_mut().fail_mhd(MhdId(f.mhd));
+                    heal_at = Some((t0 + f.at + f.heal_after, MhdId(f.mhd)));
+                    fault_pending = None;
+                }
+            }
+            if let Some((t, mhd)) = heal_at {
+                if issue.at >= t {
+                    pod.recover_pool_failure(mhd);
+                    heal_at = None;
+                }
+            }
+
+            // Control-plane feedback: report per-host issue counts as
+            // loads and let the orchestrator rebalance.
+            if let (Some(t), Some(every)) = (next_balance, spec.balance_every) {
+                if issue.at >= t {
+                    let peak = host_issued.values().copied().max().unwrap_or(0).max(1);
+                    for (&h, &count) in &host_issued {
+                        let load = ((count * 100) / peak).min(100) as u8;
+                        pod.report_host_load(HostId(h), load);
+                    }
+                    host_issued.clear();
+                    pod.rebalance(30);
+                    next_balance = Some(t + every);
+                }
+            }
+
+            // Let the pod idle forward to the scheduled issue.
+            let now = pod.time();
+            if now < issue.at {
+                pod.run_control(issue.at - now);
+            }
+
+            // Advance this source past the issue we are about to run.
+            let tenant = &spec.tenants[issue.tenant];
+            let closed = issue.worker != usize::MAX;
+            if !closed {
+                cursors[issue.tenant] += 1;
+            }
+
+            // Pick host and op class from the tenant's choice stream.
+            let rng = &mut choice_rngs[issue.tenant];
+            let host = tenant.hosts[rng.below(tenant.hosts.len() as u64) as usize];
+            let weights: Vec<f64> = tenant.mix.iter().map(|&(_, w)| w).collect();
+            let op = tenant.mix[rng.weighted(&weights)].0;
+            let lba = rng.below(1 << 16);
+            *host_issued.entry(host).or_insert(0) += 1;
+
+            // Execute. Open loop measures from the scheduled arrival
+            // (queueing delay included); closed loop from the actual
+            // issue instant.
+            let start = if closed {
+                pod.time().max(issue.at)
+            } else {
+                issue.at
+            };
+            let deadline = pod.time().max(issue.at) + spec.op_timeout;
+            let result = execute(pod, HostId(host), op, lba, issue.at, deadline);
+            let (end, failed) = match result {
+                Ok(done) => (done, false),
+                Err(_) => (deadline, true),
+            };
+            let latency = end.saturating_sub(start);
+
+            let measured = issue.at >= meas_start && issue.at < meas_end;
+            if measured {
+                hists[issue.tenant].record_nanos(latency);
+                kind_hists
+                    .entry(op.label())
+                    .or_default()
+                    .record_nanos(latency);
+                if failed {
+                    errors[issue.tenant] += 1;
+                } else {
+                    completed[issue.tenant] += 1;
+                }
+                if closed {
+                    intervals[issue.tenant].push((start, end));
+                }
+            }
+
+            // Closed-loop worker reschedule.
+            if closed {
+                if let Arrival::ClosedLoop { think, .. } = tenant.arrival {
+                    let slot = workers
+                        .iter_mut()
+                        .find(|i| i.tenant == issue.tenant && i.worker == issue.worker)
+                        .expect("worker exists");
+                    slot.at = end.max(issue.at) + think;
+                }
+            }
+        }
+
+        // Reduce.
+        let secs = spec.measure.as_secs_f64();
+        let mut tenants = Vec::with_capacity(n);
+        for (ti, t) in spec.tenants.iter().enumerate() {
+            let achieved = completed[ti] as f64 / secs;
+            let offered = t.arrival.mean_rate_pps().unwrap_or(achieved);
+            tenants.push(TenantReport {
+                name: t.name.clone(),
+                offered_pps: offered,
+                achieved_pps: achieved,
+                ops: hists[ti].count(),
+                errors: errors[ti],
+                latency: hists[ti].summary(),
+                verdict: t.slo.check(&hists[ti], errors[ti]),
+                peak_in_flight: peak_overlap(&mut intervals[ti]),
+            });
+        }
+        let achieved_total = tenants.iter().map(|t| t.achieved_pps).sum();
+        RunReport {
+            kinds: kind_hists
+                .into_iter()
+                .map(|(k, h)| (k, h.summary()))
+                .collect(),
+            offered_pps: spec.offered_pps(),
+            achieved_pps: achieved_total,
+            ops: tenants.iter().map(|t| t.ops).sum(),
+            errors: tenants.iter().map(|t| t.errors).sum(),
+            elapsed: pod.time().saturating_sub(t0),
+            tenants,
+        }
+    }
+}
+
+/// Runs one operation to completion; returns the completion time.
+fn execute(
+    pod: &mut PodSim,
+    host: HostId,
+    op: OpKind,
+    lba: u64,
+    issue_id: Nanos,
+    deadline: Nanos,
+) -> Result<Nanos, PoolError> {
+    match op {
+        OpKind::NicSend { bytes } => {
+            assert!(bytes as u64 <= IO_SLOT, "payload exceeds an I/O slot");
+            let payload = payload(bytes, issue_id);
+            pod.vnic_send(host, &payload, deadline).map(|r| r.at)
+        }
+        OpKind::NicRecv { bytes } => {
+            assert!(bytes as u64 <= IO_SLOT, "frame exceeds an I/O slot");
+            let dev = pod
+                .binding(host, DeviceKind::Nic)
+                .ok_or(PoolError::NotAssigned(DeviceKind::Nic))?;
+            pod.vnic_post_rx(host, deadline)?;
+            let frame = payload(bytes, issue_id);
+            pod.deliver_frame(dev, &frame)?;
+            let ev = pod
+                .vnic_poll_rx(host, deadline)
+                .ok_or(PoolError::Timeout { op: 0 })?;
+            Ok(ev.at)
+        }
+        OpKind::SsdRead { blocks } => pod
+            .vssd_read(host, lba, blocks, deadline)
+            .map(|(_, r)| r.at),
+        OpKind::SsdWrite { blocks } => {
+            let bytes = (blocks as u64 * 4096).min(IO_SLOT) as u32;
+            let data = payload(bytes, issue_id);
+            let buf = pod.io_buf(host);
+            let now = pod.agents[host.0 as usize].clock();
+            let staged = pod.fabric.nt_store(now, host, buf, &data)?;
+            pod.agents[host.0 as usize].advance_clock(staged);
+            pod.vssd_write(host, lba, blocks, buf, deadline)
+                .map(|r| r.at)
+        }
+        OpKind::AccelRun { bytes } => {
+            assert!(bytes as u64 <= IO_SLOT, "input exceeds an I/O slot");
+            let input = payload(bytes, issue_id);
+            pod.vaccel_run(host, &input, deadline).map(|(_, r)| r.at)
+        }
+    }
+}
+
+/// Deterministic payload bytes for one operation.
+fn payload(bytes: u32, issue: Nanos) -> Vec<u8> {
+    let tag = (issue.as_nanos() % 251) as u8;
+    (0..bytes).map(|i| tag.wrapping_add(i as u8)).collect()
+}
+
+/// Maximum number of overlapping `(start, end)` intervals.
+fn peak_overlap(intervals: &mut [(Nanos, Nanos)]) -> usize {
+    if intervals.is_empty() {
+        return 0;
+    }
+    let mut edges: Vec<(Nanos, i32)> = Vec::with_capacity(intervals.len() * 2);
+    for &(s, e) in intervals.iter() {
+        edges.push((s, 1));
+        // Half-open: an op ending exactly when another starts does not
+        // overlap it.
+        edges.push((e, -1));
+    }
+    edges.sort_by_key(|&(t, d)| (t, d));
+    let (mut cur, mut peak) = (0i32, 0i32);
+    for (_, d) in edges {
+        cur += d;
+        peak = peak.max(cur);
+    }
+    peak as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_overlap_counts_concurrency() {
+        let mut iv = vec![
+            (Nanos(0), Nanos(10)),
+            (Nanos(5), Nanos(15)),
+            (Nanos(10), Nanos(20)), // starts when the first ends: no overlap
+        ];
+        assert_eq!(peak_overlap(&mut iv), 2);
+        assert_eq!(peak_overlap(&mut []), 0);
+    }
+
+    #[test]
+    fn payload_is_deterministic() {
+        assert_eq!(payload(8, Nanos(100)), payload(8, Nanos(100)));
+        assert_eq!(payload(4, Nanos(0)), vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,43 @@
+//! Pool-scale workload engine: the *offered load* side of the paper's
+//! quantitative argument.
+//!
+//! The paper's thesis is that software pooling over a CXL pool absorbs
+//! rack-scale I/O load at latencies competitive with a PCIe switch
+//! (§3–§4). Every other crate in the workspace models how the pod
+//! *serves* an operation; this crate models who *sends* them and
+//! answers the sizing question an operator actually asks: **what
+//! throughput does this pod sustain at a p99 SLO?**
+//!
+//! - [`arrival`] — deterministic, seeded arrival processes: open-loop
+//!   Poisson, bursty (two-state MMPP), diurnal ramp (non-homogeneous
+//!   Poisson via thinning), and closed-loop fixed concurrency.
+//! - [`spec`] — multi-tenant workload specs: per-tenant device mixes
+//!   (NIC send/recv, SSD read/write, accelerator offload), op sizes,
+//!   host affinity, warmup/measurement windows, and optional
+//!   mid-run fault plans (MHD failure + software recovery).
+//! - [`slo`] — SLO specs (`p99 < 10µs`-style) checked against
+//!   [`simkit::stats::Histogram`] distributions, with timed-out
+//!   operations censored at their deadline so overload degrades the
+//!   tail instead of silently vanishing.
+//! - [`engine`] — drives a [`cxl_pool_core::pod::PodSim`] through a
+//!   spec in simulated time and reports per-tenant and per-device-kind
+//!   latency plus SLO verdicts.
+//! - [`capacity`] — binary-searches the maximum offered load that
+//!   still meets every tenant's SLO, optionally under an injected
+//!   pool failure.
+//!
+//! Everything is keyed off one `u64` seed: the same seed yields
+//! bit-identical arrival schedules and identical simulated-time
+//! results, so capacity points are reproducible across runs and CI.
+
+pub mod arrival;
+pub mod capacity;
+pub mod engine;
+pub mod slo;
+pub mod spec;
+
+pub use arrival::Arrival;
+pub use capacity::{CapacityConfig, CapacityResult, TrialPoint};
+pub use engine::{Engine, RunReport, TenantReport};
+pub use slo::{SloSpec, SloVerdict};
+pub use spec::{FaultPlan, OpKind, TenantSpec, WorkloadSpec};

@@ -8,6 +8,7 @@
 //! cargo run --release --example pod_trace            # writes pod_trace.json
 //! cargo run --release --example pod_trace -- --check # also validates the file
 //! cargo run --release --example pod_trace -- --out /tmp/t.json
+//! cargo run --release --example pod_trace -- --seed 9  # reseed the pod's policy RNG
 //! ```
 
 use cxl_fabric::HostId;
@@ -27,10 +28,17 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "pod_trace.json".to_string());
+    let seed: u64 = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7);
 
     let mut params = PodParams::new(6, 2);
     params.ssd_hosts = vec![0, 1];
     params.accel_hosts = vec![2];
+    params.seed = seed;
     let mut pod = PodSim::new(params);
     // The example exists to produce a trace, so record unconditionally
     // — including the verbose per-access fabric spans — rather than

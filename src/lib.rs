@@ -10,6 +10,8 @@
 //! - [`shmem`] — software-coherent shared-memory structures
 //! - [`pool`] — the paper's contribution: datapath + orchestrator
 //! - [`stranding`] — resource-stranding and pooling analysis
+//! - [`workgen`] — pool-scale workload engine, SLO accounting, and
+//!   capacity search
 
 pub use cxl_fabric;
 pub use cxl_pool_core as pool;
@@ -18,3 +20,4 @@ pub use pcie_sim;
 pub use shmem;
 pub use simkit;
 pub use stranding;
+pub use workgen;

@@ -1,0 +1,182 @@
+//! Integration tests for the workgen subsystem against a real pod:
+//! determinism, SLO censoring under faults, and the capacity search.
+
+use cxl_pcie_pool::pool::pod::{PodParams, PodSim};
+use cxl_pcie_pool::simkit::Nanos;
+use cxl_pcie_pool::workgen::{
+    self, Arrival, CapacityConfig, Engine, FaultPlan, OpKind, RunReport, SloSpec, TenantSpec,
+    WorkloadSpec,
+};
+
+fn pod(seed: u64) -> PodSim {
+    let mut p = PodParams::new(6, 2);
+    p.ssd_hosts = vec![0, 1];
+    p.accel_hosts = vec![2];
+    p.seed = seed;
+    PodSim::new(p)
+}
+
+fn mixed_spec(rate_pps: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        tenants: vec![
+            TenantSpec {
+                name: "net".into(),
+                arrival: Arrival::Poisson { rate_pps },
+                mix: vec![(OpKind::NicSend { bytes: 512 }, 1.0)],
+                hosts: vec![3, 4, 5],
+                slo: SloSpec {
+                    quantile: 0.9,
+                    limit: Nanos::from_micros(50),
+                    max_error_frac: 0.1,
+                },
+            },
+            TenantSpec {
+                name: "disk".into(),
+                arrival: Arrival::ClosedLoop {
+                    concurrency: 2,
+                    think: Nanos::from_micros(10),
+                },
+                mix: vec![
+                    (OpKind::SsdRead { blocks: 1 }, 0.6),
+                    (OpKind::SsdWrite { blocks: 1 }, 0.4),
+                ],
+                hosts: vec![2],
+                slo: SloSpec {
+                    quantile: 0.9,
+                    limit: Nanos::from_micros(400),
+                    max_error_frac: 0.1,
+                },
+            },
+        ],
+        warmup: Nanos::from_micros(200),
+        measure: Nanos::from_micros(1_500),
+        op_timeout: Nanos::from_micros(150),
+        balance_every: Some(Nanos::from_micros(500)),
+        fault: None,
+    }
+}
+
+fn fingerprint(r: &RunReport) -> Vec<(String, u64, u64, u64, u64)> {
+    r.tenants
+        .iter()
+        .map(|t| {
+            (
+                t.name.clone(),
+                t.ops,
+                t.errors,
+                t.latency.p99,
+                t.verdict.observed.as_nanos(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn same_seed_reproduces_the_run_exactly() {
+    let spec = mixed_spec(25_000.0);
+    let mut a = pod(11);
+    let mut b = pod(11);
+    let ra = Engine::new(11).run(&mut a, &spec);
+    let rb = Engine::new(11).run(&mut b, &spec);
+    assert_eq!(fingerprint(&ra), fingerprint(&rb));
+    assert_eq!(ra.elapsed, rb.elapsed);
+    assert_eq!(ra.ops, rb.ops);
+}
+
+#[test]
+fn different_seed_changes_the_schedule() {
+    let spec = mixed_spec(25_000.0);
+    let mut a = pod(11);
+    let mut b = pod(11);
+    let ra = Engine::new(11).run(&mut a, &spec);
+    let rb = Engine::new(12).run(&mut b, &spec);
+    assert_ne!(
+        fingerprint(&ra),
+        fingerprint(&rb),
+        "different seeds should produce different measurements"
+    );
+}
+
+#[test]
+fn mhd_failure_mid_run_degrades_the_measured_tail() {
+    let clean_spec = mixed_spec(40_000.0);
+    let mut faulted_spec = mixed_spec(40_000.0);
+    faulted_spec.fault = Some(FaultPlan {
+        mhd: 1,
+        at: Nanos::from_micros(700),
+        heal_after: Nanos::from_micros(150),
+    });
+
+    let mut a = pod(5);
+    let clean = Engine::new(5).run(&mut a, &clean_spec);
+    let mut b = pod(5);
+    let faulted = Engine::new(5).run(&mut b, &faulted_spec);
+
+    assert_eq!(clean.errors, 0, "healthy pod should not time out");
+    assert!(
+        faulted.errors > 0,
+        "outage operations should fail or time out"
+    );
+    let clean_p99 = clean.tenants[0].latency.p99;
+    let faulted_p99 = faulted.tenants[0].latency.p99;
+    assert!(
+        faulted_p99 > clean_p99,
+        "censored outage ops must drag the tail: clean {clean_p99} vs faulted {faulted_p99}"
+    );
+}
+
+#[test]
+fn capacity_search_brackets_the_knee() {
+    let base = mixed_spec(20_000.0);
+    let cfg = CapacityConfig {
+        lo_pps: 5_000.0,
+        hi_pps: 300_000.0,
+        iters: 4,
+    };
+    let result = workgen::capacity::search(|| pod(3), &base, &cfg, 3);
+    assert!(
+        result.capacity_pps >= cfg.lo_pps && result.capacity_pps < cfg.hi_pps,
+        "capacity {} outside ({}, {})",
+        result.capacity_pps,
+        cfg.lo_pps,
+        cfg.hi_pps
+    );
+    // The endpoint probes are evaluated first and the invariant holds.
+    assert!(result.trials[0].pass, "lo probe should pass");
+    assert!(!result.trials[1].pass, "hi probe should saturate");
+    assert!(result.trials.len() == 2 + cfg.iters as usize);
+    let report = result.report_at_capacity.expect("capacity > 0");
+    assert!(report.all_slos_pass());
+}
+
+#[test]
+fn impossible_slo_yields_zero_capacity() {
+    let mut base = mixed_spec(20_000.0);
+    for t in &mut base.tenants {
+        t.slo.limit = Nanos(1); // nothing completes in a nanosecond
+        t.slo.max_error_frac = 0.0;
+    }
+    let cfg = CapacityConfig {
+        lo_pps: 5_000.0,
+        hi_pps: 50_000.0,
+        iters: 2,
+    };
+    let result = workgen::capacity::search(|| pod(3), &base, &cfg, 3);
+    assert_eq!(result.capacity_pps, 0.0);
+    assert!(result.report_at_capacity.is_none());
+}
+
+#[test]
+fn engine_run_is_audit_clean() {
+    let spec = mixed_spec(25_000.0);
+    let mut p = pod(11);
+    p.enable_audit();
+    let _ = Engine::new(11).run(&mut p, &spec);
+    let report = p.audit_finalize().expect("audit enabled");
+    assert_eq!(
+        report.counts.total(),
+        0,
+        "workload datapath must stay coherent: {:?}",
+        report.counts
+    );
+}
