@@ -1,16 +1,18 @@
 //! `bench workload` — the pool-scale workload and capacity bench.
 //!
-//! Drives a six-host pod through a three-tenant mix (latency-sensitive
-//! NIC traffic, bursty storage scans, closed-loop accelerator offload)
-//! with the [`workgen`] engine, then binary-searches the maximum total
-//! offered load that still meets every tenant's SLO — once on a healthy
-//! pod and once with an MHD failure injected mid-run. Results go to
+//! Drives a six-host, two-failure-domain pod through a three-tenant
+//! mix (latency-sensitive NIC traffic, bursty storage scans,
+//! closed-loop accelerator offload) with the [`workgen`] engine, then
+//! binary-searches the maximum total offered load that still meets
+//! every tenant's SLO — once on a healthy pod and once with a whole
+//! failure domain (two of the four MHDs) lost mid-run. Results go to
 //! `BENCH_workload.json` (machine readable, schema documented in
 //! EXPERIMENTS.md) plus a human summary on stdout.
 //!
 //! Everything is a pure function of `--seed`: rerunning with the same
 //! seed reproduces the JSON bit for bit (`--check` verifies this, along
-//! with capacity degradation under the fault and audit cleanliness).
+//! with capacity degradation under the domain loss and audit
+//! cleanliness).
 
 use std::fs;
 use std::process::ExitCode;
@@ -27,8 +29,9 @@ use workgen::{
 
 use crate::Scale;
 
-/// Stable schema tag for downstream consumers.
-pub const SCHEMA: &str = "cxl-pool-workload-bench/v1";
+/// Stable schema tag for downstream consumers (v2: multi-domain pod,
+/// domain-loss fault plans).
+pub const SCHEMA: &str = "cxl-pool-workload-bench/v2";
 
 /// Default output path (gitignored; CI uploads it as an artifact).
 pub const DEFAULT_OUT: &str = "BENCH_workload.json";
@@ -43,13 +46,17 @@ pub struct Config {
     pub scale: Scale,
 }
 
-/// The pod under test: six hosts, two MHDs, NICs behind hosts 0-1,
-/// SSDs behind 0-1, one accelerator behind host 2. Hosts 3-5 own no
-/// devices and reach everything through the pool — the paper's
-/// "pooled pod" shape.
+/// The pod under test: six hosts, four MHDs round-robined over two
+/// failure domains (λ = 4, so every host has two redundant links into
+/// *each* domain and every host pair shares an MHD for its channel),
+/// NICs behind hosts 0-1, SSDs behind 0-1, one accelerator behind
+/// host 2. Hosts 3-5 own no devices and reach everything through the
+/// pool — the paper's "pooled pod" shape.
 pub fn pod_params(seed: u64) -> PodParams {
     let mut p = PodParams::new(6, 2);
-    p.mhds = 2;
+    p.mhds = 4;
+    p.domains = 2;
+    p.lambda = 4;
     p.ssd_hosts = vec![0, 1];
     p.accel_hosts = vec![2];
     p.ring_slots = 128;
@@ -126,15 +133,15 @@ pub fn base_spec(scale: Scale) -> WorkloadSpec {
     }
 }
 
-/// The same workload with an MHD-1 failure mid-measurement and
-/// software recovery shortly after.
+/// The same workload with failure domain 1 (MHDs 1 and 3) lost
+/// mid-measurement and software recovery shortly after.
 pub fn faulted_spec(scale: Scale) -> WorkloadSpec {
     let mut spec = base_spec(scale);
-    spec.fault = Some(FaultPlan {
-        mhd: 1,
-        at: spec.warmup + scale.pick(Nanos::from_micros(600), Nanos::from_micros(2_400)),
-        heal_after: scale.pick(Nanos::from_micros(100), Nanos::from_micros(400)),
-    });
+    spec.fault = Some(FaultPlan::domain(
+        1,
+        spec.warmup + scale.pick(Nanos::from_micros(600), Nanos::from_micros(2_400)),
+        scale.pick(Nanos::from_micros(100), Nanos::from_micros(400)),
+    ));
     spec
 }
 
@@ -210,7 +217,9 @@ pub fn run(cfg: &Config) -> Value {
             "pod",
             obj(vec![
                 ("hosts", num(6.0)),
-                ("mhds", num(2.0)),
+                ("mhds", num(4.0)),
+                ("domains", num(2.0)),
+                ("lambda", num(4.0)),
                 ("nic_hosts", num(2.0)),
                 ("ssd_hosts", num(2.0)),
                 ("accel_hosts", num(1.0)),
@@ -291,8 +300,9 @@ pub fn run_cli(args: &[String]) -> ExitCode {
 }
 
 /// Re-runs the bench and validates the emitted document: determinism,
-/// structure, a positive clean capacity, strict degradation under the
-/// injected MHD failure, and a clean coherence audit.
+/// structure, the two-domain pod shape, a positive clean capacity,
+/// strict degradation under the injected whole-domain outage, and a
+/// clean coherence audit.
 fn self_check(cfg: &Config, doc: &Value, text: &str, out: &str) -> Result<(), String> {
     // The file round-trips through the parser.
     let reread = fs::read_to_string(out).map_err(|e| format!("rereading {out}: {e}"))?;
@@ -336,6 +346,12 @@ fn self_check(cfg: &Config, doc: &Value, text: &str, out: &str) -> Result<(), St
         }
     }
 
+    if field(&["pod", "domains"])?.as_f64() != Some(2.0) {
+        return Err("pod is not the two-failure-domain shape".into());
+    }
+    if field(&["capacity_under_fault", "fault", "target"])?.as_str() != Some("domain") {
+        return Err("fault plan is not a whole-domain outage".into());
+    }
     let clean = getf(&["capacity", "capacity_pps"])?;
     let faulted = getf(&["capacity_under_fault", "capacity_pps"])?;
     if clean <= 0.0 {
@@ -343,7 +359,7 @@ fn self_check(cfg: &Config, doc: &Value, text: &str, out: &str) -> Result<(), St
     }
     if faulted >= clean {
         return Err(format!(
-            "capacity under MHD failure ({faulted}) is not strictly below clean ({clean})"
+            "capacity under single-domain loss ({faulted}) is not strictly below clean ({clean})"
         ));
     }
     let violations = getf(&["audit", "violations"])?;
@@ -409,7 +425,7 @@ fn print_summary(doc: &Value, out: &str) {
         }
     }
     println!(
-        "capacity: {:.0} pps clean, {:.0} pps with MHD failure mid-run",
+        "capacity: {:.0} pps clean, {:.0} pps with single-domain loss mid-run",
         g(&["capacity", "capacity_pps"]),
         g(&["capacity_under_fault", "capacity_pps"]),
     );
@@ -573,10 +589,15 @@ fn capacity_json(c: &CapacityResult, fault: Option<&FaultPlan>) -> Value {
         ("trials", Value::Array(trials)),
     ];
     if let Some(f) = fault {
+        let (kind, index) = match f.target {
+            workgen::FaultTarget::Mhd(m) => ("mhd", m),
+            workgen::FaultTarget::Domain(d) => ("domain", d),
+        };
         fields.push((
             "fault",
             obj(vec![
-                ("mhd", num(f.mhd as f64)),
+                ("target", Value::String(kind.into())),
+                (kind, num(index as f64)),
                 ("at_ns", num(f.at.as_nanos() as f64)),
                 ("heal_after_ns", num(f.heal_after.as_nanos() as f64)),
             ]),

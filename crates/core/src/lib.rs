@@ -39,4 +39,5 @@ pub mod vdev;
 pub use orchestrator::{AllocPolicy, Orchestrator};
 pub use pod::{PodParams, PodSim};
 pub use proto::Msg;
+pub use striping::{Replica, ReplicaSet, StripedVolume};
 pub use vdev::{DeviceKind, VirtualDevice};

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use cxl_fabric::{Fabric, HostId};
+use cxl_fabric::{DomainId, Fabric, FabricError, HostId};
 use pcie_sim::DeviceId;
 use shmem::channel::ChannelSend;
 use shmem::ring::PollOutcome;
@@ -18,6 +18,7 @@ use simkit::Nanos;
 
 use crate::agent::Link;
 use crate::proto::Msg;
+use crate::striping::ReplicaSet;
 use crate::vdev::{DeviceKind, PoolError};
 
 /// Device allocation policy.
@@ -419,6 +420,68 @@ impl Orchestrator {
         moved
     }
 
+    /// Picks `copies` distinct failure domains for a tenant's
+    /// replicated region, mirroring the device policy: the tenant's
+    /// *home* domain leads while its utilization is below the
+    /// local-first threshold, every further copy goes to the
+    /// least-utilized (most-free) remaining domain — and two copies of
+    /// one tenant's data never share a failure domain.
+    pub fn choose_replica_domains(
+        &self,
+        fabric: &Fabric,
+        tenant: HostId,
+        len: u64,
+        copies: usize,
+    ) -> Result<Vec<DomainId>, PoolError> {
+        assert!(copies > 0, "a placement needs at least one copy");
+        let mut cands: Vec<DomainId> = fabric
+            .topology()
+            .reachable_domains(tenant)
+            .into_iter()
+            .filter(|&d| fabric.domain_free(d) >= len)
+            .collect();
+        if cands.len() < copies {
+            return Err(PoolError::Fabric(FabricError::InsufficientDomains {
+                wanted: copies,
+                available: cands.len(),
+            }));
+        }
+        // Least-utilized order, ties by id for determinism.
+        cands.sort_by_key(|&d| (std::cmp::Reverse(fabric.domain_free(d)), d));
+        if let AllocPolicy::LocalFirst { threshold } = self.policy {
+            if let Some(home) = fabric.topology().home_domain(tenant) {
+                let cap = fabric.domain_capacity(home);
+                let used_pct = (cap - fabric.domain_free(home))
+                    .checked_mul(100)
+                    .and_then(|u| u.checked_div(cap))
+                    .unwrap_or(100) as u8;
+                if used_pct < threshold {
+                    if let Some(pos) = cands.iter().position(|&d| d == home) {
+                        let h = cands.remove(pos);
+                        cands.insert(0, h);
+                    }
+                }
+            }
+        }
+        cands.truncate(copies);
+        Ok(cands)
+    }
+
+    /// Places a tenant's replicated region under
+    /// [`Orchestrator::choose_replica_domains`] and allocates it as a
+    /// [`ReplicaSet`] (one pinned, intra-domain-striped copy per chosen
+    /// domain).
+    pub fn place_replicas(
+        &self,
+        fabric: &mut Fabric,
+        tenant: HostId,
+        len: u64,
+        copies: usize,
+    ) -> Result<ReplicaSet, PoolError> {
+        let domains = self.choose_replica_domains(fabric, tenant, len, copies)?;
+        ReplicaSet::create(fabric, &[tenant], len, &domains).map_err(PoolError::from)
+    }
+
     /// All registered devices of a kind, sorted.
     pub fn devices_of(&self, kind: DeviceKind) -> Vec<DeviceId> {
         let mut v: Vec<DeviceId> = self
@@ -582,6 +645,76 @@ mod tests {
         o.set_load(DeviceId(0), 50);
         o.set_load(DeviceId(1), 45);
         assert_eq!(o.balance(&mut f, 30), 0, "spread 5 < threshold 30");
+    }
+
+    fn two_domain_fabric() -> Fabric {
+        // 4 hosts, 4 MHDs round-robined over 2 domains, full links.
+        Fabric::new(PodConfig::new(4, 4, 4).with_domains(2))
+    }
+
+    #[test]
+    fn replica_domains_are_distinct() {
+        let f = two_domain_fabric();
+        let o = Orchestrator::new(HostId(0), AllocPolicy::LeastUtilized, 1);
+        let doms = o
+            .choose_replica_domains(&f, HostId(0), 4096, 2)
+            .expect("choose");
+        assert_eq!(doms.len(), 2);
+        assert_ne!(doms[0], doms[1], "replicas must not share a domain");
+    }
+
+    #[test]
+    fn replica_placement_leads_with_home_domain() {
+        let f = two_domain_fabric();
+        // Host 1's first link lands on MHD 1 → domain 1.
+        let local = Orchestrator::new(HostId(0), AllocPolicy::LocalFirst { threshold: 80 }, 1);
+        let doms = local
+            .choose_replica_domains(&f, HostId(1), 4096, 2)
+            .expect("choose");
+        assert_eq!(doms[0], cxl_fabric::DomainId(1), "home domain leads");
+        // Without locality the tie breaks by id.
+        let lu = Orchestrator::new(HostId(0), AllocPolicy::LeastUtilized, 1);
+        let doms = lu
+            .choose_replica_domains(&f, HostId(1), 4096, 2)
+            .expect("choose");
+        assert_eq!(doms[0], cxl_fabric::DomainId(0));
+    }
+
+    #[test]
+    fn replica_placement_rejects_when_domains_scarce() {
+        let mut f = two_domain_fabric();
+        let o = Orchestrator::new(HostId(0), AllocPolicy::LeastUtilized, 1);
+        assert!(matches!(
+            o.choose_replica_domains(&f, HostId(0), 4096, 3),
+            Err(PoolError::Fabric(FabricError::InsufficientDomains {
+                wanted: 3,
+                available: 2,
+            }))
+        ));
+        // A downed domain leaves the candidate set.
+        f.topology_mut().fail_domain(cxl_fabric::DomainId(0));
+        assert!(o.choose_replica_domains(&f, HostId(0), 4096, 2).is_err());
+        let doms = o
+            .choose_replica_domains(&f, HostId(0), 4096, 1)
+            .expect("one copy still fits");
+        assert_eq!(doms, vec![cxl_fabric::DomainId(1)]);
+    }
+
+    #[test]
+    fn place_replicas_allocates_pinned_copies() {
+        let mut f = two_domain_fabric();
+        let o = Orchestrator::new(HostId(0), AllocPolicy::LocalFirst { threshold: 80 }, 1);
+        let rs = o.place_replicas(&mut f, HostId(0), 8192, 2).expect("place");
+        let doms = rs.domains();
+        assert_eq!(doms.len(), 2);
+        assert_ne!(doms[0], doms[1]);
+        for r in rs.replicas() {
+            let seg = f.segment(r.seg).expect("live");
+            assert!(seg
+                .ways()
+                .iter()
+                .all(|&w| f.topology().domain_of(w) == r.domain));
+        }
     }
 
     #[test]

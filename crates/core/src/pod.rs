@@ -36,6 +36,10 @@ pub struct PodParams {
     pub hosts: u16,
     /// Number of MHDs in the CXL pool.
     pub mhds: u16,
+    /// Failure domains the MHDs are spread over (round-robin). `0`
+    /// (the default) means one domain per MHD; otherwise the value
+    /// must evenly divide `mhds`.
+    pub domains: u16,
     /// Path redundancy λ.
     pub lambda: u16,
     /// Hosts that get a NIC (one per entry; repeats allowed).
@@ -61,6 +65,7 @@ impl PodParams {
         PodParams {
             hosts,
             mhds: 2,
+            domains: 0,
             lambda: 2,
             nic_hosts: (0..nics.min(hosts)).collect(),
             ssd_hosts: Vec::new(),
@@ -219,7 +224,11 @@ impl PodSim {
     /// Builds and wires the whole pod, performing initial device
     /// allocation for every host and device kind present.
     pub fn new(params: PodParams) -> PodSim {
-        let mut fabric = Fabric::new(PodConfig::new(params.hosts, params.mhds, params.lambda));
+        let mut config = PodConfig::new(params.hosts, params.mhds, params.lambda);
+        if params.domains != 0 {
+            config = config.with_domains(params.domains);
+        }
+        let mut fabric = Fabric::new(config);
         let all_hosts: Vec<HostId> = (0..params.hosts).map(HostId).collect();
         let mut agents: Vec<Agent> = all_hosts.iter().map(|&h| Agent::new(h)).collect();
 
@@ -582,6 +591,34 @@ impl PodSim {
             rebuilt += 1;
         }
         rebuilt
+    }
+
+    /// Whole-domain outage recovery (§5, multi-MHD failure domains):
+    /// rebuilds every control channel and I/O segment backed by *any*
+    /// MHD of the failed domain, exactly as
+    /// [`PodSim::recover_pool_failure`] does for a single device.
+    /// Call after `fabric.topology_mut().fail_domain(...)` — or use
+    /// [`PodSim::fail_domain`], which does both. Returns the number of
+    /// channels/segments rebuilt.
+    pub fn recover_domain_failure(&mut self, domain: cxl_fabric::DomainId) -> usize {
+        let members = self.fabric.topology().mhds_in_domain(domain);
+        members
+            .into_iter()
+            .map(|m| self.recover_pool_failure(m))
+            .sum()
+    }
+
+    /// Fails every MHD in `domain` (chassis power loss) and immediately
+    /// rebuilds the affected channels and I/O segments on survivors.
+    /// Returns the number rebuilt.
+    pub fn fail_domain(&mut self, domain: cxl_fabric::DomainId) -> usize {
+        self.fabric.topology_mut().fail_domain(domain);
+        self.recover_domain_failure(domain)
+    }
+
+    /// Restores every MHD in `domain`.
+    pub fn restore_domain(&mut self, domain: cxl_fabric::DomainId) {
+        self.fabric.topology_mut().restore_domain(domain);
     }
 
     /// Injects an SSD failure.

@@ -12,8 +12,15 @@
 //! parallel; the volume's completion time is the max over the devices,
 //! so sequential bandwidth scales with k until another resource
 //! saturates.
+//!
+//! [`ReplicaSet`] applies the same policy to pool *memory* across
+//! failure domains: one full copy of a byte region pinned to each of
+//! several distinct multi-MHD failure domains (RAID-1 across chassis,
+//! striped across the MHDs inside each chassis), so a whole-domain
+//! outage leaves intact copies and [`ReplicaSet::rebuild`]
+//! re-materializes the lost one from a survivor.
 
-use cxl_fabric::HostId;
+use cxl_fabric::{DomainId, DomainPlacement, Fabric, FabricError, HostId, SegmentId};
 use pcie_sim::ssd::BLOCK;
 use pcie_sim::DeviceId;
 use simkit::Nanos;
@@ -181,6 +188,205 @@ impl StripedVolume {
     }
 }
 
+/// Copy granularity used by [`ReplicaSet::rebuild`].
+const COPY_CHUNK: usize = 4096;
+
+/// One full copy of a [`ReplicaSet`], pinned to a failure domain.
+#[derive(Clone, Copy, Debug)]
+pub struct Replica {
+    /// The failure domain holding this copy.
+    pub domain: DomainId,
+    /// Backing pool segment (striped across the domain's MHDs).
+    pub seg: SegmentId,
+    /// Base pool address of the copy.
+    pub base: u64,
+}
+
+/// A domain-replicated byte region in pool memory.
+///
+/// Each replica is a segment pinned to one failure domain (and striped
+/// across that domain's MHDs for bandwidth); replicas never share a
+/// domain, so losing an entire chassis leaves the data readable from
+/// the survivors.
+#[derive(Clone, Debug)]
+pub struct ReplicaSet {
+    owners: Vec<HostId>,
+    len: u64,
+    replicas: Vec<Replica>,
+}
+
+impl ReplicaSet {
+    /// Allocates one pinned copy in each of `domains` (which must be
+    /// distinct). Already-placed copies are released if a later one
+    /// fails, so creation is all-or-nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domains` is empty, repeats a domain, or `len` is 0.
+    pub fn create(
+        fabric: &mut Fabric,
+        owners: &[HostId],
+        len: u64,
+        domains: &[DomainId],
+    ) -> Result<ReplicaSet, FabricError> {
+        assert!(len > 0, "a replica set needs a nonzero length");
+        assert!(
+            !domains.is_empty(),
+            "a replica set needs at least one domain"
+        );
+        let mut distinct = domains.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(
+            distinct.len(),
+            domains.len(),
+            "replica domains must be distinct"
+        );
+        let mut replicas: Vec<Replica> = Vec::with_capacity(domains.len());
+        for &d in domains {
+            let ways = fabric.topology().mhds_in_domain(d).len().max(1);
+            match fabric.alloc_placed(owners, len, ways, DomainPlacement::Pinned(d)) {
+                Ok(seg) => replicas.push(Replica {
+                    domain: d,
+                    seg: seg.id(),
+                    base: seg.base(),
+                }),
+                Err(e) => {
+                    for r in replicas {
+                        let _ = fabric.free_segment(r.seg);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(ReplicaSet {
+            owners: owners.to_vec(),
+            len,
+            replicas,
+        })
+    }
+
+    /// Region length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the region is zero-length (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The live replicas, in placement order.
+    pub fn replicas(&self) -> &[Replica] {
+        &self.replicas
+    }
+
+    /// The domains currently holding a copy, in placement order.
+    pub fn domains(&self) -> Vec<DomainId> {
+        self.replicas.iter().map(|r| r.domain).collect()
+    }
+
+    /// Writes `data` at `off` into every copy whose domain is up
+    /// (non-temporal, so the write is pod-visible on return). Returns
+    /// the completion time of the slowest copy.
+    pub fn write(
+        &self,
+        fabric: &mut Fabric,
+        now: Nanos,
+        host: HostId,
+        off: u64,
+        data: &[u8],
+    ) -> Result<Nanos, FabricError> {
+        let mut done = now;
+        for r in &self.replicas {
+            if !fabric.topology().domain_is_up(r.domain) {
+                continue;
+            }
+            let t = fabric.nt_store(now, host, r.base + off, data)?;
+            done = done.max(t);
+        }
+        Ok(done)
+    }
+
+    /// Reads `buf.len()` bytes at `off` from the first copy whose
+    /// domain is up.
+    pub fn read(
+        &self,
+        fabric: &mut Fabric,
+        now: Nanos,
+        host: HostId,
+        off: u64,
+        buf: &mut [u8],
+    ) -> Result<Nanos, FabricError> {
+        for r in &self.replicas {
+            if fabric.topology().domain_is_up(r.domain) {
+                return fabric.load(now, host, r.base + off, buf);
+            }
+        }
+        Err(FabricError::InsufficientDomains {
+            wanted: 1,
+            available: 0,
+        })
+    }
+
+    /// Re-materializes the copy lost to the `failed` domain: the dead
+    /// segment is released, a fresh pinned copy is allocated in the
+    /// most-free up domain that does not already hold one, and the data
+    /// is copied over from a surviving replica. Returns the new
+    /// domain, or `Ok(None)` when no spare domain exists (the set
+    /// continues degraded with the survivors).
+    pub fn rebuild(
+        &mut self,
+        fabric: &mut Fabric,
+        now: Nanos,
+        host: HostId,
+        failed: DomainId,
+    ) -> Result<Option<DomainId>, FabricError> {
+        let Some(idx) = self.replicas.iter().position(|r| r.domain == failed) else {
+            return Ok(None); // No copy was there; nothing lost.
+        };
+        let src = self
+            .replicas
+            .iter()
+            .find(|r| r.domain != failed && fabric.topology().domain_is_up(r.domain))
+            .copied()
+            .ok_or(FabricError::DomainDown(failed))?;
+        let dead = self.replicas.remove(idx);
+        let _ = fabric.free_segment(dead.seg);
+        let used = self.domains();
+        let mut cands: Vec<DomainId> = (0..fabric.topology().domains())
+            .map(DomainId)
+            .filter(|&d| d != failed && !used.contains(&d) && fabric.topology().domain_is_up(d))
+            .collect();
+        cands.sort_by_key(|&d| (std::cmp::Reverse(fabric.domain_free(d)), d));
+        let Some(&target) = cands.first() else {
+            return Ok(None);
+        };
+        let ways = fabric.topology().mhds_in_domain(target).len().max(1);
+        let seg = fabric.alloc_placed(
+            &self.owners,
+            self.len,
+            ways,
+            DomainPlacement::Pinned(target),
+        )?;
+        let mut t = now;
+        let mut off = 0u64;
+        let mut buf = vec![0u8; COPY_CHUNK];
+        while off < self.len {
+            let n = ((self.len - off) as usize).min(COPY_CHUNK);
+            t = fabric.load(t, host, src.base + off, &mut buf[..n])?;
+            t = fabric.nt_store(t, host, seg.base() + off, &buf[..n])?;
+            off += n as u64;
+        }
+        self.replicas.push(Replica {
+            domain: target,
+            seg: seg.id(),
+            base: seg.base(),
+        });
+        Ok(Some(target))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +470,84 @@ mod tests {
             w4.gbps(),
             w1.gbps()
         );
+    }
+
+    fn multi_domain_fabric(domains: u16, mhds_per_domain: u16) -> Fabric {
+        let mhds = domains * mhds_per_domain;
+        Fabric::new(cxl_fabric::PodConfig::new(2, mhds, mhds).with_domains(domains))
+    }
+
+    #[test]
+    fn replica_set_places_one_copy_per_domain() {
+        let mut f = multi_domain_fabric(3, 2);
+        let rs = ReplicaSet::create(
+            &mut f,
+            &[HostId(0), HostId(1)],
+            8192,
+            &[DomainId(0), DomainId(2)],
+        )
+        .expect("create");
+        assert_eq!(rs.domains(), vec![DomainId(0), DomainId(2)]);
+        for r in rs.replicas() {
+            let seg = f.segment(r.seg).expect("live segment");
+            for w in seg.ways() {
+                assert_eq!(f.topology().domain_of(*w), r.domain, "copy leaked out");
+            }
+        }
+    }
+
+    #[test]
+    fn replica_set_survives_domain_loss() {
+        let mut f = multi_domain_fabric(2, 2);
+        let rs = ReplicaSet::create(&mut f, &[HostId(0)], 4096, &[DomainId(0), DomainId(1)])
+            .expect("create");
+        let data = [0xabu8; 256];
+        let t = rs
+            .write(&mut f, Nanos(0), HostId(0), 128, &data)
+            .expect("write");
+        f.topology_mut().fail_domain(DomainId(0));
+        let mut back = [0u8; 256];
+        rs.read(&mut f, t, HostId(0), 128, &mut back)
+            .expect("read from survivor");
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn replica_set_rebuild_rematerializes_into_spare_domain() {
+        let mut f = multi_domain_fabric(3, 1);
+        let mut rs = ReplicaSet::create(&mut f, &[HostId(0)], 8192, &[DomainId(0), DomainId(1)])
+            .expect("create");
+        let data: Vec<u8> = (0..8192).map(|i| (i % 251) as u8).collect();
+        let t = rs
+            .write(&mut f, Nanos(0), HostId(0), 0, &data)
+            .expect("write");
+        f.topology_mut().fail_domain(DomainId(0));
+        let new = rs
+            .rebuild(&mut f, t, HostId(0), DomainId(0))
+            .expect("rebuild");
+        assert_eq!(new, Some(DomainId(2)), "spare domain takes the copy");
+        assert_eq!(rs.domains(), vec![DomainId(1), DomainId(2)]);
+        // The re-materialized copy holds the data: fail the source too
+        // and read from the new one.
+        f.topology_mut().fail_domain(DomainId(1));
+        let mut back = vec![0u8; 8192];
+        let now = Nanos::from_millis(1);
+        rs.read(&mut f, now, HostId(0), 0, &mut back)
+            .expect("read rebuilt copy");
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn replica_set_rebuild_without_spare_stays_degraded() {
+        let mut f = multi_domain_fabric(2, 1);
+        let mut rs = ReplicaSet::create(&mut f, &[HostId(0)], 4096, &[DomainId(0), DomainId(1)])
+            .expect("create");
+        f.topology_mut().fail_domain(DomainId(1));
+        let new = rs
+            .rebuild(&mut f, Nanos(0), HostId(0), DomainId(1))
+            .expect("rebuild");
+        assert_eq!(new, None, "no spare domain in a 2-domain pod");
+        assert_eq!(rs.domains(), vec![DomainId(0)]);
     }
 
     #[test]

@@ -12,11 +12,30 @@ use serde::Serialize;
 
 use crate::error::FabricError;
 use crate::params::INTERLEAVE_GRANULE;
-use crate::topology::{HostId, MhdId, Topology};
+use crate::topology::{DomainId, HostId, MhdId, Topology};
 
 /// Identifies an allocated segment.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
 pub struct SegmentId(pub u64);
+
+/// How a segment relates to the pod's failure domains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum DomainPlacement {
+    /// No domain constraint: interleave across whatever MHDs the
+    /// owners reach (the pre-multi-domain behavior).
+    Any,
+    /// Every interleave way must come from this one failure domain —
+    /// the segment dies with the domain, but a remote domain outage
+    /// cannot touch it.
+    Pinned(DomainId),
+    /// The interleave set must span at least `min_domains` distinct
+    /// failure domains, so losing one domain leaves surviving stripes
+    /// for the striping/replication layer to rebuild from.
+    Striped {
+        /// Minimum number of distinct domains in the interleave set.
+        min_domains: usize,
+    },
+}
 
 /// A contiguous pool-address range backed by an interleave set of MHDs.
 #[derive(Clone, Debug, Serialize)]
@@ -138,13 +157,37 @@ impl PoolAllocator {
     /// to `max_ways` MHDs that every owner can currently reach.
     ///
     /// MHDs are chosen by most-free-capacity first, so allocations
-    /// spread across the pod.
+    /// spread across the pod. Equivalent to [`PoolAllocator::alloc_placed`]
+    /// with [`DomainPlacement::Any`].
     pub fn alloc(
         &mut self,
         topology: &Topology,
         owners: &[HostId],
         len: u64,
         max_ways: usize,
+    ) -> Result<Segment, FabricError> {
+        self.alloc_placed(topology, owners, len, max_ways, DomainPlacement::Any)
+    }
+
+    /// Allocates `len` bytes visible to `owners` under an explicit
+    /// failure-domain placement.
+    ///
+    /// - [`DomainPlacement::Any`] behaves like [`PoolAllocator::alloc`].
+    /// - [`DomainPlacement::Pinned`] restricts the interleave set to
+    ///   one domain ([`FabricError::DomainDown`] if the owners reach
+    ///   no up MHD there).
+    /// - [`DomainPlacement::Striped`] guarantees the interleave set
+    ///   spans at least `min_domains` distinct domains, widening the
+    ///   set past `max_ways` if that is what it takes
+    ///   ([`FabricError::InsufficientDomains`] if the owners cannot
+    ///   reach that many domains together).
+    pub fn alloc_placed(
+        &mut self,
+        topology: &Topology,
+        owners: &[HostId],
+        len: u64,
+        max_ways: usize,
+        placement: DomainPlacement,
     ) -> Result<Segment, FabricError> {
         assert!(!owners.is_empty(), "a segment needs at least one owner");
         assert!(len > 0, "cannot allocate an empty segment");
@@ -156,6 +199,12 @@ impl PoolAllocator {
             let r = topology.reachable_mhds(h);
             common.retain(|m| r.contains(m));
         }
+        if let DomainPlacement::Pinned(d) = placement {
+            common.retain(|&m| topology.domain_of(m) == d);
+            if common.is_empty() {
+                return Err(FabricError::DomainDown(d));
+            }
+        }
         if common.is_empty() {
             return Err(FabricError::NoCommonMhd {
                 hosts: owners.to_vec(),
@@ -164,7 +213,44 @@ impl PoolAllocator {
 
         // Prefer the devices with the most free capacity.
         common.sort_by_key(|m| std::cmp::Reverse(self.free[m.0 as usize]));
-        let ways: Vec<MhdId> = common.into_iter().take(max_ways).collect();
+        let ways: Vec<MhdId> = match placement {
+            DomainPlacement::Striped { min_domains } => {
+                let mut distinct: Vec<DomainId> =
+                    common.iter().map(|&m| topology.domain_of(m)).collect();
+                distinct.sort_unstable();
+                distinct.dedup();
+                if distinct.len() < min_domains {
+                    return Err(FabricError::InsufficientDomains {
+                        wanted: min_domains,
+                        available: distinct.len(),
+                    });
+                }
+                // First pass: the most-free MHD from each not-yet-covered
+                // domain until min_domains are represented; second pass:
+                // fill up to max_ways with whatever has the most free.
+                let mut chosen: Vec<MhdId> = Vec::new();
+                let mut covered: Vec<DomainId> = Vec::new();
+                for &m in &common {
+                    let d = topology.domain_of(m);
+                    if covered.len() < min_domains && !covered.contains(&d) {
+                        covered.push(d);
+                        chosen.push(m);
+                    }
+                }
+                for &m in &common {
+                    if chosen.len() >= max_ways.max(min_domains) {
+                        break;
+                    }
+                    if !chosen.contains(&m) {
+                        chosen.push(m);
+                    }
+                }
+                // Keep the interleave pattern deterministic by id.
+                chosen.sort_unstable();
+                chosen
+            }
+            _ => common.into_iter().take(max_ways).collect(),
+        };
 
         let per_way = len.div_ceil(ways.len() as u64);
         if let Some(&tight) = ways.iter().min_by_key(|m| self.free[m.0 as usize]) {
@@ -240,6 +326,11 @@ impl PoolAllocator {
     /// Free bytes on one MHD.
     pub fn free_on(&self, mhd: MhdId) -> u64 {
         self.free.get(mhd.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Capacity contributed by each MHD, in bytes.
+    pub fn capacity_per_mhd(&self) -> u64 {
+        self.capacity_per_mhd
     }
 
     /// Iterates over live segments.
@@ -366,6 +457,83 @@ mod tests {
         for &v in spread.values() {
             assert!(v >= 1_000, "spread too skewed: {spread:?}");
         }
+    }
+
+    #[test]
+    fn pinned_placement_stays_in_domain() {
+        let t = Topology::multi_domain(4, 2, 2, 4);
+        let mut a = alloc4();
+        let seg = a
+            .alloc_placed(
+                &t,
+                &[HostId(0)],
+                8192,
+                4,
+                DomainPlacement::Pinned(DomainId(1)),
+            )
+            .expect("alloc");
+        for w in seg.ways() {
+            assert_eq!(t.domain_of(*w), DomainId(1), "way {w:?} escaped the pin");
+        }
+    }
+
+    #[test]
+    fn pinned_placement_fails_when_domain_is_down() {
+        let mut t = Topology::multi_domain(4, 2, 2, 4);
+        t.fail_domain(DomainId(0));
+        let mut a = alloc4();
+        let err = a
+            .alloc_placed(
+                &t,
+                &[HostId(0)],
+                4096,
+                2,
+                DomainPlacement::Pinned(DomainId(0)),
+            )
+            .unwrap_err();
+        assert_eq!(err, FabricError::DomainDown(DomainId(0)));
+    }
+
+    #[test]
+    fn striped_placement_spans_domains() {
+        let t = Topology::multi_domain(4, 2, 2, 4);
+        let mut a = alloc4();
+        let seg = a
+            .alloc_placed(
+                &t,
+                &[HostId(0)],
+                8192,
+                2,
+                DomainPlacement::Striped { min_domains: 2 },
+            )
+            .expect("alloc");
+        let mut doms: Vec<_> = seg.ways().iter().map(|&w| t.domain_of(w)).collect();
+        doms.sort_unstable();
+        doms.dedup();
+        assert!(doms.len() >= 2, "stripes collapsed into one domain");
+    }
+
+    #[test]
+    fn striped_placement_reports_insufficient_domains() {
+        let mut t = Topology::multi_domain(4, 2, 2, 4);
+        t.fail_domain(DomainId(1));
+        let mut a = alloc4();
+        let err = a
+            .alloc_placed(
+                &t,
+                &[HostId(0)],
+                4096,
+                4,
+                DomainPlacement::Striped { min_domains: 2 },
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FabricError::InsufficientDomains {
+                wanted: 2,
+                available: 1
+            }
+        );
     }
 
     #[test]

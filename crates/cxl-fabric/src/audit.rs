@@ -74,13 +74,30 @@
 //! Protocols that *tolerate* tearing by design (the seqlock re-reads
 //! until versions match) register their payload range as tear-tolerant
 //! so retry loops are not reported as hazards.
+//!
+//! ## Failure-domain namespacing
+//!
+//! A multi-MHD pod groups MHDs into failure domains
+//! ([`crate::topology::DomainId`]), and the auditor namespaces all of
+//! its shadow state by domain: line states, host views, and write
+//! clocks are keyed by `(domain, line)`, visibility versions advance
+//! per-domain (there is no pool-wide visibility order across
+//! independent devices), and vector-clock components are per
+//! `(actor, domain)` via [`Actor::index_in`]. The fabric registers
+//! each segment's per-granule domain mapping with
+//! [`Auditor::map_segment`]; unmapped addresses fall back to
+//! [`DomainId`]`(0)`, which keeps single-domain pods (and direct-drive
+//! tests) byte-for-byte compatible with the pre-domain auditor.
+//! [`Auditor::on_segment_free`] clears every domain's state for the
+//! freed range, so address reuse across domains cannot alias stale
+//! shadow state.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use simkit::Nanos;
 
-use crate::params::CACHELINE;
-use crate::topology::HostId;
+use crate::params::{CACHELINE, INTERLEAVE_GRANULE};
+use crate::topology::{DomainId, HostId};
 
 /// Which analysis the auditor runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -104,8 +121,16 @@ pub enum Actor {
     Dma(HostId),
 }
 
+/// Stride between one failure domain's block of vector-clock component
+/// indices and the next. Components `[d * DOMAIN_STRIDE, (d + 1) *
+/// DOMAIN_STRIDE)` belong to domain `d`; within a block the layout is
+/// [`Actor::index`]. Sized for the full `u16` host space so the
+/// mapping never collides.
+pub const DOMAIN_STRIDE: usize = 2 * (u16::MAX as usize + 1);
+
 impl Actor {
-    /// This actor's fixed component index in every [`VClock`].
+    /// This actor's fixed component index in every [`VClock`], in the
+    /// default failure domain ([`DomainId`]`(0)`).
     pub fn index(self) -> usize {
         match self {
             Actor::Cpu(h) => 2 * h.0 as usize,
@@ -113,9 +138,18 @@ impl Actor {
         }
     }
 
+    /// This actor's component index namespaced to failure domain
+    /// `domain`: progress is tracked per `(actor, domain)`, so
+    /// ordering within one domain never aliases ordering in another.
+    pub fn index_in(self, domain: DomainId) -> usize {
+        domain.0 as usize * DOMAIN_STRIDE + self.index()
+    }
+
     /// The actor owning component index `i` (inverse of
-    /// [`Actor::index`]).
+    /// [`Actor::index`] / [`Actor::index_in`]; the domain part of a
+    /// namespaced index is recovered with [`domain_of_index`]).
     pub fn from_index(i: usize) -> Actor {
+        let i = i % DOMAIN_STRIDE;
         let h = HostId((i / 2) as u16);
         if i.is_multiple_of(2) {
             Actor::Cpu(h)
@@ -132,6 +166,12 @@ impl Actor {
     }
 }
 
+/// The failure domain a namespaced component index belongs to (the
+/// counterpart of [`Actor::from_index`] for [`Actor::index_in`]).
+pub fn domain_of_index(i: usize) -> DomainId {
+    DomainId((i / DOMAIN_STRIDE) as u16)
+}
+
 impl std::fmt::Display for Actor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -141,40 +181,38 @@ impl std::fmt::Display for Actor {
     }
 }
 
-/// A vector clock over actor components ([`Actor::index`]). Missing
-/// components read as zero, so clocks grow lazily with the pod.
+/// A vector clock over per-`(actor, domain)` components
+/// ([`Actor::index_in`]). Missing components read as zero; the
+/// representation is sparse (domain-namespaced indices are far apart),
+/// and zero components are never stored, so structural equality
+/// matches clock equality.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct VClock(Vec<u64>);
+pub struct VClock(BTreeMap<usize, u64>);
 
 impl VClock {
     /// The component at index `i`.
     pub fn get(&self, i: usize) -> u64 {
-        self.0.get(i).copied().unwrap_or(0)
+        self.0.get(&i).copied().unwrap_or(0)
     }
 
     /// Advances one component (an actor's own tick).
     fn bump(&mut self, i: usize) {
-        if self.0.len() <= i {
-            self.0.resize(i + 1, 0);
-        }
-        self.0[i] += 1;
+        *self.0.entry(i).or_insert(0) += 1;
     }
 
     /// Componentwise maximum: the happens-before join.
     pub fn join(&mut self, other: &VClock) {
-        if self.0.len() < other.0.len() {
-            self.0.resize(other.0.len(), 0);
-        }
-        for (i, &v) in other.0.iter().enumerate() {
-            if v > self.0[i] {
-                self.0[i] = v;
+        for (&i, &v) in &other.0 {
+            let slot = self.0.entry(i).or_insert(0);
+            if v > *slot {
+                *slot = v;
             }
         }
     }
 
     /// True when `self` happens-before-or-equals `other`.
     pub fn leq(&self, other: &VClock) -> bool {
-        self.0.iter().enumerate().all(|(i, &v)| v <= other.get(i))
+        self.0.iter().all(|(&i, &v)| v <= other.get(i))
     }
 
     /// True when neither clock is ordered before the other: the two
@@ -188,14 +226,19 @@ impl std::fmt::Display for VClock {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{{")?;
         let mut first = true;
-        for (i, &v) in self.0.iter().enumerate() {
+        for (&i, &v) in &self.0 {
             if v == 0 {
                 continue;
             }
             if !first {
                 write!(f, ", ")?;
             }
-            write!(f, "{}:{}", Actor::from_index(i), v)?;
+            let d = domain_of_index(i);
+            if d == DomainId(0) {
+                write!(f, "{}:{}", Actor::from_index(i), v)?;
+            } else {
+                write!(f, "{}@d{}:{}", Actor::from_index(i), d.0, v)?;
+            }
             first = false;
         }
         write!(f, "}}")
@@ -605,13 +648,18 @@ struct HostView {
     base_version: u64,
 }
 
+/// Shadow-state key: a cache line namespaced to its failure domain.
+/// Two tenants of the same pool address in different domains (address
+/// reuse after a free/realloc) can never alias each other's state.
+type LineKey = (DomainId, u64);
+
 /// A visible-write event's line set and provenance, kept while the
 /// event is still current on at least one line.
 #[derive(Clone, Debug)]
 struct EventMeta {
     writer: HostId,
     visible_at: Nanos,
-    lines: Vec<u64>,
+    lines: Vec<LineKey>,
     /// Number of lines whose current event is this one.
     refs: usize,
 }
@@ -671,23 +719,32 @@ enum DedupKey {
 pub struct Auditor {
     config: AuditConfig,
     next_event: u64,
-    next_version: u64,
+    /// Per-domain visibility version counters: each failure domain has
+    /// its own monotone visibility order (independent devices share
+    /// none), so versions are only ever compared within one domain.
+    next_versions: HashMap<DomainId, u64>,
     pending: BTreeMap<(Nanos, u64), PendingEvent>,
     pending_seq: u64,
-    lines: HashMap<u64, LineState>,
-    views: HashMap<(u16, u64), HostView>,
+    lines: HashMap<LineKey, LineState>,
+    views: HashMap<(u16, LineKey), HostView>,
     events: HashMap<u64, EventMeta>,
-    seen: HashSet<DedupKey>,
+    seen: HashSet<(DomainId, DedupKey)>,
     report: AuditReport,
     /// Per-actor clocks, indexed by [`Actor::index`] (vector-clock
-    /// mode; empty otherwise).
+    /// mode; empty otherwise). Components inside each clock are
+    /// namespaced per domain via [`Actor::index_in`].
     clocks: Vec<VClock>,
     /// Actor and release clock of the last visible write per line.
-    wclocks: HashMap<u64, (Actor, VClock)>,
+    wclocks: HashMap<LineKey, (Actor, VClock)>,
     /// Release clock of the write each cached view reflects.
-    view_clocks: HashMap<(u16, u64), VClock>,
+    view_clocks: HashMap<(u16, LineKey), VClock>,
     /// The owner's clock when each dirty view was first dirtied.
-    dirty_clocks: HashMap<(u16, u64), VClock>,
+    dirty_clocks: HashMap<(u16, LineKey), VClock>,
+    /// Segment address ranges → per-granule failure-domain interleave
+    /// pattern (`base → (end, way domains)`), registered by the fabric
+    /// on allocation. Addresses outside every mapping resolve to
+    /// [`DomainId`]`(0)`.
+    domain_map: BTreeMap<u64, (u64, Vec<DomainId>)>,
 }
 
 fn line_of(addr: u64) -> u64 {
@@ -713,7 +770,7 @@ impl Auditor {
         Auditor {
             config,
             next_event: 1,
-            next_version: 1,
+            next_versions: HashMap::new(),
             pending: BTreeMap::new(),
             pending_seq: 0,
             lines: HashMap::new(),
@@ -725,7 +782,52 @@ impl Auditor {
             wclocks: HashMap::new(),
             view_clocks: HashMap::new(),
             dirty_clocks: HashMap::new(),
+            domain_map: BTreeMap::new(),
         }
+    }
+
+    /// Registers the failure-domain interleave pattern of a segment
+    /// covering `[base, end)`: granule `g` (of [`INTERLEAVE_GRANULE`]
+    /// bytes) lives in `way_domains[g % way_domains.len()]`. Called by
+    /// the fabric on every allocation while auditing is on; shadow
+    /// state for the range is namespaced accordingly. Unregistered
+    /// addresses audit under [`DomainId`]`(0)`.
+    pub fn map_segment(&mut self, base: u64, end: u64, way_domains: Vec<DomainId>) {
+        if end <= base || way_domains.is_empty() {
+            return;
+        }
+        self.domain_map.insert(base, (end, way_domains));
+    }
+
+    /// The failure domain backing cache line `la` under the current
+    /// segment mappings.
+    fn domain_of_line(&self, la: u64) -> DomainId {
+        if let Some((&base, (end, ways))) = self.domain_map.range(..=la).next_back() {
+            if la < *end {
+                let g = ((la - base) / INTERLEAVE_GRANULE) as usize;
+                return ways[g % ways.len()];
+            }
+        }
+        DomainId(0)
+    }
+
+    /// Shadow-state key of cache line `la`.
+    fn key_of(&self, la: u64) -> LineKey {
+        (self.domain_of_line(la), la)
+    }
+
+    /// The distinct failure domains `[hpa, hpa+len)` touches, in id
+    /// order (never empty: an unmapped range is domain 0).
+    fn domains_of(&self, hpa: u64, len: u64) -> Vec<DomainId> {
+        let mut out: Vec<DomainId> = lines_of(hpa, len)
+            .map(|la| self.domain_of_line(la))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        if out.is_empty() {
+            out.push(DomainId(0));
+        }
+        out
     }
 
     /// Findings so far.
@@ -760,12 +862,16 @@ impl Auditor {
             .filter(|(_, c)| **c != VClock::default())
             .map(|(i, c)| (Actor::from_index(i), c.clone()))
             .collect();
-        let mut line_clocks: Vec<(u64, Actor, VClock)> = self
+        let mut keyed: Vec<(LineKey, Actor, VClock)> = self
             .wclocks
             .iter()
-            .map(|(&la, (a, c))| (la, *a, c.clone()))
+            .map(|(&key, (a, c))| (key, *a, c.clone()))
             .collect();
-        line_clocks.sort_by_key(|&(la, _, _)| la);
+        keyed.sort_by_key(|&(key, _, _)| key);
+        let line_clocks: Vec<(u64, Actor, VClock)> = keyed
+            .into_iter()
+            .map(|((_, la), a, c)| (la, a, c))
+            .collect();
         RaceReport {
             conflicts,
             actor_clocks,
@@ -789,13 +895,22 @@ impl Auditor {
         &mut self.clocks[i]
     }
 
-    /// Advances an actor's own component (one op in its program order).
-    fn tick(&mut self, actor: Actor) {
+    /// Advances an actor's own component for one op against failure
+    /// domain `domain` (program order within that domain's namespace).
+    fn tick(&mut self, actor: Actor, domain: DomainId) {
         if !self.vc_on() {
             return;
         }
-        let i = actor.index();
+        let i = actor.index_in(domain);
         self.clock_mut(actor).bump(i);
+    }
+
+    /// Ticks `actor` once per distinct domain in `domains` (an op
+    /// spanning domains is one program-order step in each namespace).
+    fn tick_all(&mut self, actor: Actor, domains: &[DomainId]) {
+        for &d in domains {
+            self.tick(actor, d);
+        }
     }
 
     /// The actor's current clock (empty if it never acted).
@@ -822,10 +937,10 @@ impl Auditor {
     }
 
     /// Removes a host's view of a line along with its clock shadows.
-    fn drop_view(&mut self, host: u16, la: u64) -> Option<HostView> {
-        self.view_clocks.remove(&(host, la));
-        self.dirty_clocks.remove(&(host, la));
-        self.views.remove(&(host, la))
+    fn drop_view(&mut self, host: u16, key: LineKey) -> Option<HostView> {
+        self.view_clocks.remove(&(host, key));
+        self.dirty_clocks.remove(&(host, key));
+        self.views.remove(&(host, key))
     }
 
     // ---------------------------------------------------------------
@@ -845,11 +960,29 @@ impl Auditor {
     }
 
     fn apply_event(&mut self, visible_at: Nanos, ev: PendingEvent) {
-        let version = self.next_version;
-        self.next_version += 1;
-        let mut covered = Vec::with_capacity(ev.lines.len());
-        for &(la, base_version) in &ev.lines {
-            let cur = self.lines.get(&la).copied();
+        // Resolve each line's domain under the current mappings and
+        // draw one visibility version per touched domain: visibility
+        // order is a per-domain notion (independent devices apply
+        // writes independently), so counters never cross domains.
+        let keyed: Vec<(LineKey, u64)> = ev
+            .lines
+            .iter()
+            .map(|&(la, base)| (self.key_of(la), base))
+            .collect();
+        let mut versions: BTreeMap<DomainId, u64> = BTreeMap::new();
+        for &((d, _), _) in &keyed {
+            versions.entry(d).or_insert_with(|| {
+                let counter = self.next_versions.entry(d).or_insert(1);
+                let v = *counter;
+                *counter += 1;
+                v
+            });
+        }
+        let mut covered = Vec::with_capacity(keyed.len());
+        for &(key, base_version) in &keyed {
+            let (_, la) = key;
+            let version = versions[&key.0];
+            let cur = self.lines.get(&key).copied();
             // A newer visible write by someone else landed between this
             // write's base and its visibility: that write is clobbered.
             if let Some(cur) = cur {
@@ -876,7 +1009,7 @@ impl Auditor {
                 // Write-write race: the previous visible write and this
                 // one carry incomparable release clocks — their relative
                 // order is pure fabric timing, not program order.
-                if let Some((pactor, pclock)) = self.wclocks.get(&la).cloned() {
+                if let Some((pactor, pclock)) = self.wclocks.get(&key).cloned() {
                     if pactor != ev.actor && pclock.concurrent_with(&ev.wclock) {
                         self.record(
                             la,
@@ -900,10 +1033,10 @@ impl Auditor {
                         );
                     }
                 }
-                self.wclocks.insert(la, (ev.actor, ev.wclock.clone()));
+                self.wclocks.insert(key, (ev.actor, ev.wclock.clone()));
             }
             self.set_line_state(
-                la,
+                key,
                 LineState {
                     event: ev.event,
                     version,
@@ -913,7 +1046,7 @@ impl Auditor {
                     visible_at,
                 },
             );
-            covered.push(la);
+            covered.push(key);
         }
         self.events.insert(
             ev.event,
@@ -927,8 +1060,8 @@ impl Auditor {
     }
 
     /// Updates a line's current write and the event refcounts.
-    fn set_line_state(&mut self, la: u64, state: LineState) {
-        if let Some(old) = self.lines.insert(la, state) {
+    fn set_line_state(&mut self, key: LineKey, state: LineState) {
+        if let Some(old) = self.lines.insert(key, state) {
             if old.event != state.event {
                 if let Some(meta) = self.events.get_mut(&old.event) {
                     meta.refs -= 1;
@@ -996,13 +1129,23 @@ impl Auditor {
         sync: &[(u64, u64)],
     ) {
         self.report.ops_audited += 1;
-        self.tick(Actor::Cpu(host));
-        // (line, observed version, observed event) per served line.
-        let mut observed: Vec<(u64, u64, u64)> = Vec::with_capacity(served.len());
+        let mut doms: Vec<DomainId> = served
+            .iter()
+            .map(|&(la, _)| self.domain_of_line(la))
+            .collect();
+        doms.sort_unstable();
+        doms.dedup();
+        if doms.is_empty() {
+            doms.push(DomainId(0));
+        }
+        self.tick_all(Actor::Cpu(host), &doms);
+        // (line key, observed version, observed event) per served line.
+        let mut observed: Vec<(LineKey, u64, u64)> = Vec::with_capacity(served.len());
         for &(la, hit) in served {
-            let cur = self.lines.get(&la).copied();
+            let key = self.key_of(la);
+            let cur = self.lines.get(&key).copied();
             if hit {
-                let view = *self.views.entry((host.0, la)).or_insert_with(|| HostView {
+                let view = *self.views.entry((host.0, key)).or_insert_with(|| HostView {
                     // Audit enabled mid-run: seed the cached copy
                     // as current rather than inventing a hazard.
                     version: cur.map(|c| c.version).unwrap_or(0),
@@ -1011,13 +1154,13 @@ impl Auditor {
                     dirty_since: Nanos::ZERO,
                     base_version: cur.map(|c| c.version).unwrap_or(0),
                 });
-                if self.vc_on() && !self.view_clocks.contains_key(&(host.0, la)) {
+                if self.vc_on() && !self.view_clocks.contains_key(&(host.0, key)) {
                     let wc = self
                         .wclocks
-                        .get(&la)
+                        .get(&key)
                         .map(|(_, c)| c.clone())
                         .unwrap_or_default();
-                    self.view_clocks.insert((host.0, la), wc);
+                    self.view_clocks.insert((host.0, key), wc);
                 }
                 let mut stale = None;
                 if let Some(cur) = cur {
@@ -1031,7 +1174,7 @@ impl Auditor {
                     if self.vc_on() {
                         let (wactor, wclock) = self
                             .wclocks
-                            .get(&la)
+                            .get(&key)
                             .cloned()
                             .unwrap_or((Actor::Cpu(cur.writer), VClock::default()));
                         let rclock = self.snapshot(Actor::Cpu(host));
@@ -1099,16 +1242,16 @@ impl Auditor {
                 } else if self.vc_on() && in_ranges(sync, la) {
                     // Fresh (or own-dirty) hit on a sync line: acquire
                     // the ordering of the write the copy reflects.
-                    if let Some(vc) = self.view_clocks.get(&(host.0, la)).cloned() {
+                    if let Some(vc) = self.view_clocks.get(&(host.0, key)).cloned() {
                         self.join_from(Actor::Cpu(host), &vc);
                     }
                 }
-                observed.push((la, view.version, view.event));
+                observed.push((key, view.version, view.event));
             } else {
                 // Miss: the host now caches the pool-current bytes.
                 let (version, event) = cur.map(|c| (c.version, c.event)).unwrap_or((0, 0));
                 self.views.insert(
-                    (host.0, la),
+                    (host.0, key),
                     HostView {
                         version,
                         event,
@@ -1118,7 +1261,7 @@ impl Auditor {
                     },
                 );
                 if self.vc_on() {
-                    match self.wclocks.get(&la).cloned() {
+                    match self.wclocks.get(&key).cloned() {
                         Some((wactor, wclock)) => {
                             if in_ranges(sync, la) {
                                 // Acquire: the protocol on this line
@@ -1156,31 +1299,41 @@ impl Auditor {
                                 // every later access.
                                 self.join_from(Actor::Cpu(host), &wclock);
                             }
-                            self.view_clocks.insert((host.0, la), wclock);
+                            self.view_clocks.insert((host.0, key), wclock);
                         }
                         None => {
-                            self.view_clocks.insert((host.0, la), VClock::default());
+                            self.view_clocks.insert((host.0, key), VClock::default());
                         }
                     }
                 }
-                observed.push((la, version, event));
+                observed.push((key, version, event));
             }
         }
-        if observed.len() > 1 {
-            self.check_torn(now, host, &observed, tolerant);
+        // Torn-read analysis runs per failure domain: versions are a
+        // per-domain visibility order, and a load spanning domains has
+        // no single order to tear against.
+        let mut by_domain: BTreeMap<DomainId, Vec<(LineKey, u64, u64)>> = BTreeMap::new();
+        for &(key, v, e) in &observed {
+            by_domain.entry(key.0).or_default().push((key, v, e));
+        }
+        for group in by_domain.values() {
+            if group.len() > 1 {
+                self.check_torn(now, host, group, tolerant);
+            }
         }
     }
 
     /// Flags loads that saw a multi-line write event on one line but an
-    /// older state on another line the same event covered.
+    /// older state on another line the same event covered. `observed`
+    /// holds lines of a single failure domain.
     fn check_torn(
         &mut self,
         now: Nanos,
         host: HostId,
-        observed: &[(u64, u64, u64)],
+        observed: &[(LineKey, u64, u64)],
         tolerant: &[(u64, u64)],
     ) {
-        let Some(&(fresh_line, fresh_version, fresh_event)) =
+        let Some(&(fresh_key, fresh_version, fresh_event)) =
             observed.iter().max_by_key(|&&(_, v, _)| v)
         else {
             return;
@@ -1193,18 +1346,19 @@ impl Auditor {
             // observation of it is reported as staleness instead.
             return;
         };
+        let fresh_line = fresh_key.1;
         let writer = meta.writer;
         let visible_at = meta.visible_at;
-        let covered: HashSet<u64> = meta.lines.iter().copied().collect();
+        let covered: HashSet<LineKey> = meta.lines.iter().copied().collect();
         let torn: Vec<(u64, u64)> = observed
             .iter()
-            .filter(|&&(la, v, _)| {
-                la != fresh_line
+            .filter(|&&(key, v, _)| {
+                key != fresh_key
                     && v < fresh_version
-                    && covered.contains(&la)
-                    && !in_ranges(tolerant, la)
+                    && covered.contains(&key)
+                    && !in_ranges(tolerant, key.1)
             })
-            .map(|&(la, v, _)| (la, v))
+            .map(|&(key, v, _)| (key.1, v))
             .collect();
         for (stale_line, _) in torn {
             self.record(
@@ -1229,13 +1383,14 @@ impl Auditor {
     /// load-miss fill: the host's copy now reflects the pool-current
     /// version.
     pub fn on_fill(&mut self, host: HostId, la: u64) {
+        let key = self.key_of(la);
         let (version, event) = self
             .lines
-            .get(&la)
+            .get(&key)
             .map(|c| (c.version, c.event))
             .unwrap_or((0, 0));
         self.views.insert(
-            (host.0, la),
+            (host.0, key),
             HostView {
                 version,
                 event,
@@ -1247,28 +1402,30 @@ impl Auditor {
         if self.vc_on() {
             let wc = self
                 .wclocks
-                .get(&la)
+                .get(&key)
                 .map(|(_, c)| c.clone())
                 .unwrap_or_default();
-            self.view_clocks.insert((host.0, la), wc);
+            self.view_clocks.insert((host.0, key), wc);
         }
     }
 
     /// Audits a capacity eviction of a *clean* line: the host simply
     /// forgets its copy, so the shadow view is dropped too.
     pub fn on_clean_eviction(&mut self, host: HostId, la: u64) {
-        self.drop_view(host.0, la);
+        let key = self.key_of(la);
+        self.drop_view(host.0, key);
     }
 
     /// Audits one cached (write-back) store to one line. Reports a
     /// write-write conflict when another host already holds the line
     /// dirty.
     pub fn on_store(&mut self, now: Nanos, host: HostId, la: u64) {
+        let key = self.key_of(la);
         // Dirty elsewhere? Both hosts intend to publish: a race.
         let other = self
             .views
             .iter()
-            .find(|(&(h, l), view)| l == la && h != host.0 && view.dirty)
+            .find(|(&(h, k), view)| k == key && h != host.0 && view.dirty)
             .map(|(&(h, _), view)| (HostId(h), view.dirty_since));
         if let Some((first, first_dirty_since)) = other {
             self.record(
@@ -1286,8 +1443,8 @@ impl Auditor {
                 },
             );
         }
-        let cur = self.lines.get(&la).copied();
-        let view = self.views.entry((host.0, la)).or_insert_with(|| HostView {
+        let cur = self.lines.get(&key).copied();
+        let view = self.views.entry((host.0, key)).or_insert_with(|| HostView {
             version: cur.map(|c| c.version).unwrap_or(0),
             event: cur.map(|c| c.event).unwrap_or(0),
             dirty: false,
@@ -1304,14 +1461,16 @@ impl Auditor {
         }
         if self.vc_on() && newly_dirty {
             let c = self.snapshot(Actor::Cpu(host));
-            self.dirty_clocks.insert((host.0, la), c);
+            self.dirty_clocks.insert((host.0, key), c);
         }
     }
 
-    /// Counts a cached-store op (once per `Fabric::store` call).
-    pub fn count_store(&mut self, host: HostId) {
+    /// Counts a cached-store op (once per `Fabric::store` call) against
+    /// the domains `[hpa, hpa+len)` touches.
+    pub fn count_store(&mut self, host: HostId, hpa: u64, len: u64) {
         self.report.ops_audited += 1;
-        self.tick(Actor::Cpu(host));
+        let doms = self.domains_of(hpa, len);
+        self.tick_all(Actor::Cpu(host), &doms);
     }
 
     /// Audits a non-temporal store: the writer's own cached lines are
@@ -1319,7 +1478,8 @@ impl Auditor {
     /// write is queued for visibility at `done`.
     pub fn on_nt_store(&mut self, now: Nanos, host: HostId, hpa: u64, len: u64, done: Nanos) {
         self.report.ops_audited += 1;
-        self.tick(Actor::Cpu(host));
+        let doms = self.domains_of(hpa, len);
+        self.tick_all(Actor::Cpu(host), &doms);
         self.discard_for_overwrite(now, host, host, hpa, len);
         let lines = self.bases_for(hpa, len);
         self.enqueue(now, done, Actor::Cpu(host), WriteKind::NtStore, lines);
@@ -1332,7 +1492,8 @@ impl Auditor {
     pub fn on_dma_write(&mut self, now: Nanos, host: HostId, hpa: u64, len: u64, done: Nanos) {
         self.report.ops_audited += 1;
         self.join_actor(Actor::Dma(host), Actor::Cpu(host));
-        self.tick(Actor::Dma(host));
+        let doms = self.domains_of(hpa, len);
+        self.tick_all(Actor::Dma(host), &doms);
         self.discard_for_overwrite(now, host, host, hpa, len);
         let lines = self.bases_for(hpa, len);
         self.enqueue(now, done, Actor::Dma(host), WriteKind::DmaWrite, lines);
@@ -1350,19 +1511,22 @@ impl Auditor {
         done: Nanos,
     ) {
         self.report.ops_audited += 1;
-        self.tick(Actor::Cpu(host));
+        let doms = self.domains_of(hpa, len);
+        self.tick_all(Actor::Cpu(host), &doms);
         let mut published = Vec::with_capacity(dirty.len());
         for &la in dirty {
+            let key = self.key_of(la);
             let base = self
                 .views
-                .get(&(host.0, la))
+                .get(&(host.0, key))
                 .map(|v| v.base_version)
                 .unwrap_or(0);
             published.push((la, base));
         }
         // clflush semantics: every line in the range leaves the cache.
         for la in lines_of(hpa, len) {
-            self.drop_view(host.0, la);
+            let key = self.key_of(la);
+            self.drop_view(host.0, key);
         }
         if !published.is_empty() {
             self.enqueue(now, done, Actor::Cpu(host), WriteKind::Flush, published);
@@ -1374,7 +1538,8 @@ impl Auditor {
     pub fn on_invalidate(&mut self, now: Nanos, host: HostId, hpa: u64, len: u64) {
         self.report.ops_audited += 1;
         for la in lines_of(hpa, len) {
-            if let Some(view) = self.drop_view(host.0, la) {
+            let key = self.key_of(la);
+            if let Some(view) = self.drop_view(host.0, key) {
                 if view.dirty {
                     self.record(
                         la,
@@ -1412,18 +1577,20 @@ impl Auditor {
     ) {
         self.report.ops_audited += 1;
         self.join_actor(Actor::Dma(host), Actor::Cpu(host));
-        self.tick(Actor::Dma(host));
+        let doms = self.domains_of(hpa, len);
+        self.tick_all(Actor::Dma(host), &doms);
         for la in lines_of(hpa, len) {
+            let key = self.key_of(la);
             let remote_dirty = self
                 .views
                 .iter()
-                .find(|(&(h, l), view)| l == la && h != host.0 && view.dirty)
+                .find(|(&(h, k), view)| k == key && h != host.0 && view.dirty)
                 .map(|(&(h, _), view)| (HostId(h), view.dirty_since));
             if let Some((writer, dirty_since)) = remote_dirty {
                 if self.vc_on() {
                     let dclock = self
                         .dirty_clocks
-                        .get(&(writer.0, la))
+                        .get(&(writer.0, key))
                         .cloned()
                         .unwrap_or_default();
                     let rclock = self.snapshot(Actor::Dma(host));
@@ -1460,7 +1627,7 @@ impl Auditor {
                 }
             }
             if self.vc_on() {
-                if let Some((wactor, wclock)) = self.wclocks.get(&la).cloned() {
+                if let Some((wactor, wclock)) = self.wclocks.get(&key).cloned() {
                     if in_ranges(sync, la) {
                         self.join_from(Actor::Dma(host), &wclock);
                     } else {
@@ -1468,7 +1635,7 @@ impl Auditor {
                         if wactor != Actor::Dma(host) && wclock.concurrent_with(&rclock) {
                             let written_at = self
                                 .lines
-                                .get(&la)
+                                .get(&key)
                                 .map(|c| c.written_at)
                                 .unwrap_or(Nanos::ZERO);
                             self.record(
@@ -1537,13 +1704,14 @@ impl Auditor {
     /// (the fabric writes it back immediately), an accidental publish
     /// the owner never ordered.
     pub fn on_dirty_eviction(&mut self, now: Nanos, host: HostId, la: u64) {
+        let key = self.key_of(la);
         let base = self
             .views
-            .get(&(host.0, la))
+            .get(&(host.0, key))
             .map(|v| v.base_version)
             .unwrap_or(0);
-        self.drop_view(host.0, la);
-        self.tick(Actor::Cpu(host));
+        self.drop_view(host.0, key);
+        self.tick(Actor::Cpu(host), key.0);
         let event = self.next_event;
         self.next_event += 1;
         let wclock = if self.vc_on() {
@@ -1569,14 +1737,17 @@ impl Auditor {
     /// freed: a reallocation of the space must be audited from scratch,
     /// not against ghosts of the previous tenant.
     pub fn on_segment_free(&mut self, base: u64, end: u64) {
-        let las: Vec<u64> = self
+        // Clear the range in *every* domain, not only the currently
+        // mapped one: address reuse across domains must never see the
+        // previous tenant's shadow state.
+        let keys: Vec<LineKey> = self
             .lines
             .keys()
             .copied()
-            .filter(|&la| la >= base && la < end)
+            .filter(|&(_, la)| la >= base && la < end)
             .collect();
-        for la in las {
-            if let Some(old) = self.lines.remove(&la) {
+        for key in keys {
+            if let Some(old) = self.lines.remove(&key) {
                 if let Some(meta) = self.events.get_mut(&old.event) {
                     meta.refs -= 1;
                     if meta.refs == 0 {
@@ -1585,16 +1756,20 @@ impl Auditor {
                 }
             }
         }
-        self.views.retain(|&(_, la), _| la < base || la >= end);
+        self.views.retain(|&(_, (_, la)), _| la < base || la >= end);
         self.view_clocks
-            .retain(|&(_, la), _| la < base || la >= end);
+            .retain(|&(_, (_, la)), _| la < base || la >= end);
         self.dirty_clocks
-            .retain(|&(_, la), _| la < base || la >= end);
-        self.wclocks.retain(|&la, _| la < base || la >= end);
+            .retain(|&(_, (_, la)), _| la < base || la >= end);
+        self.wclocks.retain(|&(_, la), _| la < base || la >= end);
         for ev in self.pending.values_mut() {
             ev.lines.retain(|&(la, _)| la < base || la >= end);
         }
         self.pending.retain(|_, ev| !ev.lines.is_empty());
+        // Retire the freed range's domain mapping; a realloc of the
+        // space registers its own.
+        self.domain_map
+            .retain(|&b, &mut (e, _)| e <= base || b >= end);
     }
 
     /// Counts a local-DRAM access (always coherent; nothing to check).
@@ -1609,7 +1784,7 @@ impl Auditor {
             .views
             .iter()
             .filter(|(_, v)| v.dirty)
-            .map(|(&(h, la), v)| (HostId(h), la, v.dirty_since))
+            .map(|(&(h, (_, la)), v)| (HostId(h), la, v.dirty_since))
             .collect();
         out.sort_by_key(|&(h, la, _)| (h.0, la));
         out
@@ -1648,7 +1823,8 @@ impl Auditor {
     ) {
         let end = hpa + len;
         for la in lines_of(hpa, len) {
-            if let Some(view) = self.drop_view(victim.0, la) {
+            let key = self.key_of(la);
+            if let Some(view) = self.drop_view(victim.0, key) {
                 let fully_covered = hpa <= la && la + CACHELINE <= end;
                 if view.dirty && !fully_covered {
                     self.record(
@@ -1677,13 +1853,18 @@ impl Auditor {
     fn bases_for(&self, hpa: u64, len: u64) -> Vec<(u64, u64)> {
         lines_of(hpa, len)
             .map(|la| {
-                let base = self.lines.get(&la).map(|c| c.version).unwrap_or(0);
+                let base = self
+                    .lines
+                    .get(&self.key_of(la))
+                    .map(|c| c.version)
+                    .unwrap_or(0);
                 (la, base)
             })
             .collect()
     }
 
     fn record(&mut self, line: u64, detected_at: Nanos, kind: ViolationKind, key: DedupKey) {
+        let domain = self.domain_of_line(line);
         match &kind {
             ViolationKind::StaleRead { .. } => self.report.counts.stale_reads += 1,
             ViolationKind::TornRead { .. } => self.report.counts.torn_reads += 1,
@@ -1694,7 +1875,9 @@ impl Auditor {
                 self.report.counts.concurrent_conflicts += 1
             }
         }
-        if !self.seen.insert(key) || self.report.violations.len() >= self.config.max_recorded {
+        if !self.seen.insert((domain, key))
+            || self.report.violations.len() >= self.config.max_recorded
+        {
             self.report.suppressed += 1;
             return;
         }
@@ -2115,5 +2298,85 @@ mod tests {
         assert!(rr.conflicts.is_empty());
         assert!(rr.actor_clocks.is_empty());
         assert!(rr.line_clocks.is_empty());
+    }
+
+    // -----------------------------------------------------------------
+    // Failure-domain namespacing
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn domain_index_roundtrip_and_display() {
+        let a = Actor::Dma(HostId(3));
+        assert_eq!(a.index_in(DomainId(0)), a.index());
+        let i = a.index_in(DomainId(2));
+        assert_eq!(Actor::from_index(i), a);
+        assert_eq!(domain_of_index(i), DomainId(2));
+        // Distinct (actor, domain) pairs never collide.
+        assert_ne!(
+            Actor::Cpu(HostId(u16::MAX)).index_in(DomainId(0)),
+            Actor::Cpu(HostId(0)).index_in(DomainId(1))
+        );
+
+        let mut c = VClock::default();
+        c.bump(Actor::Cpu(HostId(1)).index_in(DomainId(0)));
+        c.bump(Actor::Cpu(HostId(1)).index_in(DomainId(2)));
+        let s = c.to_string();
+        assert!(s.contains("cpu1:1"), "domain-0 component plain: {s}");
+        assert!(s.contains("cpu1@d2:1"), "domain-2 component tagged: {s}");
+    }
+
+    #[test]
+    fn unmapped_addresses_audit_in_domain_zero() {
+        let a = Auditor::new(vc());
+        assert_eq!(a.domain_of_line(0x1234_0000), DomainId(0));
+    }
+
+    #[test]
+    fn map_segment_resolves_per_granule_domains() {
+        let mut a = Auditor::new(vc());
+        // Two-way interleave alternating domains every granule.
+        a.map_segment(0, 4 * INTERLEAVE_GRANULE, vec![DomainId(0), DomainId(1)]);
+        assert_eq!(a.domain_of_line(0), DomainId(0));
+        assert_eq!(a.domain_of_line(INTERLEAVE_GRANULE), DomainId(1));
+        assert_eq!(a.domain_of_line(2 * INTERLEAVE_GRANULE), DomainId(0));
+        // Outside the mapping: default domain.
+        assert_eq!(a.domain_of_line(4 * INTERLEAVE_GRANULE), DomainId(0));
+    }
+
+    #[test]
+    fn per_domain_versions_do_not_cross() {
+        let mut a = Auditor::new(ver());
+        a.map_segment(0, INTERLEAVE_GRANULE, vec![DomainId(1)]);
+        // A write in domain 1 then a host caching a domain-0 line: the
+        // domain-0 view must not appear stale against domain 1's
+        // version counter.
+        a.on_nt_store(Nanos(0), HostId(0), 0, L, Nanos(50));
+        a.advance(Nanos(50));
+        let far = 0x10_0000;
+        a.on_load(Nanos(60), HostId(1), &[(far, false)], &[], &[]);
+        a.on_load(Nanos(70), HostId(1), &[(far, true)], &[], &[]);
+        assert!(a.report().is_clean(), "{}", a.report().render());
+    }
+
+    #[test]
+    fn cross_domain_reuse_does_not_alias_shadow_state() {
+        let mut a = Auditor::new(vc());
+        // First tenant: the range lives in domain 0; host 0 publishes
+        // and host 1 caches it.
+        a.map_segment(0, 2 * L, vec![DomainId(0)]);
+        a.on_nt_store(Nanos(0), HostId(0), 0, 2 * L, Nanos(100));
+        a.advance(Nanos(100));
+        a.on_load(Nanos(110), HostId(1), &[(0, false)], &[], &[(0, 2 * L)]);
+        // Free and re-map the same addresses into domain 1.
+        a.on_segment_free(0, 2 * L);
+        a.map_segment(0, 2 * L, vec![DomainId(1)]);
+        // The new tenant's fresh accesses find no ghost of the old
+        // domain's writes: no stale read, no race, no line clocks.
+        a.on_load(Nanos(200), HostId(2), &[(0, false), (L, false)], &[], &[]);
+        a.on_nt_store(Nanos(210), HostId(2), 0, L, Nanos(300));
+        a.advance(Nanos(300));
+        assert!(a.report().is_clean(), "{}", a.report().render());
+        let rr = a.race_report();
+        assert_eq!(rr.line_clocks.len(), 1, "only the new tenant's write");
     }
 }

@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use crate::topology::{HostId, LinkId, MhdId};
+use crate::topology::{DomainId, HostId, LinkId, MhdId};
 
 /// Errors returned by fabric operations.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -51,6 +51,17 @@ pub enum FabricError {
     },
     /// The referenced link is administratively or physically down.
     LinkDown(LinkId),
+    /// The placement pinned the segment to a failure domain with no
+    /// up MHD reachable by every owner.
+    DomainDown(DomainId),
+    /// A striped/replicated placement asked for more distinct failure
+    /// domains than the owners can currently reach together.
+    InsufficientDomains {
+        /// Domains the placement required.
+        wanted: usize,
+        /// Distinct domains actually reachable by every owner.
+        available: usize,
+    },
 }
 
 impl fmt::Display for FabricError {
@@ -74,6 +85,15 @@ impl fmt::Display for FabricError {
                 write!(f, "no MHD reachable by all of {hosts:?}")
             }
             FabricError::LinkDown(id) => write!(f, "link {id:?} is down"),
+            FabricError::DomainDown(d) => {
+                write!(f, "failure domain {d:?} has no reachable up MHD")
+            }
+            FabricError::InsufficientDomains { wanted, available } => {
+                write!(
+                    f,
+                    "placement needs {wanted} failure domains, owners reach {available}"
+                )
+            }
         }
     }
 }

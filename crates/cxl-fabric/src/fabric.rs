@@ -15,7 +15,7 @@ use simkit::server::BandwidthPipe;
 use simkit::trace::{TraceConfig, TraceRecorder, Track};
 use simkit::Nanos;
 
-use crate::alloc::{PoolAllocator, Segment, SegmentId};
+use crate::alloc::{DomainPlacement, PoolAllocator, Segment, SegmentId};
 use crate::audit::{
     Actor, AuditConfig, AuditReport, Auditor, RaceReport, Violation, ViolationKind,
 };
@@ -39,6 +39,11 @@ pub struct PodConfig {
     pub mhds: u16,
     /// Redundant paths per host (λ): links to λ distinct MHDs.
     pub lambda: u16,
+    /// Number of failure domains the MHDs are spread over. Must divide
+    /// `mhds` evenly. The default (`mhds`) puts each MHD in its own
+    /// domain, matching [`Topology::dense`]; a smaller value groups
+    /// MHDs round-robin via [`Topology::multi_domain`].
+    pub domains: u16,
     /// Timing parameters.
     pub params: FabricParams,
     /// Capacity contributed by each MHD, in bytes.
@@ -57,6 +62,7 @@ impl PodConfig {
             hosts,
             mhds,
             lambda,
+            domains: mhds,
             params: FabricParams::default(),
             mhd_capacity: 256 << 30,
             default_ways: lambda as usize,
@@ -67,6 +73,21 @@ impl PodConfig {
     /// Overrides the timing parameters.
     pub fn with_params(mut self, params: FabricParams) -> PodConfig {
         self.params = params;
+        self
+    }
+
+    /// Spreads the MHDs over `domains` failure domains (round-robin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `domains` is zero or does not divide `mhds` evenly.
+    pub fn with_domains(mut self, domains: u16) -> PodConfig {
+        assert!(
+            domains > 0 && self.mhds.is_multiple_of(domains),
+            "domains ({domains}) must evenly divide mhds ({})",
+            self.mhds
+        );
+        self.domains = domains;
         self
     }
 }
@@ -133,7 +154,22 @@ pub struct Fabric {
 impl Fabric {
     /// Builds a pod from `config`.
     pub fn new(config: PodConfig) -> Fabric {
-        let topology = Topology::dense(config.hosts, config.mhds, config.lambda);
+        let topology = if config.domains == config.mhds {
+            Topology::dense(config.hosts, config.mhds, config.lambda)
+        } else {
+            assert!(
+                config.domains > 0 && config.mhds.is_multiple_of(config.domains),
+                "domains ({}) must evenly divide mhds ({})",
+                config.domains,
+                config.mhds
+            );
+            Topology::multi_domain(
+                config.hosts,
+                config.domains,
+                config.mhds / config.domains,
+                config.lambda,
+            )
+        };
         let link_gbps = config.params.link_gbps();
         let n_links = topology.links().len();
         Fabric {
@@ -177,7 +213,18 @@ impl Fabric {
     /// detected. Cached state present before the call is treated as
     /// current (enabling mid-run never invents violations).
     pub fn enable_audit(&mut self, config: AuditConfig) {
-        self.audit = Some(Box::new(Auditor::new(config)));
+        let mut auditor = Box::new(Auditor::new(config));
+        // Register live segments' failure-domain interleave patterns so
+        // shadow state is namespaced correctly from the first access.
+        for seg in self.alloc.segments() {
+            let doms = seg
+                .ways()
+                .iter()
+                .map(|&w| self.topology.domain_of(w))
+                .collect();
+            auditor.map_segment(seg.base(), seg.end(), doms);
+        }
+        self.audit = Some(auditor);
     }
 
     /// True when audit mode is on.
@@ -369,15 +416,21 @@ impl Fabric {
 
     /// Allocates a private segment for `host`.
     pub fn alloc_private(&mut self, host: HostId, len: u64) -> Result<Segment, FabricError> {
-        self.alloc
-            .alloc(&self.topology, &[host], len, self.default_ways)
+        let seg = self
+            .alloc
+            .alloc(&self.topology, &[host], len, self.default_ways)?;
+        self.register_segment_domains(&seg);
+        Ok(seg)
     }
 
     /// Allocates a segment shared by `hosts` (the substrate for
     /// cross-host I/O buffers and message channels).
     pub fn alloc_shared(&mut self, hosts: &[HostId], len: u64) -> Result<Segment, FabricError> {
-        self.alloc
-            .alloc(&self.topology, hosts, len, self.default_ways)
+        let seg = self
+            .alloc
+            .alloc(&self.topology, hosts, len, self.default_ways)?;
+        self.register_segment_domains(&seg);
+        Ok(seg)
     }
 
     /// Allocates with an explicit interleave width (for the interleave
@@ -388,7 +441,40 @@ impl Fabric {
         len: u64,
         ways: usize,
     ) -> Result<Segment, FabricError> {
-        self.alloc.alloc(&self.topology, hosts, len, ways)
+        let seg = self.alloc.alloc(&self.topology, hosts, len, ways)?;
+        self.register_segment_domains(&seg);
+        Ok(seg)
+    }
+
+    /// Allocates a segment shared by `hosts` under an explicit
+    /// failure-domain placement (pin to one domain, or stripe across a
+    /// minimum number of domains); see
+    /// [`crate::alloc::DomainPlacement`].
+    pub fn alloc_placed(
+        &mut self,
+        hosts: &[HostId],
+        len: u64,
+        max_ways: usize,
+        placement: DomainPlacement,
+    ) -> Result<Segment, FabricError> {
+        let seg = self
+            .alloc
+            .alloc_placed(&self.topology, hosts, len, max_ways, placement)?;
+        self.register_segment_domains(&seg);
+        Ok(seg)
+    }
+
+    /// Tells the auditor which failure domain backs each interleave
+    /// granule of a fresh segment (a no-op with auditing off).
+    fn register_segment_domains(&mut self, seg: &Segment) {
+        if let Some(a) = self.audit.as_deref_mut() {
+            let doms = seg
+                .ways()
+                .iter()
+                .map(|&w| self.topology.domain_of(w))
+                .collect();
+            a.map_segment(seg.base(), seg.end(), doms);
+        }
     }
 
     /// Releases a segment. Tear-tolerant and sync ranges inside it are
@@ -409,6 +495,31 @@ impl Fabric {
     /// Total free pool capacity in bytes.
     pub fn free_capacity(&self) -> u64 {
         self.alloc.total_free()
+    }
+
+    /// Free capacity on the *up* MHDs of one failure domain, in bytes
+    /// (zero while the whole domain is failed). Placement policies use
+    /// this as the domain's utilization signal.
+    pub fn domain_free(&self, domain: crate::topology::DomainId) -> u64 {
+        self.topology
+            .mhds_in_domain(domain)
+            .into_iter()
+            .filter(|&m| self.topology.mhd_is_up(m))
+            .map(|m| self.alloc.free_on(m))
+            .sum()
+    }
+
+    /// Total capacity of the *up* MHDs of one failure domain, in bytes.
+    /// With [`Fabric::domain_free`] this yields a domain utilization
+    /// percentage for local-first placement thresholds.
+    pub fn domain_capacity(&self, domain: crate::topology::DomainId) -> u64 {
+        let up = self
+            .topology
+            .mhds_in_domain(domain)
+            .into_iter()
+            .filter(|&m| self.topology.mhd_is_up(m))
+            .count() as u64;
+        up * self.alloc.capacity_per_mhd()
     }
 
     /// Resolves an address to its segment.
@@ -507,7 +618,7 @@ impl Fabric {
         self.check(host, hpa, len)?;
         self.stats.stores += 1;
         if let Some(a) = self.audit.as_deref_mut() {
-            a.count_store(host);
+            a.count_store(host, hpa, len);
         }
 
         // RFO: fetch lines we don't own yet so partial-line stores merge

@@ -42,6 +42,8 @@
 //! assert_eq!(buf, [7u8; 64]);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod alloc;
 pub mod audit;
 pub mod cache;
@@ -51,12 +53,13 @@ pub mod params;
 pub mod sparse;
 pub mod topology;
 
-pub use alloc::{PoolAllocator, Segment, SegmentId};
+pub use alloc::{DomainPlacement, PoolAllocator, Segment, SegmentId};
 pub use audit::{
-    AccessKind, Actor, AuditConfig, AuditMode, AuditReport, Auditor, LostWriteCause, RaceReport,
-    VClock, Violation, ViolationCounts, ViolationKind, WriteKind,
+    domain_of_index, AccessKind, Actor, AuditConfig, AuditMode, AuditReport, Auditor,
+    LostWriteCause, RaceReport, VClock, Violation, ViolationCounts, ViolationKind, WriteKind,
+    DOMAIN_STRIDE,
 };
 pub use error::FabricError;
 pub use fabric::{AccessStats, Fabric, PodConfig};
 pub use params::FabricParams;
-pub use topology::{HostId, LinkId, MhdId, Topology};
+pub use topology::{DomainId, HostId, LinkId, MhdId, Topology};

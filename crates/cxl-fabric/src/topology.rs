@@ -21,6 +21,17 @@ pub struct MhdId(pub u16);
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
 pub struct LinkId(pub u32);
 
+/// Identifies a failure domain: the unit that dies together when an
+/// MHD chassis (controller, firmware image, power feed) fails.
+///
+/// In the paper's single-MHD pod there is exactly one domain. Scaled
+/// pods group MHDs into domains so placement can stripe or replicate a
+/// segment across domains and survive losing a whole one — the Octopus
+/// multi-MHD direction. A single-MHD pod built with
+/// [`Topology::dense`] assigns each MHD its own domain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct DomainId(pub u16);
+
 /// One CXL link between a host port and an MHD port.
 #[derive(Clone, Debug, Serialize)]
 pub struct Link {
@@ -43,6 +54,10 @@ pub struct Topology {
     mhd_up: Vec<bool>,
     /// links_by_host[h] lists link indices attached to host h.
     links_by_host: Vec<Vec<u32>>,
+    /// domain_of[m] is the failure domain of MHD m.
+    domain_of: Vec<u16>,
+    /// Number of distinct failure domains.
+    domains: u16,
 }
 
 impl Topology {
@@ -87,7 +102,96 @@ impl Topology {
             links,
             mhd_up: vec![true; mhds as usize],
             links_by_host,
+            // Each MHD is its own failure domain in the classic dense
+            // pod: one chassis, one blast radius.
+            domain_of: (0..mhds).collect(),
+            domains: mhds,
         }
+    }
+
+    /// Builds a multi-domain pod: `domains * mhds_per_domain` MHDs
+    /// wired densely (as in [`Topology::dense`]) and grouped into
+    /// `domains` failure domains.
+    ///
+    /// Domains are assigned round-robin (`MHD m → domain m % domains`)
+    /// rather than in contiguous blocks, so a host's λ *consecutive*
+    /// dense links land in λ distinct domains whenever
+    /// `lambda <= domains` — every host keeps pool access after a
+    /// whole-domain outage, mirroring how λ-redundancy protects
+    /// against single-MHD loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero or `lambda` exceeds the MHD count.
+    pub fn multi_domain(hosts: u16, domains: u16, mhds_per_domain: u16, lambda: u16) -> Topology {
+        assert!(domains > 0 && mhds_per_domain > 0, "counts must be nonzero");
+        let mhds = domains
+            .checked_mul(mhds_per_domain)
+            .expect("mhd count overflows u16");
+        let mut t = Topology::dense(hosts, mhds, lambda);
+        t.domain_of = (0..mhds).map(|m| m % domains).collect();
+        t.domains = domains;
+        t
+    }
+
+    /// The failure domain of `mhd`.
+    pub fn domain_of(&self, mhd: MhdId) -> DomainId {
+        DomainId(self.domain_of[mhd.0 as usize])
+    }
+
+    /// Number of failure domains in the pod.
+    pub fn domains(&self) -> u16 {
+        self.domains
+    }
+
+    /// The MHDs in failure domain `d`, in id order.
+    pub fn mhds_in_domain(&self, d: DomainId) -> Vec<MhdId> {
+        (0..self.mhds)
+            .filter(|&m| self.domain_of[m as usize] == d.0)
+            .map(MhdId)
+            .collect()
+    }
+
+    /// True if at least one MHD in domain `d` is up.
+    pub fn domain_is_up(&self, d: DomainId) -> bool {
+        (0..self.mhds).any(|m| self.domain_of[m as usize] == d.0 && self.mhd_up[m as usize])
+    }
+
+    /// Fails every MHD in domain `d` (chassis power loss, shared
+    /// firmware fault). Restore with [`Topology::restore_domain`].
+    pub fn fail_domain(&mut self, d: DomainId) {
+        for m in self.mhds_in_domain(d) {
+            self.fail_mhd(m);
+        }
+    }
+
+    /// Restores every MHD in domain `d`.
+    pub fn restore_domain(&mut self, d: DomainId) {
+        for m in self.mhds_in_domain(d) {
+            self.restore_mhd(m);
+        }
+    }
+
+    /// The distinct failure domains `host` can currently reach, in id
+    /// order.
+    pub fn reachable_domains(&self, host: HostId) -> Vec<DomainId> {
+        let mut out: Vec<DomainId> = self
+            .reachable_mhds(host)
+            .into_iter()
+            .map(|m| self.domain_of(m))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The host's "home" failure domain: the one behind its first up
+    /// link (dense wiring gives every host a primary MHD on its first
+    /// port). `None` when every link or every linked MHD is down.
+    pub fn home_domain(&self, host: HostId) -> Option<DomainId> {
+        self.host_links(host)
+            .find(|l| l.up && self.mhd_up[l.mhd.0 as usize])
+            .map(|l| self.domain_of(l.mhd))
     }
 
     /// Number of hosts in the pod.
@@ -255,6 +359,54 @@ mod tests {
     #[should_panic(expected = "lambda")]
     fn lambda_cannot_exceed_mhds() {
         let _ = Topology::dense(4, 2, 3);
+    }
+
+    #[test]
+    fn dense_puts_each_mhd_in_its_own_domain() {
+        let t = Topology::dense(4, 3, 2);
+        assert_eq!(t.domains(), 3);
+        for m in 0..3 {
+            assert_eq!(t.domain_of(MhdId(m)), DomainId(m));
+            assert_eq!(t.mhds_in_domain(DomainId(m)), vec![MhdId(m)]);
+        }
+    }
+
+    #[test]
+    fn multi_domain_round_robin_spans_every_host() {
+        // 2 domains × 2 MHDs, λ=2: each host's two consecutive MHDs
+        // must land in two *different* domains.
+        let t = Topology::multi_domain(6, 2, 2, 2);
+        assert_eq!(t.mhds(), 4);
+        assert_eq!(t.domains(), 2);
+        assert_eq!(t.mhds_in_domain(DomainId(0)), vec![MhdId(0), MhdId(2)]);
+        assert_eq!(t.mhds_in_domain(DomainId(1)), vec![MhdId(1), MhdId(3)]);
+        for h in 0..6 {
+            assert_eq!(
+                t.reachable_domains(HostId(h)),
+                vec![DomainId(0), DomainId(1)],
+                "host {h} must reach both domains"
+            );
+        }
+    }
+
+    #[test]
+    fn domain_failure_downs_members_but_pod_survives() {
+        let mut t = Topology::multi_domain(6, 2, 2, 2);
+        t.fail_domain(DomainId(1));
+        assert!(!t.domain_is_up(DomainId(1)));
+        assert!(!t.mhd_is_up(MhdId(1)));
+        assert!(!t.mhd_is_up(MhdId(3)));
+        assert!(t.domain_is_up(DomainId(0)));
+        // Round-robin domain assignment keeps every host connected.
+        assert!(t.fully_connected());
+        for h in 0..6 {
+            assert_eq!(t.reachable_domains(HostId(h)), vec![DomainId(0)]);
+        }
+        t.restore_domain(DomainId(1));
+        assert!(t.domain_is_up(DomainId(1)));
+        for h in 0..6 {
+            assert_eq!(t.effective_lambda(HostId(h)), 2);
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use std::collections::BTreeMap;
 
-use cxl_fabric::{HostId, MhdId};
+use cxl_fabric::{DomainId, HostId, MhdId};
 use cxl_pool_core::pod::{PodSim, IO_SLOT};
 use cxl_pool_core::vdev::{DeviceKind, PoolError};
 use simkit::rng::Rng;
@@ -25,7 +25,7 @@ use simkit::Nanos;
 
 use crate::arrival::Arrival;
 use crate::slo::SloVerdict;
-use crate::spec::{OpKind, WorkloadSpec};
+use crate::spec::{FaultTarget, OpKind, WorkloadSpec};
 
 /// Per-tenant results for one run.
 #[derive(Clone, Debug)]
@@ -150,7 +150,7 @@ impl Engine {
 
         // Fault plan state.
         let mut fault_pending = spec.fault;
-        let mut heal_at: Option<(Nanos, MhdId)> = None;
+        let mut heal_at: Option<(Nanos, FaultTarget)> = None;
         let mut next_balance = spec.balance_every.map(|every| t0 + every);
 
         loop {
@@ -184,18 +184,31 @@ impl Engine {
                 (None, None) => break,
             };
 
-            // Fault plan: fail the MHD once the schedule crosses the
-            // plan's offset, recover `heal_after` later.
+            // Fault plan: fail the target (one MHD or a whole failure
+            // domain) once the schedule crosses the plan's offset,
+            // recover `heal_after` later.
             if let Some(f) = fault_pending {
                 if issue.at >= t0 + f.at {
-                    pod.fabric.topology_mut().fail_mhd(MhdId(f.mhd));
-                    heal_at = Some((t0 + f.at + f.heal_after, MhdId(f.mhd)));
+                    match f.target {
+                        FaultTarget::Mhd(m) => pod.fabric.topology_mut().fail_mhd(MhdId(m)),
+                        FaultTarget::Domain(d) => {
+                            pod.fabric.topology_mut().fail_domain(DomainId(d))
+                        }
+                    }
+                    heal_at = Some((t0 + f.at + f.heal_after, f.target));
                     fault_pending = None;
                 }
             }
-            if let Some((t, mhd)) = heal_at {
+            if let Some((t, target)) = heal_at {
                 if issue.at >= t {
-                    pod.recover_pool_failure(mhd);
+                    match target {
+                        FaultTarget::Mhd(m) => {
+                            pod.recover_pool_failure(MhdId(m));
+                        }
+                        FaultTarget::Domain(d) => {
+                            pod.recover_domain_failure(DomainId(d));
+                        }
+                    }
                     heal_at = None;
                 }
             }

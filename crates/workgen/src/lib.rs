@@ -13,8 +13,10 @@
 //!   Poisson via thinning), and closed-loop fixed concurrency.
 //! - [`spec`] — multi-tenant workload specs: per-tenant device mixes
 //!   (NIC send/recv, SSD read/write, accelerator offload), op sizes,
-//!   host affinity, warmup/measurement windows, and optional
-//!   mid-run fault plans (MHD failure + software recovery).
+//!   host affinity, warmup/measurement windows, and optional mid-run
+//!   fault plans (a single MHD or a whole multi-MHD failure domain
+//!   dies + software recovery), so capacity can be quoted both clean
+//!   and under single-domain loss.
 //! - [`slo`] — SLO specs (`p99 < 10µs`-style) checked against
 //!   [`simkit::stats::Histogram`] distributions, with timed-out
 //!   operations censored at their deadline so overload degrades the
@@ -30,6 +32,8 @@
 //! bit-identical arrival schedules and identical simulated-time
 //! results, so capacity points are reproducible across runs and CI.
 
+#![warn(missing_docs)]
+
 pub mod arrival;
 pub mod capacity;
 pub mod engine;
@@ -40,4 +44,4 @@ pub use arrival::Arrival;
 pub use capacity::{CapacityConfig, CapacityResult, TrialPoint};
 pub use engine::{Engine, RunReport, TenantReport};
 pub use slo::{SloSpec, SloVerdict};
-pub use spec::{FaultPlan, OpKind, TenantSpec, WorkloadSpec};
+pub use spec::{FaultPlan, FaultTarget, OpKind, TenantSpec, WorkloadSpec};

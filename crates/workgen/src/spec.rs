@@ -75,20 +75,51 @@ pub struct TenantSpec {
     pub slo: SloSpec,
 }
 
-/// A mid-run pool-device failure: MHD `mhd` dies `at` into the run and
-/// software recovery ([`cxl_pool_core::pod::PodSim::recover_pool_failure`])
-/// rebuilds channels `heal_after` later. Operations in the outage
+/// What a [`FaultPlan`] takes down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// One MHD dies.
+    Mhd(u16),
+    /// A whole failure domain dies — every MHD in it at once (chassis
+    /// power loss, shared firmware fault).
+    Domain(u16),
+}
+
+/// A mid-run pool failure: the target dies `at` into the run and
+/// software recovery ([`cxl_pool_core::pod::PodSim::recover_pool_failure`]
+/// / [`cxl_pool_core::pod::PodSim::recover_domain_failure`]) rebuilds
+/// channels on survivors `heal_after` later. Operations in the outage
 /// window time out or fail, and their censored latencies degrade the
 /// measured tail — exactly the availability cost §5 argues software
 /// pooling must absorb.
 #[derive(Clone, Copy, Debug)]
 pub struct FaultPlan {
-    /// Index of the MHD to fail.
-    pub mhd: u16,
+    /// What fails.
+    pub target: FaultTarget,
     /// Offset from run start at which the failure hits.
     pub at: Nanos,
     /// How long until software recovery rebuilds the channels.
     pub heal_after: Nanos,
+}
+
+impl FaultPlan {
+    /// A single-MHD outage.
+    pub fn mhd(mhd: u16, at: Nanos, heal_after: Nanos) -> FaultPlan {
+        FaultPlan {
+            target: FaultTarget::Mhd(mhd),
+            at,
+            heal_after,
+        }
+    }
+
+    /// A whole-failure-domain outage.
+    pub fn domain(domain: u16, at: Nanos, heal_after: Nanos) -> FaultPlan {
+        FaultPlan {
+            target: FaultTarget::Domain(domain),
+            at,
+            heal_after,
+        }
+    }
 }
 
 /// A full multi-tenant workload.

@@ -146,11 +146,11 @@ fn main() {
     //    timeout deadline, dragging the measured tail — so capacity
     //    under the fault is strictly lower.
     let mut faulted = spec(25_000.0);
-    faulted.fault = Some(FaultPlan {
-        mhd: 1,
-        at: Nanos::from_micros(900),
-        heal_after: Nanos::from_micros(100),
-    });
+    faulted.fault = Some(FaultPlan::mhd(
+        1,
+        Nanos::from_micros(900),
+        Nanos::from_micros(100),
+    ));
     println!("\n== capacity search, MHD 1 fails mid-run ==");
     let degraded = workgen::capacity::search(|| build_pod(seed), &faulted, &cfg, seed);
     println!("  capacity: {:.0} pps", degraded.capacity_pps);

@@ -6,8 +6,8 @@
 //! `properties.rs`.
 
 use cxl_fabric::{
-    AccessKind, Actor, AuditConfig, AuditMode, Fabric, HostId, LostWriteCause, PodConfig, Segment,
-    ViolationKind, WriteKind,
+    domain_of_index, AccessKind, Actor, AuditConfig, AuditMode, Auditor, DomainId, Fabric, HostId,
+    LostWriteCause, PodConfig, Segment, ViolationKind, WriteKind, DOMAIN_STRIDE,
 };
 use shmem::seqlock::{ReadOutcome, SeqLock};
 use simkit::Nanos;
@@ -577,6 +577,145 @@ fn dma_read_of_unpublished_store_races_in_vc_mode() {
         }
         other => panic!("expected ConcurrentConflict, got {other:?}"),
     }
+}
+
+// ---------------------------------------------------------------------
+// Failure-domain namespacing (multi-MHD pods)
+// ---------------------------------------------------------------------
+
+/// A tenant leaves a host holding a stale cached copy, then its segment
+/// is freed and the *same address range* is reallocated in a different
+/// failure domain. The pool allocator never reuses addresses, so this
+/// drives the [`Auditor`] directly: the sin (a cache hit at the reused
+/// address) must audit against the new tenant's state, not the ghost of
+/// the old one.
+fn reuse_scenario(free_between: bool) -> cxl_fabric::AuditReport {
+    let mut a = Auditor::new(version_cfg());
+    let base = 0x10_000u64;
+    let end = base + 4096;
+    a.map_segment(base, end, vec![DomainId(0)]);
+    // Host 1 caches the line (load miss).
+    a.on_load(Nanos(0), HostId(1), &[(base, false)], &[], &[]);
+    // Host 0 publishes over it; the write settles.
+    a.on_nt_store(Nanos(10), HostId(0), base, LINE, Nanos(500));
+    a.advance(Nanos(1_000));
+    if free_between {
+        // The tenant dies; the range is reused in another domain.
+        a.on_segment_free(base, end);
+        a.map_segment(base, end, vec![DomainId(1)]);
+    }
+    // Host 1 hits a cached copy at the same address.
+    a.on_load(Nanos(2_000), HostId(1), &[(base, true)], &[], &[]);
+    a.report().clone()
+}
+
+/// Control: without the free, the hit really is a stale read — the
+/// aliasing test below is not passing vacuously.
+#[test]
+fn stale_hit_without_segment_free_fires() {
+    let report = reuse_scenario(false);
+    assert_eq!(report.counts.stale_reads, 1, "{}", report.render());
+}
+
+/// The property under test: `on_segment_free` clears shadow state in
+/// *every* domain, so cross-domain address reuse starts from scratch.
+#[test]
+fn address_reuse_across_domains_does_not_alias_shadow_state() {
+    let report = reuse_scenario(true);
+    assert_eq!(
+        report.counts.total(),
+        0,
+        "ghost of the previous tenant:\n{}",
+        report.render()
+    );
+}
+
+/// Torn-read analysis is a per-domain notion: visibility versions are
+/// drawn per failure domain, so a record spanning two domains has no
+/// single order to tear against. The same access pattern *does* tear
+/// when both lines share a domain.
+fn torn_scenario(way_domains: Vec<DomainId>) -> cxl_fabric::AuditReport {
+    let mut a = Auditor::new(version_cfg());
+    let base = 0x20_000u64;
+    a.map_segment(base, base + 4096, way_domains);
+    // Adjacent lines straddling the interleave-granule boundary: with
+    // two way domains they land in different domains.
+    let lo = base + 192;
+    let hi = base + 256;
+    // Host 1 caches both lines of the record.
+    a.on_load(Nanos(0), HostId(1), &[(lo, false), (hi, false)], &[], &[]);
+    // Host 0 publishes the 2-line record in one nt-store.
+    a.on_nt_store(Nanos(10), HostId(0), lo, 2 * LINE, Nanos(500));
+    a.advance(Nanos(1_000));
+    // BUG under test: host 1 invalidates only the second line, then
+    // reads the whole record (first line hits stale, second misses).
+    a.on_invalidate(Nanos(1_100), HostId(1), hi, LINE);
+    a.on_load(
+        Nanos(1_200),
+        HostId(1),
+        &[(lo, true), (hi, false)],
+        &[],
+        &[],
+    );
+    a.report().clone()
+}
+
+#[test]
+fn half_invalidated_record_tears_within_one_domain() {
+    let report = torn_scenario(vec![DomainId(0)]);
+    assert_eq!(report.counts.torn_reads, 1, "{}", report.render());
+}
+
+#[test]
+fn record_spanning_two_domains_does_not_tear_across_them() {
+    let report = torn_scenario(vec![DomainId(0), DomainId(1)]);
+    assert_eq!(
+        report.counts.torn_reads,
+        0,
+        "no cross-domain visibility order to tear against:\n{}",
+        report.render()
+    );
+}
+
+/// Vector-clock components are namespaced per `(actor, domain)`: the
+/// same CPU writing in two domains ticks two different components, and
+/// the index arithmetic round-trips.
+#[test]
+fn vc_write_clocks_are_namespaced_per_domain() {
+    let cpu0 = Actor::Cpu(HostId(0));
+    assert_eq!(cpu0.index_in(DomainId(0)), cpu0.index());
+    assert_eq!(cpu0.index_in(DomainId(3)), 3 * DOMAIN_STRIDE + cpu0.index());
+    assert_eq!(domain_of_index(cpu0.index_in(DomainId(3))), DomainId(3));
+    assert_eq!(Actor::from_index(cpu0.index_in(DomainId(3))), cpu0);
+
+    let mut a = Auditor::new(vc_cfg());
+    let base = 0x30_000u64;
+    // Two-way interleave: granule 0 in domain 0, granule 1 in domain 1.
+    a.map_segment(base, base + 4096, vec![DomainId(0), DomainId(1)]);
+    let in_d0 = base;
+    let in_d1 = base + 256;
+    a.on_nt_store(Nanos(0), HostId(0), in_d0, LINE, Nanos(100));
+    a.on_nt_store(Nanos(200), HostId(0), in_d1, LINE, Nanos(300));
+    a.advance(Nanos(1_000));
+
+    let races = a.race_report();
+    let clock_of = |la: u64| {
+        races
+            .line_clocks
+            .iter()
+            .find(|&&(line, _, _)| line == la)
+            .map(|(_, _, c)| c.clone())
+            .expect("write clock recorded")
+    };
+    let d0_clock = clock_of(in_d0);
+    let d1_clock = clock_of(in_d1);
+    assert_eq!(d0_clock.get(cpu0.index_in(DomainId(0))), 1);
+    assert_eq!(
+        d0_clock.get(cpu0.index_in(DomainId(1))),
+        0,
+        "a domain-0 write must not tick the domain-1 component"
+    );
+    assert_eq!(d1_clock.get(cpu0.index_in(DomainId(1))), 1);
 }
 
 /// Draining violations keeps counters so long-running monitors can

@@ -1,9 +1,10 @@
 //! Failure-injection integration: device, path, and pool-device
 //! failures across the whole stack.
 
-use cxl_fabric::{HostId, MhdId};
+use cxl_fabric::{DomainId, HostId, MhdId};
 use cxl_pcie_pool::pool::pod::{PodParams, PodSim};
 use cxl_pcie_pool::pool::vdev::DeviceKind;
+use cxl_pcie_pool::pool::ReplicaSet;
 use simkit::Nanos;
 
 fn deadline(pod: &PodSim) -> Nanos {
@@ -94,6 +95,117 @@ fn mhd_failure_with_lambda_redundancy_keeps_pod_connected() {
     }
     pod.fabric.topology_mut().restore_mhd(MhdId(0));
     assert_eq!(pod.fabric.topology().effective_lambda(HostId(0)), 2);
+}
+
+/// A whole chassis (failure domain = one multi-headed device enclosure)
+/// loses power: the orchestrator's domain-aware placement must leave a
+/// surviving copy, degraded reads must serve from it, and rebuild must
+/// re-materialize the lost copy on the spare domain — end to end
+/// through `PodSim`, not just the fabric.
+#[test]
+fn whole_domain_outage_rebuilds_replicas_on_spare_domain() {
+    // Six MHDs in three 2-MHD chassis; λ=6 gives every host links into
+    // all three domains.
+    let mut params = PodParams::new(6, 2);
+    params.mhds = 6;
+    params.domains = 3;
+    params.lambda = 6;
+    let mut pod = PodSim::new(params);
+    let tenant = HostId(3);
+
+    // Two copies, striped across the MHDs within each chosen chassis.
+    let mut set = pod
+        .orch
+        .place_replicas(&mut pod.fabric, tenant, 8192, 2)
+        .expect("placement succeeds");
+    let used = set.domains();
+    assert_eq!(used.len(), 2);
+    assert_ne!(used[0], used[1], "copies must not share a chassis");
+
+    let data: Vec<u8> = (0..256u32).map(|i| i as u8).collect();
+    let now = pod.time();
+    let t = set
+        .write(&mut pod.fabric, now, tenant, 1024, &data)
+        .expect("replicated write");
+
+    // Chassis holding the first copy dies wholesale; the pod rebuilds
+    // control/I-O channels on survivors as part of fail_domain.
+    let dead = used[0];
+    pod.fail_domain(dead);
+    assert!(!pod.fabric.topology().domain_is_up(dead));
+
+    // Degraded read serves from the surviving chassis.
+    let mut buf = vec![0u8; data.len()];
+    let t = set
+        .read(&mut pod.fabric, t, tenant, 1024, &mut buf)
+        .expect("degraded read");
+    assert_eq!(buf, data, "survivor copy must carry the data");
+
+    // Rebuild re-materializes the lost copy on the spare chassis.
+    let target = set
+        .rebuild(&mut pod.fabric, t, tenant, dead)
+        .expect("rebuild runs")
+        .expect("a spare domain exists");
+    assert!(!used.contains(&target), "rebuilt copy must use the spare");
+    assert!(!set.domains().contains(&dead));
+    assert_eq!(set.domains().len(), 2);
+
+    // The re-materialized copy is a real copy: kill the old survivor
+    // too and read from the rebuilt one alone.
+    pod.fail_domain(used[1]);
+    let mut buf2 = vec![0u8; data.len()];
+    set.read(
+        &mut pod.fabric,
+        t + Nanos::from_micros(10),
+        tenant,
+        1024,
+        &mut buf2,
+    )
+    .expect("read from rebuilt copy");
+    assert_eq!(buf2, data, "rebuild must have copied the bytes");
+}
+
+/// With every domain holding a copy there is no spare: rebuild reports
+/// `None` and the set keeps serving degraded until the chassis returns.
+#[test]
+fn domain_outage_without_spare_serves_degraded() {
+    let mut params = PodParams::new(6, 2);
+    params.mhds = 4;
+    params.domains = 2;
+    params.lambda = 4;
+    let mut pod = PodSim::new(params);
+    let tenant = HostId(2);
+    let mut set = ReplicaSet::create(
+        &mut pod.fabric,
+        &[tenant],
+        4096,
+        &[DomainId(0), DomainId(1)],
+    )
+    .expect("create");
+
+    let data = vec![0xC3u8; 128];
+    let now = pod.time();
+    let t = set
+        .write(&mut pod.fabric, now, tenant, 0, &data)
+        .expect("write");
+    pod.fail_domain(DomainId(0));
+
+    let mut buf = vec![0u8; data.len()];
+    let t = set
+        .read(&mut pod.fabric, t, tenant, 0, &mut buf)
+        .expect("degraded read");
+    assert_eq!(buf, data);
+
+    // No third chassis to rebuild into: degraded, not dead.
+    let target = set
+        .rebuild(&mut pod.fabric, t, tenant, DomainId(0))
+        .expect("rebuild runs");
+    assert_eq!(target, None, "two-domain pod has no spare");
+    assert_eq!(set.domains(), vec![DomainId(1)]);
+
+    // Power restored: the chassis rejoins and new placements may use it.
+    pod.restore_domain(DomainId(0));
+    assert!(pod.fabric.topology().domain_is_up(DomainId(0)));
 }
 
 #[test]

@@ -101,11 +101,11 @@ fn different_seed_changes_the_schedule() {
 fn mhd_failure_mid_run_degrades_the_measured_tail() {
     let clean_spec = mixed_spec(40_000.0);
     let mut faulted_spec = mixed_spec(40_000.0);
-    faulted_spec.fault = Some(FaultPlan {
-        mhd: 1,
-        at: Nanos::from_micros(700),
-        heal_after: Nanos::from_micros(150),
-    });
+    faulted_spec.fault = Some(FaultPlan::mhd(
+        1,
+        Nanos::from_micros(700),
+        Nanos::from_micros(150),
+    ));
 
     let mut a = pod(5);
     let clean = Engine::new(5).run(&mut a, &clean_spec);
