@@ -7,7 +7,7 @@
 //! reacts to device failures by re-assigning affected hosts, and
 //! migrates load away from hot devices.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use cxl_fabric::{DomainId, Fabric, FabricError, HostId};
 use pcie_sim::DeviceId;
@@ -71,7 +71,13 @@ pub struct Orchestrator {
     pub host: HostId,
     policy: AllocPolicy,
     links: Vec<(HostId, Link)>,
-    registry: HashMap<DeviceId, DevInfo>,
+    /// Device registry. Ordered so every walk (choose, balance,
+    /// devices_of) visits devices in id order: `AllocPolicy::Random`
+    /// indexes into the collected list with the seeded RNG, and a
+    /// `HashMap` here made that pick — and thus placement — vary run
+    /// to run (simlint `hash-iter`; same class as the PR 4
+    /// `Segment::spread` bug).
+    registry: BTreeMap<DeviceId, DevInfo>,
     assignments: HashMap<(HostId, DeviceKind), DeviceId>,
     host_loads: HashMap<HostId, u8>,
     /// Failovers performed, in order.
@@ -89,7 +95,7 @@ impl Orchestrator {
             host,
             policy,
             links: Vec::new(),
-            registry: HashMap::new(),
+            registry: BTreeMap::new(),
             assignments: HashMap::new(),
             host_loads: HashMap::new(),
             failover_log: Vec::new(),

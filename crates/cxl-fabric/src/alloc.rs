@@ -6,7 +6,7 @@
 //! host or shared by an explicit host group (the shared segments are
 //! what the PCIe-pooling datapath lives in).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use serde::Serialize;
 
@@ -132,7 +132,10 @@ pub struct PoolAllocator {
     /// Free bytes per MHD, indexed by MhdId.
     free: Vec<u64>,
     capacity_per_mhd: u64,
-    segments: HashMap<SegmentId, Segment>,
+    /// Live segments, ordered by id: [`PoolAllocator::segments`]
+    /// exposes an iterator, and a `HashMap` here would hand callers a
+    /// nondeterministic walk (simlint `hash-iter`).
+    segments: BTreeMap<SegmentId, Segment>,
     /// base -> id, for address resolution.
     by_base: BTreeMap<u64, SegmentId>,
 }
@@ -148,7 +151,7 @@ impl PoolAllocator {
             next_hpa: 1 << 20,
             free: vec![capacity_per_mhd; mhds as usize],
             capacity_per_mhd,
-            segments: HashMap::new(),
+            segments: BTreeMap::new(),
             by_base: BTreeMap::new(),
         }
     }

@@ -609,6 +609,7 @@ impl Default for AuditConfig {
     /// environment to get vector clocks everywhere audit is enabled
     /// with a default config (PodSim, the chaos/property suites).
     fn default() -> AuditConfig {
+        // simlint: allow(wall-clock) -- sanctioned config entry point: CXL_AUDIT selects the analysis, never simulated behavior
         let mode = match std::env::var("CXL_AUDIT").ok().as_deref() {
             Some("vc") | Some("vclock") | Some("vector-clock") => AuditMode::VectorClock,
             _ => AuditMode::Version,
@@ -863,6 +864,7 @@ impl Auditor {
             .map(|(i, c)| (Actor::from_index(i), c.clone()))
             .collect();
         let mut keyed: Vec<(LineKey, Actor, VClock)> = self
+            // simlint: allow(hash-iter) -- report-only path, sorted by LineKey before anything observes order
             .wclocks
             .iter()
             .map(|(&key, (a, c))| (key, *a, c.clone()))
@@ -965,6 +967,7 @@ impl Auditor {
         // order is a per-domain notion (independent devices apply
         // writes independently), so counters never cross domains.
         let keyed: Vec<(LineKey, u64)> = ev
+            // simlint: allow(hash-iter) -- PendingEvent::lines is a Vec; name collides with the auditor's line map
             .lines
             .iter()
             .map(|&(la, base)| (self.key_of(la), base))
@@ -1349,6 +1352,7 @@ impl Auditor {
         let fresh_line = fresh_key.1;
         let writer = meta.writer;
         let visible_at = meta.visible_at;
+        // simlint: allow(hash-iter) -- EventMeta::lines is a Vec (name collision); the HashSet is membership-only
         let covered: HashSet<LineKey> = meta.lines.iter().copied().collect();
         let torn: Vec<(u64, u64)> = observed
             .iter()
@@ -1421,11 +1425,16 @@ impl Auditor {
     /// dirty.
     pub fn on_store(&mut self, now: Nanos, host: HostId, la: u64) {
         let key = self.key_of(la);
-        // Dirty elsewhere? Both hosts intend to publish: a race.
+        // Dirty elsewhere? Both hosts intend to publish: a race. When
+        // several hosts hold the line dirty, report the lowest id —
+        // `find` on the unordered walk made the reported `first` (and
+        // so the violation log) vary run to run.
         let other = self
+            // simlint: allow(hash-iter) -- min_by_key over the unordered walk is order-independent
             .views
             .iter()
-            .find(|(&(h, k), view)| k == key && h != host.0 && view.dirty)
+            .filter(|(&(h, k), view)| k == key && h != host.0 && view.dirty)
+            .min_by_key(|(&(h, _), _)| h)
             .map(|(&(h, _), view)| (HostId(h), view.dirty_since));
         if let Some((first, first_dirty_since)) = other {
             self.record(
@@ -1581,10 +1590,14 @@ impl Auditor {
         self.tick_all(Actor::Dma(host), &doms);
         for la in lines_of(hpa, len) {
             let key = self.key_of(la);
+            // Lowest dirty host wins, as in on_store: the reported
+            // writer must not depend on hash iteration order.
             let remote_dirty = self
+                // simlint: allow(hash-iter) -- min_by_key over the unordered walk is order-independent
                 .views
                 .iter()
-                .find(|(&(h, k), view)| k == key && h != host.0 && view.dirty)
+                .filter(|(&(h, k), view)| k == key && h != host.0 && view.dirty)
+                .min_by_key(|(&(h, _), _)| h)
                 .map(|(&(h, _), view)| (HostId(h), view.dirty_since));
             if let Some((writer, dirty_since)) = remote_dirty {
                 if self.vc_on() {
@@ -1741,6 +1754,7 @@ impl Auditor {
         // mapped one: address reuse across domains must never see the
         // previous tenant's shadow state.
         let keys: Vec<LineKey> = self
+            // simlint: allow(hash-iter) -- collected for point removals; refcount result is order-independent
             .lines
             .keys()
             .copied()
@@ -1756,13 +1770,18 @@ impl Auditor {
                 }
             }
         }
+        // simlint: allow(hash-iter) -- retain with a pure range predicate; visit order unobservable
         self.views.retain(|&(_, (_, la)), _| la < base || la >= end);
+        // simlint: allow(hash-iter) -- retain with a pure range predicate; visit order unobservable
         self.view_clocks
             .retain(|&(_, (_, la)), _| la < base || la >= end);
+        // simlint: allow(hash-iter) -- retain with a pure range predicate; visit order unobservable
         self.dirty_clocks
             .retain(|&(_, (_, la)), _| la < base || la >= end);
+        // simlint: allow(hash-iter) -- retain with a pure range predicate; visit order unobservable
         self.wclocks.retain(|&(_, la), _| la < base || la >= end);
         for ev in self.pending.values_mut() {
+            // simlint: allow(hash-iter) -- PendingEvent::lines is a Vec (name collision with the line map)
             ev.lines.retain(|&(la, _)| la < base || la >= end);
         }
         self.pending.retain(|_, ev| !ev.lines.is_empty());
@@ -1781,6 +1800,7 @@ impl Auditor {
     /// finalize to flag unpublished writes on shared segments.
     pub fn dirty_lines(&self) -> Vec<(HostId, u64, Nanos)> {
         let mut out: Vec<(HostId, u64, Nanos)> = self
+            // simlint: allow(hash-iter) -- report-only path, sorted by (host, line) before anything observes order
             .views
             .iter()
             .filter(|(_, v)| v.dirty)

@@ -110,11 +110,13 @@ pub struct TraceConfig {
 
 impl Default for TraceConfig {
     fn default() -> Self {
+        // simlint: allow(wall-clock) -- sanctioned config entry point: CXL_TRACE_CAPACITY sizes the recorder, never simulated behavior
         let capacity = std::env::var("CXL_TRACE_CAPACITY")
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(1 << 16);
         let fabric_ops = matches!(
+            // simlint: allow(wall-clock) -- sanctioned config entry point: CXL_TRACE selects recording verbosity only
             std::env::var("CXL_TRACE").as_deref(),
             Ok("full") | Ok("FULL")
         );
@@ -130,6 +132,7 @@ impl TraceConfig {
     /// (`CXL_TRACE=1|on|full`), mirroring `CXL_AUDIT`.
     pub fn env_enabled() -> bool {
         matches!(
+            // simlint: allow(wall-clock) -- sanctioned config entry point: CXL_TRACE toggles the recorder only
             std::env::var("CXL_TRACE").as_deref(),
             Ok("1") | Ok("on") | Ok("ON") | Ok("full") | Ok("FULL")
         )

@@ -1,0 +1,420 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The build is offline, so simlint cannot lean on `syn` or rustc
+//! internals; instead this module tokenizes Rust source precisely
+//! enough that the rule engine never mistakes the *contents* of a
+//! string literal or comment for code. The token classes that matter
+//! for that guarantee — line/block comments (nested), plain and raw
+//! strings (any `#` count), byte strings, char literals vs lifetimes,
+//! and raw identifiers — are handled exactly; everything else
+//! (operators, numeric fine structure) is deliberately coarse.
+//!
+//! Every byte of the input lands in exactly one token, so
+//! concatenating token texts reproduces the source verbatim. The
+//! proptest suite in `tests/lexer_props.rs` round-trips adversarial
+//! inputs (nested block comments, `//` inside strings, `r#"…"#` with
+//! braces) through this invariant.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword, including raw identifiers (`r#fn`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (not a char literal).
+    Lifetime,
+    /// String literal: `"…"` or `b"…"`.
+    Str,
+    /// Raw string literal: `r"…"`, `r#"…"#`, `br##"…"##`, …
+    RawStr,
+    /// Char or byte-char literal: `'x'`, `'\n'`, `b'\0'`.
+    Char,
+    /// Numeric literal (integers and floats, coarse).
+    Num,
+    /// A single punctuation byte (`.`, `:`, `{`, `+`, …).
+    Punct,
+    /// `// …` to end of line (doc comments included).
+    LineComment,
+    /// `/* … */`, nesting handled.
+    BlockComment,
+    /// Spaces, tabs, newlines.
+    Whitespace,
+}
+
+/// One token: kind plus its exact byte range and 1-based position.
+#[derive(Clone, Copy, Debug)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Byte offset of the first byte in the source.
+    pub start: usize,
+    /// Byte length.
+    pub len: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the first byte.
+    pub col: u32,
+}
+
+impl Tok {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.start + self.len]
+    }
+
+    /// Byte offset one past the last byte.
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic() || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80
+}
+
+/// Tokenizes `src`. Never fails: unterminated literals or comments
+/// extend to end of input, and any byte the lexer does not recognize
+/// becomes a one-byte [`TokKind::Punct`]. Positions are byte-based.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.pos < self.src.len() {
+            self.next_token();
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Emits a token covering `[start, self.pos)` and advances the
+    /// line/col cursor over its bytes.
+    fn emit(&mut self, kind: TokKind, start: usize) {
+        let (line, col) = (self.line, self.col);
+        for &b in &self.src[start..self.pos] {
+            if b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+        self.out.push(Tok {
+            kind,
+            start,
+            len: self.pos - start,
+            line,
+            col,
+        });
+    }
+
+    fn next_token(&mut self) {
+        let start = self.pos;
+        let c = self.src[self.pos];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                while matches!(self.peek(0), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+                    self.pos += 1;
+                }
+                self.emit(TokKind::Whitespace, start);
+            }
+            b'/' if self.peek(1) == Some(b'/') => {
+                while !matches!(self.peek(0), None | Some(b'\n')) {
+                    self.pos += 1;
+                }
+                self.emit(TokKind::LineComment, start);
+            }
+            b'/' if self.peek(1) == Some(b'*') => {
+                self.pos += 2;
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (self.peek(0), self.peek(1)) {
+                        (None, _) => break,
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            self.pos += 2;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            self.pos += 2;
+                        }
+                        _ => self.pos += 1,
+                    }
+                }
+                self.emit(TokKind::BlockComment, start);
+            }
+            b'"' => {
+                self.pos += 1;
+                self.string_tail();
+                self.emit(TokKind::Str, start);
+            }
+            b'\'' => self.quote(start),
+            c if is_ident_start(c) => {
+                if (c == b'r' || c == b'b') && self.raw_or_byte(start) {
+                    return;
+                }
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.pos += 1;
+                }
+                self.emit(TokKind::Ident, start);
+            }
+            c if c.is_ascii_digit() => {
+                self.pos += 1;
+                loop {
+                    match self.peek(0) {
+                        Some(b) if b == b'_' || b.is_ascii_alphanumeric() => self.pos += 1,
+                        // Consume a decimal point only when a digit
+                        // follows, so `1..10` stays `1` `.` `.` `10`.
+                        Some(b'.') if self.peek(1).is_some_and(|b| b.is_ascii_digit()) => {
+                            self.pos += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                self.emit(TokKind::Num, start);
+            }
+            _ => {
+                self.pos += 1;
+                self.emit(TokKind::Punct, start);
+            }
+        }
+    }
+
+    /// Consumes the rest of a `"…"` body (opening quote already
+    /// consumed), honoring `\"` and `\\` escapes. Unterminated runs to
+    /// end of input.
+    fn string_tail(&mut self) {
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'\\') if self.peek(1).is_some() => self.pos += 2,
+                Some(b'"') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Handles the family of `r`/`b` prefixes: raw strings (`r"…"`,
+    /// `r#"…"#`), byte strings (`b"…"`), raw byte strings (`br#"…"#`),
+    /// byte chars (`b'x'`), and raw identifiers (`r#ident`). Returns
+    /// false when the `r`/`b` turns out to start a plain identifier,
+    /// leaving the cursor untouched for ident lexing.
+    fn raw_or_byte(&mut self, start: usize) -> bool {
+        let c = self.src[self.pos];
+        // br"…" / br#"…"# : byte raw string.
+        let (raw_at, byte_prefix) = if c == b'b' && self.peek(1) == Some(b'r') {
+            (2, true)
+        } else if c == b'r' {
+            (1, false)
+        } else {
+            // b"…" or b'…'
+            match self.peek(1) {
+                Some(b'"') => {
+                    self.pos += 2;
+                    self.string_tail();
+                    self.emit(TokKind::Str, start);
+                    return true;
+                }
+                Some(b'\'') => {
+                    self.pos += 1; // past `b`; char() consumes the quote
+                    self.char_literal(start);
+                    return true;
+                }
+                _ => return false,
+            }
+        };
+        // Count hashes after the `r`.
+        let mut hashes = 0usize;
+        while self.peek(raw_at + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        match self.peek(raw_at + hashes) {
+            Some(b'"') => {
+                self.pos += raw_at + hashes + 1;
+                // Scan for `"` followed by `hashes` hashes.
+                'scan: loop {
+                    match self.peek(0) {
+                        None => break,
+                        Some(b'"') => {
+                            for i in 0..hashes {
+                                if self.peek(1 + i) != Some(b'#') {
+                                    self.pos += 1;
+                                    continue 'scan;
+                                }
+                            }
+                            self.pos += 1 + hashes;
+                            break;
+                        }
+                        _ => self.pos += 1,
+                    }
+                }
+                self.emit(TokKind::RawStr, start);
+                true
+            }
+            // r#ident — raw identifier (exactly one hash, ident start).
+            Some(ch) if !byte_prefix && hashes == 1 && is_ident_start(ch) => {
+                self.pos += 2;
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.pos += 1;
+                }
+                self.emit(TokKind::Ident, start);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Disambiguates `'` between a lifetime and a char literal, then
+    /// consumes whichever it is. `start` may precede the quote (byte
+    /// char `b'x'`).
+    fn quote(&mut self, start: usize) {
+        debug_assert_eq!(self.peek(0), Some(b'\''));
+        match self.peek(1) {
+            // 'a — lifetime unless a closing quote follows the ident
+            // ('a' is a char). '_' and 'static are lifetimes too.
+            Some(ch) if is_ident_start(ch) => {
+                let mut n = 2;
+                while self.peek(n).is_some_and(is_ident_continue) {
+                    n += 1;
+                }
+                if self.peek(n) == Some(b'\'') && n == 2 {
+                    self.char_literal(start);
+                } else {
+                    self.pos += n;
+                    self.emit(TokKind::Lifetime, start);
+                }
+            }
+            _ => self.char_literal(start),
+        }
+    }
+
+    /// Consumes a char literal starting at the quote under the cursor
+    /// (escapes included). Unterminated literals stop at the line end
+    /// so a stray `'` cannot swallow the rest of the file.
+    fn char_literal(&mut self, start: usize) {
+        self.pos += 1; // opening quote
+        loop {
+            match self.peek(0) {
+                None | Some(b'\n') => break,
+                Some(b'\\') if self.peek(1).is_some() => self.pos += 2,
+                Some(b'\'') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.emit(TokKind::Char, start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .iter()
+            .filter(|t| !matches!(t.kind, TokKind::Whitespace))
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let src = r##"fn main() { let s = r#"a "quoted" b"#; /* c /* d */ e */ } // tail"##;
+        let toks = lex(src);
+        let rebuilt: String = toks.iter().map(|t| t.text(src)).collect();
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn string_contents_are_not_idents() {
+        let src = "let x = \"HashMap iter // not a comment\";";
+        let ids: Vec<_> = kinds(src)
+            .into_iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(ids, ["let", "x"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let src =
+            "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; let s: &'static str = \"\"; }";
+        let got = kinds(src);
+        assert!(got.contains(&(TokKind::Lifetime, "'a".into())));
+        assert!(got.contains(&(TokKind::Lifetime, "'static".into())));
+        assert!(got.contains(&(TokKind::Char, "'x'".into())));
+        assert!(got.contains(&(TokKind::Char, "'\\n'".into())));
+    }
+
+    #[test]
+    fn nested_block_comment_and_raw_hashes() {
+        let src = "/* a /* b */ c */ r##\"x\"# y\"## z";
+        let got = kinds(src);
+        assert_eq!(got[0].0, TokKind::BlockComment);
+        assert_eq!(got[1], (TokKind::RawStr, "r##\"x\"# y\"##".into()));
+        assert_eq!(got[2], (TokKind::Ident, "z".into()));
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let got = kinds("let r#fn = 1;");
+        assert!(got.contains(&(TokKind::Ident, "r#fn".into())));
+    }
+
+    #[test]
+    fn byte_strings() {
+        let got = kinds("b\"ab\" br#\"c\"d\"# b'x'");
+        assert_eq!(got[0], (TokKind::Str, "b\"ab\"".into()));
+        assert_eq!(got[1], (TokKind::RawStr, "br#\"c\"d\"#".into()));
+        assert_eq!(got[2], (TokKind::Char, "b'x'".into()));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_cols() {
+        let src = "a\n  bb\n";
+        let toks: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .collect();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let got = kinds("for i in 1..10 { let f = 2.5f64; let h = 0xff; }");
+        assert!(got.contains(&(TokKind::Num, "1".into())));
+        assert!(got.contains(&(TokKind::Num, "10".into())));
+        assert!(got.contains(&(TokKind::Num, "2.5f64".into())));
+        assert!(got.contains(&(TokKind::Num, "0xff".into())));
+    }
+}

@@ -1,0 +1,152 @@
+//! simlint CLI.
+//!
+//! ```text
+//! cargo run -p simlint -- --workspace            # human output
+//! cargo run -p simlint -- --workspace --json     # machine output
+//! cargo run -p simlint -- --fixtures             # lint the test corpus
+//! cargo run -p simlint -- --fixtures --expect-golden   # CI: corpus must match golden.txt
+//! cargo run -p simlint -- --rules                # print the catalog
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unsuppressed findings, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use simlint::diag::RULES;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut mode_fixtures = false;
+    let mut mode_rules = false;
+    let mut expect_golden = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => {}
+            "--json" => json = true,
+            "--fixtures" => mode_fixtures = true,
+            "--expect-golden" => expect_golden = true,
+            "--rules" => mode_rules = true,
+            "--root" => match args.next() {
+                Some(r) => root = Some(PathBuf::from(r)),
+                None => {
+                    eprintln!("simlint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                print_help();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("simlint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if mode_rules {
+        for r in RULES {
+            println!("{:<16} {}", r.id, r.summary);
+            println!("{:<16}   motivation: {}", "", r.motivation);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| simlint::find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("simlint: no workspace root found (run inside the repo or pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    if expect_golden && !mode_fixtures {
+        eprintln!("simlint: --expect-golden only makes sense with --fixtures");
+        return ExitCode::from(2);
+    }
+
+    let result = if mode_fixtures {
+        simlint::lint_fixtures(&root.join("crates/simlint/tests/fixtures"))
+    } else {
+        simlint::lint_workspace(&root)
+    };
+    let report = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if expect_golden {
+        // CI mode: the corpus must produce *exactly* the committed
+        // diagnostics — a silently vanished known-bad finding is as
+        // much a regression as a new false positive.
+        let golden_path = root.join("crates/simlint/tests/fixtures/golden.txt");
+        let golden = match std::fs::read_to_string(&golden_path) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("simlint: cannot read {}: {e}", golden_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let actual = report.render_text();
+        if actual == golden {
+            println!(
+                "simlint: fixture corpus matches golden.txt ({} finding(s))",
+                report.findings.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("simlint: fixture output diverges from golden.txt");
+        for (i, (a, g)) in actual.lines().zip(golden.lines()).enumerate() {
+            if a != g {
+                eprintln!("  first differing line {}:", i + 1);
+                eprintln!("    golden: {g}");
+                eprintln!("    actual: {a}");
+                break;
+            }
+        }
+        let (na, ng) = (actual.lines().count(), golden.lines().count());
+        if na != ng {
+            eprintln!("  line counts: golden {ng}, actual {na}");
+        }
+        eprintln!("  (regenerate with: cargo run -p simlint -- --fixtures > crates/simlint/tests/fixtures/golden.txt)");
+        return ExitCode::FAILURE;
+    }
+
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn print_help() {
+    println!(
+        "simlint — workspace determinism & simulation-safety analyzer (docs/LINTS.md)
+
+USAGE:
+    simlint [--workspace] [--json] [--root <path>]
+    simlint --fixtures [--json]      lint the fixture corpus (tests/fixtures)
+    simlint --fixtures --expect-golden   exit 0 iff corpus output == golden.txt
+    simlint --rules                  print the rule catalog
+
+Suppress a finding inline (reason mandatory):
+    // simlint: allow(rule-id) -- why this site is safe
+
+Exit codes: 0 clean, 1 findings, 2 usage/IO error."
+    );
+}

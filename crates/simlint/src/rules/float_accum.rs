@@ -1,0 +1,156 @@
+//! R4 `float-accum`: no `f32`/`f64` accumulation inside a loop over an
+//! unordered container.
+//!
+//! Float addition is not associative, so even when every element is
+//! visited, the *order* of a `HashMap` walk changes the rounded sum —
+//! results drift between runs while looking plausible. Unlike R1 this
+//! rule is workspace-wide (bench and stranding report float statistics
+//! too; a drifting Fig-2 number is still a bug), and it also catches
+//! `…values().sum::<f64>()` chains where no explicit loop exists.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::source::FileCtx;
+
+use super::{diag_at, float_idents, hash_idents, match_brace, match_seq};
+
+/// Iterator sources on a hash container that feed a fold.
+const ITER_SOURCES: &[&str] = &[
+    "iter",
+    "keys",
+    "values",
+    "into_iter",
+    "into_values",
+    "drain",
+];
+
+/// Folds whose float result depends on visit order.
+const FOLDS: &[&str] = &["sum", "product", "fold"];
+
+/// Runs the rule over one file.
+pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let hashes = hash_idents(ctx);
+    if hashes.is_empty() {
+        return;
+    }
+    let floats = float_idents(ctx);
+    for i in 0..ctx.sig.len() {
+        let Some(t) = ctx.sig_tok(i) else { break };
+        if !ctx.is_prod(t.start) {
+            continue;
+        }
+        // Pattern A: `for … in <hash>… { … fid += … }`.
+        if ctx.sig_text(i) == "for" && !floats.is_empty() {
+            let Some((body_open, over)) = for_loop_over_hash(ctx, i, &hashes) else {
+                continue;
+            };
+            let body_close = match_brace(ctx, body_open);
+            for j in body_open..body_close {
+                let name = ctx.sig_text(j);
+                if floats.contains(name) && is_compound_float_assign(ctx, j) {
+                    out.push(diag_at(
+                        ctx,
+                        j,
+                        "float-accum",
+                        format!(
+                            "float `{name}` accumulated inside a loop over hash-typed `{over}`: sum depends on iteration order"
+                        ),
+                    ));
+                }
+            }
+        }
+        // Pattern B: `<hash>.values()….sum::<f64>()` (or f32, or an
+        // explicit `fold`): an order-dependent float fold with no loop.
+        if ctx.sig_text(i) == "."
+            && ITER_SOURCES.contains(&ctx.sig_text(i + 1))
+            && ctx.sig_text(i + 2) == "("
+            && i >= 1
+            && hashes.contains(ctx.sig_text(i - 1))
+        {
+            // Scan the rest of the statement for a float fold,
+            // starting at the source call's `(` so its own `)` doesn't
+            // read as end-of-statement.
+            let mut j = i + 2;
+            let mut depth = 0i32;
+            while j < ctx.sig.len() {
+                match ctx.sig_text(j) {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    }
+                    ";" | "," if depth == 0 => break,
+                    f if FOLDS.contains(&f) && ctx.sig_text(j - 1) == "." => {
+                        let turbofish_float = match_seq(ctx, j + 1, &["::", "<"])
+                            .is_some_and(|k| matches!(ctx.sig_text(k), "f64" | "f32"));
+                        let float_fold =
+                            turbofish_float || (f == "fold" && fold_seed_is_float(ctx, j));
+                        if float_fold {
+                            out.push(diag_at(
+                                ctx,
+                                j,
+                                "float-accum",
+                                format!(
+                                    "float `{}` over hash-typed `{}`: result depends on iteration order",
+                                    f,
+                                    ctx.sig_text(i - 1),
+                                ),
+                            ));
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+    }
+}
+
+/// If sig index `i` starts a for-loop whose iterable mentions a
+/// hash-typed name, returns (sig index of the body `{`, that name).
+fn for_loop_over_hash(
+    ctx: &FileCtx,
+    i: usize,
+    hashes: &std::collections::BTreeSet<String>,
+) -> Option<(usize, String)> {
+    let mut j = i + 1;
+    let mut depth = 0i32;
+    let mut past_in = false;
+    let mut over: Option<String> = None;
+    while j < ctx.sig.len() {
+        match ctx.sig_text(j) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "in" if depth == 0 => past_in = true,
+            "{" if depth == 0 => {
+                return over.map(|o| (j, o));
+            }
+            ";" if depth == 0 => return None,
+            name if past_in && over.is_none() && hashes.contains(name) => {
+                over = Some(name.to_string());
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// True when the identifier at sig `j` is followed by `+=`, `-=`, or
+/// `*=` (two adjacent punct bytes).
+fn is_compound_float_assign(ctx: &FileCtx, j: usize) -> bool {
+    let (Some(a), Some(b)) = (ctx.sig_tok(j + 1), ctx.sig_tok(j + 2)) else {
+        return false;
+    };
+    let (at, bt) = (a.text(&ctx.src), b.text(&ctx.src));
+    matches!(at, "+" | "-" | "*") && bt == "=" && b.start == a.end() && a.kind == TokKind::Punct
+}
+
+/// For a `.fold(seed, …)` at sig `j` (`fold` token), true when the
+/// seed argument is a float literal.
+fn fold_seed_is_float(ctx: &FileCtx, j: usize) -> bool {
+    ctx.sig_text(j + 1) == "(" && super::is_float_literal(ctx.sig_text(j + 2))
+}

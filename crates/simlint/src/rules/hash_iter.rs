@@ -1,0 +1,108 @@
+//! R1 `hash-iter`: no iteration over `HashMap`/`HashSet` in
+//! simulation crates.
+//!
+//! `HashMap` iteration order depends on `RandomState`'s per-process
+//! seed; any simulation result derived from it varies run to run. The
+//! motivating bug (PR 4) charged interleaved link timelines in
+//! `Segment::spread`'s `HashMap` order, making capacity numbers
+//! unreproducible. Point lookups stay fine — only *iteration* is
+//! flagged. Use `BTreeMap`/`BTreeSet`, or collect-and-sort before the
+//! order becomes observable.
+
+use std::collections::BTreeSet;
+
+use crate::diag::Diagnostic;
+use crate::source::FileCtx;
+
+use super::{diag_at, hash_idents};
+
+/// Methods that observe iteration order (or visit entries in hash
+/// order, for `retain`). `len`/`get`/`contains_key` style point
+/// accesses are deliberately absent.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+    "retain_mut",
+];
+
+/// Runs the rule over one file.
+pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let table = hash_idents(ctx);
+    if table.is_empty() {
+        return;
+    }
+    // One finding per source line: the method-call and for-loop
+    // patterns can both fire on `for x in map.iter()`, and a line is
+    // also the suppression granularity.
+    let mut seen_lines = BTreeSet::new();
+    for i in 0..ctx.sig.len() {
+        let Some(t) = ctx.sig_tok(i) else { break };
+        if !ctx.is_sim_prod(t.start) {
+            continue;
+        }
+        // `name . iter_method (` with `name` hash-typed in this file.
+        if ctx.sig_text(i) == "."
+            && ITER_METHODS.contains(&ctx.sig_text(i + 1))
+            && ctx.sig_text(i + 2) == "("
+            && i >= 1
+            && table.contains(ctx.sig_text(i - 1))
+        {
+            if seen_lines.insert(t.line) {
+                out.push(diag_at(
+                    ctx,
+                    i - 1,
+                    "hash-iter",
+                    format!(
+                        "`{}.{}()` iterates a HashMap/HashSet in sim crate `{}`",
+                        ctx.sig_text(i - 1),
+                        ctx.sig_text(i + 1),
+                        ctx.crate_dir.as_deref().unwrap_or("?"),
+                    ),
+                ));
+            }
+            continue;
+        }
+        // `for pat in <expr mentioning a hash-typed name> {` — catches
+        // direct iteration (`for (k, v) in &self.map`), which has no
+        // method call to match on. Only names after the `in` keyword
+        // count; the loop pattern may legally reuse a table name.
+        if ctx.sig_text(i) == "for" {
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            let mut past_in = false;
+            while j < ctx.sig.len() {
+                match ctx.sig_text(j) {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "in" if depth == 0 => past_in = true,
+                    "{" | ";" if depth == 0 => break,
+                    name if past_in && table.contains(name) => {
+                        if seen_lines.insert(t.line) {
+                            out.push(diag_at(
+                                ctx,
+                                i,
+                                "hash-iter",
+                                format!(
+                                    "for-loop over hash-typed `{}` in sim crate `{}`",
+                                    name,
+                                    ctx.crate_dir.as_deref().unwrap_or("?"),
+                                ),
+                            ));
+                        }
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+    }
+}

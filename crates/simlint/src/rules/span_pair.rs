@@ -1,0 +1,98 @@
+//! R5 `span-pair`: trace-context discipline — every span-start-style
+//! call in a function body needs its matching end.
+//!
+//! The flight recorder (PR 3) attributes events to the top of a
+//! per-fabric `(op, kind)` context stack. A `push_ctx`/`trace_push`
+//! without its `pop_ctx`/`trace_pop` on every path doesn't crash — it
+//! silently mis-attributes every later span to the wrong op, which is
+//! worse. The rule counts start/end calls per function body and flags
+//! any imbalance. Functions *named* after a pair member (the
+//! primitives and the `Fabric::trace_push`-style forwarding shims) are
+//! exempt: they are the discipline's implementation, not a use site.
+
+use crate::diag::Diagnostic;
+use crate::source::FileCtx;
+
+use super::{diag_at, match_brace};
+
+/// (start, end) call-name pairs the discipline covers.
+const PAIRS: &[(&str, &str)] = &[("push_ctx", "pop_ctx"), ("trace_push", "trace_pop")];
+
+/// Runs the rule over one file.
+pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let mut i = 0;
+    while i < ctx.sig.len() {
+        if ctx.sig_text(i) != "fn" {
+            i += 1;
+            continue;
+        }
+        let Some(t) = ctx.sig_tok(i) else { break };
+        let name_idx = i + 1;
+        let fn_name = ctx.sig_text(name_idx).to_string();
+        // `fn(u64) -> u64` function-pointer *types* also start with the
+        // `fn` token; only named definitions have an ident next.
+        let is_def = ctx
+            .sig_tok(name_idx)
+            .is_some_and(|n| n.kind == crate::lexer::TokKind::Ident);
+        if !is_def || !ctx.is_sim_prod(t.start) {
+            i += 1;
+            continue;
+        }
+        // Find the body `{` (first brace at bracket-depth 0 after the
+        // signature; a `;` first means a trait method decl — skip).
+        let mut j = name_idx;
+        let mut depth = 0i32;
+        let body_open = loop {
+            if j >= ctx.sig.len() {
+                break None;
+            }
+            match ctx.sig_text(j) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => break Some(j),
+                ";" if depth == 0 => break None,
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(body_open) = body_open else {
+            i = name_idx;
+            continue;
+        };
+        let body_close = match_brace(ctx, body_open);
+        // A function that *is* a pair member defines the discipline.
+        let exempt = PAIRS.iter().any(|&(s, e)| fn_name == s || fn_name == e);
+        if !exempt {
+            for &(start_name, end_name) in PAIRS {
+                let starts = count_calls(ctx, body_open, body_close, start_name);
+                let ends = count_calls(ctx, body_open, body_close, end_name);
+                if starts != ends {
+                    out.push(diag_at(
+                        ctx,
+                        name_idx,
+                        "span-pair",
+                        format!(
+                            "fn `{fn_name}` calls `{start_name}` {starts}x but `{end_name}` {ends}x: a leaked trace context mis-attributes later events"
+                        ),
+                    ));
+                }
+            }
+        }
+        // Continue *inside* the body: nested fns are checked on their
+        // own `fn` token (their calls also count toward this body,
+        // which stays correct as long as each is balanced).
+        i = body_open + 1;
+    }
+}
+
+/// Counts `name(`-style calls in `(open, close)`, skipping nested fn
+/// definitions' *names* (`fn push_ctx` is a definition, not a call).
+fn count_calls(ctx: &FileCtx, open: usize, close: usize, name: &str) -> usize {
+    (open + 1..close)
+        .filter(|&k| {
+            ctx.sig_text(k) == name
+                && ctx.sig_text(k + 1) == "("
+                && (k == 0 || ctx.sig_text(k - 1) != "fn")
+        })
+        .count()
+}

@@ -1,0 +1,38 @@
+// simlint-fixture: path=crates/simkit/src/fixture.rs
+//! Known-bad R1 corpus: every iteration form over a hash container in
+//! a sim crate must be flagged. (Fixture files are never compiled.)
+
+use std::collections::{HashMap, HashSet};
+
+struct State {
+    by_host: HashMap<u64, u64>,
+    dirty: HashSet<u64>,
+}
+
+impl State {
+    fn sum_loads(&self) -> u64 {
+        let mut total = 0;
+        // Direct for-loop over a hash field: flagged at the `for`.
+        for (_, v) in &self.by_host {
+            total += v;
+        }
+        total
+    }
+
+    fn method_iteration(&mut self) -> Vec<u64> {
+        let mut out: Vec<u64> = self.by_host.values().copied().collect();
+        out.extend(self.dirty.iter().copied());
+        self.dirty.retain(|&k| k < 128);
+        out
+    }
+
+    fn local_binding() -> u64 {
+        let mut scratch = HashMap::new();
+        scratch.insert(1u64, 2u64);
+        let mut acc = 0;
+        for (_, v) in scratch.iter() {
+            acc += v;
+        }
+        acc
+    }
+}

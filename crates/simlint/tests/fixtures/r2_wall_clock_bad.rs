@@ -1,0 +1,24 @@
+// simlint-fixture: path=crates/workgen/src/fixture.rs
+//! Known-bad R2 corpus: host time and OS entropy in sim code.
+
+use std::time::{Instant, SystemTime};
+
+fn measure() -> u64 {
+    let t0 = Instant::now();
+    let _wall = SystemTime::now();
+    t0.elapsed().as_nanos() as u64
+}
+
+fn entropy() -> u64 {
+    let mut r = thread_rng();
+    r.next()
+}
+
+fn parallelism() {
+    let h = std::thread::spawn(|| 42);
+    let _ = h.join();
+}
+
+fn config_anywhere() -> bool {
+    std::env::var("NOT_A_SANCTIONED_KNOB").is_ok()
+}

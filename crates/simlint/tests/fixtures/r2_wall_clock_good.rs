@@ -1,0 +1,25 @@
+// simlint-fixture: path=crates/workgen/src/fixture_good.rs
+//! Known-good R2 corpus: simulated time, seeded RNG, a sanctioned
+//! (reason-suppressed) config read, and test-only wall-clock use.
+
+fn simulated_time(now: Nanos) -> Nanos {
+    now + Nanos(250)
+}
+
+fn seeded(rng: &mut Rng) -> u64 {
+    rng.next()
+}
+
+fn sanctioned_config() -> bool {
+    // simlint: allow(wall-clock) -- sanctioned config entry point for this fixture
+    std::env::var("CXL_FIXTURE").is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_wall_clock() {
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed().as_nanos() < u128::MAX);
+    }
+}

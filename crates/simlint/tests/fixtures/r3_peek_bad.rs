@@ -1,0 +1,21 @@
+// simlint-fixture: path=crates/core/src/fixture.rs
+//! Known-bad R3 corpus: the peek family outside tests.
+
+use cxl_fabric::Fabric;
+
+fn read_around_the_model(fabric: &mut Fabric, base: u64) -> [u8; 8] {
+    let mut buf = [0u8; 8];
+    fabric.peek(base, &mut buf);
+    buf
+}
+
+fn settle_and_read(fabric: &mut Fabric, base: u64) -> [u8; 8] {
+    let mut buf = [0u8; 8];
+    fabric.peek_settled(base, &mut buf);
+    buf
+}
+
+fn ufcs_call(fabric: &mut Fabric, base: u64) {
+    let mut buf = [0u8; 4];
+    Fabric::peek(fabric, base, &mut buf);
+}

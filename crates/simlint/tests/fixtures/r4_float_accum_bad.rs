@@ -1,0 +1,22 @@
+// simlint-fixture: path=crates/stranding/src/fixture.rs
+//! Known-bad R4 corpus: float accumulation over unordered containers.
+//! Lives in a *non-sim* crate on purpose: R4 is workspace-wide (a
+//! drifting Fig-2 statistic is still a bug), unlike R1.
+
+use std::collections::HashMap;
+
+fn mean_utilization(per_vm: &HashMap<u64, f64>) -> f64 {
+    let mut total: f64 = 0.0;
+    for (_, u) in per_vm {
+        total += u;
+    }
+    total / per_vm.len() as f64
+}
+
+fn chained_sum(per_vm: &HashMap<u64, f64>) -> f64 {
+    per_vm.values().sum::<f64>()
+}
+
+fn folded(per_vm: &HashMap<u64, f64>) -> f64 {
+    per_vm.values().fold(0.0, |a, b| a + b)
+}

@@ -1,0 +1,40 @@
+// simlint-fixture: path=crates/stranding/src/fixture_good.rs
+//! Known-good R4 corpus: integer accumulation over a hash container is
+//! order-independent; float accumulation over ordered containers is
+//! deterministic; sorting first makes the sum reproducible.
+
+use std::collections::{BTreeMap, HashMap};
+
+fn count_bytes(sizes: &HashMap<u64, u64>) -> u64 {
+    // Named `bytes`, not `total`: the float table is per-file and
+    // name-based, and `total` is float-typed elsewhere in this file.
+    let mut bytes: u64 = 0;
+    for (_, s) in sizes {
+        bytes += s;
+    }
+    bytes
+}
+
+fn ordered_mean(by_vm: &BTreeMap<u64, f64>) -> f64 {
+    // Named `by_vm`, not `per_vm`: the hash table is per-file and
+    // name-based, and `per_vm` is hash-typed in `sorted_then_summed`.
+    let mut total: f64 = 0.0;
+    for (_, u) in by_vm {
+        total += u;
+    }
+    total / by_vm.len() as f64
+}
+
+fn sorted_then_summed(per_vm: &HashMap<u64, f64>) -> f64 {
+    let mut vals: Vec<f64> = per_vm
+        // simlint: allow(hash-iter) -- not a sim crate; R1 does not apply here anyway
+        .values()
+        .copied()
+        .collect();
+    vals.sort_by(f64::total_cmp);
+    let mut total: f64 = 0.0;
+    for v in &vals {
+        total += v;
+    }
+    total
+}

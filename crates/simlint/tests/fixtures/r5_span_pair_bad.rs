@@ -1,0 +1,24 @@
+// simlint-fixture: path=crates/cxl-fabric/src/fixture_trace.rs
+//! Known-bad R5 corpus: unbalanced trace-context calls. A leaked
+//! context doesn't crash — it silently mis-attributes every later
+//! span, which is why the rule exists.
+
+struct Recorder;
+
+impl Recorder {
+    fn push_ctx(&mut self, _op: u32) {}
+    fn pop_ctx(&mut self) {}
+    fn trace_push(&mut self, _op: u32) {}
+    fn trace_pop(&mut self) {}
+}
+
+fn leaky_push(rec: &mut Recorder) {
+    rec.push_ctx(1);
+    // forgot rec.pop_ctx() — the context stays on the stack forever
+}
+
+fn double_push(rec: &mut Recorder) {
+    rec.trace_push(1);
+    rec.trace_push(2);
+    rec.trace_pop();
+}

@@ -1,0 +1,43 @@
+// simlint-fixture: path=crates/cxl-fabric/src/fixture_trace_good.rs
+//! Known-good R5 corpus: balanced pairs, exempt forwarding shims
+//! (functions *named* after a pair member implement the discipline),
+//! and bodyless trait method declarations.
+
+struct Recorder;
+
+impl Recorder {
+    fn push_ctx(&mut self, _op: u32) {}
+    fn pop_ctx(&mut self) {}
+}
+
+struct Fabric {
+    rec: Recorder,
+}
+
+impl Fabric {
+    /// Forwarding shim: named after the pair member, so exempt even
+    /// though its body is (correctly) one-sided.
+    fn trace_push(&mut self, op: u32) {
+        self.rec.push_ctx(op);
+    }
+
+    fn trace_pop(&mut self) {
+        self.rec.pop_ctx();
+    }
+
+    fn balanced(&mut self, op: u32) -> u64 {
+        self.trace_push(op);
+        let deadline = self.step();
+        self.trace_pop();
+        deadline
+    }
+
+    fn step(&mut self) -> u64 {
+        7
+    }
+}
+
+trait Traced {
+    /// Method declarations have no body to balance.
+    fn record(&mut self, op: u32);
+}

@@ -1,0 +1,32 @@
+// simlint-fixture: path=crates/net-sim/src/fixture.rs
+//! Known-bad suppression corpus: directives that don't meet the bar.
+//! A reasonless, misspelled, or empty `allow` does not suppress — the
+//! underlying finding leaks through AND the directive itself is
+//! flagged as `bad-suppression`.
+
+use std::collections::HashMap;
+
+struct Flows {
+    by_port: HashMap<u16, u64>,
+}
+
+impl Flows {
+    fn total(&self) -> u64 {
+        let mut n = 0;
+        // simlint: allow(hash-iter)
+        for (_, v) in &self.by_port {
+            n += v;
+        }
+        n
+    }
+
+    fn drain_zeroes(&mut self) {
+        // simlint: allow(hash-itr) -- typo in the rule id
+        self.by_port.retain(|_, v| *v > 0);
+    }
+
+    fn clear(&mut self) {
+        // simlint: allow() -- names no rule at all
+        self.by_port.retain(|_, v| *v == 0);
+    }
+}

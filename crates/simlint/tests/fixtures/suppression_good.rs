@@ -1,0 +1,30 @@
+// simlint-fixture: path=crates/net-sim/src/fixture_good.rs
+//! Known-good suppression corpus: reasoned directives in both the
+//! standalone (targets the next code line) and trailing (targets its
+//! own line) forms. Nothing leaks; everything lands in the
+//! `suppressed` count.
+
+use std::collections::HashMap;
+
+struct Flows {
+    by_port: HashMap<u16, u64>,
+}
+
+impl Flows {
+    fn ordered_report(&self) -> Vec<(u16, u64)> {
+        let mut rows: Vec<(u16, u64)> =
+            // simlint: allow(hash-iter) -- collected and sorted before order is observable
+            self.by_port.iter().map(|(&p, &n)| (p, n)).collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    fn prune(&mut self) {
+        self.by_port.retain(|_, n| *n > 0); // simlint: allow(hash-iter) -- predicate is pure; visit order unobservable
+    }
+}
+
+fn startup_knob() -> Option<String> {
+    // simlint: allow(wall-clock) -- sanctioned config entry point, read once at startup
+    std::env::var("NETSIM_FIXTURE").ok()
+}
