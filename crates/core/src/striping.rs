@@ -121,6 +121,7 @@ impl StripedVolume {
             let n = unit_left.min(blocks - cur);
             let buf = pod.io_buf(owner);
             let off = (cur * BLOCK) as usize;
+            // simlint: allow(unwrap-in-datapath) -- cur + n <= blocks and data.len() == blocks * BLOCK (validated at entry)
             let chunk = &data[off..off + (n * BLOCK) as usize];
             let now = pod.agents[owner.0 as usize].clock();
             let staged = pod.fabric.nt_store(now, owner, buf, chunk)?;
@@ -374,7 +375,9 @@ impl ReplicaSet {
         let mut buf = vec![0u8; COPY_CHUNK];
         while off < self.len {
             let n = ((self.len - off) as usize).min(COPY_CHUNK);
+            // simlint: allow(unwrap-in-datapath) -- n is min-clamped to COPY_CHUNK == buf.len()
             t = fabric.load(t, host, src.base + off, &mut buf[..n])?;
+            // simlint: allow(unwrap-in-datapath) -- n is min-clamped to COPY_CHUNK == buf.len()
             t = fabric.nt_store(t, host, seg.base() + off, &buf[..n])?;
             off += n as u64;
         }

@@ -644,6 +644,7 @@ impl Fabric {
             let la = line_of(cur);
             let n = ((la + CACHELINE).min(end) - cur) as usize;
             let off = (cur - hpa) as usize;
+            // simlint: allow(unwrap-in-datapath) -- off + n <= len == data.len() by the line-walk construction above
             if let Some(ev) = self.caches[host.0 as usize].store(cur, &data[off..off + n]) {
                 self.apply_eviction(now, host, ev);
             }
@@ -753,7 +754,7 @@ impl Fabric {
             a.on_invalidate(now, host, hpa, len);
         }
         self.sync_trace_audit();
-        let done = now + Nanos(INVALIDATE_NS * n);
+        let done = now + Nanos(INVALIDATE_NS) * n;
         self.trace_fabric_op(Track::HostCpu(host.0), "fabric/invalidate", now, done);
         done
     }

@@ -73,6 +73,7 @@ impl Mailbox {
         self.version += 1;
         let mut line = [0u8; 64];
         line[0..8].copy_from_slice(&self.version.to_le_bytes());
+        // simlint: allow(unwrap-in-datapath) -- value.len() <= MAILBOX_PAYLOAD asserted above; 8 + payload fits the line
         line[8..8 + value.len()].copy_from_slice(value);
         let done = fabric.nt_store(now, self.writer, self.addr, &line)?;
         if let Some(tr) = fabric.trace_mut() {

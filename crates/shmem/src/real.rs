@@ -122,6 +122,7 @@ impl RealSender {
         unsafe {
             let data = &mut *slot.data.get();
             data[0..2].copy_from_slice(&(payload.len() as u16).to_le_bytes());
+            // simlint: allow(unwrap-in-datapath) -- payload.len() <= SLOT_PAYLOAD asserted at try_send entry
             data[2..2 + payload.len()].copy_from_slice(payload);
         }
         // Publish: release pairs with the consumer's acquire.
@@ -157,6 +158,7 @@ impl RealReceiver {
         let out = unsafe {
             let data = &*slot.data.get();
             let len = u16::from_le_bytes([data[0], data[1]]) as usize;
+            // simlint: allow(unwrap-in-datapath) -- len is min-clamped to SLOT_PAYLOAD; 2 + SLOT_PAYLOAD == slot size
             data[2..2 + len.min(SLOT_PAYLOAD)].to_vec()
         };
         self.next = m + 1;

@@ -218,6 +218,7 @@ impl RingSender {
         let mut slot = [0u8; SLOT as usize];
         slot[0..8].copy_from_slice(&(m + 1).to_le_bytes());
         slot[8..10].copy_from_slice(&(payload.len() as u16).to_le_bytes());
+        // simlint: allow(unwrap-in-datapath) -- payload.len() <= SLOT_PAYLOAD asserted at send entry; header + payload fits SLOT
         slot[10..10 + payload.len()].copy_from_slice(payload);
         let done = fabric.nt_store(
             now + Nanos(SEND_CPU_NS),
@@ -266,6 +267,7 @@ impl RingReceiver {
             return Ok(PollOutcome::Empty(t));
         }
         let len = u16::from_le_bytes(slot[8..10].try_into().expect("2 bytes")) as usize;
+        // simlint: allow(unwrap-in-datapath) -- len is min-clamped to SLOT_PAYLOAD; 10 + SLOT_PAYLOAD == SLOT
         let data = slot[10..10 + len.min(SLOT_PAYLOAD)].to_vec();
         self.next = m + 1;
         let mut at = t;

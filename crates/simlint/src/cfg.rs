@@ -1,0 +1,395 @@
+//! Intra-procedural control-flow graphs over the parser's AST.
+//!
+//! A [`Cfg`] is a set of basic blocks, each holding the *ordered*
+//! significant-token segments that execute when the block runs, plus
+//! successor edges. The builder models exactly the control flow the
+//! parser structures: `if`/`else` chains and `match` arms fork and
+//! rejoin, loops get a head/back-edge/exit shape, and `?`, `return`,
+//! `break`, `continue` split their statement with early-exit edges —
+//! `?` keeps its fall-through edge (the `Ok` path) alongside the edge
+//! to the function exit.
+//!
+//! Precision notes, shared by every rule built on top:
+//!
+//! - `?`/`return`/`break`/`continue` are only honored at bracket depth
+//!   0 within a statement. Deeper occurrences are usually inside a
+//!   closure, where they do *not* exit the enclosing function —
+//!   treating them as exits would manufacture false early-return
+//!   paths, and a linter pays more for a false positive than for a
+//!   conservative miss.
+//! - `break`/`continue` target the innermost loop; labels are not
+//!   resolved. A labeled break out of a nested loop lands one loop too
+//!   early, which can only *merge* states that real execution keeps
+//!   apart — again the conservative direction.
+//! - Nested `fn` items contribute no tokens: their bodies do not run
+//!   when the enclosing function does. They get their own CFG from the
+//!   rule driver.
+
+use crate::parser::{ArmBody, Block as AstBlock, FnDef, SigRange, Stmt};
+use crate::source::FileCtx;
+
+/// One basic block.
+#[derive(Default)]
+pub struct Block {
+    /// Ordered significant-token ranges executed by this block.
+    pub segs: Vec<SigRange>,
+    /// Indices of successor blocks.
+    pub succs: Vec<usize>,
+}
+
+/// A function's control-flow graph.
+pub struct Cfg {
+    /// All blocks; `blocks[entry]` runs first.
+    pub blocks: Vec<Block>,
+    /// Entry block index (always 0).
+    pub entry: usize,
+    /// The synthetic exit block (no tokens, no successors). Every
+    /// `return`, `?`-error path, and normal fall-off-the-end edge
+    /// leads here.
+    pub exit: usize,
+}
+
+/// Builds the CFG for one function body.
+pub fn build(ctx: &FileCtx, def: &FnDef) -> Cfg {
+    let mut b = Builder {
+        ctx,
+        blocks: vec![Block::default(), Block::default()],
+        loops: Vec::new(),
+    };
+    let last = b.build_block(&def.body, ENTRY);
+    b.edge(last, EXIT);
+    Cfg {
+        blocks: b.blocks,
+        entry: ENTRY,
+        exit: EXIT,
+    }
+}
+
+const ENTRY: usize = 0;
+const EXIT: usize = 1;
+
+struct Builder<'a> {
+    ctx: &'a FileCtx,
+    blocks: Vec<Block>,
+    /// `(continue_target, break_target)` per enclosing loop, innermost
+    /// last.
+    loops: Vec<(usize, usize)>,
+}
+
+impl Builder<'_> {
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(Block::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    fn build_block(&mut self, ast: &AstBlock, mut cur: usize) -> usize {
+        for stmt in &ast.stmts {
+            cur = self.build_stmt(stmt, cur);
+        }
+        cur
+    }
+
+    fn build_stmt(&mut self, stmt: &Stmt, cur: usize) -> usize {
+        match stmt {
+            Stmt::Leaf(r) => self.emit_range(cur, r.clone()),
+            Stmt::If {
+                prefix,
+                arms,
+                else_block,
+                suffix,
+            } => {
+                let cur = self.emit_range(cur, prefix.clone());
+                let join = self.new_block();
+                // `false_from` is the block the not-taken edge leaves:
+                // each `else if` condition only runs after the previous
+                // condition evaluated false.
+                let mut false_from = cur;
+                for (i, (cond, blk)) in arms.iter().enumerate() {
+                    let test = if i == 0 {
+                        false_from
+                    } else {
+                        let t = self.new_block();
+                        self.edge(false_from, t);
+                        t
+                    };
+                    let test_end = self.emit_range(test, cond.clone());
+                    let then_entry = self.new_block();
+                    self.edge(test_end, then_entry);
+                    let then_exit = self.build_block(blk, then_entry);
+                    self.edge(then_exit, join);
+                    false_from = test_end;
+                }
+                match else_block {
+                    Some((_, eb)) => {
+                        let e_entry = self.new_block();
+                        self.edge(false_from, e_entry);
+                        let e_exit = self.build_block(eb, e_entry);
+                        self.edge(e_exit, join);
+                    }
+                    None => self.edge(false_from, join),
+                }
+                self.emit_range(join, suffix.clone())
+            }
+            Stmt::Match {
+                prefix,
+                head,
+                arms,
+                suffix,
+                ..
+            } => {
+                let cur = self.emit_range(cur, prefix.clone());
+                let cur = self.emit_range(cur, head.clone());
+                let join = self.new_block();
+                if arms.is_empty() {
+                    // `match never {}` — uninhabited scrutinee; treat
+                    // as fall-through so downstream code stays reachable.
+                    self.edge(cur, join);
+                }
+                for arm in arms {
+                    let entry = self.new_block();
+                    self.edge(cur, entry);
+                    // Guards execute; `?` in a guard is rare but legal.
+                    let after_pat = self.emit_range(entry, arm.pat.clone());
+                    let after_body = match &arm.body {
+                        ArmBody::Block(b) => self.build_block(b, after_pat),
+                        ArmBody::Expr(r) => self.emit_range(after_pat, r.clone()),
+                    };
+                    self.edge(after_body, join);
+                }
+                self.emit_range(join, suffix.clone())
+            }
+            Stmt::Loop { header, body } => {
+                let cur = self.emit_range(cur, header.clone());
+                let head = self.new_block();
+                self.edge(cur, head);
+                let after = self.new_block();
+                let body_entry = self.new_block();
+                self.edge(head, body_entry);
+                // `for`/`while` can exit at the head when the
+                // condition fails or the iterator is dry; a bare
+                // `loop` only leaves via `break` (or `?`/`return`
+                // inside).
+                let kw = header
+                    .clone()
+                    .map(|i| self.ctx.sig_text(i))
+                    .find(|t| matches!(*t, "for" | "while" | "loop"));
+                if kw != Some("loop") {
+                    self.edge(head, after);
+                }
+                self.loops.push((head, after));
+                let body_exit = self.build_block(body, body_entry);
+                self.loops.pop();
+                self.edge(body_exit, head);
+                after
+            }
+            Stmt::BlockStmt { prefix, block } => {
+                let cur = self.emit_range(cur, prefix.clone());
+                self.build_block(block, cur)
+            }
+            // A nested fn's body does not execute here.
+            Stmt::NestedFn(_) => cur,
+        }
+    }
+
+    /// Emits a token range into `cur`, splitting at early-exit tokens
+    /// (depth 0 only — see the module docs). Returns the block
+    /// execution continues in.
+    fn emit_range(&mut self, mut cur: usize, r: SigRange) -> usize {
+        let mut seg_start = r.start;
+        let mut depth = 0i32;
+        let mut i = r.start;
+        while i < r.end {
+            match self.ctx.sig_text(i) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "?" if depth == 0 && self.ctx.sig_text(i + 1) != "Sized" => {
+                    // Try operator: error path exits, Ok path falls
+                    // through into a fresh block.
+                    self.push_seg(cur, seg_start..i + 1);
+                    self.edge(cur, EXIT);
+                    let next = self.new_block();
+                    self.edge(cur, next);
+                    cur = next;
+                    seg_start = i + 1;
+                }
+                "return" if depth == 0 => {
+                    // The returned expression (rest of the statement)
+                    // still evaluates before the exit.
+                    self.push_seg(cur, seg_start..r.end);
+                    self.edge(cur, EXIT);
+                    return self.dead_block();
+                }
+                "break" | "continue" if depth == 0 => {
+                    let is_break = self.ctx.sig_text(i) == "break";
+                    self.push_seg(cur, seg_start..r.end);
+                    let target = match self.loops.last() {
+                        Some(&(cont, brk)) => {
+                            if is_break {
+                                brk
+                            } else {
+                                cont
+                            }
+                        }
+                        // `break` outside any loop the parser saw:
+                        // degrade to a function exit.
+                        None => EXIT,
+                    };
+                    self.edge(cur, target);
+                    return self.dead_block();
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        self.push_seg(cur, seg_start..r.end);
+        cur
+    }
+
+    fn push_seg(&mut self, block: usize, seg: SigRange) {
+        if !seg.is_empty() {
+            self.blocks[block].segs.push(seg);
+        }
+    }
+
+    /// A fresh block with no predecessors, for statically-unreachable
+    /// code after `return`/`break`/`continue`. Its states stay empty
+    /// in any dataflow, so nothing after an unconditional jump can
+    /// produce findings.
+    fn dead_block(&mut self) -> usize {
+        self.new_block()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{all_fns, parse_file};
+
+    fn cfg_of(src: &str) -> (FileCtx, Cfg) {
+        let ctx = FileCtx::new("crates/simkit/src/x.rs", src.to_string());
+        let ast = parse_file(&ctx);
+        let fns = all_fns(&ast);
+        assert_eq!(fns.len(), 1, "test source must hold exactly one fn");
+        let cfg = build(&ctx, fns[0]);
+        (ctx, cfg)
+    }
+
+    /// Collects the token texts along every acyclic path entry→exit.
+    fn paths(ctx: &FileCtx, cfg: &Cfg) -> Vec<Vec<String>> {
+        let mut out = Vec::new();
+        let mut stack = vec![(cfg.entry, Vec::new(), vec![false; cfg.blocks.len()])];
+        while let Some((b, mut toks, mut seen)) = stack.pop() {
+            if seen[b] {
+                continue;
+            }
+            seen[b] = true;
+            for seg in &cfg.blocks[b].segs {
+                for i in seg.clone() {
+                    toks.push(ctx.sig_text(i).to_string());
+                }
+            }
+            if b == cfg.exit {
+                out.push(toks);
+                continue;
+            }
+            for &s in &cfg.blocks[b].succs {
+                stack.push((s, toks.clone(), seen.clone()));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    fn has_path(ctx: &FileCtx, cfg: &Cfg, subseq: &[&str]) -> bool {
+        paths(ctx, cfg).iter().any(|p| {
+            let mut want = subseq.iter();
+            let mut next = want.next();
+            for t in p {
+                if Some(&t.as_str()) == next {
+                    next = want.next();
+                }
+            }
+            next.is_none()
+        })
+    }
+
+    #[test]
+    fn straight_line_is_one_path() {
+        let (ctx, cfg) = cfg_of("fn f() { a(); b(); }");
+        assert_eq!(paths(&ctx, &cfg).len(), 1);
+        assert!(has_path(&ctx, &cfg, &["a", "b"]));
+    }
+
+    #[test]
+    fn if_without_else_has_skip_path() {
+        let (ctx, cfg) = cfg_of("fn f(x: bool) { a(); if x { b(); } c(); }");
+        assert!(has_path(&ctx, &cfg, &["a", "b", "c"]));
+        // The skip path reaches c() without b().
+        assert!(paths(&ctx, &cfg)
+            .iter()
+            .any(|p| !p.contains(&"b".to_string()) && p.contains(&"c".to_string())));
+    }
+
+    #[test]
+    fn question_mark_forks_to_exit() {
+        let (ctx, cfg) = cfg_of("fn f() -> R { a(); b()?; c(); Ok(()) }");
+        // Ok path sees c; Err path ends right after b's `?`.
+        assert!(has_path(&ctx, &cfg, &["a", "b", "c"]));
+        assert!(paths(&ctx, &cfg)
+            .iter()
+            .any(|p| p.contains(&"b".to_string()) && !p.contains(&"c".to_string())));
+    }
+
+    #[test]
+    fn early_return_skips_the_rest() {
+        let (ctx, cfg) = cfg_of("fn f(x: bool) { a(); if x { return; } b(); }");
+        assert!(paths(&ctx, &cfg)
+            .iter()
+            .any(|p| p.contains(&"a".to_string()) && !p.contains(&"b".to_string())));
+        assert!(has_path(&ctx, &cfg, &["a", "b"]));
+    }
+
+    #[test]
+    fn match_arms_are_alternatives() {
+        let (ctx, cfg) =
+            cfg_of("fn f(x: u8) { pre(); match x { 0 => a(), _ => { b(); } } post(); }");
+        assert!(has_path(&ctx, &cfg, &["pre", "a", "post"]));
+        assert!(has_path(&ctx, &cfg, &["pre", "b", "post"]));
+        assert!(!has_path(&ctx, &cfg, &["a", "b"]));
+    }
+
+    #[test]
+    fn loop_body_may_be_skipped_and_break_exits() {
+        let (ctx, cfg) = cfg_of("fn f() { for i in it { a(); if d() { break; } } c(); }");
+        assert!(has_path(&ctx, &cfg, &["a", "c"]));
+        // Zero-iteration path.
+        assert!(paths(&ctx, &cfg)
+            .iter()
+            .any(|p| !p.contains(&"a".to_string()) && p.contains(&"c".to_string())));
+    }
+
+    #[test]
+    fn bare_loop_only_exits_via_break() {
+        let (ctx, cfg) = cfg_of("fn f() { loop { a(); if d() { break; } } c(); }");
+        // No path reaches c without running a at least once.
+        assert!(!paths(&ctx, &cfg)
+            .iter()
+            .any(|p| !p.contains(&"a".to_string()) && p.contains(&"c".to_string())));
+    }
+
+    #[test]
+    fn closure_question_mark_is_not_a_function_exit() {
+        let (ctx, cfg) = cfg_of("fn f() { a(); let g = it.map(|x| h(x)?); b(); }");
+        // Every path through f reaches b: the `?` belongs to the
+        // closure (bracket depth > 0), not to f.
+        assert!(paths(&ctx, &cfg)
+            .iter()
+            .all(|p| p.contains(&"b".to_string())));
+    }
+}

@@ -1,0 +1,128 @@
+//! A small ordered-effects dataflow engine over [`crate::cfg`].
+//!
+//! Rules model a protocol as a tiny abstract machine: a `Copy + Ord`
+//! state (an enum or a saturating counter) and a transfer function
+//! applied to every significant token a block executes, in order. The
+//! engine runs a classic worklist fixpoint computing the **set** of
+//! states that can reach each block's entry — path-sensitive up to
+//! state granularity: two paths only merge when they agree on the
+//! abstract state, so "flushed on the `if` arm but not the `else` arm"
+//! stays visible at the join.
+//!
+//! Termination is by construction: states only accumulate, and the
+//! state space is finite as long as rules keep it finite (saturate
+//! counters; the engine additionally caps the per-block set at
+//! [`MAX_STATES`] and collapses to the worst state beyond it, which no
+//! shipped rule ever reaches).
+
+use std::collections::BTreeSet;
+
+use crate::cfg::Cfg;
+
+/// Per-block state-set cap; see the module docs.
+pub const MAX_STATES: usize = 64;
+
+/// Runs the fixpoint. Returns, for each block, the set of states
+/// reaching its *entry*. `transfer` maps `(state, sig_index)` to the
+/// state after executing that token. Blocks unreachable from entry
+/// (code after `return`/`break`) end with empty sets and thus produce
+/// no findings.
+///
+/// The exit block has no tokens, so `states[cfg.exit]` is exactly the
+/// set of possible end-of-function states.
+pub fn analyze<S, F>(cfg: &Cfg, init: S, mut transfer: F) -> Vec<BTreeSet<S>>
+where
+    S: Copy + Ord,
+    F: FnMut(S, usize) -> S,
+{
+    let n = cfg.blocks.len();
+    let mut states: Vec<BTreeSet<S>> = vec![BTreeSet::new(); n];
+    states[cfg.entry].insert(init);
+    let mut work = vec![cfg.entry];
+    while let Some(b) = work.pop() {
+        // Push every entry state through the block's tokens.
+        let mut out = BTreeSet::new();
+        for &s0 in &states[b] {
+            out.insert(block_out(cfg, b, s0, &mut transfer));
+        }
+        for &succ in &cfg.blocks[b].succs {
+            let before = states[succ].len();
+            states[succ].extend(out.iter().copied());
+            if states[succ].len() > MAX_STATES {
+                // Collapse to the maximal (worst) state so analysis
+                // stays sound and finite even for pathological input.
+                let worst = *states[succ].iter().next_back().expect("nonempty");
+                states[succ].clear();
+                states[succ].insert(worst);
+            }
+            if states[succ].len() != before {
+                work.push(succ);
+            }
+        }
+    }
+    states
+}
+
+/// The state after running block `b` from entry state `s0` — the same
+/// walk the fixpoint does, exposed so rules can re-simulate a block to
+/// locate the exact token where a violation occurs.
+pub fn block_out<S, F>(cfg: &Cfg, b: usize, s0: S, transfer: &mut F) -> S
+where
+    S: Copy,
+    F: FnMut(S, usize) -> S,
+{
+    let mut s = s0;
+    for seg in &cfg.blocks[b].segs {
+        for i in seg.clone() {
+            s = transfer(s, i);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{all_fns, parse_file};
+    use crate::source::FileCtx;
+
+    /// A toy protocol: count `inc()` calls, saturating at 3.
+    fn run(src: &str) -> BTreeSet<u8> {
+        let ctx = FileCtx::new("crates/simkit/src/x.rs", src.to_string());
+        let ast = parse_file(&ctx);
+        let def = all_fns(&ast)[0];
+        let cfg = crate::cfg::build(&ctx, def);
+        let states = analyze(&cfg, 0u8, |s, i| {
+            if ctx.sig_text(i) == "inc" {
+                (s + 1).min(3)
+            } else {
+                s
+            }
+        });
+        states[cfg.exit].clone()
+    }
+
+    #[test]
+    fn branches_keep_distinct_states() {
+        let got = run("fn f(x: bool) { if x { inc(); } }");
+        assert_eq!(got, BTreeSet::from([0, 1]));
+    }
+
+    #[test]
+    fn loop_saturates_instead_of_diverging() {
+        let got = run("fn f() { loop { inc(); if d() { break; } } }");
+        assert_eq!(got, BTreeSet::from([1, 2, 3]));
+    }
+
+    #[test]
+    fn early_return_state_reaches_exit() {
+        let got = run("fn f(x: bool) { inc(); if x { return; } inc(); }");
+        assert_eq!(got, BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn question_mark_propagates_current_state() {
+        let got = run("fn f() -> R { inc(); g()?; inc(); Ok(()) }");
+        assert_eq!(got, BTreeSet::from([1, 2]));
+    }
+}

@@ -43,6 +43,21 @@ pub const RULES: &[RuleMeta] = &[
         motivation: "a leaked trace context attributes every later event to the wrong op (flight-recorder discipline, PR 3)",
     },
     RuleMeta {
+        id: "flush-before-publish",
+        summary: "a shared-segment `store` can reach a doorbell/ring publish without `flush`/`mark_sync_range` on some path",
+        motivation: "the write->flush->publish discipline is the whole coherence model; the vc auditor only catches the paths a seed executes",
+    },
+    RuleMeta {
+        id: "unwrap-in-datapath",
+        summary: "unwrap/expect/panic!/computed-range indexing in hot-path datapath code; propagate the error instead",
+        motivation: "fault injection (MHD outage, domain loss) must surface as Err values the orchestrator recovers from, not simulator aborts",
+    },
+    RuleMeta {
+        id: "sim-time-arith",
+        summary: "raw u64 nanosecond arithmetic (`Nanos(a - b)`, `.as_nanos() +`) that wraps silently in release builds",
+        motivation: "an out-of-order instant subtraction underflows to ~584 years and the scheduler will happily sleep for it",
+    },
+    RuleMeta {
         id: "policy-sync",
         summary: "clippy.toml disallowed-methods and simlint's fabric-peek method list have drifted",
         motivation: "the peek policy must live in one place; drift means one checker silently stopped covering a method",
@@ -51,6 +66,11 @@ pub const RULES: &[RuleMeta] = &[
         id: "bad-suppression",
         summary: "malformed simlint suppression: unknown rule id or missing `-- reason`",
         motivation: "a suppression without a reason is a policy hole nobody can review",
+    },
+    RuleMeta {
+        id: "unused-suppression",
+        summary: "a well-formed `allow` directive that no longer suppresses any finding",
+        motivation: "stale suppressions read as exemptions for code that stopped needing one; delete them so the policy stays reviewable",
     },
 ];
 
@@ -141,6 +161,46 @@ impl Report {
         );
         out
     }
+
+    /// GitHub Actions problem-matcher commands: one
+    /// `::warning file=…,line=…,col=…,title=…::…` line per finding, so
+    /// CI annotates the offending source lines in the diff view. The
+    /// human footer goes to the log as plain text.
+    pub fn render_github(&self) -> String {
+        let mut out = String::new();
+        for d in &self.findings {
+            let _ = writeln!(
+                out,
+                "::warning file={},line={},col={},title=simlint {}::{}",
+                gh_prop(&d.path),
+                d.line,
+                d.col,
+                gh_prop(d.rule),
+                gh_msg(&d.msg)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "simlint: {} finding(s), {} suppressed, {} file(s) checked",
+            self.findings.len(),
+            self.suppressed,
+            self.files
+        );
+        out
+    }
+}
+
+/// Escapes a workflow-command *message* (everything after `::`).
+fn gh_msg(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// Escapes a workflow-command *property* value (file, title): message
+/// escapes plus the property delimiters `:` and `,`.
+fn gh_prop(s: &str) -> String {
+    gh_msg(s).replace(':', "%3A").replace(',', "%2C")
 }
 
 /// Minimal JSON string escaping (the vendored serde_json parses this

@@ -9,9 +9,12 @@
 //!
 //! The tool is self-contained: a hand-rolled lexer ([`lexer`]) that
 //! handles comments, raw strings, char literals, and attributes
-//! exactly, a per-file rule catalog ([`rules`]), and a directory
-//! walker — no `cargo metadata`, no external dependencies, so it runs
-//! in the offline build environment.
+//! exactly, a recursive-descent statement parser ([`parser`]) feeding
+//! per-function control-flow graphs ([`cfg`]) and an ordered-effects
+//! dataflow engine ([`dataflow`]) for the flow-aware rules
+//! (flush-before-publish, span-pair), a per-file rule catalog
+//! ([`rules`]), and a directory walker — no `cargo metadata`, no
+//! external dependencies, so it runs in the offline build environment.
 //!
 //! The rule catalog and suppression syntax are documented in
 //! `docs/LINTS.md`. Findings are suppressed inline with
@@ -19,8 +22,11 @@
 
 #![warn(missing_docs)]
 
+pub mod cfg;
+pub mod dataflow;
 pub mod diag;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 pub mod source;
 
@@ -124,6 +130,23 @@ fn apply_suppressions(ctx: &FileCtx, raw: Vec<Diagnostic>) -> (Vec<Diagnostic>, 
                 msg: format!(
                     "allow({}) has no `-- reason`; a suppression must say why",
                     s.rules.join(", ")
+                ),
+            });
+        } else if !s.used {
+            // Well-formed, reasoned — and silenced nothing. Stale
+            // suppressions rot into policy holes: the next reader
+            // assumes the site is exempt when the rule simply moved
+            // on. Clippy's `#[warn(unused_attributes)]` analogue.
+            out.push(Diagnostic {
+                rule: "unused-suppression",
+                path: ctx.rel_path.clone(),
+                line: s.line,
+                col: s.col,
+                msg: format!(
+                    "allow({}) suppressed nothing on line {}; delete the directive \
+                     (or move it to the finding it was written for)",
+                    s.rules.join(", "),
+                    s.target_line
                 ),
             });
         }

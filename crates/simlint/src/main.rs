@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run -p simlint -- --workspace            # human output
 //! cargo run -p simlint -- --workspace --json     # machine output
+//! cargo run -p simlint -- --workspace --github   # GitHub Actions annotations
 //! cargo run -p simlint -- --fixtures             # lint the test corpus
 //! cargo run -p simlint -- --fixtures --expect-golden   # CI: corpus must match golden.txt
 //! cargo run -p simlint -- --rules                # print the catalog
@@ -17,6 +18,7 @@ use simlint::diag::RULES;
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut github = false;
     let mut mode_fixtures = false;
     let mut mode_rules = false;
     let mut expect_golden = false;
@@ -26,6 +28,7 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--workspace" => {}
             "--json" => json = true,
+            "--github" => github = true,
             "--fixtures" => mode_fixtures = true,
             "--expect-golden" => expect_golden = true,
             "--rules" => mode_rules = true,
@@ -124,6 +127,8 @@ fn main() -> ExitCode {
 
     if json {
         print!("{}", report.render_json());
+    } else if github {
+        print!("{}", report.render_github());
     } else {
         print!("{}", report.render_text());
     }
@@ -139,10 +144,14 @@ fn print_help() {
         "simlint — workspace determinism & simulation-safety analyzer (docs/LINTS.md)
 
 USAGE:
-    simlint [--workspace] [--json] [--root <path>]
+    simlint [--workspace] [--json] [--github] [--root <path>]
     simlint --fixtures [--json]      lint the fixture corpus (tests/fixtures)
     simlint --fixtures --expect-golden   exit 0 iff corpus output == golden.txt
     simlint --rules                  print the rule catalog
+
+Output:
+    --json      machine-readable report (schema simlint-v1)
+    --github    GitHub Actions `::warning file=…,line=…` annotations
 
 Suppress a finding inline (reason mandatory):
     // simlint: allow(rule-id) -- why this site is safe

@@ -1,0 +1,776 @@
+//! A recursive-descent statement parser over the significant-token
+//! view: the flow-aware layer's front end.
+//!
+//! The lexer guarantees rules never mistake string contents for code;
+//! this parser adds the next level of structure: per-function bodies
+//! broken into statements with their control shape (`if`/`else`
+//! chains, `match` arms, loops, bare/`unsafe` blocks) recovered, so
+//! the CFG builder ([`crate::cfg`]) can reason about *paths* instead
+//! of token counts.
+//!
+//! Deliberate coarseness, matching the lexer's philosophy:
+//!
+//! - Only **statement-initial** control flow is structured. An `if`
+//!   buried in an argument list, and closure bodies, are flattened
+//!   into the enclosing [`Stmt::Leaf`] — their tokens still appear, in
+//!   source order, so event extraction never misses a call; they just
+//!   lose branch precision. (`let x = if …`/`let x = match …`
+//!   initializers *are* structured: that shape carries most of the
+//!   datapath's early-return flow.)
+//! - No expression trees, no types, no name resolution. A leaf is a
+//!   significant-token range; rules pattern-match inside it exactly as
+//!   they did before the parser existed.
+//!
+//! The one hard guarantee, property-tested in `tests/parser_props.rs`:
+//! **the AST is a partition of the significant-token stream**. Walking
+//! a [`FileAst`] in order visits every significant token index exactly
+//! once — re-emitting their texts reproduces the lexer's view
+//! byte-exactly, so no token can ever be silently lost to a parse
+//! confusion.
+
+use crate::source::FileCtx;
+
+/// A parsed file: function items interleaved with runs of tokens the
+/// parser does not model (use declarations, struct/impl headers,
+/// consts, attributes).
+pub struct FileAst {
+    /// Items in source order.
+    pub items: Vec<Item>,
+}
+
+/// One top-level element of the token partition.
+pub enum Item {
+    /// A function definition with a parsed body.
+    Fn(FnDef),
+    /// Unmodeled tokens: a half-open significant-index range.
+    Tokens(SigRange),
+}
+
+/// A half-open range `[start, end)` of *significant-token* indices
+/// (indices into `FileCtx::sig`, not byte offsets).
+pub type SigRange = core::ops::Range<usize>;
+
+/// A function definition: `fn name … { body }` anywhere in the file
+/// (free, in an `impl`, in a trait with a default body, or nested).
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// Significant index of the name token (diagnostic anchor).
+    pub name_sig: usize,
+    /// Tokens from the `fn` keyword through the byte before the body
+    /// `{` (signature, generics, where clause).
+    pub sig_tokens: SigRange,
+    /// The parsed body.
+    pub body: Block,
+}
+
+/// A braced block: `{ stmts }`.
+pub struct Block {
+    /// Significant index of the opening `{`.
+    pub open: usize,
+    /// Significant index of the matching `}` (equal to `open` when the
+    /// source is truncated and no brace closes the block).
+    pub close: usize,
+    /// Statements in source order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement. Every variant records its full token extent via its
+/// fields; concatenating a statement's tokens in order reproduces the
+/// source slice it was parsed from.
+pub enum Stmt {
+    /// An unstructured statement: expression statement, `let` with a
+    /// non-control initializer, item the parser does not model. The
+    /// range includes the trailing `;` when present. May contain `?`,
+    /// `return`, `break`, `continue` tokens — the CFG builder splits
+    /// on those.
+    Leaf(SigRange),
+    /// `if cond { } else if cond { } else { }`, or the `let x = if …`
+    /// form. `prefix` covers tokens before the `if` keyword (empty for
+    /// a bare `if`; `let x =` for an initializer), `suffix` the
+    /// trailing `;` of the initializer form (possibly empty).
+    If {
+        /// Tokens before the `if` keyword (`let pat =`, or empty).
+        prefix: SigRange,
+        /// `(condition tokens, then-block)` for the `if` and each
+        /// `else if`, in source order. Condition ranges include their
+        /// leading `if`/`else if` keywords.
+        arms: Vec<(SigRange, Block)>,
+        /// The final `else { }` block, with the sig index of its
+        /// `else` keyword.
+        else_block: Option<(usize, Block)>,
+        /// Tokens after the construct (the `;` of an initializer
+        /// form), possibly empty.
+        suffix: SigRange,
+    },
+    /// `match scrutinee { arms }`, or `let x = match … { };`.
+    Match {
+        /// Tokens before the `match` keyword (possibly empty).
+        prefix: SigRange,
+        /// `match` keyword through the arm-list `{`, inclusive.
+        head: SigRange,
+        /// The arms.
+        arms: Vec<MatchArm>,
+        /// Significant index of the arm-list's closing `}` (equal to
+        /// the opening `{`'s index when the source is truncated).
+        close: usize,
+        /// Trailing tokens (`;` of an initializer form), possibly
+        /// empty.
+        suffix: SigRange,
+    },
+    /// `for`/`while`/`while let`/`loop` (optionally labeled). The
+    /// header covers everything before the body `{` (keyword, pattern,
+    /// iterable/condition, label).
+    Loop {
+        /// Header tokens (label, keyword, pattern, condition).
+        header: SigRange,
+        /// The loop body.
+        body: Block,
+    },
+    /// A bare `{ }` or `unsafe { }` block executed exactly once.
+    /// `prefix` covers the `unsafe` keyword when present.
+    BlockStmt {
+        /// Tokens before the `{` (`unsafe`, or empty).
+        prefix: SigRange,
+        /// The block.
+        block: Block,
+    },
+    /// A nested `fn` definition. Its body's events do not execute when
+    /// the enclosing function runs; the CFG builder skips it and the
+    /// rule engine visits it as its own function.
+    NestedFn(FnDef),
+}
+
+/// Parses a file into items. Never fails: any confusion degrades to
+/// [`Item::Tokens`] / [`Stmt::Leaf`] coverage, never to dropped
+/// tokens.
+pub fn parse_file(ctx: &FileCtx) -> FileAst {
+    let mut items = Vec::new();
+    let mut run_start = 0usize;
+    let mut i = 0usize;
+    let n = ctx.sig.len();
+    while i < n {
+        if let Some((def, end)) = try_parse_fn(ctx, i) {
+            if run_start < i {
+                items.push(Item::Tokens(run_start..i));
+            }
+            items.push(Item::Fn(def));
+            i = end;
+            run_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    if run_start < n {
+        items.push(Item::Tokens(run_start..n));
+    }
+    FileAst { items }
+}
+
+/// Attempts to parse a function definition starting at sig index `i`
+/// (which must hold the `fn` keyword). Returns the definition and the
+/// sig index one past its body's `}`. `fn` tokens that start a
+/// function-pointer *type* (no identifier follows) and bodyless trait
+/// method declarations return `None`.
+fn try_parse_fn(ctx: &FileCtx, i: usize) -> Option<(FnDef, usize)> {
+    if ctx.sig_text(i) != "fn" {
+        return None;
+    }
+    let name_sig = i + 1;
+    let name_tok = ctx.sig_tok(name_sig)?;
+    if name_tok.kind != crate::lexer::TokKind::Ident {
+        return None;
+    }
+    // Scan the signature for the body `{` at bracket depth 0; a `;`
+    // first is a bodyless declaration.
+    let mut j = name_sig + 1;
+    let mut depth = 0i32;
+    let body_open = loop {
+        match ctx.sig_text(j) {
+            "" => return None,
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => break j,
+            ";" if depth == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    };
+    let (body, end) = parse_block(ctx, body_open);
+    Some((
+        FnDef {
+            name: ctx.sig_text(name_sig).to_string(),
+            name_sig,
+            sig_tokens: i..body_open,
+            body,
+        },
+        end,
+    ))
+}
+
+/// Parses the block whose `{` sits at sig index `open`. Returns the
+/// block and the sig index one past its `}` (or one past the last
+/// token when unterminated).
+fn parse_block(ctx: &FileCtx, open: usize) -> (Block, usize) {
+    debug_assert_eq!(ctx.sig_text(open), "{");
+    let mut stmts = Vec::new();
+    let mut i = open + 1;
+    let n = ctx.sig.len();
+    while i < n && ctx.sig_text(i) != "}" {
+        let (stmt, next) = parse_stmt(ctx, i);
+        debug_assert!(next > i, "parser must make progress");
+        stmts.push(stmt);
+        i = next;
+    }
+    let close = if i < n { i } else { open };
+    let end = (i + 1).min(n);
+    (Block { open, close, stmts }, end)
+}
+
+/// Parses one statement starting at sig index `i` (not `}`). Returns
+/// the statement and the index one past it.
+fn parse_stmt(ctx: &FileCtx, i: usize) -> (Stmt, usize) {
+    match ctx.sig_text(i) {
+        "if" => parse_if(ctx, i, i),
+        "match" => parse_match(ctx, i, i),
+        "for" | "while" | "loop" => parse_loop(ctx, i, i),
+        "unsafe" if ctx.sig_text(i + 1) == "{" => {
+            let (block, end) = parse_block(ctx, i + 1);
+            (
+                Stmt::BlockStmt {
+                    prefix: i..i + 1,
+                    block,
+                },
+                end,
+            )
+        }
+        "{" => {
+            let (block, end) = parse_block(ctx, i);
+            (
+                Stmt::BlockStmt {
+                    prefix: i..i,
+                    block,
+                },
+                end,
+            )
+        }
+        "fn" => match try_parse_fn(ctx, i) {
+            Some((def, end)) => (Stmt::NestedFn(def), end),
+            None => parse_leaf(ctx, i),
+        },
+        // Labeled loop: `'label : loop { … }`.
+        _ if ctx
+            .sig_tok(i)
+            .is_some_and(|t| t.kind == crate::lexer::TokKind::Lifetime)
+            && ctx.sig_text(i + 1) == ":"
+            && matches!(ctx.sig_text(i + 2), "for" | "while" | "loop") =>
+        {
+            parse_loop(ctx, i, i + 2)
+        }
+        "let" => {
+            // `let pat = if|match … ;` — structure the initializer.
+            // Find the `=` at depth 0 before any `;`.
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            loop {
+                match ctx.sig_text(j) {
+                    "" | ";" => return parse_leaf(ctx, i),
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "=" if depth == 0
+                        && !matches!(ctx.sig_text(j + 1), "=")
+                        && !matches!(ctx.sig_text(j.wrapping_sub(1)), "=" | "!" | "<" | ">") =>
+                    {
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            match ctx.sig_text(j + 1) {
+                "if" => parse_if(ctx, i, j + 1),
+                "match" => parse_match(ctx, i, j + 1),
+                _ => parse_leaf(ctx, i),
+            }
+        }
+        _ => parse_leaf(ctx, i),
+    }
+}
+
+/// Parses a leaf statement: tokens through the first `;` at depth 0,
+/// or up to (not including) the enclosing block's `}`. Braces inside
+/// (closures, struct literals, inline `if` expressions) are consumed
+/// at depth.
+fn parse_leaf(ctx: &FileCtx, i: usize) -> (Stmt, usize) {
+    let mut j = i;
+    let mut depth = 0i32;
+    let n = ctx.sig.len();
+    while j < n {
+        match ctx.sig_text(j) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "}" => {
+                if depth == 0 {
+                    // Enclosing block ends; statement ends before it.
+                    return (Stmt::Leaf(i..j), j);
+                }
+                depth -= 1;
+            }
+            ";" if depth == 0 => {
+                return (Stmt::Leaf(i..j + 1), j + 1);
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (Stmt::Leaf(i..n), n)
+}
+
+/// Parses `if cond { } else if … { } else { }` with `if` at sig index
+/// `kw`; `start` is the statement's first token (covers the `let pat
+/// =` prefix of an initializer form).
+fn parse_if(ctx: &FileCtx, start: usize, kw: usize) -> (Stmt, usize) {
+    debug_assert_eq!(ctx.sig_text(kw), "if");
+    let mut arms = Vec::new();
+    let mut else_block = None;
+    let mut cursor = kw;
+    loop {
+        // `cursor` is at an `if`; condition runs to the `{` at depth 0.
+        let Some(body_open) = scan_to_brace(ctx, cursor + 1) else {
+            // Malformed; degrade to a leaf from the statement start.
+            return parse_leaf(ctx, start);
+        };
+        let (block, end) = parse_block(ctx, body_open);
+        arms.push((cursor..body_open, block));
+        cursor = end;
+        if ctx.sig_text(cursor) != "else" {
+            break;
+        }
+        if ctx.sig_text(cursor + 1) == "if" {
+            // Fold: the next arm's condition range starts at the
+            // `else` keyword so it covers both tokens.
+            continue;
+        }
+        if ctx.sig_text(cursor + 1) == "{" {
+            let (block, end) = parse_block(ctx, cursor + 1);
+            else_block = Some((cursor, block));
+            cursor = end;
+        }
+        break;
+    }
+    // Initializer form: consume the trailing `;`.
+    let suffix = if start < kw && ctx.sig_text(cursor) == ";" {
+        cursor += 1;
+        cursor - 1..cursor
+    } else {
+        cursor..cursor
+    };
+    (
+        Stmt::If {
+            prefix: start..kw,
+            arms,
+            else_block,
+            suffix,
+        },
+        cursor,
+    )
+}
+
+/// Parses `match scrutinee { arms }` with `match` at `kw`.
+fn parse_match(ctx: &FileCtx, start: usize, kw: usize) -> (Stmt, usize) {
+    debug_assert_eq!(ctx.sig_text(kw), "match");
+    let Some(body_open) = scan_to_brace(ctx, kw + 1) else {
+        return parse_leaf(ctx, start);
+    };
+    let mut arms = Vec::new();
+    let mut i = body_open + 1;
+    let n = ctx.sig.len();
+    while i < n && ctx.sig_text(i) != "}" {
+        let (arm, next) = parse_match_arm(ctx, i);
+        debug_assert!(next > i, "arm parser must make progress");
+        arms.push(arm);
+        i = next;
+    }
+    // Truncated source: no closing `}` token exists; fall back to the
+    // opener as a sentinel the walk skips (mirrors `Block::close`).
+    let close = if i < n { i } else { body_open };
+    let mut cursor = (i + 1).min(n);
+    let suffix = if start < kw && ctx.sig_text(cursor) == ";" {
+        cursor += 1;
+        cursor - 1..cursor
+    } else {
+        cursor..cursor
+    };
+    (
+        Stmt::Match {
+            prefix: start..kw,
+            head: kw..body_open + 1,
+            arms,
+            close,
+            suffix,
+        },
+        cursor,
+    )
+}
+
+/// One `pat [if guard] => body[,]` arm.
+pub struct MatchArm {
+    /// Pattern and guard tokens, through the `=>` inclusive.
+    pub pat: SigRange,
+    /// The arm's body.
+    pub body: ArmBody,
+    /// The trailing `,` when present (possibly empty range).
+    pub comma: SigRange,
+}
+
+/// A match arm's right-hand side.
+pub enum ArmBody {
+    /// `=> { … }` — a real block, parsed.
+    Block(Block),
+    /// `=> expr` — flattened tokens (a leaf).
+    Expr(SigRange),
+}
+
+/// Parses one match arm starting at `i`.
+fn parse_match_arm(ctx: &FileCtx, i: usize) -> (MatchArm, usize) {
+    let n = ctx.sig.len();
+    // Pattern (with optional guard) runs to `=>` at depth 0. `=>`
+    // lexes as `=` `>` adjacent.
+    let mut j = i;
+    let mut depth = 0i32;
+    let arrow = loop {
+        if j >= n {
+            break None;
+        }
+        match ctx.sig_text(j) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "=" if depth == 0 && ctx.sig_text(j + 1) == ">" && adjacent(ctx, j) => {
+                break Some(j);
+            }
+            _ => {}
+        }
+        j += 1;
+    };
+    let Some(arrow) = arrow else {
+        // Malformed arm: consume the rest of the arm list as one
+        // expression leaf so no token is dropped.
+        return (
+            MatchArm {
+                pat: i..i,
+                body: ArmBody::Expr(i..n),
+                comma: n..n,
+            },
+            n,
+        );
+    };
+    let pat = i..arrow + 2;
+    let body_start = arrow + 2;
+    if ctx.sig_text(body_start) == "{" {
+        let (block, end) = parse_block(ctx, body_start);
+        let comma = if ctx.sig_text(end) == "," {
+            end..end + 1
+        } else {
+            end..end
+        };
+        let next = comma.end;
+        return (
+            MatchArm {
+                pat,
+                body: ArmBody::Block(block),
+                comma,
+            },
+            next,
+        );
+    }
+    // Expression body: runs to `,` at depth 0 or the arm list's `}`.
+    let mut j = body_start;
+    let mut depth = 0i32;
+    while j < n {
+        match ctx.sig_text(j) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "}" => {
+                if depth == 0 {
+                    return (
+                        MatchArm {
+                            pat,
+                            body: ArmBody::Expr(body_start..j),
+                            comma: j..j,
+                        },
+                        j,
+                    );
+                }
+                depth -= 1;
+            }
+            "," if depth == 0 => {
+                return (
+                    MatchArm {
+                        pat,
+                        body: ArmBody::Expr(body_start..j),
+                        comma: j..j + 1,
+                    },
+                    j + 1,
+                );
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (
+        MatchArm {
+            pat,
+            body: ArmBody::Expr(body_start..n),
+            comma: n..n,
+        },
+        n,
+    )
+}
+
+/// Parses a `for`/`while`/`loop` with the keyword at `kw` (`start`
+/// covers a label prefix).
+fn parse_loop(ctx: &FileCtx, start: usize, kw: usize) -> (Stmt, usize) {
+    let Some(body_open) = scan_to_brace(ctx, kw + 1) else {
+        return parse_leaf(ctx, start);
+    };
+    let (body, end) = parse_block(ctx, body_open);
+    (
+        Stmt::Loop {
+            header: start..body_open,
+            body,
+        },
+        end,
+    )
+}
+
+/// Scans from `i` for a `{` at bracket depth 0 (the body opener of a
+/// condition/scrutinee/loop header). Returns `None` if a `;` or `}`
+/// intervenes at depth 0 or the input ends.
+fn scan_to_brace(ctx: &FileCtx, i: usize) -> Option<usize> {
+    let mut j = i;
+    let mut depth = 0i32;
+    let n = ctx.sig.len();
+    while j < n {
+        match ctx.sig_text(j) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => return Some(j),
+            ";" | "}" if depth == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// True when significant tokens `j` and `j + 1` touch (no bytes
+/// between them) — used to tell `=>` from `=` `>` and `+=` from
+/// `+` `=`.
+pub fn adjacent(ctx: &FileCtx, j: usize) -> bool {
+    match (ctx.sig_tok(j), ctx.sig_tok(j + 1)) {
+        (Some(a), Some(b)) => b.start == a.end(),
+        _ => false,
+    }
+}
+
+/// Appends every significant-token index covered by `b`, in source
+/// order, to `out` — the partition walk backing the round-trip
+/// property and the CFG builder's leaf extraction.
+pub fn walk_block(b: &Block, out: &mut Vec<usize>) {
+    out.push(b.open);
+    for s in &b.stmts {
+        walk_stmt(s, out);
+    }
+    if b.close > b.open {
+        out.push(b.close);
+    }
+}
+
+/// Appends `s`'s token indices in source order (see [`walk_block`]).
+pub fn walk_stmt(s: &Stmt, out: &mut Vec<usize>) {
+    match s {
+        Stmt::Leaf(r) => out.extend(r.clone()),
+        Stmt::If {
+            prefix,
+            arms,
+            else_block,
+            suffix,
+        } => {
+            out.extend(prefix.clone());
+            for (cond, block) in arms {
+                out.extend(cond.clone());
+                walk_block(block, out);
+            }
+            if let Some((kw, block)) = else_block {
+                out.push(*kw);
+                walk_block(block, out);
+            }
+            out.extend(suffix.clone());
+        }
+        Stmt::Match {
+            prefix,
+            head,
+            arms,
+            close,
+            suffix,
+        } => {
+            out.extend(prefix.clone());
+            out.extend(head.clone());
+            for arm in arms {
+                out.extend(arm.pat.clone());
+                match &arm.body {
+                    ArmBody::Block(b) => walk_block(b, out),
+                    ArmBody::Expr(r) => out.extend(r.clone()),
+                }
+                out.extend(arm.comma.clone());
+            }
+            if *close >= head.end {
+                out.push(*close);
+            }
+            out.extend(suffix.clone());
+        }
+        Stmt::Loop { header, body } => {
+            out.extend(header.clone());
+            walk_block(body, out);
+        }
+        Stmt::BlockStmt { prefix, block } => {
+            out.extend(prefix.clone());
+            walk_block(block, out);
+        }
+        Stmt::NestedFn(def) => {
+            out.extend(def.sig_tokens.clone());
+            walk_block(&def.body, out);
+        }
+    }
+}
+
+/// Every function definition in the file, outermost first, nested fns
+/// included.
+pub fn all_fns(ast: &FileAst) -> Vec<&FnDef> {
+    let mut out = Vec::new();
+    for item in &ast.items {
+        if let Item::Fn(def) = item {
+            collect_fns(def, &mut out);
+        }
+    }
+    out
+}
+
+fn collect_fns<'a>(def: &'a FnDef, out: &mut Vec<&'a FnDef>) {
+    out.push(def);
+    collect_nested_block(&def.body, out);
+}
+
+fn collect_nested_block<'a>(b: &'a Block, out: &mut Vec<&'a FnDef>) {
+    for s in &b.stmts {
+        match s {
+            Stmt::NestedFn(def) => collect_fns(def, out),
+            Stmt::If {
+                arms, else_block, ..
+            } => {
+                for (_, blk) in arms {
+                    collect_nested_block(blk, out);
+                }
+                if let Some((_, blk)) = else_block {
+                    collect_nested_block(blk, out);
+                }
+            }
+            Stmt::Match { arms, .. } => {
+                for arm in arms {
+                    if let ArmBody::Block(b) = &arm.body {
+                        collect_nested_block(b, out);
+                    }
+                }
+            }
+            Stmt::Loop { body, .. } => collect_nested_block(body, out),
+            Stmt::BlockStmt { block, .. } => collect_nested_block(block, out),
+            Stmt::Leaf(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(src: &str) -> FileCtx {
+        FileCtx::new("crates/simkit/src/x.rs", src.to_string())
+    }
+
+    /// The partition property, checked exhaustively for one source.
+    fn assert_partition(src: &str) {
+        let c = ctx(src);
+        let ast = parse_file(&c);
+        let mut seen = Vec::new();
+        for item in &ast.items {
+            match item {
+                Item::Tokens(r) => seen.extend(r.clone()),
+                Item::Fn(def) => {
+                    seen.extend(def.sig_tokens.clone());
+                    walk_block(&def.body, &mut seen);
+                }
+            }
+        }
+        let expect: Vec<usize> = (0..c.sig.len()).collect();
+        assert_eq!(seen, expect, "token partition broken for: {src}");
+    }
+
+    #[test]
+    fn partition_covers_plain_functions() {
+        assert_partition(
+            "use std::fmt;\nfn a() { let x = 1; }\nstruct S;\nfn b(y: u64) -> u64 { y + 1 }\n",
+        );
+    }
+
+    #[test]
+    fn partition_covers_control_flow() {
+        assert_partition(
+            "fn f(x: u64) -> u64 {\n  if x > 1 { g(); } else if x == 0 { h(); } else { k(); }\n  \
+             match x { 0 => a(), 1 => { b(); } _ => c(), }\n  for i in 0..x { d(i); }\n  \
+             while x > 0 { e(); }\n  'outer: loop { break 'outer; }\n  let y = if x > 2 { 1 } else { 2 };\n  \
+             let z = match x { 0 => 1, _ => 2 };\n  unsafe { p(); }\n  { q(); }\n  y + z\n}\n",
+        );
+    }
+
+    #[test]
+    fn partition_survives_truncation_and_weirdness() {
+        assert_partition("fn f() { if x { ");
+        assert_partition("fn f() { match x { Some(y) ");
+        assert_partition("fn f() { let x = |a| { a + 1 }; x(2); }");
+        assert_partition("impl S { fn m(&self) { self.0 += 1; } }\ntrait T { fn d(); fn e() {} }");
+        assert_partition("fn f() -> fn(u64) -> u64 { g }");
+        assert_partition("fn f() { let v = vec![Foo { a: 1 }]; }");
+    }
+
+    #[test]
+    fn fn_bodies_are_found_everywhere() {
+        let c = ctx("impl S { fn m() { fn nested() { x(); } nested(); } }\nfn free() {}\n");
+        let ast = parse_file(&c);
+        let names: Vec<&str> = all_fns(&ast).iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["m", "nested", "free"]);
+    }
+
+    #[test]
+    fn let_if_initializer_is_structured() {
+        let c = ctx("fn f() { let x = if a { b() } else { c() }; }");
+        let ast = parse_file(&c);
+        let fns = all_fns(&ast);
+        assert!(matches!(fns[0].body.stmts[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn comparison_in_let_is_not_an_assignment() {
+        // `let ok = a == if …` must not treat `==` as the initializer
+        // `=`; degrade to leaf is fine, structure is not required.
+        assert_partition("fn f() { let ok = a == b; }");
+        assert_partition("fn f() { let ok = a <= b; if ok { c(); } }");
+    }
+
+    #[test]
+    fn match_arm_guards_and_or_patterns() {
+        assert_partition(
+            "fn f(x: Option<u64>) {\n  match x {\n    Some(v) if v > 1 => big(v),\n    \
+             Some(0) | None => zero(),\n    _ => {}\n  }\n}\n",
+        );
+    }
+}

@@ -1,15 +1,24 @@
 //! The rule catalog. Each rule is a pure function over a [`FileCtx`]'s
 //! significant-token view; shared token-pattern helpers live here.
+//!
+//! Flow-aware rules additionally receive the file's parsed AST
+//! ([`crate::parser`]) and, per function, a CFG ([`crate::cfg`]) via
+//! [`lint_fns`].
 
 use std::collections::BTreeSet;
 
+use crate::cfg::Cfg;
 use crate::diag::Diagnostic;
+use crate::parser::{FileAst, FnDef};
 use crate::source::FileCtx;
 
 pub mod float_accum;
+pub mod flush_publish;
 pub mod hash_iter;
 pub mod peek;
 pub mod span_pair;
+pub mod time_arith;
+pub mod unwrap_datapath;
 pub mod wall_clock;
 
 /// Runs every per-file rule over one file.
@@ -18,7 +27,49 @@ pub fn check_file(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
     wall_clock::check(ctx, out);
     peek::check(ctx, out);
     float_accum::check(ctx, out);
-    span_pair::check(ctx, out);
+    let ast = crate::parser::parse_file(ctx);
+    span_pair::check(ctx, &ast, out);
+    flush_publish::check(ctx, &ast, out);
+    unwrap_datapath::check(ctx, &ast, out);
+    time_arith::check(ctx, &ast, out);
+}
+
+/// Drives a flow-aware rule: visits every function definition whose
+/// production code is in a simulation crate (test regions skipped),
+/// building its CFG once, and hands `(ctx, def, cfg, out)` to the
+/// rule body.
+pub fn lint_fns(
+    ctx: &FileCtx,
+    ast: &FileAst,
+    out: &mut Vec<Diagnostic>,
+    mut f: impl FnMut(&FileCtx, &FnDef, &Cfg, &mut Vec<Diagnostic>),
+) {
+    for def in crate::parser::all_fns(ast) {
+        let Some(name_tok) = ctx.sig_tok(def.name_sig) else {
+            continue;
+        };
+        if !ctx.is_sim_prod(name_tok.start) {
+            continue;
+        }
+        let cfg = crate::cfg::build(ctx, def);
+        f(ctx, def, &cfg, out);
+    }
+}
+
+/// True when the significant token at `i` is used as a call: followed
+/// by `(` and not a definition name (preceded by `fn`). Covers both
+/// method (`.name(`) and free/UFCS (`name(`, `Path::name(`) forms.
+pub fn is_call(ctx: &FileCtx, i: usize) -> bool {
+    ctx.sig_text(i + 1) == "(" && (i == 0 || ctx.sig_text(i - 1) != "fn")
+}
+
+/// True when significant tokens `i` and `i + 1` touch byte-wise (used
+/// to tell `..` and `name!` from separated punctuation).
+pub fn adjacent_sig(ctx: &FileCtx, i: usize) -> bool {
+    match (ctx.sig_tok(i), ctx.sig_tok(i + 1)) {
+        (Some(a), Some(b)) => b.start == a.end(),
+        _ => false,
+    }
 }
 
 /// Emits a diagnostic anchored at significant-token `i`.

@@ -1,98 +1,94 @@
 //! R5 `span-pair`: trace-context discipline — every span-start-style
-//! call in a function body needs its matching end.
+//! call needs its matching end *on every path*, checked on the CFG.
 //!
 //! The flight recorder (PR 3) attributes events to the top of a
 //! per-fabric `(op, kind)` context stack. A `push_ctx`/`trace_push`
-//! without its `pop_ctx`/`trace_pop` on every path doesn't crash — it
-//! silently mis-attributes every later span to the wrong op, which is
-//! worse. The rule counts start/end calls per function body and flags
-//! any imbalance. Functions *named* after a pair member (the
-//! primitives and the `Fabric::trace_push`-style forwarding shims) are
-//! exempt: they are the discipline's implementation, not a use site.
+//! without its `pop_ctx`/`trace_pop` doesn't crash — it silently
+//! mis-attributes every later span to the wrong op, which is worse.
+//!
+//! v1 counted calls per body, so `push(); f()?; pop();` passed (counts
+//! balance) while leaking the context on every error return. v2 runs a
+//! per-pair depth counter through the dataflow engine: any state at
+//! the function exit with depth > 0 is a leak on some concrete path
+//! (early `return`, `?`, `break`), and a pop in the depth-0 state is
+//! an underflow. Functions *named* after a pair member (the primitives
+//! and the `Fabric::trace_push`-style forwarding shims) stay exempt:
+//! they are the discipline's implementation, not a use site.
 
 use crate::diag::Diagnostic;
+use crate::parser::FileAst;
 use crate::source::FileCtx;
 
-use super::{diag_at, match_brace};
+use super::{diag_at, is_call, lint_fns};
 
 /// (start, end) call-name pairs the discipline covers.
 const PAIRS: &[(&str, &str)] = &[("push_ctx", "pop_ctx"), ("trace_push", "trace_pop")];
 
-/// Runs the rule over one file.
-pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
-    let mut i = 0;
-    while i < ctx.sig.len() {
-        if ctx.sig_text(i) != "fn" {
-            i += 1;
-            continue;
-        }
-        let Some(t) = ctx.sig_tok(i) else { break };
-        let name_idx = i + 1;
-        let fn_name = ctx.sig_text(name_idx).to_string();
-        // `fn(u64) -> u64` function-pointer *types* also start with the
-        // `fn` token; only named definitions have an ident next.
-        let is_def = ctx
-            .sig_tok(name_idx)
-            .is_some_and(|n| n.kind == crate::lexer::TokKind::Ident);
-        if !is_def || !ctx.is_sim_prod(t.start) {
-            i += 1;
-            continue;
-        }
-        // Find the body `{` (first brace at bracket-depth 0 after the
-        // signature; a `;` first means a trait method decl — skip).
-        let mut j = name_idx;
-        let mut depth = 0i32;
-        let body_open = loop {
-            if j >= ctx.sig.len() {
-                break None;
-            }
-            match ctx.sig_text(j) {
-                "(" | "[" => depth += 1,
-                ")" | "]" => depth -= 1,
-                "{" if depth == 0 => break Some(j),
-                ";" if depth == 0 => break None,
-                _ => {}
-            }
-            j += 1;
-        };
-        let Some(body_open) = body_open else {
-            i = name_idx;
-            continue;
-        };
-        let body_close = match_brace(ctx, body_open);
-        // A function that *is* a pair member defines the discipline.
-        let exempt = PAIRS.iter().any(|&(s, e)| fn_name == s || fn_name == e);
-        if !exempt {
-            for &(start_name, end_name) in PAIRS {
-                let starts = count_calls(ctx, body_open, body_close, start_name);
-                let ends = count_calls(ctx, body_open, body_close, end_name);
-                if starts != ends {
-                    out.push(diag_at(
-                        ctx,
-                        name_idx,
-                        "span-pair",
-                        format!(
-                            "fn `{fn_name}` calls `{start_name}` {starts}x but `{end_name}` {ends}x: a leaked trace context mis-attributes later events"
-                        ),
-                    ));
-                }
-            }
-        }
-        // Continue *inside* the body: nested fns are checked on their
-        // own `fn` token (their calls also count toward this body,
-        // which stays correct as long as each is balanced).
-        i = body_open + 1;
-    }
-}
+/// Nesting-depth saturation cap: deeper literal nesting than this
+/// collapses, which can only under-report depth, never invent a leak.
+const CAP: i8 = 4;
 
-/// Counts `name(`-style calls in `(open, close)`, skipping nested fn
-/// definitions' *names* (`fn push_ctx` is a definition, not a call).
-fn count_calls(ctx: &FileCtx, open: usize, close: usize, name: &str) -> usize {
-    (open + 1..close)
-        .filter(|&k| {
-            ctx.sig_text(k) == name
-                && ctx.sig_text(k + 1) == "("
-                && (k == 0 || ctx.sig_text(k - 1) != "fn")
-        })
-        .count()
+/// Depth state: `-1` is sticky pop-underflow, `0..=CAP` is the number
+/// of open spans.
+type Depth = i8;
+
+/// Runs the rule over one file.
+pub fn check(ctx: &FileCtx, ast: &FileAst, out: &mut Vec<Diagnostic>) {
+    lint_fns(ctx, ast, out, |ctx, def, cfg, out| {
+        // A function that *is* a pair member defines the discipline.
+        if PAIRS.iter().any(|&(s, e)| def.name == s || def.name == e) {
+            return;
+        }
+        for &(start_name, end_name) in PAIRS {
+            let transfer = |d: Depth, i: usize| -> Depth {
+                if d < 0 || !is_call(ctx, i) {
+                    return d;
+                }
+                let t = ctx.sig_text(i);
+                if t == start_name {
+                    (d + 1).min(CAP)
+                } else if t == end_name {
+                    if d == 0 {
+                        -1
+                    } else {
+                        d - 1
+                    }
+                } else {
+                    d
+                }
+            };
+            let states = crate::dataflow::analyze(cfg, 0 as Depth, transfer);
+            let at_exit = &states[cfg.exit];
+            // Only speak up for functions that use the pair at all —
+            // `states` is {0} everywhere otherwise.
+            if at_exit.iter().all(|&d| d == 0) {
+                continue;
+            }
+            if let Some(&leak) = at_exit.iter().find(|&&d| d > 0) {
+                out.push(diag_at(
+                    ctx,
+                    def.name_sig,
+                    "span-pair",
+                    format!(
+                        "fn `{}` can exit with {leak} unmatched `{start_name}` \
+                         (early return/`?`/break path skips `{end_name}`): the leaked \
+                         trace context mis-attributes later events",
+                        def.name
+                    ),
+                ));
+            }
+            if at_exit.contains(&-1) {
+                out.push(diag_at(
+                    ctx,
+                    def.name_sig,
+                    "span-pair",
+                    format!(
+                        "fn `{}` can call `{end_name}` without a matching `{start_name}` \
+                         on some path: popping an empty trace-context stack",
+                        def.name
+                    ),
+                ));
+            }
+        }
+    });
 }

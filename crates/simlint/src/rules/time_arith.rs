@@ -1,0 +1,211 @@
+//! R10 `sim-time-arith`: raw `u64` nanosecond arithmetic that can wrap.
+//!
+//! `Nanos` is a plain `u64` newtype; its `Add`/`Sub`/`Mul` impls wrap
+//! silently in release builds (debug builds panic). 584 years of
+//! simulated time makes *absolute* overflow unlikely — but `Nanos::MAX`
+//! is used as "run to completion", deadlines get added to `now`, and a
+//! subtraction of two instants in the wrong order underflows to ~584
+//! years, which a scheduler will happily sleep for. The safe forms are
+//! `saturating_sub`/`checked_add`, or arithmetic on whole `Nanos`
+//! values where a typo can't mix units.
+//!
+//! What fires, in sim-crate production code:
+//!
+//! - `x.as_nanos() + y` / `x - y.as_nanos()` / `… * …`: unwrapping to
+//!   raw `u64` just to do arithmetic loses the newtype's (debug)
+//!   overflow check and its unit discipline.
+//! - `-`, `+`, `*` on *computed* operands directly inside a
+//!   `Nanos(…)` constructor: `Nanos(a - b)` wraps on disorder, and
+//!   `Nanos(rate * n)` wraps on large products. Literal-involving
+//!   forms (`Nanos(us * 1_000)`, the unit constructors) stay legal —
+//!   the literal bounds one factor, and the idiom is pervasive and
+//!   readable. A `.0`-projection operand (`Nanos(a.0 + b.0)`) counts
+//!   as computed.
+//!
+//! Functions named after arithmetic-operator impls (`add`, `sub`,
+//! `mul`, …) are exempt: the `Nanos` operator impls *are* the wrapping
+//! semantics this rule steers call sites toward, and they carry the
+//! debug-overflow check centrally.
+
+use crate::diag::Diagnostic;
+use crate::parser::FileAst;
+use crate::source::FileCtx;
+
+use super::{adjacent_sig, diag_at, lint_fns};
+
+/// Operator-impl method names whose bodies legitimately do raw
+/// arithmetic on the newtype's field.
+const OPERATOR_FNS: &[&str] = &[
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "rem",
+    "neg",
+    "add_assign",
+    "sub_assign",
+    "mul_assign",
+    "div_assign",
+    "saturating_add",
+    "saturating_sub",
+    "checked_add",
+    "checked_sub",
+    "checked_mul",
+];
+
+/// Runs the rule over one file.
+pub fn check(ctx: &FileCtx, ast: &FileAst, out: &mut Vec<Diagnostic>) {
+    lint_fns(ctx, ast, out, |ctx, def, _cfg, out| {
+        if OPERATOR_FNS.contains(&def.name.as_str()) {
+            return;
+        }
+        scan(ctx, def.body.open + 1, def.body.close, out);
+    });
+}
+
+/// Scans sig range `[from, to)` for both patterns.
+fn scan(ctx: &FileCtx, from: usize, to: usize, out: &mut Vec<Diagnostic>) {
+    for i in from..to {
+        // Pattern 1: `as_nanos ( )` with an arithmetic operator
+        // directly before the receiver chain or after the call.
+        if ctx.sig_text(i) == "as_nanos" && ctx.sig_text(i + 1) == "(" && ctx.sig_text(i + 2) == ")"
+        {
+            let arith_after = is_binary_arith(ctx, i + 3);
+            let before = receiver_start(ctx, i);
+            let arith_before = before > 0 && is_binary_arith(ctx, before - 1);
+            if arith_after || arith_before {
+                out.push(diag_at(
+                    ctx,
+                    i,
+                    "sim-time-arith",
+                    "arithmetic on `.as_nanos()` output wraps silently in release; \
+                     keep the values as `Nanos` (or use checked/saturating helpers)"
+                        .to_string(),
+                ));
+            }
+        }
+        // Pattern 2: computed arithmetic at depth 1 inside `Nanos(…)`.
+        if ctx.sig_text(i) == "Nanos" && ctx.sig_text(i + 1) == "(" && ctx.sig_text(i - 1) != "fn" {
+            scan_nanos_ctor(ctx, i, out);
+        }
+    }
+}
+
+/// Checks the parenthesized argument of the `Nanos` token at `i`.
+fn scan_nanos_ctor(ctx: &FileCtx, i: usize, out: &mut Vec<Diagnostic>) {
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    while j < ctx.sig.len() {
+        match ctx.sig_text(j) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            }
+            op @ ("-" | "+" | "*") if depth == 1 && is_binary_arith(ctx, j) => {
+                // `-` always wraps on disorder; `+`/`*` are tolerated
+                // when a literal operand bounds the expression (unit
+                // constructors like `Nanos(us * 1_000)`).
+                let fires =
+                    op == "-" || !(literal_operand(ctx, j - 1) || literal_operand(ctx, j + 1));
+                if fires {
+                    out.push(diag_at(
+                        ctx,
+                        j,
+                        "sim-time-arith",
+                        format!(
+                            "raw `u64` `{op}` inside `Nanos(…)` wraps silently in release; \
+                             use `Nanos` operator/checked/saturating forms on whole values"
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+}
+
+/// True when the token at `j` is a binary arithmetic operator: the
+/// previous token must end a value (ident, literal, `)`, `]`, `.0`
+/// projection), ruling out unary minus/deref and `*const` pointers.
+fn is_binary_arith(ctx: &FileCtx, j: usize) -> bool {
+    if !matches!(ctx.sig_text(j), "-" | "+" | "*") {
+        return false;
+    }
+    // `+=`/`-=`/`*=` and `->` are different tokensets: `-` followed
+    // adjacently by `=`/`>` is not binary arithmetic.
+    if matches!(ctx.sig_text(j + 1), "=" | ">") && adjacent_sig(ctx, j) {
+        return false;
+    }
+    if j == 0 {
+        return false;
+    }
+    let prev = ctx.sig_tok(j - 1);
+    match ctx.sig_text(j - 1) {
+        ")" | "]" => true,
+        _ => prev.is_some_and(|t| {
+            matches!(
+                t.kind,
+                crate::lexer::TokKind::Ident | crate::lexer::TokKind::Num
+            )
+        }),
+    }
+}
+
+/// True when the operand *token* at `k` is a plain numeric literal —
+/// not a `.0` field projection (`a.0` ends in a Num token but is a
+/// computed value).
+fn literal_operand(ctx: &FileCtx, k: usize) -> bool {
+    ctx.sig_tok(k)
+        .is_some_and(|t| t.kind == crate::lexer::TokKind::Num)
+        && ctx.sig_text(k.wrapping_sub(1)) != "."
+}
+
+/// Walks back from the `as_nanos` token over its `.`-chained receiver
+/// (`self.dur.as_nanos` → index of `self`). Returns the sig index the
+/// receiver starts at.
+fn receiver_start(ctx: &FileCtx, mut i: usize) -> usize {
+    // `i` is at `as_nanos`; step over `.` ident pairs going left.
+    while i >= 2 && ctx.sig_text(i - 1) == "." {
+        let recv = i - 2;
+        let t = ctx.sig_text(recv);
+        if t == ")" || t == "]" {
+            // Call/index receiver: skip the bracketed group.
+            let close = recv;
+            let mut depth = 0i32;
+            let mut k = close;
+            loop {
+                match ctx.sig_text(k) {
+                    ")" | "]" | "}" => depth += 1,
+                    "(" | "[" | "{" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if k == 0 {
+                    break;
+                }
+                k -= 1;
+            }
+            // Possible call: `name(...)` — include the callee name.
+            if k >= 1
+                && ctx
+                    .sig_tok(k - 1)
+                    .is_some_and(|t| t.kind == crate::lexer::TokKind::Ident)
+            {
+                i = k - 1;
+            } else {
+                i = k;
+            }
+        } else {
+            i = recv;
+        }
+    }
+    i
+}

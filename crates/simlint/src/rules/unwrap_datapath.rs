@@ -1,0 +1,157 @@
+//! R9 `unwrap-in-datapath`: no panic-on-`Err` shortcuts in hot-path
+//! production code.
+//!
+//! The fabric primitives return `Result` precisely so fault injection
+//! (MHD outage, domain loss, ring exhaustion) can propagate as values
+//! the orchestrator recovers from. An `unwrap()`/`expect()`/`panic!`
+//! in a hot path converts an *injected* fault into a simulator abort —
+//! the capacity search (PR 4) and failover tests depend on those
+//! errors surviving to the caller. Slice-indexing with a computed
+//! range is the same bug with a worse message.
+//!
+//! Scope: production code of the datapath crates (`cxl-fabric`,
+//! `pcie-sim`, `shmem`, `core`), and only in **hot** functions — those
+//! whose body touches a fabric primitive (`load`/`store`/`nt_store`/
+//! `flush`/`invalidate`/`dma_read`/`dma_write`/`ring_doorbell`).
+//! Cold-path constructors and config validation may assert freely.
+//!
+//! Auto-exempt: `try_into().expect(…)` — the infallible fixed-width
+//! slice-to-array idiom — and ranges whose bounds are all literal
+//! (`&slot[0..8]` cannot drift out of bounds at runtime).
+
+use crate::diag::Diagnostic;
+use crate::parser::{FileAst, FnDef};
+use crate::source::FileCtx;
+
+use super::{diag_at, is_call, lint_fns};
+
+/// Crates whose production code carries the shared-memory datapath.
+const DATAPATH_CRATES: &[&str] = &["cxl-fabric", "pcie-sim", "shmem", "core"];
+
+/// A call to any of these marks the enclosing function as hot.
+const HOT_OPS: &[&str] = &[
+    "load",
+    "store",
+    "nt_store",
+    "flush",
+    "invalidate",
+    "dma_read",
+    "dma_write",
+    "ring_doorbell",
+];
+
+/// Runs the rule over one file.
+pub fn check(ctx: &FileCtx, ast: &FileAst, out: &mut Vec<Diagnostic>) {
+    let in_scope = ctx
+        .crate_dir
+        .as_deref()
+        .is_some_and(|d| DATAPATH_CRATES.contains(&d));
+    if !in_scope {
+        return;
+    }
+    // Findings dedupe by anchor token: a nested hot fn inside a hot fn
+    // would otherwise report its sites twice.
+    let mut hits = std::collections::BTreeSet::new();
+    lint_fns(ctx, ast, out, |ctx, def, _cfg, _out| {
+        if !is_hot(ctx, def) {
+            return;
+        }
+        let (open, close) = (def.body.open, def.body.close);
+        for i in open + 1..close {
+            match ctx.sig_text(i) {
+                "unwrap" if ctx.sig_text(i - 1) == "." && ctx.sig_text(i + 1) == "(" => {
+                    hits.insert((i, "`.unwrap()` panics on an injected fault; propagate the error with `?` or handle it"));
+                }
+                "expect" if ctx.sig_text(i - 1) == "." && ctx.sig_text(i + 1) == "(" => {
+                    // `try_into().expect(…)` converts a fixed-width
+                    // slice to an array: infallible by construction.
+                    let infallible = i >= 4
+                        && ctx.sig_text(i - 4) == "try_into"
+                        && ctx.sig_text(i - 3) == "("
+                        && ctx.sig_text(i - 2) == ")";
+                    if !infallible {
+                        hits.insert((i, "`.expect()` panics on an injected fault; propagate the error with `?` or handle it"));
+                    }
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented"
+                    if ctx.sig_text(i + 1) == "!" && super::adjacent_sig(ctx, i) =>
+                {
+                    hits.insert((
+                        i,
+                        "panicking macro aborts the simulator on a path fault injection can reach",
+                    ));
+                }
+                "[" if is_computed_range_index(ctx, i) => {
+                    hits.insert((i, "slice-indexing with a computed range panics out-of-bounds; use `get(..)` or validate the bound"));
+                }
+                _ => {}
+            }
+        }
+    });
+    for (i, why) in hits {
+        out.push(diag_at(
+            ctx,
+            i,
+            "unwrap-in-datapath",
+            format!("{why} (hot path: this fn touches fabric primitives)"),
+        ));
+    }
+}
+
+/// True when the function body calls any fabric primitive.
+fn is_hot(ctx: &FileCtx, def: &FnDef) -> bool {
+    (def.body.open + 1..def.body.close)
+        .any(|i| HOT_OPS.contains(&ctx.sig_text(i)) && is_call(ctx, i))
+}
+
+/// True when the `[` at sig index `i` is an *index* bracket (follows a
+/// value: ident, `)`, `]`) holding a `..`/`..=` range at depth 1 with
+/// at least one non-literal bound token.
+fn is_computed_range_index(ctx: &FileCtx, i: usize) -> bool {
+    if i == 0 {
+        return false;
+    }
+    let prev = ctx.sig_text(i - 1);
+    let prev_is_value = prev == ")"
+        || prev == "]"
+        || ctx
+            .sig_tok(i - 1)
+            .is_some_and(|t| t.kind == crate::lexer::TokKind::Ident);
+    // `let x: [u8; N]`, `&[…]` literals, attribute brackets: not an
+    // index. `ident [` could still be a type (`Vec<[u8; 4]>`), but
+    // those contain `;`, not `..`, so the range scan filters them.
+    if !prev_is_value || prev == "mut" || prev == "let" {
+        return false;
+    }
+    let mut depth = 0i32;
+    let mut has_range = false;
+    let mut computed_bound = false;
+    let mut j = i;
+    while j < ctx.sig.len() {
+        match ctx.sig_text(j) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "}" => depth -= 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "." if depth == 1 && ctx.sig_text(j + 1) == "." && super::adjacent_sig(ctx, j) => {
+                has_range = true;
+            }
+            t => {
+                if depth == 1
+                    && ctx
+                        .sig_tok(j)
+                        .is_some_and(|tok| tok.kind == crate::lexer::TokKind::Ident)
+                    && t != "usize"
+                {
+                    computed_bound = true;
+                }
+            }
+        }
+        j += 1;
+    }
+    has_range && computed_bound
+}

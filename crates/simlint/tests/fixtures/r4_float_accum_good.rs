@@ -26,11 +26,10 @@ fn ordered_mean(by_vm: &BTreeMap<u64, f64>) -> f64 {
 }
 
 fn sorted_then_summed(per_vm: &HashMap<u64, f64>) -> f64 {
-    let mut vals: Vec<f64> = per_vm
-        // simlint: allow(hash-iter) -- not a sim crate; R1 does not apply here anyway
-        .values()
-        .copied()
-        .collect();
+    // No `allow` needed: this is not a sim crate, so R1 does not apply
+    // (an inert directive here would itself be an unused-suppression
+    // finding).
+    let mut vals: Vec<f64> = per_vm.values().copied().collect();
     vals.sort_by(f64::total_cmp);
     let mut total: f64 = 0.0;
     for v in &vals {

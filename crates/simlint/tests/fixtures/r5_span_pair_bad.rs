@@ -22,3 +22,34 @@ fn double_push(rec: &mut Recorder) {
     rec.trace_push(2);
     rec.trace_pop();
 }
+
+/// Count-balanced but path-leaky: v1's per-body counting passed this
+/// (one push, one pop); the CFG rule sees the early return skip the
+/// pop.
+fn early_return_leak(rec: &mut Recorder, fail: bool) -> Result<u64, ()> {
+    rec.push_ctx(3);
+    if fail {
+        return Err(());
+    }
+    rec.pop_ctx();
+    Ok(1)
+}
+
+/// Same shape via `?`: the error path exits between push and pop.
+fn question_mark_leak(rec: &mut Recorder) -> Result<u64, ()> {
+    rec.push_ctx(4);
+    let v = attempt()?;
+    rec.pop_ctx();
+    Ok(v)
+}
+
+fn attempt() -> Result<u64, ()> {
+    Ok(3)
+}
+
+/// Pop with no push on the taken branch: stack underflow.
+fn pop_underflow(rec: &mut Recorder, early: bool) {
+    if early {
+        rec.pop_ctx();
+    }
+}

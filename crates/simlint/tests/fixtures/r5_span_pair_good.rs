@@ -41,3 +41,37 @@ trait Traced {
     /// Method declarations have no body to balance.
     fn record(&mut self, op: u32);
 }
+
+/// Early return with the pop on *both* paths: balanced per path, which
+/// is what the CFG rule actually checks.
+fn early_return_balanced(rec: &mut Recorder, fail: bool) -> Result<u64, ()> {
+    rec.push_ctx(5);
+    if fail {
+        rec.pop_ctx();
+        return Err(());
+    }
+    rec.pop_ctx();
+    Ok(9)
+}
+
+/// The correct fallible shape: capture the result, pop, *then* `?` —
+/// no path leaves the context open.
+fn fallible_after_pop(rec: &mut Recorder) -> Result<u64, ()> {
+    rec.push_ctx(6);
+    let r = attempt();
+    rec.pop_ctx();
+    let v = r?;
+    Ok(v + 1)
+}
+
+fn attempt() -> Result<u64, ()> {
+    Ok(3)
+}
+
+/// Balanced inside every loop iteration; the back edge carries depth 0.
+fn loop_balanced(rec: &mut Recorder) {
+    for op in 0..4 {
+        rec.push_ctx(op);
+        rec.pop_ctx();
+    }
+}

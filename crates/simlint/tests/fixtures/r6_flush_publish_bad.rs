@@ -1,0 +1,36 @@
+// simlint-fixture: path=crates/shmem/src/fixture_ring.rs
+//! Known-bad R6 corpus: the software-coherence write discipline broken
+//! on a ring publish path. Modeled on `shmem::ring::RingSender::send`
+//! (build slot → make it fabric-visible → bump the credit/doorbell
+//! line), with a seeded ordering bug: the slot body goes through the
+//! *cached* `store` path and the publish happens with the line still
+//! dirty. The vector-clock auditor only catches this when a seed
+//! drives a reader through the stale window; the CFG rule catches it
+//! on every path.
+
+struct Fabric;
+
+impl Fabric {
+    fn store(&mut self, _addr: u64, _data: &[u8]) {}
+    fn nt_store(&mut self, _addr: u64, _data: &[u8]) {}
+    fn flush(&mut self, _addr: u64, _len: u64) {}
+    fn mark_sync_range(&mut self, _addr: u64, _len: u64) {}
+    fn ring_doorbell(&mut self, _dev: u32) {}
+}
+
+/// The seeded bug: cached slot write, doorbell, no flush anywhere.
+/// A reader woken by the doorbell can load the pre-store slot bytes.
+fn send_unflushed(fabric: &mut Fabric, slot_addr: u64, slot: &[u8; 64]) {
+    fabric.store(slot_addr, slot);
+    fabric.ring_doorbell(0);
+}
+
+/// Path-sensitive variant: the fast path flushes, the retry path
+/// forgets to — exactly the shape a token counter cannot see.
+fn flush_on_one_path_only(fabric: &mut Fabric, addr: u64, slot: &[u8; 64], fast: bool) {
+    fabric.store(addr, slot);
+    if fast {
+        fabric.flush(addr, 64);
+    }
+    fabric.nt_store(addr + 64, &1u64.to_le_bytes());
+}

@@ -1,0 +1,49 @@
+// simlint-fixture: path=crates/shmem/src/fixture_ring_good.rs
+//! Known-good R6 corpus: every way the write→flush→publish discipline
+//! is legitimately satisfied — explicit flush, `mark_sync_range`
+//! happens-before registration, flush on *every* branch, and the
+//! write-through `nt_store` fast path the real `RingSender::send`
+//! uses (nothing dirty, nothing to flush).
+
+struct Fabric;
+
+impl Fabric {
+    fn store(&mut self, _addr: u64, _data: &[u8]) {}
+    fn nt_store(&mut self, _addr: u64, _data: &[u8]) {}
+    fn flush(&mut self, _addr: u64, _len: u64) {}
+    fn mark_sync_range(&mut self, _addr: u64, _len: u64) {}
+    fn ring_doorbell(&mut self, _dev: u32) {}
+}
+
+/// The textbook sequence.
+fn send_flushed(fabric: &mut Fabric, addr: u64, slot: &[u8; 64]) {
+    fabric.store(addr, slot);
+    fabric.flush(addr, 64);
+    fabric.ring_doorbell(0);
+}
+
+/// `mark_sync_range` registers the happens-before edge: also a clean.
+fn send_with_sync_range(fabric: &mut Fabric, addr: u64, slot: &[u8; 64]) {
+    fabric.store(addr, slot);
+    fabric.mark_sync_range(addr, 64);
+    fabric.nt_store(addr + 64, &1u64.to_le_bytes());
+}
+
+/// Flush on *every* branch before the publish: the dataflow join sees
+/// Clean from both arms.
+fn flush_on_every_path(fabric: &mut Fabric, addr: u64, slot: &[u8; 64], wide: bool) {
+    fabric.store(addr, slot);
+    if wide {
+        fabric.flush(addr, 128);
+    } else {
+        fabric.flush(addr, 64);
+    }
+    fabric.ring_doorbell(0);
+}
+
+/// The real fast path: one non-temporal 64 B store is write-through,
+/// so there is never a dirty line to flush.
+fn send_write_through(fabric: &mut Fabric, addr: u64, slot: &[u8; 64]) {
+    fabric.nt_store(addr, slot);
+    fabric.ring_doorbell(0);
+}

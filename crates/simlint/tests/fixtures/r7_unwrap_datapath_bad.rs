@@ -1,0 +1,41 @@
+// simlint-fixture: path=crates/pcie-sim/src/fixture_dp.rs
+//! Known-bad R7 corpus: panic-on-`Err` shortcuts in hot-path code. All
+//! four functions touch fabric primitives, so an injected fault (MHD
+//! outage, domain loss) reaches them as an `Err` — and each of these
+//! shapes turns it into a simulator abort instead of letting the
+//! orchestrator recover.
+
+struct Fabric;
+
+impl Fabric {
+    fn load(&mut self, _addr: u64, _buf: &mut [u8]) -> Result<(), ()> {
+        Ok(())
+    }
+    fn dma_read(&mut self, _addr: u64, _len: u64) -> Result<u64, ()> {
+        Ok(0)
+    }
+}
+
+fn hot_unwrap(fabric: &mut Fabric, addr: u64) -> u64 {
+    let mut buf = [0u8; 8];
+    fabric.load(addr, &mut buf).unwrap();
+    u64::from_le_bytes(buf)
+}
+
+fn hot_expect(fabric: &mut Fabric, addr: u64) -> u64 {
+    fabric.dma_read(addr, 64).expect("dma must complete")
+}
+
+fn hot_panic(fabric: &mut Fabric, addr: u64) -> u64 {
+    let mut buf = [0u8; 8];
+    if fabric.load(addr, &mut buf).is_err() {
+        panic!("fabric fault");
+    }
+    u64::from_le_bytes(buf)
+}
+
+fn hot_computed_range(fabric: &mut Fabric, addr: u64, n: usize) -> Vec<u8> {
+    let mut buf = [0u8; 64];
+    let _ = fabric.load(addr, &mut buf);
+    buf[..n].to_vec()
+}

@@ -1,0 +1,30 @@
+// simlint-fixture: path=crates/simkit/src/fixture_time.rs
+//! Known-bad R8 corpus: raw `u64` nanosecond arithmetic. Every shape
+//! here wraps silently in a release build — an out-of-order instant
+//! subtraction underflows to ~584 years of simulated time, and a
+//! deadline addition near `Nanos::MAX` (used as "run to completion")
+//! wraps to the past.
+
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+}
+
+/// Unwrapping both operands to `.0` just to add defeats the newtype's
+/// debug overflow check.
+fn deadline_raw_add(now: Nanos, timeout: Nanos) -> Nanos {
+    Nanos(now.0 + timeout.0)
+}
+
+/// Subtraction of two instants in the wrong order underflows.
+fn elapsed_raw_sub(a: Nanos, b: Nanos) -> u64 {
+    a.as_nanos() - b.as_nanos()
+}
+
+/// A computed product of two runtime values has no bounding literal.
+fn scaled_cost(per_line_ns: u64, lines: u64) -> Nanos {
+    Nanos(per_line_ns * lines)
+}

@@ -1,0 +1,57 @@
+// simlint-fixture: path=crates/simkit/src/fixture_time_good.rs
+//! Known-good R8 corpus: the safe forms. Checked/saturating helpers,
+//! whole-`Nanos` operator arithmetic (the impls carry the debug
+//! overflow check centrally), literal-bounded unit constructors, and
+//! the operator impls themselves (exempt by name: they *are* the
+//! wrapping semantics the rule centralizes).
+
+use core::ops::{Add, Mul};
+
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    pub fn checked_add(self, rhs: Nanos) -> Option<Nanos> {
+        self.0.checked_add(rhs.0).map(Nanos)
+    }
+
+    pub fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Unit constructor: the literal factor bounds the product.
+    pub const fn from_micros(us: u64) -> Nanos {
+        Nanos(us * 1_000)
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    /// Operator impl: exempt by function name.
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    /// Operator impl: exempt by function name.
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0 * rhs)
+    }
+}
+
+/// Deadlines near `Nanos::MAX` need the checked form.
+fn deadline_checked(now: Nanos, timeout: Nanos) -> Option<Nanos> {
+    now.checked_add(timeout)
+}
+
+/// Instant differences use the saturating form.
+fn elapsed_saturating(a: Nanos, b: Nanos) -> Nanos {
+    a.saturating_sub(b)
+}
+
+/// Arithmetic on whole `Nanos` values keeps the unit discipline and
+/// the centralized debug overflow check.
+fn whole_value_arith(t: Nanos, per_line: Nanos, lines: u64) -> Nanos {
+    t + per_line * lines
+}

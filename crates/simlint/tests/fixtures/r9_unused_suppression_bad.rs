@@ -1,0 +1,21 @@
+// simlint-fixture: path=crates/workgen/src/fixture_sup.rs
+//! Known-bad R9 corpus: suppressions that outlived the findings they
+//! silenced. Both directives below are well-formed and reasoned — and
+//! inert, because the code they guarded was since fixed. Clippy-style
+//! hygiene: a stale `allow` reads as an exemption for code that
+//! stopped needing one.
+
+use std::collections::BTreeMap;
+
+/// The container was a `HashMap` once; the BTreeMap migration fixed
+/// the finding but the directive stayed behind.
+// simlint: allow(hash-iter) -- order-insensitive total (pre-BTreeMap migration)
+fn total_bytes(by_host: &BTreeMap<u64, u64>) -> u64 {
+    by_host.values().sum()
+}
+
+fn mean_util(by_host: &BTreeMap<u64, u64>) -> u64 {
+    // simlint: allow(wall-clock, hash-iter) -- kept "just in case" after a refactor
+    let sum: u64 = by_host.values().sum();
+    sum / by_host.len().max(1) as u64
+}

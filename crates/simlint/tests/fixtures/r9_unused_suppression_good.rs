@@ -1,0 +1,19 @@
+// simlint-fixture: path=crates/workgen/src/fixture_sup_good.rs
+//! Known-good R9 corpus: a well-formed directive that *does* suppress
+//! a finding is not unused — and a multi-rule directive counts as used
+//! when any of its rules fires on the target line.
+
+use std::collections::HashMap;
+
+/// The directive suppresses a real hash-iter finding: used, silent.
+fn order_independent_total(m: &HashMap<u64, u64>) -> u64 {
+    // simlint: allow(hash-iter) -- summing u64 is order-independent
+    m.values().sum()
+}
+
+/// Multi-rule directive: hash-iter fires here, wall-clock does not;
+/// one hit marks the whole directive used.
+fn retain_live(m: &mut HashMap<u64, u64>) {
+    // simlint: allow(hash-iter, wall-clock) -- retain predicate is per-entry, order-free
+    m.retain(|_, v| *v > 0);
+}

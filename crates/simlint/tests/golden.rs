@@ -42,6 +42,10 @@ fn every_fixture_rule_fires_and_only_in_bad_files() {
         "float-accum",
         "span-pair",
         "bad-suppression",
+        "flush-before-publish",
+        "unwrap-in-datapath",
+        "sim-time-arith",
+        "unused-suppression",
     ] {
         assert!(
             report.findings.iter().any(|d| d.rule == rule),
