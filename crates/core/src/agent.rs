@@ -156,6 +156,28 @@ impl Agent {
         }
     }
 
+    /// Control-plane queue occupancy: orchestrator messages waiting to
+    /// flush plus TX frames awaiting harness pickup. The metrics plane
+    /// samples this as `host/queue_depth`.
+    pub fn queue_depth(&self) -> usize {
+        self.outbox_orch.len() + self.out_frames.len()
+    }
+
+    /// Aggregated send-side ring statistics across every channel link
+    /// this agent holds (mesh peers + orchestrator): total sends,
+    /// backpressure events, and cumulative stall nanoseconds. The
+    /// metrics plane samples these as `chan/*` series.
+    pub fn channel_stats(&self) -> shmem::channel::ChannelStats {
+        let mut total = shmem::channel::ChannelStats::default();
+        for (_, link) in &self.links {
+            let s = link.tx.stats();
+            total.sends += s.sends;
+            total.blocked_events += s.blocked_events;
+            total.stall_ns += s.stall_ns;
+        }
+        total
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> AgentStats {
         self.stats

@@ -15,9 +15,10 @@
 
 use std::collections::HashMap;
 
-use cxl_fabric::{Fabric, HostId, PodConfig};
+use cxl_fabric::{DomainId, Fabric, HostId, LinkId, MhdId, PodConfig};
 use pcie_sim::nic::TxFrame;
 use pcie_sim::{Accelerator, BufRef, DeviceId, Nic, NicConfig, Ssd, SsdConfig};
+use simkit::metrics::{Labels, MetricId, MetricsConfig, MetricsRecorder};
 use simkit::trace::{self, TraceConfig, TraceRecorder, Track};
 use simkit::Nanos;
 
@@ -123,6 +124,40 @@ pub struct PodSim {
     orch_segs: Vec<(u16, cxl_fabric::SegmentId, cxl_fabric::SegmentId)>,
     /// Per-host I/O segment ids.
     io_segs: Vec<cxl_fabric::SegmentId>,
+    /// Metric handles the pod-side sampler refreshes each tick
+    /// (`None` until [`PodSim::enable_metrics`]).
+    metric_ids: Option<PodMetricIds>,
+}
+
+/// Handles for every pod-level metric series, in registration order.
+/// Held by the pod (not the recorder) so the sampling pass is a plain
+/// indexed walk with no name lookups.
+struct PodMetricIds {
+    /// `host/served_ops`, per host.
+    host_served: Vec<MetricId>,
+    /// `host/queue_depth`, per host.
+    host_queue: Vec<MetricId>,
+    /// `chan/stall_ns`, per host.
+    chan_stall: Vec<MetricId>,
+    /// `chan/blocked`, per host.
+    chan_blocked: Vec<MetricId>,
+    /// `pool/free_bytes`.
+    pool_free: MetricId,
+    /// `domain/free_bytes` and `domain/capacity_bytes`, per domain.
+    domain_free: Vec<MetricId>,
+    /// See [`PodMetricIds::domain_free`].
+    domain_capacity: Vec<MetricId>,
+    /// `mhd/free_bytes`, per MHD.
+    mhd_free: Vec<MetricId>,
+    /// `link/uplink_util`, per CXL link (with the link's host + MHD
+    /// labels), paired with the link id to sample.
+    link_util: Vec<(LinkId, MetricId)>,
+    /// `audit/violations` (0 while auditing is off).
+    audit_violations: MetricId,
+    /// `orch/migrations`.
+    orch_migrations: MetricId,
+    /// `orch/failovers`.
+    orch_failovers: MetricId,
 }
 
 impl PodSim {
@@ -180,9 +215,207 @@ impl PodSim {
     }
 
     /// Exports the recording as Chrome/Perfetto trace-event JSON
-    /// (None when tracing was never enabled).
+    /// (None when tracing was never enabled). When the metrics plane
+    /// is also on, its sampled timelines are merged in as counter
+    /// tracks (`"ph":"C"`) so gauges render alongside the spans.
     pub fn export_trace(&self) -> Option<String> {
-        self.fabric.trace().map(|t| t.export_chrome_json())
+        let counters = self
+            .fabric
+            .metrics()
+            .map(|m| m.counter_track_events())
+            .unwrap_or_default();
+        self.fabric
+            .trace()
+            .map(|t| t.export_chrome_json_with(&counters))
+    }
+
+    /// Turns on the pod-wide metrics plane (see `simkit::metrics`): a
+    /// simulated-time sampler records per-host CPU/queue occupancy,
+    /// per-domain and per-MHD capacity, per-link bandwidth
+    /// utilisation, audit violation counts and orchestrator events at
+    /// a fixed interval. Honours `CXL_METRICS=<interval>` /
+    /// `CXL_METRICS_CAPACITY` via [`MetricsConfig::default`].
+    /// Sampling is observation-only: it never advances any simulated
+    /// clock, so metrics-on runs stay bit-identical in simulated time.
+    pub fn enable_metrics(&mut self) {
+        self.enable_metrics_config(MetricsConfig::default());
+    }
+
+    /// Like [`PodSim::enable_metrics`] but with an explicit
+    /// configuration (interval, sample-ring capacity).
+    pub fn enable_metrics_config(&mut self, config: MetricsConfig) {
+        self.fabric.enable_metrics(config);
+        self.register_pod_metrics();
+    }
+
+    /// The metrics recorder, if enabled.
+    pub fn metrics(&self) -> Option<&MetricsRecorder> {
+        self.fabric.metrics()
+    }
+
+    /// Mutable metrics recorder, if enabled. Workload drivers use
+    /// this to register their own (e.g. per-tenant) series alongside
+    /// the pod's.
+    pub fn metrics_mut(&mut self) -> Option<&mut MetricsRecorder> {
+        self.fabric.metrics_mut()
+    }
+
+    /// Schema'd CSV dump of every sampled point, sorted by metric
+    /// registration with time ascending within a series (None when
+    /// metrics were never enabled).
+    pub fn export_metrics_csv(&self) -> Option<String> {
+        self.fabric.metrics().map(|m| m.export_csv())
+    }
+
+    /// Schema'd JSON dump (`cxl-pool-metrics/v1`) of every series
+    /// (None when metrics were never enabled).
+    pub fn export_metrics_json(&self) -> Option<String> {
+        self.fabric.metrics().map(|m| m.export_json())
+    }
+
+    /// Registers the pod-level metric catalog in a fixed, deterministic
+    /// order: hosts, pool, domains, MHDs, links, audit, orchestrator.
+    fn register_pod_metrics(&mut self) {
+        let hosts = self.agents.len() as u16;
+        let domains = self.fabric.topology().domains();
+        let mhds = self.fabric.topology().mhds();
+        let links: Vec<(LinkId, HostId, MhdId)> = self
+            .fabric
+            .topology()
+            .links()
+            .iter()
+            .map(|l| (l.id, l.host, l.mhd))
+            .collect();
+        let domain_of: Vec<u16> = (0..mhds)
+            .map(|m| self.fabric.topology().domain_of(MhdId(m)).0)
+            .collect();
+        let Some(rec) = self.fabric.metrics_mut() else {
+            return;
+        };
+        let mut ids = PodMetricIds {
+            host_served: Vec::with_capacity(hosts as usize),
+            host_queue: Vec::with_capacity(hosts as usize),
+            chan_stall: Vec::with_capacity(hosts as usize),
+            chan_blocked: Vec::with_capacity(hosts as usize),
+            pool_free: rec.gauge("pool/free_bytes", Labels::NONE),
+            domain_free: Vec::with_capacity(domains as usize),
+            domain_capacity: Vec::with_capacity(domains as usize),
+            mhd_free: Vec::with_capacity(mhds as usize),
+            link_util: Vec::with_capacity(links.len()),
+            audit_violations: rec.counter("audit/violations", Labels::NONE),
+            orch_migrations: rec.counter("orch/migrations", Labels::NONE),
+            orch_failovers: rec.counter("orch/failovers", Labels::NONE),
+        };
+        for h in 0..hosts {
+            ids.host_served
+                .push(rec.counter("host/served_ops", Labels::host(h)));
+            ids.host_queue
+                .push(rec.gauge("host/queue_depth", Labels::host(h)));
+            ids.chan_stall
+                .push(rec.counter("chan/stall_ns", Labels::host(h)));
+            ids.chan_blocked
+                .push(rec.counter("chan/blocked", Labels::host(h)));
+        }
+        for d in 0..domains {
+            ids.domain_free
+                .push(rec.gauge("domain/free_bytes", Labels::domain(d)));
+            ids.domain_capacity
+                .push(rec.gauge("domain/capacity_bytes", Labels::domain(d)));
+        }
+        for m in 0..mhds {
+            ids.mhd_free.push(rec.gauge(
+                "mhd/free_bytes",
+                Labels::domain(domain_of[m as usize]).with_mhd(m),
+            ));
+        }
+        for (id, host, mhd) in links {
+            let labels = Labels::host(host.0)
+                .with_domain(domain_of[mhd.0 as usize])
+                .with_mhd(mhd.0);
+            ids.link_util
+                .push((id, rec.gauge("link/uplink_util", labels)));
+        }
+        self.metric_ids = Some(ids);
+    }
+
+    /// Refreshes every pod-level gauge and records one sample row per
+    /// metric. Called from the pump loops after each quantum; a cheap
+    /// no-op (one comparison) unless the sampling tick is due.
+    fn sample_metrics(&mut self, now: Nanos) {
+        let due = self.fabric.metrics().is_some_and(|m| m.tick_due(now));
+        if !due {
+            return;
+        }
+        let Some(ids) = self.metric_ids.take() else {
+            return;
+        };
+        // Gather every reading first (immutable borrows), then write
+        // them through the recorder in one pass.
+        let horizon = self
+            .fabric
+            .metrics()
+            .map_or(Nanos::from_millis(1), |m| m.config().interval);
+        let served: Vec<f64> = self
+            .agents
+            .iter()
+            .map(|a| a.stats().served as f64)
+            .collect();
+        let queue: Vec<f64> = self.agents.iter().map(|a| a.queue_depth() as f64).collect();
+        let chan: Vec<shmem::channel::ChannelStats> =
+            self.agents.iter().map(Agent::channel_stats).collect();
+        let pool_free = self.fabric.free_capacity() as f64;
+        let domain_free: Vec<f64> = (0..ids.domain_free.len() as u16)
+            .map(|d| self.fabric.domain_free(DomainId(d)) as f64)
+            .collect();
+        let domain_cap: Vec<f64> = (0..ids.domain_capacity.len() as u16)
+            .map(|d| self.fabric.domain_capacity(DomainId(d)) as f64)
+            .collect();
+        let mhd_free: Vec<f64> = (0..ids.mhd_free.len() as u16)
+            .map(|m| self.fabric.mhd_free(MhdId(m)) as f64)
+            .collect();
+        let link_util: Vec<f64> = ids
+            .link_util
+            .iter()
+            .map(|&(l, _)| self.fabric.uplink_utilization(l, horizon))
+            .collect();
+        let violations = self
+            .fabric
+            .audit_report()
+            .map_or(0.0, |r| r.counts.total() as f64);
+        let migrations = self.orch.migrations as f64;
+        let failovers = self.orch.failover_log.len() as f64;
+        if let Some(rec) = self.fabric.metrics_mut() {
+            for (i, &id) in ids.host_served.iter().enumerate() {
+                rec.gauge_set(id, served[i]);
+            }
+            for (i, &id) in ids.host_queue.iter().enumerate() {
+                rec.gauge_set(id, queue[i]);
+            }
+            for (i, &id) in ids.chan_stall.iter().enumerate() {
+                rec.gauge_set(id, chan[i].stall_ns as f64);
+            }
+            for (i, &id) in ids.chan_blocked.iter().enumerate() {
+                rec.gauge_set(id, chan[i].blocked_events as f64);
+            }
+            rec.gauge_set(ids.pool_free, pool_free);
+            for (i, &id) in ids.domain_free.iter().enumerate() {
+                rec.gauge_set(id, domain_free[i]);
+            }
+            for (i, &id) in ids.domain_capacity.iter().enumerate() {
+                rec.gauge_set(id, domain_cap[i]);
+            }
+            for (i, &id) in ids.mhd_free.iter().enumerate() {
+                rec.gauge_set(id, mhd_free[i]);
+            }
+            for (i, &(_, id)) in ids.link_util.iter().enumerate() {
+                rec.gauge_set(id, link_util[i]);
+            }
+            rec.gauge_set(ids.audit_violations, violations);
+            rec.gauge_set(ids.orch_migrations, migrations);
+            rec.gauge_set(ids.orch_failovers, failovers);
+            rec.sample(now);
+        }
+        self.metric_ids = Some(ids);
     }
 
     /// Wraps one client-side pooled operation in a trace context: the
@@ -347,6 +580,7 @@ impl PodSim {
             mesh_segs,
             orch_segs,
             io_segs,
+            metric_ids: None,
         };
 
         // Initial allocation: give every host a binding for each kind
@@ -465,6 +699,7 @@ impl PodSim {
                 a.pump(&mut self.fabric, step);
             }
             self.orch.pump(&mut self.fabric, step);
+            self.sample_metrics(step);
         }
     }
 
@@ -1204,6 +1439,7 @@ impl PodSim {
             self.agents[attach.0 as usize].pump(&mut self.fabric, until);
             self.agents[owner.0 as usize].pump(&mut self.fabric, until);
             self.orch.pump(&mut self.fabric, until);
+            self.sample_metrics(until);
         }
     }
 

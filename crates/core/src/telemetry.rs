@@ -53,6 +53,22 @@ pub struct StageReport {
     pub latency: Summary,
 }
 
+/// One sampled timeline from the metrics plane, reduced to a report
+/// row: series identity, point count, final value and a sparkline of
+/// the sampled values.
+#[derive(Clone, Debug)]
+pub struct MetricReport {
+    /// Metric name plus label suffix, e.g. `"domain/free_bytes{domain=1}"`.
+    pub series: String,
+    /// Sampled points in the timeline.
+    pub points: usize,
+    /// Value at the last sampling tick.
+    pub last: f64,
+    /// Unicode sparkline over the sampled values (empty when the
+    /// series never got a tick).
+    pub spark: String,
+}
+
 /// A full pod snapshot.
 #[derive(Clone, Debug)]
 pub struct PodReport {
@@ -80,6 +96,11 @@ pub struct PodReport {
     pub stages: Vec<StageReport>,
     /// Trace events dropped because the recorder's ring was full.
     pub trace_dropped: u64,
+    /// Sampled metric timelines (empty when the metrics plane is off),
+    /// sorted by series name then labels.
+    pub metrics: Vec<MetricReport>,
+    /// Metric samples dropped because the sample ring was full.
+    pub metrics_dropped: u64,
 }
 
 /// Builds a report from the pod's current counters.
@@ -143,16 +164,42 @@ pub fn snapshot(pod: &PodSim) -> PodReport {
         ops_audited: r.ops_audited,
     });
     let (stages, trace_dropped) = match pod.trace() {
-        Some(tr) => (
-            tr.stage_summaries()
+        Some(tr) => {
+            let mut stages: Vec<StageReport> = tr
+                .stage_summaries()
                 .into_iter()
                 .map(|(stage, kind, latency)| StageReport {
                     stage,
                     kind: simkit::trace::kind_name(kind),
                     latency,
                 })
+                .collect();
+            // Sort on the rendered key so the printed table (and any
+            // serialization of it) is byte-stable regardless of the
+            // recorder's internal keying.
+            stages.sort_by(|a, b| (a.stage, a.kind).cmp(&(b.stage, b.kind)));
+            (stages, tr.dropped())
+        }
+        None => (Vec::new(), 0),
+    };
+
+    // `MetricsRecorder::series` already sorts by (name, labels); carry
+    // that order into the report rows.
+    let (metrics, metrics_dropped) = match pod.metrics() {
+        Some(rec) => (
+            rec.series()
+                .into_iter()
+                .map(|s| {
+                    let values: Vec<f64> = s.points.iter().map(|&(_, v)| v).collect();
+                    MetricReport {
+                        series: format!("{}{}", s.name, s.labels.suffix()),
+                        points: values.len(),
+                        last: values.last().copied().unwrap_or(0.0),
+                        spark: sparkline(&values, 32),
+                    }
+                })
                 .collect(),
-            tr.dropped(),
+            rec.dropped(),
         ),
         None => (Vec::new(), 0),
     };
@@ -170,7 +217,41 @@ pub fn snapshot(pod: &PodSim) -> PodReport {
         audit,
         stages,
         trace_dropped,
+        metrics,
+        metrics_dropped,
     }
+}
+
+/// Renders `values` as a fixed-alphabet Unicode sparkline, averaging
+/// down to at most `width` buckets. Deterministic: depends only on the
+/// input values.
+fn sparkline(values: &[f64], width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    let buckets = width.min(values.len());
+    let mut reduced = Vec::with_capacity(buckets);
+    for b in 0..buckets {
+        let lo = b * values.len() / buckets;
+        let hi = ((b + 1) * values.len() / buckets).max(lo + 1);
+        let slice = &values[lo..hi];
+        reduced.push(slice.iter().sum::<f64>() / slice.len() as f64);
+    }
+    let min = reduced.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = reduced.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = max - min;
+    reduced
+        .iter()
+        .map(|&v| {
+            if !span.is_finite() || span <= 0.0 {
+                BARS[0]
+            } else {
+                let idx = ((v - min) / span * 7.0).round() as usize;
+                BARS[idx.min(7)]
+            }
+        })
+        .collect()
 }
 
 impl fmt::Display for PodReport {
@@ -218,6 +299,26 @@ impl fmt::Display for PodReport {
                 f,
                 "  trace: {} events dropped (ring full)",
                 self.trace_dropped
+            )?;
+        }
+        if !self.metrics.is_empty() {
+            writeln!(f, "  metrics (sampled timelines):")?;
+            for m in &self.metrics {
+                writeln!(
+                    f,
+                    "    {:<36} n={:<6} last={:<14} {}",
+                    m.series,
+                    m.points,
+                    simkit::metrics::fmt_value(m.last),
+                    m.spark
+                )?;
+            }
+        }
+        if self.metrics_dropped > 0 {
+            writeln!(
+                f,
+                "  metrics: {} samples dropped (ring full)",
+                self.metrics_dropped
             )?;
         }
         for (host, served, failures, assigns) in &self.agents {
@@ -316,6 +417,46 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("audit:"));
         assert!(text.contains("stage latency"));
+    }
+
+    #[test]
+    fn snapshot_carries_metric_timelines() {
+        let mut pod = PodSim::new(PodParams::new(4, 2));
+        pod.enable_metrics_config(simkit::metrics::MetricsConfig {
+            interval: Nanos::from_micros(10),
+            capacity: 1 << 12,
+        });
+        let d = pod.time() + Nanos::from_millis(50);
+        pod.vnic_send(HostId(3), &[1u8; 256], d).expect("send");
+        pod.run_control(Nanos::from_millis(1));
+        let r = snapshot(&pod);
+        assert!(!r.metrics.is_empty(), "metric rows should be present");
+        assert!(
+            r.metrics.windows(2).all(|w| w[0].series <= w[1].series),
+            "rows sorted by series key"
+        );
+        let pool = r
+            .metrics
+            .iter()
+            .find(|m| m.series == "pool/free_bytes")
+            .expect("pool gauge sampled");
+        assert!(pool.points > 0 && pool.last > 0.0);
+        assert!(!pool.spark.is_empty());
+        let text = r.to_string();
+        assert!(text.contains("metrics (sampled timelines):"));
+        assert!(text.contains("pool/free_bytes"));
+    }
+
+    #[test]
+    fn sparkline_is_deterministic_and_bounded() {
+        assert_eq!(sparkline(&[], 8), "");
+        assert_eq!(sparkline(&[5.0], 8), "▁");
+        assert_eq!(sparkline(&[1.0, 1.0, 1.0], 8), "▁▁▁");
+        let rising: Vec<f64> = (0..64).map(f64::from).collect();
+        let s = sparkline(&rising, 8);
+        assert_eq!(s.chars().count(), 8);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+        assert_eq!(s, sparkline(&rising, 8));
     }
 
     #[test]

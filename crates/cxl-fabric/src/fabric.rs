@@ -11,6 +11,7 @@
 
 use std::collections::BTreeMap;
 
+use simkit::metrics::{MetricsConfig, MetricsRecorder};
 use simkit::server::BandwidthPipe;
 use simkit::trace::{TraceConfig, TraceRecorder, Track};
 use simkit::Nanos;
@@ -149,6 +150,10 @@ pub struct Fabric {
     /// Opt-in flight recorder (see [`simkit::trace`]); boxed so the
     /// disabled fast path pays one pointer, mirroring `audit`.
     trace: Option<Box<TraceRecorder>>,
+    /// Opt-in metrics registry + sampler (see [`simkit::metrics`]);
+    /// boxed so the disabled fast path pays one pointer, mirroring
+    /// `trace` and `audit`.
+    metrics: Option<Box<MetricsRecorder>>,
 }
 
 impl Fabric {
@@ -201,6 +206,7 @@ impl Fabric {
             tear_tolerant: Vec::new(),
             sync_ranges: Vec::new(),
             trace: None,
+            metrics: None,
         }
     }
 
@@ -348,6 +354,33 @@ impl Fabric {
         if let Some(tr) = self.trace.as_deref_mut() {
             tr.pop_ctx();
         }
+    }
+
+    // ---------------------------------------------------------------
+    // Metrics plane
+    // ---------------------------------------------------------------
+
+    /// Turns on the metrics registry + sampler (see
+    /// [`simkit::metrics`]). Layers holding `&mut Fabric` register
+    /// series and record values; the pod's pump loop drives the
+    /// simulated-time sampling tick.
+    pub fn enable_metrics(&mut self, config: MetricsConfig) {
+        self.metrics = Some(Box::new(MetricsRecorder::new(config)));
+    }
+
+    /// True when the metrics plane is on.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.is_some()
+    }
+
+    /// The metrics recorder, if enabled.
+    pub fn metrics(&self) -> Option<&MetricsRecorder> {
+        self.metrics.as_deref()
+    }
+
+    /// Mutable access to the metrics recorder, if enabled.
+    pub fn metrics_mut(&mut self) -> Option<&mut MetricsRecorder> {
+        self.metrics.as_deref_mut()
     }
 
     /// Records a span for one fabric access when verbose fabric-op
@@ -520,6 +553,16 @@ impl Fabric {
             .filter(|&m| self.topology.mhd_is_up(m))
             .count() as u64;
         up * self.alloc.capacity_per_mhd()
+    }
+
+    /// Free capacity on one MHD, in bytes (zero while it is failed).
+    /// The metrics plane samples this into per-MHD utilization series.
+    pub fn mhd_free(&self, mhd: crate::topology::MhdId) -> u64 {
+        if self.topology.mhd_is_up(mhd) {
+            self.alloc.free_on(mhd)
+        } else {
+            0
+        }
     }
 
     /// Resolves an address to its segment.

@@ -12,7 +12,12 @@
 //! - statistics collection ([`stats::Histogram`], [`stats::TimeWeighted`])
 //!   and table formatting ([`table`]),
 //! - a bounded flight recorder with per-stage latency attribution and
-//!   Chrome/Perfetto trace export ([`trace`]).
+//!   Chrome/Perfetto trace export ([`trace`]),
+//! - a simulated-time metrics registry and sampler with counter-track,
+//!   CSV, and JSON exports ([`metrics`]),
+//! - a wall-clock DES self-profiler ([`Profiler`]) quoting
+//!   events/wall-s and simulated-ns/wall-s without touching simulated
+//!   time.
 //!
 //! Determinism is a hard requirement: two runs with the same seed and the
 //! same event schedule must produce bit-identical results. The event queue
@@ -51,6 +56,7 @@
 //! assert_eq!(end, Nanos(200));
 //! ```
 
+pub mod metrics;
 pub mod rng;
 pub mod server;
 pub mod stats;
@@ -60,5 +66,5 @@ pub mod trace;
 
 mod sched;
 
-pub use sched::{run, run_until, Scheduler, World};
+pub use sched::{run, run_until, Profiler, ProfilerReport, Scheduler, World};
 pub use time::Nanos;

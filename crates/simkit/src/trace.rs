@@ -314,6 +314,14 @@ impl TraceRecorder {
     /// in microseconds (the format's unit) with nanosecond precision
     /// preserved as fractions.
     pub fn export_chrome_json(&self) -> String {
+        self.export_chrome_json_with(&[])
+    }
+
+    /// Exports the recording with extra pre-rendered trace-event JSON
+    /// objects merged in (e.g. the metrics plane's `"ph":"C"` counter
+    /// tracks from [`crate::metrics::MetricsRecorder::counter_track_events`]),
+    /// so counters render alongside spans in one Perfetto view.
+    pub fn export_chrome_json_with(&self, extra: &[String]) -> String {
         // Deterministic track→tid assignment in first-use order.
         let mut tids: BTreeMap<Track, u64> = BTreeMap::new();
         for ev in &self.events {
@@ -364,6 +372,9 @@ impl TraceRecorder {
                 ),
             };
             emit(body, &mut first);
+        }
+        for e in extra {
+            emit(e.clone(), &mut first);
         }
         if self.dropped > 0 {
             emit(
@@ -492,6 +503,21 @@ mod tests {
             json.matches('}').count(),
             "unbalanced braces"
         );
+    }
+
+    #[test]
+    fn export_merges_extra_events() {
+        let mut tr = TraceRecorder::new(cfg(8));
+        tr.span_for(Track::HostCpu(0), "x", 1, KIND_NONE, Nanos(0), Nanos(5));
+        let extra = vec![
+            "{\"ph\":\"C\",\"pid\":0,\"name\":\"pool/free_bytes\",\"ts\":0,\
+             \"args\":{\"value\":1}}"
+                .to_string(),
+        ];
+        let json = tr.export_chrome_json_with(&extra);
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("pool/free_bytes"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -72,6 +72,11 @@ pub const RULES: &[RuleMeta] = &[
         summary: "a well-formed `allow` directive that no longer suppresses any finding",
         motivation: "stale suppressions read as exemptions for code that stopped needing one; delete them so the policy stays reviewable",
     },
+    RuleMeta {
+        id: "wall-clock-allowlist",
+        summary: "the per-file count of sanctioned `allow(wall-clock)` sites has drifted from the audited allowlist",
+        motivation: "each sanctioned wall-clock site was reviewed once; new ones must be added to the allowlist deliberately, not ride in on an existing file's exemption",
+    },
 ];
 
 /// Looks up a rule id in the catalog.

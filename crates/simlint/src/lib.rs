@@ -10,8 +10,8 @@
 //! The tool is self-contained: a hand-rolled lexer ([`lexer`]) that
 //! handles comments, raw strings, char literals, and attributes
 //! exactly, a recursive-descent statement parser ([`parser`]) feeding
-//! per-function control-flow graphs ([`cfg`]) and an ordered-effects
-//! dataflow engine ([`dataflow`]) for the flow-aware rules
+//! per-function control-flow graphs ([`cfg`](mod@cfg)) and an
+//! ordered-effects dataflow engine ([`dataflow`]) for the flow-aware rules
 //! (flush-before-publish, span-pair), a per-file rule catalog
 //! ([`rules`]), and a directory walker — no `cargo metadata`, no
 //! external dependencies, so it runs in the offline build environment.
@@ -30,7 +30,7 @@ pub mod parser;
 pub mod rules;
 pub mod source;
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -161,6 +161,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
     let mut findings = Vec::new();
     let mut suppressed = 0usize;
     let mut n_files = 0usize;
+    let mut wall_clock_sites: Vec<(String, usize)> = Vec::new();
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -168,12 +169,17 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
             .to_string_lossy()
             .replace('\\', "/");
         let src = fs::read_to_string(path)?;
+        let n = count_wall_clock_allows(&rel, &src);
+        if n > 0 {
+            wall_clock_sites.push((rel.clone(), n));
+        }
         let (mut f, s) = lint_source(&rel, src);
         findings.append(&mut f);
         suppressed += s;
         n_files += 1;
     }
     findings.extend(check_policy_sync(root));
+    findings.extend(check_wall_clock_allowlist(&wall_clock_sites));
     sort_findings(&mut findings);
     Ok(Report {
         findings,
@@ -222,6 +228,82 @@ pub fn check_policy_sync(root: &Path) -> Vec<Diagnostic> {
         out.push(diag(format!(
             "`{extra}` is in clippy.toml disallowed-methods but not in simlint's fabric-peek list"
         )));
+    }
+    out
+}
+
+/// Counts `allow(wall-clock)` suppression directives in one file, when
+/// the file is simulation-production code (same path logic as the
+/// engine's classification: under `crates/<sim-crate>` and not in a
+/// tests/benches/examples/fixtures directory). Textual on purpose —
+/// the self-check must count directives even when a rule rewrite stops
+/// recognizing them.
+fn count_wall_clock_allows(rel_path: &str, src: &str) -> usize {
+    if rel_path
+        .split('/')
+        .any(|c| matches!(c, "tests" | "benches" | "examples" | "fixtures"))
+    {
+        return 0;
+    }
+    let sim = rel_path
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .is_some_and(|d| source::SIM_CRATES.contains(&d));
+    if !sim {
+        return 0;
+    }
+    src.lines()
+        .filter(|l| l.contains("simlint: allow(") && l.contains("wall-clock"))
+        .count()
+}
+
+/// The `wall-clock-allowlist` self-check: the per-file counts of
+/// sanctioned `allow(wall-clock)` directives found in
+/// simulation-production code must match
+/// [`rules::wall_clock::ALLOWLIST`] exactly. A new suppression — even
+/// in a file that already has some — is drift until the allowlist is
+/// edited to sanction it; a stale allowlist entry is drift too.
+pub fn check_wall_clock_allowlist(sites: &[(String, usize)]) -> Vec<Diagnostic> {
+    let expected: BTreeMap<&str, usize> = rules::wall_clock::ALLOWLIST.iter().copied().collect();
+    let found: BTreeMap<&str, usize> = sites.iter().map(|(p, n)| (p.as_str(), *n)).collect();
+    let diag = |path: &str, msg: String| Diagnostic {
+        rule: "wall-clock-allowlist",
+        path: path.to_string(),
+        line: 1,
+        col: 1,
+        msg,
+    };
+    let mut out = Vec::new();
+    for (&path, &n) in &found {
+        match expected.get(path) {
+            None => out.push(diag(
+                path,
+                format!(
+                    "{n} `allow(wall-clock)` directive(s) in a file the allowlist does not \
+                     sanction; review the site(s) and add the file to \
+                     `rules::wall_clock::ALLOWLIST` (or remove the suppressions)"
+                ),
+            )),
+            Some(&want) if want != n => out.push(diag(
+                path,
+                format!(
+                    "{n} `allow(wall-clock)` directive(s) but the allowlist sanctions {want}; \
+                     update `rules::wall_clock::ALLOWLIST` to match the reviewed count"
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+    for (&path, &want) in &expected {
+        if !found.contains_key(path) {
+            out.push(diag(
+                path,
+                format!(
+                    "allowlist sanctions {want} `allow(wall-clock)` directive(s) here but none \
+                     were found; delete the stale `rules::wall_clock::ALLOWLIST` entry"
+                ),
+            ));
+        }
     }
     out
 }

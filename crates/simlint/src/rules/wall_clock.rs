@@ -17,6 +17,19 @@ use super::{diag_at, match_seq};
 /// `env::` functions that read the environment.
 const ENV_READS: &[&str] = &["var", "var_os", "vars", "vars_os"];
 
+/// Every sanctioned `allow(wall-clock)` site in simulation-production
+/// code, as (workspace-relative path, directive count). The workspace
+/// self-check (`wall-clock-allowlist`) fails when a file drifts from
+/// this table in either direction, so a new wall-clock read cannot
+/// ride in silently on an already-exempted file — adding one means
+/// editing this list, which is what review is for.
+pub const ALLOWLIST: &[(&str, usize)] = &[
+    ("crates/cxl-fabric/src/audit.rs", 1),
+    ("crates/simkit/src/metrics.rs", 3),
+    ("crates/simkit/src/sched.rs", 2),
+    ("crates/simkit/src/trace.rs", 3),
+];
+
 /// Runs the rule over one file.
 pub fn check(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
     for i in 0..ctx.sig.len() {

@@ -85,6 +85,40 @@ fn shipped_workspace_is_clean() {
 }
 
 #[test]
+fn wall_clock_allowlist_detects_drift_in_both_directions() {
+    use simlint::check_wall_clock_allowlist as check;
+    let sites: Vec<(String, usize)> = simlint::rules::wall_clock::ALLOWLIST
+        .iter()
+        .map(|&(p, n)| (p.to_string(), n))
+        .collect();
+    // In sync: no findings.
+    assert!(check(&sites).is_empty());
+
+    // One extra suppression in an already-sanctioned file is drift —
+    // the exact failure mode the check exists for.
+    let mut more = sites.clone();
+    more[0].1 += 1;
+    let d = check(&more);
+    assert_eq!(d.len(), 1, "count drift must produce one finding");
+    assert_eq!(d[0].rule, "wall-clock-allowlist");
+    assert!(simlint::diag::rule_meta(d[0].rule).is_some());
+
+    // A suppression in a file the allowlist never sanctioned.
+    let mut extra = sites.clone();
+    extra.push(("crates/simkit/src/rng.rs".to_string(), 1));
+    let d = check(&extra);
+    assert_eq!(d.len(), 1);
+    assert!(d[0].msg.contains("does not sanction"));
+
+    // A stale allowlist entry (file lost its suppressions) is drift
+    // too: the exemption must shrink with the code.
+    let fewer: Vec<(String, usize)> = sites[1..].to_vec();
+    let d = check(&fewer);
+    assert_eq!(d.len(), 1);
+    assert!(d[0].msg.contains("stale"));
+}
+
+#[test]
 fn json_rendering_parses_back() {
     let report = simlint::lint_fixtures(&fixtures_dir()).expect("fixture corpus lints");
     let v = serde_json::from_str(&report.render_json()).expect("render_json emits valid JSON");

@@ -19,6 +19,7 @@ use std::collections::BTreeMap;
 use cxl_fabric::{DomainId, HostId, MhdId};
 use cxl_pool_core::pod::{PodSim, IO_SLOT};
 use cxl_pool_core::vdev::{DeviceKind, PoolError};
+use simkit::metrics::{Labels, MetricId};
 use simkit::rng::Rng;
 use simkit::stats::{Histogram, Summary};
 use simkit::Nanos;
@@ -87,6 +88,20 @@ struct Issue {
     worker: usize,
 }
 
+/// Per-tenant metric handles, registered when the pod's metrics plane
+/// is on (see `simkit::metrics`): an in-flight gauge, cumulative
+/// completion/error counters and a running SLO-attainment fraction.
+struct TenantMetricIds {
+    /// `tenant/in_flight`.
+    in_flight: MetricId,
+    /// `tenant/completed`.
+    completed: MetricId,
+    /// `tenant/errors`.
+    errors: MetricId,
+    /// `tenant/slo_attainment`.
+    slo: MetricId,
+}
+
 /// The workload engine. Construction is free; all state lives in
 /// [`Engine::run`].
 #[derive(Clone, Copy, Debug)]
@@ -147,6 +162,21 @@ impl Engine {
         let mut kind_hists: BTreeMap<&'static str, Histogram> = BTreeMap::new();
         let mut intervals: Vec<Vec<(Nanos, Nanos)>> = vec![Vec::new(); n];
         let mut host_issued: BTreeMap<u16, u64> = BTreeMap::new();
+        let mut within_slo = vec![0u64; n];
+
+        // Per-tenant timelines on the pod's metrics plane, if enabled.
+        // Gauges are refreshed around each executed op; the pod's
+        // simulated-time sampler does the periodic recording.
+        let tenant_metrics: Option<Vec<TenantMetricIds>> = pod.metrics_mut().map(|rec| {
+            (0..n as u16)
+                .map(|ti| TenantMetricIds {
+                    in_flight: rec.gauge("tenant/in_flight", Labels::tenant(ti)),
+                    completed: rec.counter("tenant/completed", Labels::tenant(ti)),
+                    errors: rec.counter("tenant/errors", Labels::tenant(ti)),
+                    slo: rec.gauge("tenant/slo_attainment", Labels::tenant(ti)),
+                })
+                .collect()
+        });
 
         // Fault plan state.
         let mut fault_pending = spec.fault;
@@ -258,6 +288,12 @@ impl Engine {
                 issue.at
             };
             let deadline = pod.time().max(issue.at) + spec.op_timeout;
+            if let Some(tm) = &tenant_metrics {
+                let id = tm[issue.tenant].in_flight;
+                if let Some(rec) = pod.metrics_mut() {
+                    rec.gauge_set(id, 1.0);
+                }
+            }
             let result = execute(pod, HostId(host), op, lba, issue.at, deadline);
             let (end, failed) = match result {
                 Ok(done) => (done, false),
@@ -279,6 +315,27 @@ impl Engine {
                 }
                 if closed {
                     intervals[issue.tenant].push((start, end));
+                }
+                if !failed && latency <= tenant.slo.limit {
+                    within_slo[issue.tenant] += 1;
+                }
+            }
+            if let Some(tm) = &tenant_metrics {
+                let ids = &tm[issue.tenant];
+                let measured_ops = hists[issue.tenant].count();
+                let attainment = if measured_ops == 0 {
+                    1.0
+                } else {
+                    within_slo[issue.tenant] as f64 / measured_ops as f64
+                };
+                let (in_flight, done, errs, slo) =
+                    (ids.in_flight, ids.completed, ids.errors, ids.slo);
+                let (done_v, errs_v) = (completed[issue.tenant], errors[issue.tenant]);
+                if let Some(rec) = pod.metrics_mut() {
+                    rec.gauge_set(in_flight, 0.0);
+                    rec.gauge_set(done, done_v as f64);
+                    rec.gauge_set(errs, errs_v as f64);
+                    rec.gauge_set(slo, attainment);
                 }
             }
 

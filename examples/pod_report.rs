@@ -23,6 +23,11 @@ fn main() {
     // Flight recorder: the report ends with per-stage latency
     // attribution (p50/p99/max per datapath stage and device kind).
     pod.enable_trace();
+    // Metrics plane (CXL_METRICS=<interval>): sampled pod timelines
+    // render as a sparkline table after the stage-latency block.
+    if cxl_pcie_pool::simkit::metrics::MetricsConfig::env_enabled() {
+        pod.enable_metrics();
+    }
 
     // Mixed traffic from every host.
     for round in 0..5u32 {

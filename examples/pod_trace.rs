@@ -9,12 +9,20 @@
 //! cargo run --release --example pod_trace -- --check # also validates the file
 //! cargo run --release --example pod_trace -- --out /tmp/t.json
 //! cargo run --release --example pod_trace -- --seed 9  # reseed the pod's policy RNG
+//! cargo run --release --example pod_trace -- --metrics # + counter tracks & CSV
 //! ```
+//!
+//! With `--metrics` the sampled metrics plane is enabled too: gauges
+//! land as Perfetto counter tracks in the same JSON, and the raw
+//! samples go to a CSV next to it (`--metrics-out`, default
+//! `pod_trace_metrics.csv`). The sampling interval follows
+//! `CXL_METRICS` when set.
 
 use cxl_fabric::HostId;
 use cxl_pcie_pool::pool::pod::{PodParams, PodSim};
 use cxl_pcie_pool::pool::telemetry;
 use cxl_pcie_pool::pool::vdev::DeviceKind;
+use cxl_pcie_pool::simkit::metrics::MetricsConfig;
 use cxl_pcie_pool::simkit::trace::TraceConfig;
 use cxl_pcie_pool::simkit::Nanos;
 use serde_json::Value;
@@ -22,12 +30,19 @@ use serde_json::Value;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check");
+    let metrics = args.iter().any(|a| a == "--metrics") || MetricsConfig::env_enabled();
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "pod_trace.json".to_string());
+    let metrics_out = args
+        .iter()
+        .position(|a| a == "--metrics-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "pod_trace_metrics.csv".to_string());
     let seed: u64 = args
         .iter()
         .position(|a| a == "--seed")
@@ -48,6 +63,16 @@ fn main() {
         ..TraceConfig::default()
     });
     pod.enable_audit();
+    if metrics {
+        let mut mc = MetricsConfig::default();
+        if !MetricsConfig::env_enabled() {
+            // Bare `--metrics` without CXL_METRICS: the example's whole
+            // run is a few hundred microseconds, so sample well below
+            // the 1 ms default to get a useful timeline.
+            mc.interval = Nanos::from_micros(10);
+        }
+        pod.enable_metrics_config(mc);
+    }
 
     // Mixed traffic. Hosts 3-5 own no devices, so their operations take
     // the full forwarded path: NT-store staging, protocol encode,
@@ -106,10 +131,70 @@ fn main() {
     );
     println!("{}", telemetry::snapshot(&pod));
 
+    if metrics {
+        let rec = pod.metrics().expect("metrics enabled");
+        let csv = rec.export_csv();
+        std::fs::write(&metrics_out, &csv).expect("write metrics csv");
+        println!(
+            "wrote {} ({} series, {} samples, {} dropped)",
+            metrics_out,
+            rec.metric_count(),
+            rec.samples().len(),
+            rec.dropped()
+        );
+    }
+
     if check {
         validate(&json);
+        if metrics {
+            validate_metrics(&pod, &json);
+        }
         println!("pod_trace: check OK");
     }
+}
+
+/// Asserts the metrics-plane invariants CI relies on: a usefully wide
+/// metric catalog, counter tracks merged into the Perfetto JSON, and
+/// CSV/JSON exports that parse and agree with the recorder.
+fn validate_metrics(pod: &PodSim, trace_json: &str) {
+    let rec = pod.metrics().expect("metrics enabled");
+    let names = rec.metric_names();
+    assert!(
+        names.len() >= 8,
+        "expected >= 8 distinct metric names, got {}: {names:?}",
+        names.len()
+    );
+    assert!(!rec.samples().is_empty(), "sampler never ticked");
+
+    // Counter tracks made it into the merged trace export.
+    let v = serde_json::from_str(trace_json).expect("trace must be valid JSON");
+    let events = v
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    let counters = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("C"))
+        .count();
+    assert!(counters > 0, "no counter-track events in the trace export");
+
+    // The CSV is one header plus one line per sample.
+    let csv = rec.export_csv();
+    let mut lines = csv.lines();
+    assert_eq!(
+        lines.next(),
+        Some("time_ns,name,host,domain,mhd,device,tenant,value"),
+        "metrics CSV header mismatch"
+    );
+    assert_eq!(lines.count(), rec.samples().len(), "CSV row count");
+
+    // The JSON export parses and carries its schema tag.
+    let mj = serde_json::from_str(&rec.export_json()).expect("metrics JSON parses");
+    assert_eq!(
+        mj.get("schema").and_then(Value::as_str),
+        Some("cxl-pool-metrics/v1"),
+        "metrics JSON schema tag"
+    );
 }
 
 /// Re-parses the exported file and asserts the invariants CI relies

@@ -1,0 +1,183 @@
+//! Metrics-plane integration: sampling must be pure observation
+//! (identical simulated behavior on and off), the sampled timelines
+//! must agree with the registry's time-weighted view, the sample ring
+//! must stay bounded with drops accounted, and the CSV/JSON exports
+//! must round-trip.
+
+use cxl_fabric::HostId;
+use cxl_pcie_pool::pool::pod::{PodParams, PodSim};
+use cxl_pcie_pool::pool::telemetry;
+use serde_json::Value;
+use simkit::metrics::MetricsConfig;
+use simkit::Nanos;
+
+/// A pod where host 2 owns no devices: its SSD ops take the full
+/// forwarded path, exercising channels, agents and the orchestrator.
+fn ssd_pod() -> PodSim {
+    let mut params = PodParams::new(4, 1);
+    params.ssd_hosts = vec![0];
+    PodSim::new(params)
+}
+
+fn cfg(interval: Nanos, capacity: usize) -> MetricsConfig {
+    MetricsConfig { interval, capacity }
+}
+
+/// Drives a deterministic burst of mixed traffic and returns the pod.
+fn drive(pod: &mut PodSim) -> Vec<u64> {
+    let mut ats = Vec::new();
+    for i in 0..4u64 {
+        let d = pod.time() + Nanos::from_millis(50);
+        let (_, r) = pod.vssd_read(HostId(2), i, 1, d).expect("read");
+        ats.push(r.at.as_nanos());
+        let d = pod.time() + Nanos::from_millis(50);
+        let r = pod.vnic_send(HostId(2), &[i as u8; 256], d).expect("send");
+        ats.push(r.at.as_nanos());
+    }
+    pod.run_control(Nanos::from_micros(50));
+    ats
+}
+
+#[test]
+fn metrics_do_not_perturb_simulated_time() {
+    let run = |metrics: bool| -> (Nanos, Vec<u64>) {
+        let mut pod = ssd_pod();
+        if metrics {
+            pod.enable_metrics_config(cfg(Nanos::from_micros(1), 1 << 14));
+        }
+        let ats = drive(&mut pod);
+        (pod.time(), ats)
+    };
+    let (time_off, ats_off) = run(false);
+    let (time_on, ats_on) = run(true);
+    assert_eq!(time_off, time_on, "metrics sampling shifted the pod clock");
+    assert_eq!(ats_off, ats_on, "metrics sampling shifted completion times");
+}
+
+#[test]
+fn sampler_agrees_with_time_weighted_view() {
+    let mut pod = ssd_pod();
+    pod.enable_metrics_config(cfg(Nanos::from_micros(1), 1 << 14));
+    drive(&mut pod);
+
+    let free = pod.fabric.free_capacity() as f64;
+    let rec = pod.metrics().expect("metrics enabled");
+    assert!(!rec.samples().is_empty(), "sampler never ticked");
+
+    let series = rec.series();
+    let pool = series
+        .iter()
+        .find(|s| s.name == "pool/free_bytes")
+        .expect("pool gauge registered");
+    // The last sampled point is the live fabric reading...
+    let &(last_at, last_v) = pool.points.last().expect("sampled at least once");
+    assert_eq!(last_v, free, "sampled gauge lags the fabric");
+    // ... and the TimeWeighted view the sampler feeds reports the same
+    // current value and a consistent average over the sampled span.
+    let id = rec
+        .find("pool/free_bytes", simkit::metrics::Labels::NONE)
+        .expect("pool gauge registered");
+    let tw = rec.time_weighted(id).expect("time-weighted view exists");
+    assert_eq!(tw.current(), free);
+    // Step-integrate the sampled timeline (value 0 from registration at
+    // t=0 until the first tick, then each sampled value until the next
+    // tick): the TimeWeighted view must report exactly this average.
+    let mut integral = 0.0;
+    for w in pool.points.windows(2) {
+        integral += w[0].1 * (w[1].0.as_nanos() - w[0].0.as_nanos()) as f64;
+    }
+    let expect = integral / last_at.as_nanos() as f64;
+    let avg = tw.average(last_at);
+    assert!(
+        (avg - expect).abs() <= expect.abs() * 1e-9,
+        "time-weighted average {avg} disagrees with sampled integration {expect}"
+    );
+}
+
+#[test]
+fn ring_capacity_bounds_samples_and_counts_drops() {
+    let mut pod = ssd_pod();
+    // Tiny ring: far fewer slots than (metrics x ticks).
+    pod.enable_metrics_config(cfg(Nanos::from_micros(1), 8));
+    drive(&mut pod);
+
+    let rec = pod.metrics().expect("metrics enabled");
+    assert_eq!(rec.samples().len(), 8, "the ring never grows past capacity");
+    assert!(rec.dropped() > 0, "overflow must be counted");
+
+    // The exports stay well-formed under drops and report them.
+    let json = rec.export_json();
+    let v: Value = serde_json::from_str(&json).expect("valid JSON under drops");
+    assert!(v.get("dropped").and_then(Value::as_f64).unwrap_or(0.0) > 0.0);
+
+    // ... and the drop counter surfaces in the operator report.
+    let rep = telemetry::snapshot(&pod);
+    assert!(rep.metrics_dropped > 0);
+    assert!(rep.to_string().contains("samples dropped"));
+}
+
+#[test]
+fn csv_and_json_exports_round_trip() {
+    let mut pod = ssd_pod();
+    pod.enable_metrics_config(cfg(Nanos::from_micros(1), 1 << 14));
+    drive(&mut pod);
+
+    let rec = pod.metrics().expect("metrics enabled");
+
+    // CSV: header + one row per sample, numeric time and value fields.
+    let csv = rec.export_csv();
+    let mut lines = csv.lines();
+    assert_eq!(
+        lines.next(),
+        Some("time_ns,name,host,domain,mhd,device,tenant,value")
+    );
+    let rows: Vec<&str> = lines.collect();
+    assert_eq!(rows.len(), rec.samples().len());
+    for row in &rows {
+        let cols: Vec<&str> = row.split(',').collect();
+        assert_eq!(cols.len(), 8, "malformed CSV row: {row}");
+        cols[0].parse::<u64>().expect("time_ns is numeric");
+        cols[7].parse::<f64>().expect("value is numeric");
+    }
+
+    // JSON: parses, carries the schema tag, and its per-series point
+    // counts sum to the sample count.
+    let v: Value = serde_json::from_str(&rec.export_json()).expect("metrics JSON parses");
+    assert_eq!(
+        v.get("schema").and_then(Value::as_str),
+        Some("cxl-pool-metrics/v1")
+    );
+    let series = v
+        .get("series")
+        .and_then(Value::as_array)
+        .expect("series array");
+    let points: usize = series
+        .iter()
+        .map(|s| {
+            s.get("points")
+                .and_then(Value::as_array)
+                .map_or(0, Vec::len)
+        })
+        .sum();
+    assert_eq!(points, rec.samples().len());
+    // Series are sorted by (name, labels) for byte-stable output.
+    let names: Vec<&str> = series
+        .iter()
+        .map(|s| s.get("name").and_then(Value::as_str).unwrap_or(""))
+        .collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted, "series must be name-sorted");
+}
+
+#[test]
+fn metrics_absent_when_never_enabled() {
+    let mut pod = ssd_pod();
+    drive(&mut pod);
+    assert!(pod.metrics().is_none());
+    assert!(pod.export_metrics_csv().is_none());
+    assert!(pod.export_metrics_json().is_none());
+    let rep = telemetry::snapshot(&pod);
+    assert!(rep.metrics.is_empty());
+    assert_eq!(rep.metrics_dropped, 0);
+}
