@@ -24,15 +24,15 @@ use simkit::metrics::MetricsConfig;
 use simkit::stats::Summary;
 use simkit::{Nanos, Profiler, ProfilerReport};
 use workgen::{
-    Arrival, CapacityConfig, CapacityResult, Engine, FaultPlan, OpKind, RunReport, SloSpec,
-    TenantSpec, WorkloadSpec,
+    Arrival, CapacityConfig, CapacityResult, ChurnSpec, ChurnTenant, Engine, FaultPlan, OpKind,
+    RunReport, SloSpec, TenantSpec, WorkloadSpec,
 };
 
 use crate::Scale;
 
-/// Stable schema tag for downstream consumers (v2: multi-domain pod,
-/// domain-loss fault plans).
-pub const SCHEMA: &str = "cxl-pool-workload-bench/v2";
+/// Stable schema tag for downstream consumers (v3: tenant-churn
+/// scenario with live-migration vs naive-placement A/B).
+pub const SCHEMA: &str = "cxl-pool-workload-bench/v3";
 
 /// Default output path (gitignored; CI uploads it as an artifact).
 pub const DEFAULT_OUT: &str = "BENCH_workload.json";
@@ -45,6 +45,9 @@ pub struct Config {
     pub seed: u64,
     /// Quick (CI) or full (paper-scale) windows and search depth.
     pub scale: Scale,
+    /// Also run the tenant-churn scenario (live migration vs naive
+    /// static placement) and emit the `churn` section.
+    pub churn: bool,
 }
 
 /// The pod under test: six hosts, four MHDs round-robined over two
@@ -131,6 +134,78 @@ pub fn base_spec(scale: Scale) -> WorkloadSpec {
         op_timeout: Nanos::from_micros(150),
         balance_every: Some(Nanos::from_millis(1)),
         fault: None,
+        churn: None,
+    }
+}
+
+/// The pod for the churn scenario: eight hosts so the lifecycle
+/// tenants can issue from device-less hosts 5-6 while the resident
+/// tenant keeps hosts 3-4 busy; two NICs is the contended resource the
+/// orchestrator spreads churn across.
+pub fn churn_pod_params(seed: u64) -> PodParams {
+    let mut p = PodParams::new(8, 2);
+    p.mhds = 4;
+    p.domains = 2;
+    p.lambda = 4;
+    p.ssd_hosts = vec![0, 1];
+    p.accel_hosts = vec![2];
+    p.ring_slots = 128;
+    p.io_slots = 32;
+    p.seed = seed;
+    p
+}
+
+/// The churn workload: one resident NIC tenant plus two lifecycle
+/// tenants arriving/growing/shrinking/departing on the seeded diurnal
+/// schedule. The churn tenants run 8-block pooled-SSD scans — each op
+/// occupies every flash channel for one read latency, so a single SSD
+/// sustains ~12.5k ops/s — at peak rates sized so *one* SSD carries
+/// both tenants only by blowing its tail. Naive placement pins every
+/// churn tenant on SSD 0 — the static choice a pod without live
+/// migration is stuck with — so the A/B pair (`migrate` on/off)
+/// isolates exactly the orchestrator's churn response. The
+/// control-plane balance feedback is off here for the same reason.
+pub fn churn_workload(scale: Scale, migrate: bool) -> WorkloadSpec {
+    let churn_tenant = |name: &str, rate_pps: f64, host: u16| ChurnTenant {
+        spec: TenantSpec {
+            name: name.into(),
+            arrival: Arrival::Poisson { rate_pps },
+            mix: vec![(OpKind::SsdRead { blocks: 8 }, 1.0)],
+            hosts: vec![host],
+            slo: SloSpec {
+                quantile: 0.99,
+                limit: Nanos::from_micros(300),
+                max_error_frac: 0.05,
+            },
+        },
+        state_len: 4096,
+        replicas: 1,
+        naive_dev: 0,
+    };
+    WorkloadSpec {
+        tenants: vec![TenantSpec {
+            name: "steady".into(),
+            arrival: Arrival::Poisson { rate_pps: 20_000.0 },
+            mix: vec![(OpKind::NicSend { bytes: 512 }, 1.0)],
+            hosts: vec![3, 4],
+            slo: SloSpec {
+                quantile: 0.99,
+                limit: Nanos::from_micros(100),
+                max_error_frac: 0.05,
+            },
+        }],
+        warmup: scale.pick(Nanos::from_micros(200), Nanos::from_micros(500)),
+        measure: scale.pick(Nanos::from_millis(4), Nanos::from_millis(12)),
+        op_timeout: Nanos::from_micros(600),
+        balance_every: None,
+        fault: None,
+        churn: Some(ChurnSpec {
+            tenants: vec![
+                churn_tenant("diurnal-a", 8_000.0, 5),
+                churn_tenant("diurnal-b", 8_000.0, 6),
+            ],
+            migrate,
+        }),
     }
 }
 
@@ -205,6 +280,46 @@ pub fn run_profiled(cfg: &Config, prof: &mut Profiler) -> Value {
         }
     }
 
+    // Tenant churn A/B: the same seeded lifecycle schedule, once with
+    // orchestrator live migration answering each event and once stuck
+    // with the naive static placement. Audit + flight recorder ride on
+    // the migrating run — the interesting datapath.
+    let churn_json = if cfg.churn {
+        let engine = Engine::new(cfg.seed);
+        let mig_spec = churn_workload(cfg.scale, true);
+        let naive_spec = churn_workload(cfg.scale, false);
+
+        let mut mig_pod = PodSim::new(churn_pod_params(cfg.seed));
+        mig_pod.enable_audit();
+        mig_pod.enable_trace_config(simkit::trace::TraceConfig {
+            capacity: 1 << 15,
+            fabric_ops: false,
+        });
+        if MetricsConfig::env_enabled() {
+            mig_pod.enable_metrics();
+        }
+        let mig = prof.measure("churn_migrate", || engine.run(&mut mig_pod, &mig_spec));
+        prof.add_events("churn_migrate", mig.ops);
+        prof.add_sim("churn_migrate", mig.elapsed);
+        let mig_snap = telemetry::snapshot(&mig_pod);
+        let mig_audit = mig_pod.audit_finalize();
+
+        let mut naive_pod = PodSim::new(churn_pod_params(cfg.seed));
+        let naive = prof.measure("churn_naive", || engine.run(&mut naive_pod, &naive_spec));
+        prof.add_events("churn_naive", naive.ops);
+        prof.add_sim("churn_naive", naive.elapsed);
+
+        Some(churn_section(
+            &mig_spec,
+            &mig,
+            &mig_snap,
+            mig_audit.as_ref(),
+            &naive,
+        ))
+    } else {
+        None
+    };
+
     let audit_mode = format!("{:?}", cxl_fabric::AuditConfig::default().mode);
     let audit_json = match audit {
         Some(r) => obj(vec![
@@ -266,14 +381,16 @@ pub fn run_profiled(cfg: &Config, prof: &mut Profiler) -> Value {
             "capacity_under_fault",
             capacity_json(&under_fault, faulted.fault.as_ref()),
         ),
+        ("churn", churn_json.unwrap_or(Value::Null)),
     ])
 }
 
-/// CLI entry: `bench workload [--seed N] [--out PATH] [--full] [--check]`.
+/// CLI entry: `bench workload [--seed N] [--out PATH] [--full] [--churn] [--check]`.
 pub fn run_cli(args: &[String]) -> ExitCode {
     let mut seed = 42u64;
     let mut out = DEFAULT_OUT.to_string();
     let mut scale = Scale::Quick;
+    let mut churn = false;
     let mut check = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -293,18 +410,19 @@ pub fn run_cli(args: &[String]) -> ExitCode {
                 }
             },
             "--full" => scale = Scale::Full,
+            "--churn" => churn = true,
             "--check" => check = true,
             other => {
                 eprintln!(
                     "workload: unknown argument {other}\n\
-                     usage: bench workload [--seed N] [--out PATH] [--full] [--check]"
+                     usage: bench workload [--seed N] [--out PATH] [--full] [--churn] [--check]"
                 );
                 return ExitCode::FAILURE;
             }
         }
     }
 
-    let cfg = Config { seed, scale };
+    let cfg = Config { seed, scale, churn };
     let mut prof = Profiler::start();
     let doc = run_profiled(&cfg, &mut prof);
     // Capture the deterministic text *before* grafting the wall-clock
@@ -417,6 +535,51 @@ fn self_check(cfg: &Config, doc: &Value, text: &str, out: &str) -> Result<(), St
             "sim_rate.events_per_wall_s is {event_rate}, expected > 0"
         ));
     }
+
+    // The churn section: live migration must keep every tenant's SLO
+    // green where the naive static placement fails at least one, the
+    // blackout histogram must be populated, and the migrating datapath
+    // must be audit-clean.
+    if cfg.churn {
+        let getb = |path: &[&str]| -> Result<bool, String> {
+            field(path)?
+                .as_bool()
+                .ok_or_else(|| format!("{} is not a bool", path.join(".")))
+        };
+        if !getb(&["churn", "migrate", "all_slos_pass"])? {
+            return Err("live migration failed to keep every churn-run SLO green".into());
+        }
+        if getb(&["churn", "naive", "all_slos_pass"])? {
+            return Err(
+                "naive static placement passed every SLO — the churn scenario does not \
+                 discriminate"
+                    .into(),
+            );
+        }
+        let migrations = getf(&["churn", "migrate", "tenant_migrations"])?;
+        if migrations < 1.0 {
+            return Err("churn run performed no tenant migrations".into());
+        }
+        let blackouts = getf(&["churn", "migrate", "blackout_ns", "count"])?;
+        if blackouts < 1.0 {
+            return Err("blackout histogram is empty despite migrations".into());
+        }
+        let events = field(&["churn", "events"])?
+            .as_array()
+            .ok_or("churn.events is not an array")?;
+        if !events
+            .iter()
+            .any(|e| e.get("event").and_then(Value::as_str) == Some("depart"))
+        {
+            return Err("no tenant departed within the churn run".into());
+        }
+        let churn_violations = getf(&["churn", "audit", "violations"])?;
+        if churn_violations != 0.0 {
+            return Err(format!(
+                "churn coherence audit reported {churn_violations} violations"
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -480,6 +643,40 @@ fn print_summary(doc: &Value, out: &str) {
         g(&["capacity", "capacity_pps"]),
         g(&["capacity_under_fault", "capacity_pps"]),
     );
+    if doc.get("churn").and_then(Value::as_object).is_some() {
+        let pass = |path: &[&str]| -> &str {
+            let mut v = doc;
+            for key in path {
+                match v.get(key) {
+                    Some(next) => v = next,
+                    None => return "?",
+                }
+            }
+            match v.as_bool() {
+                Some(true) => "all SLOs PASS",
+                Some(false) => "SLO FAIL",
+                None => "?",
+            }
+        };
+        let n_events = doc
+            .get("churn")
+            .and_then(|c| c.get("events"))
+            .and_then(Value::as_array)
+            .map_or(0, Vec::len);
+        println!(
+            "churn: {} events, {} migrations; live migration: {}, naive placement: {}",
+            n_events,
+            g(&["churn", "migrate", "tenant_migrations"]),
+            pass(&["churn", "migrate", "all_slos_pass"]),
+            pass(&["churn", "naive", "all_slos_pass"]),
+        );
+        println!(
+            "  blackout: n={} p50={:.1} us p99={:.1} us",
+            g(&["churn", "migrate", "blackout_ns", "count"]),
+            g(&["churn", "migrate", "blackout_ns", "p50"]) / 1_000.0,
+            g(&["churn", "migrate", "blackout_ns", "p99"]) / 1_000.0,
+        );
+    }
     println!(
         "sim rate: {:.3e} sim-ns/wall-s, {:.0} measured ops/wall-s",
         g(&["sim_rate", "sim_ns_per_wall_s"]),
@@ -653,6 +850,93 @@ fn report_json_fields(r: &RunReport) -> Vec<(&'static str, Value)> {
         ("tenants", Value::Array(tenants)),
         ("kinds", Value::Array(kinds)),
     ]
+}
+
+/// The `churn` document section: the lifecycle timeline and migration
+/// accounting from the migrating run, the A/B SLO verdicts, and the
+/// audit result for the migrating datapath.
+fn churn_section(
+    spec: &WorkloadSpec,
+    mig: &RunReport,
+    mig_snap: &telemetry::PodReport,
+    mig_audit: Option<&cxl_fabric::AuditReport>,
+    naive: &RunReport,
+) -> Value {
+    let churn = spec.churn.as_ref().expect("churn workload");
+    let churn_tenants: Vec<Value> = churn
+        .tenants
+        .iter()
+        .map(|ct| {
+            obj(vec![
+                ("spec", tenant_spec_json(&ct.spec)),
+                ("state_len", num(ct.state_len as f64)),
+                ("replicas", num(ct.replicas as f64)),
+                ("naive_dev", num(ct.naive_dev as f64)),
+            ])
+        })
+        .collect();
+    let events: Vec<Value> = mig
+        .lifecycle
+        .iter()
+        .map(|e| {
+            obj(vec![
+                ("at_ns", num(e.at.as_nanos() as f64)),
+                ("tenant", Value::String(e.tenant.clone())),
+                ("event", Value::String(e.event.into())),
+                ("migrated", Value::Bool(e.migrated)),
+                (
+                    "blackout_ns",
+                    e.blackout.map_or(Value::Null, |b| num(b.as_nanos() as f64)),
+                ),
+            ])
+        })
+        .collect();
+    let migrate_stage = mig_snap
+        .stages
+        .iter()
+        .find(|s| s.stage == "lifecycle/migrate")
+        .map_or(Value::Null, |s| summary_json(&s.latency));
+    let side = |r: &RunReport| {
+        let mut fields = report_json_fields(r);
+        fields.push(("all_slos_pass", Value::Bool(r.all_slos_pass())));
+        fields
+    };
+    let mut mig_fields = side(mig);
+    mig_fields.push(("tenant_migrations", num(mig_snap.tenant_migrations as f64)));
+    mig_fields.push((
+        "blackout_ns",
+        mig_snap.blackout.as_ref().map_or(Value::Null, summary_json),
+    ));
+    mig_fields.push(("migrate_stage_ns", migrate_stage));
+    obj(vec![
+        (
+            "pod",
+            obj(vec![
+                ("hosts", num(8.0)),
+                ("mhds", num(4.0)),
+                ("domains", num(2.0)),
+                ("nic_hosts", num(2.0)),
+            ]),
+        ),
+        ("churn_tenants", Value::Array(churn_tenants)),
+        ("events", Value::Array(events)),
+        ("migrate", obj(mig_fields)),
+        ("naive", obj(side(naive))),
+        (
+            "audit",
+            match mig_audit {
+                Some(r) => obj(vec![
+                    (
+                        "mode",
+                        Value::String(format!("{:?}", cxl_fabric::AuditConfig::default().mode)),
+                    ),
+                    ("ops_audited", num(r.ops_audited as f64)),
+                    ("violations", num(r.counts.total() as f64)),
+                ]),
+                None => Value::Null,
+            },
+        ),
+    ])
 }
 
 fn capacity_json(c: &CapacityResult, fault: Option<&FaultPlan>) -> Value {

@@ -19,6 +19,9 @@
 //! - **Assembly** ([`pod`]): [`pod::PodSim`] wires fabric, devices,
 //!   agents, channels, and orchestrator into one simulated rack you can
 //!   drive from tests, examples, and benches.
+//! - **Tenant lifecycle** ([`lifecycle`]): provision/migrate/release a
+//!   whole tenant's device bindings and pool state — the §4.2
+//!   orchestrator's churn response, generalizing connection migration.
 //! - **§5 extensions** ([`striping`], [`accelpool`], [`torless`],
 //!   [`migration`]): storage striping across pooled SSDs, 1:16
 //!   accelerator disaggregation, ToR-less availability modelling, and
@@ -27,6 +30,7 @@
 pub mod accelpool;
 pub mod agent;
 pub mod bonding;
+pub mod lifecycle;
 pub mod migration;
 pub mod orchestrator;
 pub mod pod;
@@ -36,6 +40,7 @@ pub mod telemetry;
 pub mod torless;
 pub mod vdev;
 
+pub use lifecycle::{LifecycleStats, TenantMigrationReport, TenantState};
 pub use orchestrator::{AllocPolicy, Orchestrator};
 pub use pod::{PodParams, PodSim};
 pub use proto::Msg;

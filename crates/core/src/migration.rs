@@ -15,6 +15,7 @@ use cxl_fabric::HostId;
 use pcie_sim::DeviceId;
 use simkit::Nanos;
 
+use crate::lifecycle;
 use crate::pod::PodSim;
 use crate::vdev::{DeviceKind, PoolError};
 
@@ -91,6 +92,11 @@ impl Connection {
     /// Migrates the connection to NIC `to`: quiesce (checkpoint state),
     /// rebind via the orchestrator, resume, and send the first segment
     /// on the new NIC. Returns a blackout report.
+    ///
+    /// The quiesce/rebind/resume mechanics and blackout accounting are
+    /// shared with whole-tenant migration — see [`lifecycle::rebind`]
+    /// and `PodSim::record_migration_window`; this is the one-vdev
+    /// special case the lifecycle engine generalizes.
     pub fn migrate(
         &mut self,
         pod: &mut PodSim,
@@ -106,20 +112,10 @@ impl Connection {
         let quiesced_at = self.checkpoint(pod)?;
         // Rebind: one orchestrator assignment, pushed over the control
         // channel and applied by the owner's agent.
-        pod.orch.advance_clock(quiesced_at);
-        pod.orch
-            .allocate_specific(&mut pod.fabric, self.owner, DeviceKind::Nic, to)?;
-        // Let the Assign land.
-        let mut waited = Nanos::ZERO;
-        while pod.binding(self.owner, DeviceKind::Nic) != Some(to) {
-            pod.run_control(Nanos::from_micros(5));
-            waited += Nanos::from_micros(5);
-            if waited > Nanos::from_millis(10) {
-                return Err(PoolError::Timeout { op: 0 });
-            }
-        }
+        lifecycle::rebind(pod, self.owner, DeviceKind::Nic, to, quiesced_at)?;
         // Resume: first segment on the new NIC.
         let resumed_at = self.send_segment(pod, 256, deadline)?;
+        pod.record_migration_window(0, quiesced_at, resumed_at);
         Ok(MigrationReport {
             from,
             to,

@@ -23,6 +23,7 @@ use simkit::trace::{self, TraceConfig, TraceRecorder, Track};
 use simkit::Nanos;
 
 use crate::agent::{Agent, Completion, Link, Peer};
+use crate::lifecycle::LifecycleStats;
 use crate::orchestrator::{AllocPolicy, Orchestrator};
 use crate::proto::Msg;
 use crate::vdev::{DeviceKind, PoolError};
@@ -127,6 +128,9 @@ pub struct PodSim {
     /// Metric handles the pod-side sampler refreshes each tick
     /// (`None` until [`PodSim::enable_metrics`]).
     metric_ids: Option<PodMetricIds>,
+    /// Tenant-lifecycle counters and the pod-wide blackout histogram
+    /// (see [`crate::lifecycle`]); always on, metrics-independent.
+    pub lifecycle: LifecycleStats,
 }
 
 /// Handles for every pod-level metric series, in registration order.
@@ -158,6 +162,10 @@ struct PodMetricIds {
     orch_migrations: MetricId,
     /// `orch/failovers`.
     orch_failovers: MetricId,
+    /// `lifecycle/blackout_ns` (histogram; fed at migration time).
+    lifecycle_blackout: MetricId,
+    /// `lifecycle/in_flight_migrations` (gauge).
+    lifecycle_in_flight: MetricId,
 }
 
 impl PodSim {
@@ -305,6 +313,8 @@ impl PodSim {
             audit_violations: rec.counter("audit/violations", Labels::NONE),
             orch_migrations: rec.counter("orch/migrations", Labels::NONE),
             orch_failovers: rec.counter("orch/failovers", Labels::NONE),
+            lifecycle_blackout: rec.histogram("lifecycle/blackout_ns", Labels::NONE),
+            lifecycle_in_flight: rec.gauge("lifecycle/in_flight_migrations", Labels::NONE),
         };
         for h in 0..hosts {
             ids.host_served
@@ -384,6 +394,7 @@ impl PodSim {
             .map_or(0.0, |r| r.counts.total() as f64);
         let migrations = self.orch.migrations as f64;
         let failovers = self.orch.failover_log.len() as f64;
+        let in_flight = self.lifecycle.in_flight as f64;
         if let Some(rec) = self.fabric.metrics_mut() {
             for (i, &id) in ids.host_served.iter().enumerate() {
                 rec.gauge_set(id, served[i]);
@@ -413,6 +424,7 @@ impl PodSim {
             rec.gauge_set(ids.audit_violations, violations);
             rec.gauge_set(ids.orch_migrations, migrations);
             rec.gauge_set(ids.orch_failovers, failovers);
+            rec.gauge_set(ids.lifecycle_in_flight, in_flight);
             rec.sample(now);
         }
         self.metric_ids = Some(ids);
@@ -581,6 +593,7 @@ impl PodSim {
             orch_segs,
             io_segs,
             metric_ids: None,
+            lifecycle: LifecycleStats::default(),
         };
 
         // Initial allocation: give every host a binding for each kind
@@ -666,6 +679,37 @@ impl PodSim {
         let op = self.next_op;
         self.next_op += 1;
         op
+    }
+
+    /// Records one migration blackout window — the single accounting
+    /// point shared by connection migration and whole-tenant lifecycle
+    /// migration: the pod-wide blackout histogram, the
+    /// `lifecycle/blackout_ns` metric (when the plane is on) and a
+    /// `lifecycle/migrate` span on the orchestrator host's CPU track
+    /// (when tracing). Observation-only: no simulated clock moves.
+    pub(crate) fn record_migration_window(
+        &mut self,
+        op: u64,
+        quiesced_at: Nanos,
+        resumed_at: Nanos,
+    ) {
+        let blackout = resumed_at.saturating_sub(quiesced_at);
+        self.lifecycle.blackout.record_nanos(blackout);
+        let orch_host = self.orch.host.0;
+        if let Some(tr) = self.fabric.trace_mut() {
+            tr.span_for(
+                Track::HostCpu(orch_host),
+                "lifecycle/migrate",
+                op,
+                trace::KIND_NONE,
+                quiesced_at,
+                resumed_at,
+            );
+        }
+        let hist = self.metric_ids.as_ref().map(|ids| ids.lifecycle_blackout);
+        if let (Some(id), Some(rec)) = (hist, self.fabric.metrics_mut()) {
+            rec.observe(id, blackout.as_nanos());
+        }
     }
 
     /// Grabs the next I/O buffer slot for `host`.

@@ -388,6 +388,17 @@ impl ReplicaSet {
         });
         Ok(Some(target))
     }
+
+    /// Releases every copy back to the pool (tenant departure).
+    /// `Fabric::free_segment` clears the coherence auditor's per-line
+    /// shadow state for each replica across *all* domains, so a later
+    /// tenant reusing these addresses can never alias the old copies'
+    /// history.
+    pub fn free(self, fabric: &mut Fabric) {
+        for r in self.replicas {
+            let _ = fabric.free_segment(r.seg);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -81,6 +81,12 @@ pub struct PodReport {
     pub failovers: usize,
     /// Load-balancing migrations performed.
     pub migrations: u64,
+    /// Whole-tenant lifecycle migrations performed.
+    pub tenant_migrations: u64,
+    /// Migration blackout distribution (ns) across every migration
+    /// window — tenant and connection migrations alike; None before
+    /// the first migration.
+    pub blackout: Option<Summary>,
     /// Fabric: total pool loads / visible writes (ops).
     pub pool_loads: u64,
     /// Fabric: NT stores + flush write-backs + DMA writes.
@@ -210,6 +216,8 @@ pub fn snapshot(pod: &PodSim) -> PodReport {
         devices,
         failovers: pod.orch.failover_log.len(),
         migrations: pod.orch.migrations,
+        tenant_migrations: pod.lifecycle.tenant_migrations,
+        blackout: pod.lifecycle.blackout_summary(),
         pool_loads: f.loads + f.dma_reads,
         pool_writes: f.nt_stores + f.flushes + f.dma_writes,
         pool_bytes_read: f.bytes_read,
@@ -267,6 +275,13 @@ impl fmt::Display for PodReport {
             "  control plane: {} failovers, {} migrations",
             self.failovers, self.migrations
         )?;
+        if let Some(b) = &self.blackout {
+            writeln!(
+                f,
+                "  lifecycle: {} tenant migrations, blackout ns n={} p50={} p99={} max={}",
+                self.tenant_migrations, b.count, b.p50, b.p99, b.max
+            )?;
+        }
         if let Some(a) = &self.audit {
             let c = &a.counts;
             writeln!(

@@ -17,16 +17,19 @@
 use std::collections::BTreeMap;
 
 use cxl_fabric::{DomainId, HostId, MhdId};
+use cxl_pool_core::lifecycle::{self as pod_lifecycle, TenantState};
 use cxl_pool_core::pod::{PodSim, IO_SLOT};
 use cxl_pool_core::vdev::{DeviceKind, PoolError};
+use pcie_sim::DeviceId;
 use simkit::metrics::{Labels, MetricId};
 use simkit::rng::Rng;
 use simkit::stats::{Histogram, Summary};
 use simkit::Nanos;
 
 use crate::arrival::Arrival;
+use crate::lifecycle::{thin_schedule, ChurnSpec, LifecycleEvent, LifecycleEventKind};
 use crate::slo::SloVerdict;
-use crate::spec::{FaultTarget, OpKind, WorkloadSpec};
+use crate::spec::{FaultTarget, OpKind, TenantSpec, WorkloadSpec};
 
 /// Per-tenant results for one run.
 #[derive(Clone, Debug)]
@@ -51,10 +54,25 @@ pub struct TenantReport {
     pub peak_in_flight: usize,
 }
 
+/// One applied lifecycle event, for reports and JSON.
+#[derive(Clone, Debug)]
+pub struct LifecycleEventReport {
+    /// Offset from run start at which the event applied.
+    pub at: Nanos,
+    /// Churn tenant name.
+    pub tenant: String,
+    /// `"arrive"`, `"grow"`, `"shrink"` or `"depart"`.
+    pub event: &'static str,
+    /// True when the event triggered a live migration.
+    pub migrated: bool,
+    /// Blackout window of that migration, when one happened.
+    pub blackout: Option<Nanos>,
+}
+
 /// The outcome of one engine run.
 #[derive(Clone, Debug)]
 pub struct RunReport {
-    /// Per-tenant results.
+    /// Per-tenant results (residents first, then churn tenants).
     pub tenants: Vec<TenantReport>,
     /// Per-operation-class latency summaries, sorted by label.
     pub kinds: Vec<(&'static str, Summary)>,
@@ -68,6 +86,8 @@ pub struct RunReport {
     pub errors: u64,
     /// Simulated time consumed by the run.
     pub elapsed: Nanos,
+    /// Applied tenant-lifecycle events, in order (empty without churn).
+    pub lifecycle: Vec<LifecycleEventReport>,
 }
 
 impl RunReport {
@@ -139,8 +159,35 @@ impl Engine {
             choice_rngs.push(master.fork());
         }
 
+        // Churn: the lifecycle event schedule and the churn tenants'
+        // thinned peak-rate schedules derive from the same master
+        // stream, *after* the residents — a churn-free spec replays
+        // bit-identically to a pre-churn engine.
+        let churn = spec.churn.as_ref();
+        let mut events: Vec<LifecycleEvent> = Vec::new();
+        if let Some(c) = churn {
+            let ev_seed = master.next_u64();
+            events = c.schedule(ev_seed, span);
+            for (ci, ct) in c.tenants.iter().enumerate() {
+                let sched_seed = master.next_u64();
+                let full = ct.spec.arrival.schedule(sched_seed, span);
+                schedules.push(thin_schedule(full, &events, ci));
+                choice_rngs.push(master.fork());
+            }
+        }
+        let all_tenants: Vec<&TenantSpec> = spec
+            .tenants
+            .iter()
+            .chain(
+                churn
+                    .into_iter()
+                    .flat_map(|c| c.tenants.iter().map(|ct| &ct.spec)),
+            )
+            .collect();
+        let resident_n = spec.tenants.len();
+
         // Issue sources: open-loop cursors + closed-loop workers.
-        let mut cursors = vec![0usize; spec.tenants.len()];
+        let mut cursors = vec![0usize; all_tenants.len()];
         let mut workers: Vec<Issue> = Vec::new();
         for (ti, t) in spec.tenants.iter().enumerate() {
             if let Arrival::ClosedLoop { concurrency, .. } = t.arrival {
@@ -155,7 +202,7 @@ impl Engine {
         }
 
         // Measurement state.
-        let n = spec.tenants.len();
+        let n = all_tenants.len();
         let mut hists: Vec<Histogram> = vec![Histogram::new(); n];
         let mut errors = vec![0u64; n];
         let mut completed = vec![0u64; n];
@@ -182,6 +229,14 @@ impl Engine {
         let mut fault_pending = spec.fault;
         let mut heal_at: Option<(Nanos, FaultTarget)> = None;
         let mut next_balance = spec.balance_every.map(|every| t0 + every);
+
+        // Lifecycle runtime state: pool-resident tenant state, current
+        // activity level per churn tenant, and the applied-event log.
+        let churn_count = churn.map_or(0, |c| c.tenants.len());
+        let mut lc_states: Vec<Option<TenantState>> = (0..churn_count).map(|_| None).collect();
+        let mut lc_levels: Vec<f64> = vec![0.0; churn_count];
+        let mut lc_next = 0usize;
+        let mut lifecycle_log: Vec<LifecycleEventReport> = Vec::new();
 
         loop {
             // Earliest pending issue, deterministic tie-break.
@@ -243,6 +298,25 @@ impl Engine {
                 }
             }
 
+            // Tenant lifecycle: apply every event the schedule has
+            // crossed (same pattern as the fault plan).
+            while let Some(&ev) = events.get(lc_next) {
+                if issue.at < t0 + ev.at {
+                    break;
+                }
+                lc_next += 1;
+                let c = churn.expect("lifecycle events imply a churn spec");
+                apply_lifecycle_event(
+                    pod,
+                    spec,
+                    c,
+                    &ev,
+                    &mut lc_states,
+                    &mut lc_levels,
+                    &mut lifecycle_log,
+                );
+            }
+
             // Control-plane feedback: report per-host issue counts as
             // loads and let the orchestrator rebalance.
             if let (Some(t), Some(every)) = (next_balance, spec.balance_every) {
@@ -265,7 +339,7 @@ impl Engine {
             }
 
             // Advance this source past the issue we are about to run.
-            let tenant = &spec.tenants[issue.tenant];
+            let tenant = all_tenants[issue.tenant];
             let closed = issue.worker != usize::MAX;
             if !closed {
                 cursors[issue.tenant] += 1;
@@ -351,12 +425,43 @@ impl Engine {
             }
         }
 
+        // Run out the remaining lifecycle events (departures scheduled
+        // after the last issued op), then reclaim any tenant still
+        // resident so the pod hands back every churn-owned segment.
+        if let Some(c) = churn {
+            while let Some(&ev) = events.get(lc_next) {
+                lc_next += 1;
+                apply_lifecycle_event(
+                    pod,
+                    spec,
+                    c,
+                    &ev,
+                    &mut lc_states,
+                    &mut lc_levels,
+                    &mut lifecycle_log,
+                );
+            }
+            for st in lc_states.into_iter().flatten() {
+                st.release(pod);
+            }
+        }
+
         // Reduce.
         let secs = spec.measure.as_secs_f64();
         let mut tenants = Vec::with_capacity(n);
-        for (ti, t) in spec.tenants.iter().enumerate() {
+        for (ti, t) in all_tenants.iter().enumerate() {
             let achieved = completed[ti] as f64 / secs;
-            let offered = t.arrival.mean_rate_pps().unwrap_or(achieved);
+            // A churn tenant's offered rate is what its thinned
+            // schedule actually put inside the measurement window.
+            let offered = if ti >= resident_n {
+                schedules[ti]
+                    .iter()
+                    .filter(|&&off| off >= spec.warmup && off < span)
+                    .count() as f64
+                    / secs
+            } else {
+                t.arrival.mean_rate_pps().unwrap_or(achieved)
+            };
             tenants.push(TenantReport {
                 name: t.name.clone(),
                 offered_pps: offered,
@@ -380,8 +485,185 @@ impl Engine {
             errors: tenants.iter().map(|t| t.errors).sum(),
             elapsed: pod.time().saturating_sub(t0),
             tenants,
+            lifecycle: lifecycle_log,
         }
     }
+}
+
+/// The device class a churn tenant's traffic is judged on: its
+/// heaviest-weighted op's kind.
+fn primary_kind(t: &TenantSpec) -> DeviceKind {
+    t.mix
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|&(op, _)| op.device_kind())
+        .expect("validated mix is non-empty")
+}
+
+/// `t`'s mix weight fraction that lands on `kind`.
+fn kind_share(t: &TenantSpec, kind: DeviceKind) -> f64 {
+    let total: f64 = t
+        .mix
+        .iter()
+        .filter(|&&(_, w)| w > 0.0)
+        .map(|&(_, w)| w)
+        .sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let on: f64 = t
+        .mix
+        .iter()
+        .filter(|&&(op, w)| w > 0.0 && op.device_kind() == kind)
+        .map(|&(_, w)| w)
+        .sum();
+    on / total
+}
+
+/// Offered-rate attribution for `kind`, in milli-ops/s per live
+/// device: every open-loop tenant's mean rate (scaled by its mix
+/// share on `kind` and, for churn tenants, its lifecycle level) is
+/// split across its hosts and charged to the device each host is
+/// currently bound to. Churn tenant `exclude` is left out so the
+/// placement choice reflects the load it would *join*. Deterministic:
+/// BTreeMap keying and integer milli-pps totals.
+fn device_load_mpps(
+    pod: &PodSim,
+    spec: &WorkloadSpec,
+    churn: &ChurnSpec,
+    levels: &[f64],
+    kind: DeviceKind,
+    exclude: usize,
+) -> BTreeMap<DeviceId, u64> {
+    let mut load: BTreeMap<DeviceId, u64> = pod
+        .orch
+        .devices_of(kind)
+        .into_iter()
+        .filter(|&d| pod.orch.device(d).is_some_and(|i| i.up))
+        .map(|d| (d, 0))
+        .collect();
+    let charge = |load: &mut BTreeMap<DeviceId, u64>, t: &TenantSpec, level: f64| {
+        let Some(rate) = t.arrival.mean_rate_pps() else {
+            return;
+        };
+        let share = kind_share(t, kind);
+        if share <= 0.0 || level <= 0.0 {
+            return;
+        }
+        let per_host = rate * share * level / t.hosts.len() as f64;
+        for &h in &t.hosts {
+            if let Some(d) = pod.binding(HostId(h), kind) {
+                if let Some(v) = load.get_mut(&d) {
+                    *v += (per_host * 1000.0) as u64;
+                }
+            }
+        }
+    };
+    for t in &spec.tenants {
+        charge(&mut load, t, 1.0);
+    }
+    for (ci, ct) in churn.tenants.iter().enumerate() {
+        if ci != exclude {
+            charge(&mut load, &ct.spec, levels[ci]);
+        }
+    }
+    load
+}
+
+/// Live-migrates churn tenant `ci` to the least-loaded `kind` device
+/// if that device carries strictly less attributed load than the
+/// tenant's current one. Returns the blackout when a migration ran.
+fn rebalance_tenant(
+    pod: &mut PodSim,
+    spec: &WorkloadSpec,
+    c: &ChurnSpec,
+    levels: &[f64],
+    ci: usize,
+    st: &mut TenantState,
+    kind: DeviceKind,
+) -> Option<Nanos> {
+    let load = device_load_mpps(pod, spec, c, levels, kind, ci);
+    let cur = pod.binding(st.hosts[0], kind)?;
+    let (&target, &target_load) = load.iter().min_by_key(|&(&d, &l)| (l, d))?;
+    let cur_load = load.get(&cur).copied().unwrap_or(u64::MAX);
+    if target == cur || target_load >= cur_load {
+        return None;
+    }
+    match pod_lifecycle::migrate_tenant(pod, st, kind, target) {
+        Ok(Some(rep)) => Some(rep.blackout),
+        _ => None,
+    }
+}
+
+/// Applies one lifecycle event to the pod: arrival provisions and
+/// statically places the tenant, grow/shrink re-checkpoint it,
+/// departure releases everything it owns. With [`ChurnSpec::migrate`]
+/// on, arrival/grow/shrink additionally rebalance by live migration.
+fn apply_lifecycle_event(
+    pod: &mut PodSim,
+    spec: &WorkloadSpec,
+    c: &ChurnSpec,
+    ev: &LifecycleEvent,
+    states: &mut [Option<TenantState>],
+    levels: &mut [f64],
+    log: &mut Vec<LifecycleEventReport>,
+) {
+    let ct = &c.tenants[ev.tenant];
+    let kind = primary_kind(&ct.spec);
+    let mut migrated = None;
+    match ev.kind {
+        LifecycleEventKind::Arrive => {
+            let hosts: Vec<HostId> = ct.spec.hosts.iter().map(|&h| HostId(h)).collect();
+            let Ok(mut st) =
+                pod_lifecycle::provision(pod, ev.tenant as u16, &hosts, ct.state_len, ct.replicas)
+            else {
+                return;
+            };
+            levels[ev.tenant] = ev.kind.level();
+            // Naive static placement: every tenant host lands on the
+            // spec'd device, migration or not — the baseline the
+            // orchestrator's churn response is judged against.
+            let devs = pod.orch.devices_of(kind);
+            if !devs.is_empty() {
+                let naive = devs[ct.naive_dev.min(devs.len() - 1)];
+                let now = pod.time();
+                for &h in &hosts {
+                    if pod.binding(h, kind) != Some(naive) {
+                        let _ = pod_lifecycle::rebind(pod, h, kind, naive, now);
+                    }
+                }
+            }
+            if c.migrate {
+                migrated = rebalance_tenant(pod, spec, c, levels, ev.tenant, &mut st, kind);
+            }
+            states[ev.tenant] = Some(st);
+        }
+        LifecycleEventKind::Grow | LifecycleEventKind::Shrink => {
+            levels[ev.tenant] = ev.kind.level();
+            let Some(mut st) = states[ev.tenant].take() else {
+                return;
+            };
+            let _ = st.checkpoint(pod);
+            if c.migrate {
+                migrated = rebalance_tenant(pod, spec, c, levels, ev.tenant, &mut st, kind);
+            }
+            states[ev.tenant] = Some(st);
+        }
+        LifecycleEventKind::Depart => {
+            levels[ev.tenant] = 0.0;
+            let Some(st) = states[ev.tenant].take() else {
+                return;
+            };
+            st.release(pod);
+        }
+    }
+    log.push(LifecycleEventReport {
+        at: ev.at,
+        tenant: ct.spec.name.clone(),
+        event: ev.kind.label(),
+        migrated: migrated.is_some(),
+        blackout: migrated,
+    });
 }
 
 /// Runs one operation to completion; returns the completion time.

@@ -21,6 +21,10 @@
 //!   [`simkit::stats::Histogram`] distributions, with timed-out
 //!   operations censored at their deadline so overload degrades the
 //!   tail instead of silently vanishing.
+//! - [`lifecycle`] — first-class tenant churn: seeded diurnal
+//!   arrive/grow/shrink/depart schedules, with the engine provisioning
+//!   and (optionally) live-migrating tenants through
+//!   `cxl_pool_core::lifecycle` at each event.
 //! - [`engine`] — drives a [`cxl_pool_core::pod::PodSim`] through a
 //!   spec in simulated time and reports per-tenant and per-device-kind
 //!   latency plus SLO verdicts.
@@ -37,11 +41,13 @@
 pub mod arrival;
 pub mod capacity;
 pub mod engine;
+pub mod lifecycle;
 pub mod slo;
 pub mod spec;
 
 pub use arrival::Arrival;
 pub use capacity::{CapacityConfig, CapacityResult, TrialPoint};
-pub use engine::{Engine, RunReport, TenantReport};
+pub use engine::{Engine, LifecycleEventReport, RunReport, TenantReport};
+pub use lifecycle::{ChurnSpec, ChurnTenant, LifecycleEvent, LifecycleEventKind};
 pub use slo::{SloSpec, SloVerdict};
 pub use spec::{FaultPlan, FaultTarget, OpKind, TenantSpec, WorkloadSpec};

@@ -4,6 +4,7 @@ use cxl_pool_core::vdev::DeviceKind;
 use simkit::Nanos;
 
 use crate::arrival::Arrival;
+use crate::lifecycle::ChurnSpec;
 use crate::slo::SloSpec;
 
 /// One operation class a tenant can issue against the pool.
@@ -138,6 +139,10 @@ pub struct WorkloadSpec {
     pub balance_every: Option<Nanos>,
     /// Optional injected pool failure.
     pub fault: Option<FaultPlan>,
+    /// Optional tenant churn (see [`crate::lifecycle`]): lifecycle
+    /// tenants that arrive, grow, shrink and depart mid-run. `None`
+    /// keeps the run bit-identical to a pre-churn engine.
+    pub churn: Option<ChurnSpec>,
 }
 
 impl WorkloadSpec {
@@ -161,7 +166,10 @@ impl WorkloadSpec {
 
     /// Validates the spec against a pod: every tenant needs at least
     /// one host and one positively-weighted op, and every op's device
-    /// kind must exist in `kinds`. Returns the offending description.
+    /// kind must exist in `kinds`. Churn tenants are held to the same
+    /// rules and must additionally be open-loop (their schedules are
+    /// thinned by lifecycle phase, which a completion-driven process
+    /// has none of). Returns the offending description.
     pub fn validate(&self, hosts: u16, kinds: &[DeviceKind]) -> Result<(), String> {
         if self.tenants.is_empty() {
             return Err("workload has no tenants".into());
@@ -169,7 +177,11 @@ impl WorkloadSpec {
         if self.measure == Nanos::ZERO {
             return Err("measurement window is empty".into());
         }
-        for t in &self.tenants {
+        let churn_tenants = self
+            .churn
+            .iter()
+            .flat_map(|c| c.tenants.iter().map(|ct| &ct.spec));
+        for t in self.tenants.iter().chain(churn_tenants) {
             if t.hosts.is_empty() {
                 return Err(format!("tenant {}: no hosts", t.name));
             }
@@ -187,6 +199,19 @@ impl WorkloadSpec {
                         op.label(),
                         op.device_kind()
                     ));
+                }
+            }
+        }
+        if let Some(c) = &self.churn {
+            if c.tenants.is_empty() {
+                return Err("churn spec has no tenants".into());
+            }
+            for ct in &c.tenants {
+                if !ct.spec.arrival.is_open_loop() {
+                    return Err(format!("churn tenant {}: must be open-loop", ct.spec.name));
+                }
+                if ct.state_len == 0 {
+                    return Err(format!("churn tenant {}: zero state_len", ct.spec.name));
                 }
             }
         }
@@ -237,6 +262,7 @@ mod tests {
             op_timeout: Nanos::from_micros(200),
             balance_every: None,
             fault: None,
+            churn: None,
         }
     }
 

@@ -103,6 +103,7 @@ proptest! {
             op_timeout: Nanos::from_micros(200),
             balance_every: None,
             fault: None,
+            churn: None,
         };
         let mut pod = small_pod(seed);
         let report = Engine::new(seed).run(&mut pod, &spec);

@@ -70,6 +70,7 @@ fn spec(rate_pps: f64) -> WorkloadSpec {
         op_timeout: Nanos::from_micros(150),
         balance_every: Some(Nanos::from_millis(1)),
         fault: None,
+        churn: None,
     }
 }
 

@@ -630,6 +630,70 @@ fn address_reuse_across_domains_does_not_alias_shadow_state() {
     );
 }
 
+/// The tenant-departure property for *replica sets*: a departing
+/// tenant's state lives at several addresses (primary + per-domain
+/// replicas). `ReplicaSet::free` frees each replica segment through
+/// `free_segment`, which must clear the per-line shadow state of every
+/// range in every domain — so a new tenant reusing *either* address
+/// (even swapped across domains) starts from scratch.
+fn replica_reuse_scenario(free_between: bool) -> cxl_fabric::AuditReport {
+    let mut a = Auditor::new(version_cfg());
+    let primary = 0x40_000u64;
+    let replica = 0x50_000u64;
+    a.map_segment(primary, primary + 4096, vec![DomainId(0)]);
+    a.map_segment(replica, replica + 4096, vec![DomainId(1)]);
+    // Host 1 caches a line of each copy (load misses).
+    a.on_load(
+        Nanos(0),
+        HostId(1),
+        &[(primary, false), (replica, false)],
+        &[],
+        &[],
+    );
+    // The owner publishes new state to both copies; writes settle.
+    a.on_nt_store(Nanos(10), HostId(0), primary, LINE, Nanos(500));
+    a.on_nt_store(Nanos(20), HostId(0), replica, LINE, Nanos(600));
+    a.advance(Nanos(1_000));
+    if free_between {
+        // Departure: the whole replica set is reclaimed, then a new
+        // tenant reuses both ranges with the domains *swapped*.
+        a.on_segment_free(primary, primary + 4096);
+        a.on_segment_free(replica, replica + 4096);
+        a.map_segment(primary, primary + 4096, vec![DomainId(1)]);
+        a.map_segment(replica, replica + 4096, vec![DomainId(0)]);
+    }
+    // Host 1 hits cached copies at both reused addresses.
+    a.on_load(
+        Nanos(2_000),
+        HostId(1),
+        &[(primary, true), (replica, true)],
+        &[],
+        &[],
+    );
+    a.report().clone()
+}
+
+/// Control: without the departure both hits really are stale reads —
+/// one per replica — so the aliasing test is not vacuous.
+#[test]
+fn stale_hits_on_both_replicas_fire_without_free() {
+    let report = replica_reuse_scenario(false);
+    assert_eq!(report.counts.stale_reads, 2, "{}", report.render());
+}
+
+/// The departure path: freeing every replica segment clears shadow
+/// state in all domains, so the new tenant sees no ghost of the old.
+#[test]
+fn replica_set_reuse_after_departure_does_not_alias_shadow_state() {
+    let report = replica_reuse_scenario(true);
+    assert_eq!(
+        report.counts.total(),
+        0,
+        "ghost of the departed tenant's replicas:\n{}",
+        report.render()
+    );
+}
+
 /// Torn-read analysis is a per-domain notion: visibility versions are
 /// drawn per failure domain, so a record spanning two domains has no
 /// single order to tear against. The same access pattern *does* tear

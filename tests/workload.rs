@@ -1,11 +1,12 @@
 //! Integration tests for the workgen subsystem against a real pod:
 //! determinism, SLO censoring under faults, and the capacity search.
 
+use cxl_pcie_pool::cxl_fabric::AuditMode;
 use cxl_pcie_pool::pool::pod::{PodParams, PodSim};
 use cxl_pcie_pool::simkit::Nanos;
 use cxl_pcie_pool::workgen::{
-    self, Arrival, CapacityConfig, Engine, FaultPlan, OpKind, RunReport, SloSpec, TenantSpec,
-    WorkloadSpec,
+    self, Arrival, CapacityConfig, ChurnSpec, ChurnTenant, Engine, FaultPlan, OpKind, RunReport,
+    SloSpec, TenantSpec, WorkloadSpec,
 };
 
 fn pod(seed: u64) -> PodSim {
@@ -53,6 +54,7 @@ fn mixed_spec(rate_pps: f64) -> WorkloadSpec {
         op_timeout: Nanos::from_micros(150),
         balance_every: Some(Nanos::from_micros(500)),
         fault: None,
+        churn: None,
     }
 }
 
@@ -164,6 +166,112 @@ fn impossible_slo_yields_zero_capacity() {
     let result = workgen::capacity::search(|| pod(3), &base, &cfg, 3);
     assert_eq!(result.capacity_pps, 0.0);
     assert!(result.report_at_capacity.is_none());
+}
+
+fn churn_pod(seed: u64) -> PodSim {
+    let mut p = PodParams::new(8, 2);
+    p.ssd_hosts = vec![0, 1];
+    p.accel_hosts = vec![2];
+    p.seed = seed;
+    PodSim::new(p)
+}
+
+fn churn_spec(migrate: bool) -> WorkloadSpec {
+    let churn_tenant = |name: &str, host: u16| ChurnTenant {
+        spec: TenantSpec {
+            name: name.into(),
+            arrival: Arrival::Poisson { rate_pps: 30_000.0 },
+            mix: vec![(OpKind::NicSend { bytes: 512 }, 1.0)],
+            hosts: vec![host],
+            slo: SloSpec::p99(Nanos::from_micros(100)),
+        },
+        state_len: 4096,
+        replicas: 1,
+        naive_dev: 0,
+    };
+    WorkloadSpec {
+        tenants: vec![TenantSpec {
+            name: "steady".into(),
+            arrival: Arrival::Poisson { rate_pps: 15_000.0 },
+            mix: vec![(OpKind::NicSend { bytes: 512 }, 1.0)],
+            hosts: vec![3, 4],
+            slo: SloSpec::p99(Nanos::from_micros(100)),
+        }],
+        warmup: Nanos::from_micros(200),
+        measure: Nanos::from_millis(2),
+        op_timeout: Nanos::from_micros(200),
+        balance_every: None,
+        fault: None,
+        churn: Some(ChurnSpec {
+            tenants: vec![churn_tenant("burst-a", 5), churn_tenant("burst-b", 6)],
+            migrate,
+        }),
+    }
+}
+
+#[test]
+fn churn_run_is_vc_audit_clean_and_reclaims_capacity() {
+    let mut p = churn_pod(21);
+    p.enable_audit_mode(AuditMode::VectorClock);
+    let free0 = p.fabric.free_capacity();
+    let r = Engine::new(21).run(&mut p, &churn_spec(true));
+
+    assert!(
+        !r.lifecycle.is_empty(),
+        "churn run should log lifecycle events"
+    );
+    assert!(r.lifecycle.iter().any(|e| e.event == "arrive"));
+    assert!(
+        r.lifecycle.iter().any(|e| e.event == "depart"),
+        "tenants should depart within the run: {:?}",
+        r.lifecycle
+    );
+    assert!(
+        p.lifecycle.tenant_migrations >= 1,
+        "overloaded naive placement should trigger at least one live migration"
+    );
+    assert!(p.lifecycle.blackout_summary().is_some());
+    assert_eq!(
+        p.fabric.free_capacity(),
+        free0,
+        "departed tenants must hand back every segment (incl. replicas)"
+    );
+
+    let report = p.audit_finalize().expect("audit enabled");
+    assert_eq!(
+        report.counts.total(),
+        0,
+        "churn + live migration must stay coherent under vc audit: {:?}",
+        report.counts
+    );
+}
+
+#[test]
+fn churn_replay_is_bit_identical_and_churn_free_specs_are_unaffected() {
+    let spec = churn_spec(true);
+    let mut a = churn_pod(33);
+    let mut b = churn_pod(33);
+    let ra = Engine::new(33).run(&mut a, &spec);
+    let rb = Engine::new(33).run(&mut b, &spec);
+    assert_eq!(fingerprint(&ra), fingerprint(&rb));
+    assert_eq!(ra.elapsed, rb.elapsed);
+    let ev_a: Vec<_> = ra
+        .lifecycle
+        .iter()
+        .map(|e| (e.at, e.tenant.clone(), e.event, e.migrated, e.blackout))
+        .collect();
+    let ev_b: Vec<_> = rb
+        .lifecycle
+        .iter()
+        .map(|e| (e.at, e.tenant.clone(), e.event, e.migrated, e.blackout))
+        .collect();
+    assert_eq!(ev_a, ev_b, "lifecycle timeline must replay bit-identically");
+
+    // A churn-free spec must not consume churn RNG streams.
+    let no_churn = mixed_spec(25_000.0);
+    let mut c = pod(11);
+    let rc = Engine::new(11).run(&mut c, &no_churn);
+    assert!(rc.lifecycle.is_empty());
 }
 
 #[test]
