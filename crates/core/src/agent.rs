@@ -272,7 +272,7 @@ impl Agent {
                 Track::HostCpu(self.host.0),
                 "proto/encode",
                 clock,
-                msg.kind_name().to_string(),
+                msg.kind_name(),
             );
         }
         let link = self
@@ -497,7 +497,7 @@ impl Agent {
                                 Track::HostCpu(self.host.0),
                                 "agent/assign",
                                 clock,
-                                format!("{k:?} -> {dev:?}"),
+                                &format!("{k:?} -> {dev:?}"),
                             );
                         }
                     }
@@ -532,7 +532,7 @@ impl Agent {
                         Track::HostCpu(self.host.0),
                         "dev/failed",
                         clock,
-                        format!("{dev:?}"),
+                        &format!("{dev:?}"),
                     );
                 }
                 self.outbox_orch.push(Msg::DevFailed {

@@ -27,6 +27,8 @@
 //!   accelerator disaggregation, ToR-less availability modelling, and
 //!   TCP-connection migration between pooled NICs.
 
+#![warn(missing_docs)]
+
 pub mod accelpool;
 pub mod agent;
 pub mod bonding;

@@ -623,7 +623,7 @@ impl PodSim {
                 Track::HostCpu(owner.0),
                 "dev/failed",
                 at,
-                format!("{dev:?}"),
+                &format!("{dev:?}"),
             );
         }
     }

@@ -111,16 +111,31 @@ impl Segment {
     /// charge stateful link timelines stay deterministic across runs
     /// (a `HashMap` here leaked iteration order into simulated time).
     pub fn spread(&self, hpa: u64, len: u64) -> BTreeMap<MhdId, u64> {
-        let mut out: BTreeMap<MhdId, u64> = BTreeMap::new();
+        let mut out = Vec::new();
+        self.spread_into(hpa, len, &mut out);
+        out.into_iter().collect()
+    }
+
+    /// Allocation-free [`Segment::spread`]: clears `out` and fills it
+    /// with the per-MHD byte counts, sorted by MHD id. Datapath-timing
+    /// callers reuse one scratch vector across calls, so the per-miss
+    /// `BTreeMap` build disappears from the hot path. The interleave
+    /// set is a handful of ways, so accumulation is a linear probe.
+    pub fn spread_into(&self, hpa: u64, len: u64, out: &mut Vec<(MhdId, u64)>) {
+        out.clear();
         let mut cur = hpa;
         let end = hpa + len;
         while cur < end {
             let granule_end = (cur / INTERLEAVE_GRANULE + 1) * INTERLEAVE_GRANULE;
             let n = granule_end.min(end) - cur;
-            *out.entry(self.mhd_for(cur)).or_insert(0) += n;
+            let m = self.mhd_for(cur);
+            match out.iter_mut().find(|(mm, _)| *mm == m) {
+                Some((_, b)) => *b += n,
+                None => out.push((m, n)),
+            }
             cur += n;
         }
-        out
+        out.sort_unstable_by_key(|&(m, _)| m);
     }
 }
 

@@ -13,7 +13,9 @@
 //! writes it back to the pool, which is why "it happened to work" is a
 //! real failure mode of missing-flush bugs.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use simkit::hash::DetHashMap;
 
 use crate::params::CACHELINE;
 
@@ -22,6 +24,10 @@ use crate::params::CACHELINE;
 struct Line {
     data: [u8; CACHELINE as usize],
     dirty: bool,
+    /// Insertion stamp pairing the line with its FIFO entry; a FIFO
+    /// entry whose stamp no longer matches is a ghost of an earlier
+    /// residency and is skipped (lazy deletion).
+    stamp: u64,
 }
 
 /// Statistics for one host's pool-line cache.
@@ -38,9 +44,19 @@ pub struct CacheStats {
 }
 
 /// A host-private write-back cache over pool addresses.
+///
+/// Eviction order is FIFO over a lazily-deleted queue: flushes and
+/// invalidates remove only the map entry (O(1)), leaving a stale
+/// `(addr, stamp)` ghost in the queue that eviction and compaction
+/// skip. The eager alternative — `retain` over the queue — cost
+/// O(capacity) per invalidated line and dominated ring-poll datapaths,
+/// which invalidate a line on every poll.
 pub struct HostCache {
-    lines: HashMap<u64, Line>,
-    fifo: VecDeque<u64>,
+    lines: DetHashMap<u64, Line>,
+    /// `(line, stamp)` in insertion order; entries whose stamp is no
+    /// longer current for the line are ghosts.
+    fifo: VecDeque<(u64, u64)>,
+    next_stamp: u64,
     capacity: usize,
     stats: CacheStats,
 }
@@ -75,10 +91,31 @@ impl HostCache {
     pub fn new(capacity: usize) -> HostCache {
         assert!(capacity > 0, "cache needs at least one line");
         HostCache {
-            lines: HashMap::new(),
+            lines: DetHashMap::default(),
             fifo: VecDeque::new(),
+            next_stamp: 0,
             capacity,
             stats: CacheStats::default(),
+        }
+    }
+
+    /// Registers a fresh residency for `la`: a new stamp and a new
+    /// FIFO position at the back of the queue.
+    fn stamp_in(&mut self, la: u64) -> u64 {
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.fifo.push_back((la, stamp));
+        stamp
+    }
+
+    /// Drops ghost FIFO entries once they outnumber live lines: each
+    /// compaction halves the queue at least, so the cost is amortized
+    /// O(1) per removal and the queue stays within 2× of resident.
+    fn maybe_compact(&mut self) {
+        if self.fifo.len() >= 64 && self.fifo.len() >= 2 * self.lines.len() {
+            let lines = &self.lines;
+            self.fifo
+                .retain(|&(a, s)| lines.get(&a).is_some_and(|l| l.stamp == s));
         }
     }
 
@@ -114,8 +151,15 @@ impl HostCache {
             return None;
         }
         let evicted = self.make_room(la);
-        self.lines.insert(la, Line { data, dirty: false });
-        self.fifo.push_back(la);
+        let stamp = self.stamp_in(la);
+        self.lines.insert(
+            la,
+            Line {
+                data,
+                dirty: false,
+                stamp,
+            },
+        );
         evicted
     }
 
@@ -135,14 +179,15 @@ impl HostCache {
             None
         } else {
             let ev = self.make_room(la);
+            let stamp = self.stamp_in(la);
             self.lines.insert(
                 la,
                 Line {
                     data: [0; CACHELINE as usize],
                     dirty: false,
+                    stamp,
                 },
             );
-            self.fifo.push_back(la);
             ev
         };
         let line = self.lines.get_mut(&la).expect("just inserted");
@@ -158,7 +203,9 @@ impl HostCache {
         let la = Self::line_addr(addr);
         match self.lines.remove(&la) {
             Some(line) => {
-                self.fifo.retain(|&a| a != la);
+                // The FIFO entry becomes a ghost; compaction and
+                // make_room skip it by stamp.
+                self.maybe_compact();
                 if line.dirty {
                     self.stats.writebacks += 1;
                     Some(line.data)
@@ -176,7 +223,7 @@ impl HostCache {
     pub fn invalidate(&mut self, addr: u64) {
         let la = Self::line_addr(addr);
         if self.lines.remove(&la).is_some() {
-            self.fifo.retain(|&a| a != la);
+            self.maybe_compact();
             self.stats.invalidations += 1;
         }
     }
@@ -208,9 +255,12 @@ impl HostCache {
         if self.lines.len() < self.capacity || self.lines.contains_key(&incoming) {
             return None;
         }
-        // FIFO eviction of the oldest line.
-        while let Some(victim) = self.fifo.pop_front() {
-            if let Some(line) = self.lines.remove(&victim) {
+        // FIFO eviction of the oldest *live* line: ghost entries
+        // (stamp mismatch after a flush/invalidate + refetch) are
+        // skipped.
+        while let Some((victim, stamp)) = self.fifo.pop_front() {
+            if self.lines.get(&victim).is_some_and(|l| l.stamp == stamp) {
+                let line = self.lines.remove(&victim).expect("stamp-checked above");
                 if line.dirty {
                     self.stats.writebacks += 1;
                     return Some(Eviction {
@@ -362,6 +412,39 @@ mod tests {
         // The preserved data still reaches the pool on flush.
         let flushed = c.flush(0x0).expect("still dirty");
         assert_eq!(&flushed[..8], &[0xAAu8; 8]);
+    }
+
+    #[test]
+    fn reinserted_line_takes_a_fresh_fifo_position() {
+        let mut c = HostCache::new(2);
+        c.fill(0x0, [1u8; L]);
+        c.fill(0x40, [2u8; L]);
+        // Drop and refetch 0x0: its residency restarts at the back of
+        // the queue, leaving a ghost entry at the front.
+        c.invalidate(0x0);
+        c.fill(0x0, [3u8; L]);
+        // The next eviction must take 0x40 (the oldest *live* line),
+        // not act on the ghost of 0x0's first residency.
+        let ev = c.fill(0x80, [4u8; L]).expect("eviction");
+        assert_eq!(ev.addr, 0x40);
+        assert!(c.contains(0x0) && c.contains(0x80));
+        assert!(!c.contains(0x40));
+    }
+
+    #[test]
+    fn invalidate_refill_churn_keeps_the_ghost_queue_bounded() {
+        let mut c = HostCache::new(4);
+        for i in 0..10_000u64 {
+            let la = (i % 4) * 64;
+            c.invalidate(la);
+            c.fill(la, [i as u8; L]);
+        }
+        assert_eq!(c.resident(), 4);
+        assert!(
+            c.fifo.len() <= 64,
+            "ghosts must be compacted away: {} queued",
+            c.fifo.len()
+        );
     }
 
     #[test]

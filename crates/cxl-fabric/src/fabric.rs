@@ -154,6 +154,10 @@ pub struct Fabric {
     /// boxed so the disabled fast path pays one pointer, mirroring
     /// `trace` and `audit`.
     metrics: Option<Box<MetricsRecorder>>,
+    /// Reusable per-access scratch for [`Segment::spread_into`]: every
+    /// pool access computes an interleave spread, and reusing one
+    /// buffer keeps the datapath allocation-free.
+    spread_scratch: Vec<(MhdId, u64)>,
 }
 
 impl Fabric {
@@ -207,6 +211,7 @@ impl Fabric {
             sync_ranges: Vec::new(),
             trace: None,
             metrics: None,
+            spread_scratch: Vec::new(),
         }
     }
 
@@ -411,7 +416,7 @@ impl Fabric {
                 op,
                 kind,
                 v.detected_at,
-                Some(format!("{} @{:#x}", v.kind.name(), v.line)),
+                Some(&format!("{} @{:#x}", v.kind.name(), v.line)),
             );
             seen += 1;
         }
@@ -639,8 +644,7 @@ impl Fabric {
         }
 
         let bytes = missed_lines.len() as u64 * CACHELINE;
-        let seg = self.alloc.segment_at(hpa)?.clone();
-        let done = self.timed_pool_read(now, host, &seg, hpa, bytes)?;
+        let done = self.timed_pool_read(now, host, hpa, bytes)?;
         self.trace_fabric_op(Track::HostCpu(host.0), "fabric/load", now, done);
         Ok(done)
     }
@@ -703,8 +707,7 @@ impl Fabric {
             self.trace_fabric_op(Track::HostCpu(host.0), "fabric/store", now, done);
             return Ok(done);
         }
-        let seg = self.alloc.segment_at(hpa)?.clone();
-        let done = self.timed_pool_read(now, host, &seg, hpa, fetched)?;
+        let done = self.timed_pool_read(now, host, hpa, fetched)?;
         self.trace_fabric_op(Track::HostCpu(host.0), "fabric/store", now, done);
         Ok(done)
     }
@@ -728,8 +731,7 @@ impl Fabric {
         for la in lines(hpa, len) {
             self.caches[host.0 as usize].invalidate(la);
         }
-        let seg = self.alloc.segment_at(hpa)?.clone();
-        let done = self.timed_pool_write(now, host, &seg, hpa, len)?;
+        let done = self.timed_pool_write(now, host, hpa, len)?;
         if let Some(a) = self.audit.as_deref_mut() {
             a.on_nt_store(now, host, hpa, len, done);
         }
@@ -770,8 +772,7 @@ impl Fabric {
         }
         let bytes = dirty.len() as u64 * CACHELINE;
         self.stats.bytes_written += bytes;
-        let seg = self.alloc.segment_at(hpa)?.clone();
-        let done = self.timed_pool_write(now, host, &seg, hpa, bytes)?;
+        let done = self.timed_pool_write(now, host, hpa, bytes)?;
         if let Some(a) = self.audit.as_deref_mut() {
             let dirty_lines: Vec<u64> = dirty.iter().map(|&(la, _)| la).collect();
             a.on_flush(now, host, hpa, len, &dirty_lines, done);
@@ -835,8 +836,7 @@ impl Fabric {
                 }
             }
         }
-        let seg = self.alloc.segment_at(hpa)?.clone();
-        let done = self.timed_pool_read_dev(now, host, &seg, hpa, len)?;
+        let done = self.timed_pool_read_dev(now, host, hpa, len)?;
         self.sync_trace_audit();
         self.trace_fabric_op(Track::Dma(host.0), "fabric/dma_read", now, done);
         Ok(done)
@@ -862,8 +862,7 @@ impl Fabric {
         for la in lines(hpa, len) {
             self.caches[host.0 as usize].invalidate(la);
         }
-        let seg = self.alloc.segment_at(hpa)?.clone();
-        let done = self.timed_pool_write_dev(now, host, &seg, hpa, len)?;
+        let done = self.timed_pool_write_dev(now, host, hpa, len)?;
         if let Some(a) = self.audit.as_deref_mut() {
             a.on_dma_write(now, host, hpa, len, done);
         }
@@ -1008,12 +1007,33 @@ impl Fabric {
     }
 
     /// Picks the least-backlogged up link from `host` to `mhd`.
+    ///
+    /// Iterates candidates directly (no intermediate `Vec`);
+    /// `min_by_key` keeps the first of equal minimums, i.e. the lowest
+    /// link id, matching the materialised-path order it replaced.
     fn pick_link(&self, now: Nanos, host: HostId, mhd: MhdId) -> Result<LinkId, FabricError> {
-        let paths = self.topology.paths(host, mhd);
-        paths
-            .into_iter()
+        if !self.topology.mhd_is_up(mhd) {
+            return Err(FabricError::NoPath { host, mhd });
+        }
+        self.topology
+            .host_links(host)
+            .filter(|l| l.up && l.mhd == mhd)
+            .map(|l| l.id)
             .min_by_key(|l| self.uplinks[l.0 as usize].backlog(now))
             .ok_or(FabricError::NoPath { host, mhd })
+    }
+
+    /// Fills `spread_scratch`'s stand-in `out` with the interleave
+    /// spread of `[hpa, hpa + bytes)`, resolving the owning segment.
+    fn spread_at(
+        &self,
+        hpa: u64,
+        bytes: u64,
+        out: &mut Vec<(MhdId, u64)>,
+    ) -> Result<(), FabricError> {
+        let seg = self.alloc.segment_at(hpa)?;
+        seg.spread_into(hpa, bytes.min(seg.end() - hpa).max(1), out);
+        Ok(())
     }
 
     /// Timed CPU read of `bytes` spread over the segment's interleave
@@ -1022,11 +1042,10 @@ impl Fabric {
         &mut self,
         now: Nanos,
         host: HostId,
-        seg: &Segment,
         hpa: u64,
         bytes: u64,
     ) -> Result<Nanos, FabricError> {
-        self.timed_read_inner(now, host, seg, hpa, bytes, self.params.cxl_host_overhead_ns)
+        self.timed_read_inner(now, host, hpa, bytes, self.params.cxl_host_overhead_ns)
     }
 
     /// Timed device DMA read: same path, no CPU issue overhead.
@@ -1034,39 +1053,53 @@ impl Fabric {
         &mut self,
         now: Nanos,
         host: HostId,
-        seg: &Segment,
         hpa: u64,
         bytes: u64,
     ) -> Result<Nanos, FabricError> {
-        self.timed_read_inner(now, host, seg, hpa, bytes, 0)
+        self.timed_read_inner(now, host, hpa, bytes, 0)
     }
 
     fn timed_read_inner(
         &mut self,
         now: Nanos,
         host: HostId,
-        seg: &Segment,
         hpa: u64,
         bytes: u64,
         issue_ns: u64,
     ) -> Result<Nanos, FabricError> {
-        let spread = seg.spread(hpa, bytes.min(seg.end() - hpa).max(1));
-        let wire = Nanos(self.params.cxl_wire_ns);
-        let dev_fixed = Nanos(self.params.cxl_device_ns);
-        let occ = Nanos(self.params.mhd_occupancy_ns);
-        let t_issue = now + Nanos(issue_ns);
-        let mut done = Nanos::ZERO;
-        for (mhd, b) in spread {
-            let link = self.pick_link(now, host, mhd)?;
-            // Request packet (header-sized; modelled as one line).
-            let up = self.uplinks[link.0 as usize].transfer(t_issue, CACHELINE);
-            let at_dev = up + wire;
-            let dev_ready = self.mhd_pipes[mhd.0 as usize].transfer(at_dev, b) + occ;
-            let stream_start = dev_ready + dev_fixed;
-            let down = self.downlinks[link.0 as usize].transfer(stream_start, b);
-            done = done.max(down + wire);
+        let mut spread = std::mem::take(&mut self.spread_scratch);
+        let mut result = self
+            .spread_at(hpa, bytes, &mut spread)
+            .map(|()| Nanos::ZERO);
+        if result.is_ok() {
+            let wire = Nanos(self.params.cxl_wire_ns);
+            let dev_fixed = Nanos(self.params.cxl_device_ns);
+            let occ = Nanos(self.params.mhd_occupancy_ns);
+            let t_issue = now + Nanos(issue_ns);
+            let mut done = Nanos::ZERO;
+            for &(mhd, b) in &spread {
+                match self.pick_link(now, host, mhd) {
+                    Ok(link) => {
+                        // Request packet (header-sized; modelled as one line).
+                        let up = self.uplinks[link.0 as usize].transfer(t_issue, CACHELINE);
+                        let at_dev = up + wire;
+                        let dev_ready = self.mhd_pipes[mhd.0 as usize].transfer(at_dev, b) + occ;
+                        let stream_start = dev_ready + dev_fixed;
+                        let down = self.downlinks[link.0 as usize].transfer(stream_start, b);
+                        done = done.max(down + wire);
+                    }
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                }
+            }
+            if result.is_ok() {
+                result = Ok(done);
+            }
         }
-        Ok(done)
+        self.spread_scratch = spread;
+        result
     }
 
     /// Timed CPU-visible pool write (non-temporal / flush path).
@@ -1074,11 +1107,10 @@ impl Fabric {
         &mut self,
         now: Nanos,
         host: HostId,
-        seg: &Segment,
         hpa: u64,
         bytes: u64,
     ) -> Result<Nanos, FabricError> {
-        self.timed_write_inner(now, host, seg, hpa, bytes, self.params.cxl_host_overhead_ns)
+        self.timed_write_inner(now, host, hpa, bytes, self.params.cxl_host_overhead_ns)
     }
 
     /// Timed device DMA pool write.
@@ -1086,36 +1118,51 @@ impl Fabric {
         &mut self,
         now: Nanos,
         host: HostId,
-        seg: &Segment,
         hpa: u64,
         bytes: u64,
     ) -> Result<Nanos, FabricError> {
-        self.timed_write_inner(now, host, seg, hpa, bytes, 0)
+        self.timed_write_inner(now, host, hpa, bytes, 0)
     }
 
     fn timed_write_inner(
         &mut self,
         now: Nanos,
         host: HostId,
-        seg: &Segment,
         hpa: u64,
         bytes: u64,
         issue_ns: u64,
     ) -> Result<Nanos, FabricError> {
-        let spread = seg.spread(hpa, bytes.min(seg.end() - hpa).max(1));
-        let wire = Nanos(self.params.cxl_wire_ns);
-        let dev_half = Nanos(self.params.cxl_device_ns / 2);
-        let occ = Nanos(self.params.mhd_occupancy_ns);
-        let t_issue = now + Nanos(issue_ns);
-        let mut done = Nanos::ZERO;
-        for (mhd, b) in spread {
-            let link = self.pick_link(now, host, mhd)?;
-            let up = self.uplinks[link.0 as usize].transfer(t_issue, b);
-            let at_dev = up + wire;
-            let landed = self.mhd_pipes[mhd.0 as usize].transfer(at_dev, b) + occ + dev_half;
-            done = done.max(landed);
+        let mut spread = std::mem::take(&mut self.spread_scratch);
+        let mut result = self
+            .spread_at(hpa, bytes, &mut spread)
+            .map(|()| Nanos::ZERO);
+        if result.is_ok() {
+            let wire = Nanos(self.params.cxl_wire_ns);
+            let dev_half = Nanos(self.params.cxl_device_ns / 2);
+            let occ = Nanos(self.params.mhd_occupancy_ns);
+            let t_issue = now + Nanos(issue_ns);
+            let mut done = Nanos::ZERO;
+            for &(mhd, b) in &spread {
+                match self.pick_link(now, host, mhd) {
+                    Ok(link) => {
+                        let up = self.uplinks[link.0 as usize].transfer(t_issue, b);
+                        let at_dev = up + wire;
+                        let landed =
+                            self.mhd_pipes[mhd.0 as usize].transfer(at_dev, b) + occ + dev_half;
+                        done = done.max(landed);
+                    }
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                }
+            }
+            if result.is_ok() {
+                result = Ok(done);
+            }
         }
-        Ok(done)
+        self.spread_scratch = spread;
+        result
     }
 }
 

@@ -1,7 +1,7 @@
 //! Sparse byte storage backing the pool's (potentially huge) address
 //! space.
 
-use std::collections::HashMap;
+use simkit::hash::DetHashMap;
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
@@ -23,7 +23,10 @@ const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct SparseMem {
-    pages: HashMap<u64, Box<[u8]>>,
+    /// Page-number → page bytes; [`DetHashMap`] because every pool
+    /// load/store resolves at least one page here (point lookups only,
+    /// never iterated).
+    pages: DetHashMap<u64, Box<[u8]>>,
 }
 
 impl SparseMem {

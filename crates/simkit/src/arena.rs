@@ -1,0 +1,225 @@
+//! Chunked arenas backing the observation plane's hot paths.
+//!
+//! The flight recorder and metrics sampler retain up to
+//! hundreds-of-thousands of small records per run. Storing them in one
+//! growable `Vec` means either a large up-front allocation (capacity ×
+//! record size, paid even by short runs) or doubling-reallocations that
+//! copy every retained record; per-record heap allocations (the old
+//! `Option<String>` trace note) are worse still. The arenas here give
+//! both planes O(1) append with *stable* storage — records are written
+//! once into fixed-size chunks and never move — and one shared string
+//! buffer for variable-length annotations, so the steady-state
+//! recording cost is a bump-pointer write.
+//!
+//! Everything here is deterministic: iteration is insertion order, and
+//! no capacity heuristic depends on anything but the push sequence.
+
+/// Records per [`Arena`] chunk. 4096 keeps chunks comfortably inside a
+/// few pages for the small Copy-ish records stored here while making
+/// the per-chunk allocation cost negligible.
+const CHUNK: usize = 4096;
+
+/// A chunked bump arena: O(1) append, stable addresses, insertion-order
+/// iteration, and no reallocation-copies as it grows.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::arena::Arena;
+/// let mut a: Arena<u64> = Arena::new();
+/// for i in 0..10_000 {
+///     a.push(i);
+/// }
+/// assert_eq!(a.len(), 10_000);
+/// assert_eq!(a.get(9_999), Some(&9_999));
+/// assert_eq!(a.iter().sum::<u64>(), 9_999 * 10_000 / 2);
+/// ```
+pub struct Arena<T> {
+    chunks: Vec<Vec<T>>,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Arena { chunks: Vec::new() }
+    }
+}
+
+impl<T> Arena<T> {
+    /// Creates an empty arena (no chunks are allocated until the first
+    /// push).
+    pub fn new() -> Arena<T> {
+        Arena::default()
+    }
+
+    /// Appends a record; never moves previously pushed records.
+    pub fn push(&mut self, value: T) {
+        if self.chunks.last().is_none_or(|c| c.len() == CHUNK) {
+            self.chunks.push(Vec::with_capacity(CHUNK));
+        }
+        self.chunks
+            .last_mut()
+            .expect("chunk pushed above")
+            .push(value);
+    }
+
+    /// Number of records pushed.
+    pub fn len(&self) -> usize {
+        match self.chunks.split_last() {
+            Some((last, full)) => full.len() * CHUNK + last.len(),
+            None => 0,
+        }
+    }
+
+    /// True if nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty() || self.len() == 0
+    }
+
+    /// The `i`-th pushed record, if any.
+    pub fn get(&self, i: usize) -> Option<&T> {
+        self.chunks.get(i / CHUNK)?.get(i % CHUNK)
+    }
+
+    /// Iterates records in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.chunks.iter().flatten()
+    }
+
+    /// Drops all records (chunk memory is released).
+    pub fn clear(&mut self) {
+        self.chunks.clear();
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Arena<T> {
+    type Item = &'a T;
+    type IntoIter = std::iter::Flatten<std::slice::Iter<'a, Vec<T>>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.chunks.iter().flatten()
+    }
+}
+
+/// A reference into a [`StrArena`]: a `Copy` `(offset, len)` pair, so
+/// records carrying annotations stay `Copy`-friendly and allocation-free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StrRef {
+    off: usize,
+    len: usize,
+}
+
+/// An append-only string arena: many small annotations share one
+/// buffer, so recording a note is a byte-copy instead of a heap
+/// allocation per record.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::arena::StrArena;
+/// let mut a = StrArena::new();
+/// let hello = a.intern("hello");
+/// let world = a.intern("world");
+/// assert_eq!(a.resolve(hello), "hello");
+/// assert_eq!(a.resolve(world), "world");
+/// ```
+#[derive(Default)]
+pub struct StrArena {
+    buf: String,
+}
+
+impl StrArena {
+    /// Creates an empty arena.
+    pub fn new() -> StrArena {
+        StrArena::default()
+    }
+
+    /// Copies `s` into the arena, returning its reference.
+    pub fn intern(&mut self, s: &str) -> StrRef {
+        let off = self.buf.len();
+        self.buf.push_str(s);
+        StrRef { off, len: s.len() }
+    }
+
+    /// Resolves a reference created by [`StrArena::intern`] on this
+    /// arena.
+    pub fn resolve(&self, r: StrRef) -> &str {
+        &self.buf[r.off..r.off + r.len]
+    }
+
+    /// Total bytes stored.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Drops all contents; outstanding [`StrRef`]s become invalid.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_iter_across_chunks() {
+        let mut a: Arena<usize> = Arena::new();
+        let n = CHUNK * 3 + 17;
+        for i in 0..n {
+            a.push(i);
+        }
+        assert_eq!(a.len(), n);
+        assert!(!a.is_empty());
+        assert_eq!(a.get(0), Some(&0));
+        assert_eq!(a.get(CHUNK), Some(&CHUNK));
+        assert_eq!(a.get(n - 1), Some(&(n - 1)));
+        assert_eq!(a.get(n), None);
+        let collected: Vec<usize> = a.iter().copied().collect();
+        assert_eq!(collected, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn addresses_are_stable_across_growth() {
+        let mut a: Arena<u64> = Arena::new();
+        a.push(7);
+        let p = a.get(0).expect("pushed") as *const u64;
+        for i in 0..(CHUNK * 2) as u64 {
+            a.push(i);
+        }
+        assert_eq!(a.get(0).expect("still there") as *const u64, p);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut a: Arena<u8> = Arena::new();
+        a.push(1);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+        assert_eq!(a.get(0), None);
+    }
+
+    #[test]
+    fn str_arena_roundtrip() {
+        let mut a = StrArena::new();
+        let refs: Vec<StrRef> = (0..100).map(|i| a.intern(&format!("note-{i}"))).collect();
+        for (i, r) in refs.iter().enumerate() {
+            assert_eq!(a.resolve(*r), format!("note-{i}"));
+        }
+        assert!(!a.is_empty());
+        a.clear();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn empty_string_interns_cleanly() {
+        let mut a = StrArena::new();
+        let r = a.intern("");
+        assert_eq!(a.resolve(r), "");
+    }
+}

@@ -56,6 +56,10 @@
 //! assert_eq!(end, Nanos(200));
 //! ```
 
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod hash;
 pub mod metrics;
 pub mod rng;
 pub mod server;
@@ -66,5 +70,8 @@ pub mod trace;
 
 mod sched;
 
-pub use sched::{run, run_until, Profiler, ProfilerReport, Scheduler, World};
+pub use sched::{
+    run, run_until, CalendarQueue, EventQueue, Profiler, ProfilerReport, ReferenceHeap, Scheduler,
+    World,
+};
 pub use time::Nanos;

@@ -16,9 +16,11 @@
 //! - **Allocation-light hot path.** [`MetricsRecorder::counter_add`] /
 //!   [`MetricsRecorder::gauge_set`] write one `f64` in a pre-allocated
 //!   slot. All allocation happens at registration and export time.
-//! - **Bounded.** Samples live in a ring pre-allocated at
+//! - **Bounded.** Samples live in a chunked [`Arena`] capped at
 //!   [`MetricsConfig::capacity`]; overflow increments a drop counter
 //!   instead of growing the buffer ([`MetricsRecorder::dropped`]).
+//!   Chunks are allocated lazily, so short runs never pay for the full
+//!   capacity and long runs never reallocation-copy retained samples.
 //! - **Deterministic exports.** Every export is sorted by the fixed key
 //!   `(name, host, domain, mhd, device, tenant)` then time, so report text
 //!   and JSON are byte-stable across runs.
@@ -29,6 +31,7 @@
 //! ([`MetricsRecorder::export_csv`]), and a schema'd JSON document
 //! ([`MetricsRecorder::export_json`]).
 
+use crate::arena::Arena;
 use crate::stats::{Histogram, TimeWeighted};
 use crate::time::Nanos;
 
@@ -280,21 +283,21 @@ pub struct Series {
 pub struct MetricsRecorder {
     config: MetricsConfig,
     metrics: Vec<Metric>,
-    samples: Vec<Sample>,
+    samples: Arena<Sample>,
     dropped: u64,
     next_tick: Nanos,
 }
 
 impl MetricsRecorder {
-    /// Creates a recorder; the sample ring is allocated up front so
-    /// sampling never reallocates.
+    /// Creates a recorder; sample chunks are arena-allocated on demand,
+    /// so retained samples are never reallocation-copied and an idle
+    /// recorder costs nothing.
     pub fn new(config: MetricsConfig) -> MetricsRecorder {
-        let cap = config.capacity;
         let next_tick = config.interval;
         MetricsRecorder {
             config,
             metrics: Vec::new(),
-            samples: Vec::with_capacity(cap),
+            samples: Arena::new(),
             dropped: 0,
             next_tick,
         }
@@ -428,9 +431,14 @@ impl MetricsRecorder {
         }
     }
 
-    /// Recorded samples, oldest first.
-    pub fn samples(&self) -> &[Sample] {
-        &self.samples
+    /// Iterates recorded samples, oldest first.
+    pub fn samples(&self) -> impl Iterator<Item = &Sample> {
+        self.samples.iter()
+    }
+
+    /// Number of retained samples.
+    pub fn sample_count(&self) -> usize {
+        self.samples.len()
     }
 
     /// Samples not retained because the ring was full.
@@ -648,17 +656,13 @@ mod tests {
         let g = m.gauge("g", Labels::NONE);
         assert!(!m.tick_due(Nanos(99)));
         m.sample(Nanos(99));
-        assert!(m.samples().is_empty());
+        assert_eq!(m.sample_count(), 0);
         m.gauge_set(g, 7.0);
         m.sample(Nanos(100));
         m.gauge_set(g, 9.0);
         m.sample(Nanos(150)); // not due: next tick is 200
         m.sample(Nanos(230));
-        let pts: Vec<(u64, f64)> = m
-            .samples()
-            .iter()
-            .map(|s| (s.at.as_nanos(), s.value))
-            .collect();
+        let pts: Vec<(u64, f64)> = m.samples().map(|s| (s.at.as_nanos(), s.value)).collect();
         assert_eq!(pts, vec![(100, 7.0), (230, 9.0)]);
     }
 
@@ -686,7 +690,7 @@ mod tests {
             m.sample(Nanos(t * 10));
         }
         // 5 ticks x 3 metrics = 15 attempts; 8 kept, 7 dropped.
-        assert_eq!(m.samples().len(), 8);
+        assert_eq!(m.sample_count(), 8);
         assert_eq!(m.dropped(), 7);
     }
 

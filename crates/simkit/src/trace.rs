@@ -15,10 +15,13 @@
 //! - **Observation only.** The recorder never advances any clock; it
 //!   stores timestamps the simulation already computed. Runs with
 //!   tracing on and off produce identical simulated behavior.
-//! - **Bounded.** Events live in a ring pre-allocated at
+//! - **Bounded.** Events live in a chunked [`Arena`] capped at
 //!   [`TraceConfig::capacity`]; once full, new events increment a drop
 //!   counter instead of growing the buffer. Drops are themselves
-//!   observable via [`TraceRecorder::dropped`].
+//!   observable via [`TraceRecorder::dropped`]. Chunks are allocated
+//!   lazily as the recording grows, so short runs never pay for the
+//!   full capacity, and free-form annotations share one [`StrArena`]
+//!   instead of costing a heap allocation per event.
 //! - **Zero-cost when off.** The recorder is owned as an
 //!   `Option<Box<_>>` by the fabric; every instrumentation site is a
 //!   single `is-some` branch when disabled.
@@ -29,6 +32,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::arena::{Arena, StrArena, StrRef};
 use crate::stats::{Histogram, Summary};
 use crate::time::Nanos;
 
@@ -89,8 +93,10 @@ pub struct TraceEvent {
     pub start: Nanos,
     /// Span duration; `None` marks an instant event.
     pub dur: Option<Nanos>,
-    /// Free-form annotation (message kind, violation detail, …).
-    pub note: Option<String>,
+    /// Free-form annotation (message kind, violation detail, …) as a
+    /// reference into the recorder's string arena; resolve with
+    /// [`TraceRecorder::note_of`].
+    pub note: Option<StrRef>,
 }
 
 /// Recorder construction parameters.
@@ -148,7 +154,8 @@ impl TraceConfig {
 /// each stage that inherit that context.
 pub struct TraceRecorder {
     config: TraceConfig,
-    events: Vec<TraceEvent>,
+    events: Arena<TraceEvent>,
+    notes: StrArena,
     dropped: u64,
     /// `(op, kind)` context stack; the top attributes recorded events.
     ctx: Vec<(u64, u8)>,
@@ -160,13 +167,14 @@ pub struct TraceRecorder {
 }
 
 impl TraceRecorder {
-    /// Creates a recorder; the event buffer is allocated up front so
-    /// recording never reallocates.
+    /// Creates a recorder; event chunks are arena-allocated on demand,
+    /// so recording never moves already-stored events and an idle
+    /// recorder costs nothing.
     pub fn new(config: TraceConfig) -> TraceRecorder {
-        let cap = config.capacity;
         TraceRecorder {
             config,
-            events: Vec::with_capacity(cap),
+            events: Arena::new(),
+            notes: StrArena::new(),
             dropped: 0,
             ctx: Vec::new(),
             stages: BTreeMap::new(),
@@ -242,8 +250,10 @@ impl TraceRecorder {
         self.instant_for(track, name, op, kind, at, None);
     }
 
-    /// Records an annotated instant under the current context.
-    pub fn instant_note(&mut self, track: Track, name: &'static str, at: Nanos, note: String) {
+    /// Records an annotated instant under the current context. The
+    /// note is copied into the recorder's string arena (no per-event
+    /// heap allocation).
+    pub fn instant_note(&mut self, track: Track, name: &'static str, at: Nanos, note: &str) {
         let (op, kind) = self.ctx();
         self.instant_for(track, name, op, kind, at, Some(note));
     }
@@ -256,8 +266,15 @@ impl TraceRecorder {
         op: u64,
         kind: u8,
         at: Nanos,
-        note: Option<String>,
+        note: Option<&str>,
     ) {
+        // Intern only if the event will be retained, so a full ring
+        // does not grow the note arena.
+        let note = if self.events.len() < self.config.capacity {
+            note.map(|n| self.notes.intern(n))
+        } else {
+            None
+        };
         self.push_event(TraceEvent {
             track,
             name,
@@ -269,9 +286,20 @@ impl TraceRecorder {
         });
     }
 
-    /// Recorded events, oldest first.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+    /// Iterates recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Resolves an event's annotation against this recorder's string
+    /// arena.
+    pub fn note_of(&self, ev: &TraceEvent) -> Option<&str> {
+        ev.note.map(|r| self.notes.resolve(r))
     }
 
     /// Events not retained because the ring was full.
@@ -353,7 +381,7 @@ impl TraceRecorder {
             let tid = tids[&ev.track];
             let ts = ev.start.as_nanos() as f64 / 1000.0;
             let mut args = format!("\"op\":{},\"kind\":\"{}\"", ev.op, kind_name(ev.kind));
-            if let Some(note) = &ev.note {
+            if let Some(note) = self.note_of(ev) {
                 args.push_str(&format!(",\"note\":{}", json_string(note)));
             }
             let body = match ev.dur {
@@ -428,7 +456,7 @@ mod tests {
         tr.span(Track::HostCpu(1), "chan/send", Nanos(100), Nanos(250));
         tr.pop_ctx();
         tr.span(Track::HostCpu(1), "chan/send", Nanos(300), Nanos(310));
-        let evs = tr.events();
+        let evs: Vec<&TraceEvent> = tr.events().collect();
         assert_eq!(evs.len(), 2);
         assert_eq!(evs[0].op, 42);
         assert_eq!(evs[0].kind, KIND_SSD);
@@ -450,7 +478,7 @@ mod tests {
                 Nanos(i * 10 + 5),
             );
         }
-        assert_eq!(tr.events().len(), 1);
+        assert_eq!(tr.event_count(), 1);
         assert_eq!(tr.dropped(), 4);
         // Attribution survives the drops.
         let sums = tr.stage_summaries();
@@ -487,7 +515,7 @@ mod tests {
             Track::Channel(0xABC0),
             "chan/blocked",
             Nanos(2_000),
-            "ring \"full\"".to_string(),
+            "ring \"full\"",
         );
         tr.pop_ctx();
         let json = tr.export_chrome_json();
@@ -524,6 +552,30 @@ mod tests {
     fn reversed_span_clamps_to_zero() {
         let mut tr = TraceRecorder::new(cfg(4));
         tr.span_for(Track::HostCpu(0), "x", 1, KIND_NONE, Nanos(100), Nanos(50));
-        assert_eq!(tr.events()[0].dur, Some(Nanos(0)));
+        assert_eq!(tr.events().next().expect("one event").dur, Some(Nanos(0)));
+    }
+
+    #[test]
+    fn notes_resolve_through_arena() {
+        let mut tr = TraceRecorder::new(cfg(8));
+        tr.instant_note(Track::HostCpu(0), "a", Nanos(1), "first");
+        tr.instant(Track::HostCpu(0), "b", Nanos(2));
+        tr.instant_note(Track::HostCpu(0), "c", Nanos(3), "third");
+        let notes: Vec<Option<&str>> = {
+            let evs: Vec<&TraceEvent> = tr.events().collect();
+            evs.iter().map(|e| tr.note_of(e)).collect()
+        };
+        assert_eq!(notes, vec![Some("first"), None, Some("third")]);
+    }
+
+    #[test]
+    fn full_ring_does_not_grow_note_arena() {
+        let mut tr = TraceRecorder::new(cfg(1));
+        tr.instant_note(Track::HostCpu(0), "a", Nanos(1), "kept");
+        tr.instant_note(Track::HostCpu(0), "b", Nanos(2), "dropped-note");
+        assert_eq!(tr.event_count(), 1);
+        assert_eq!(tr.dropped(), 1);
+        let ev = tr.events().next().expect("one event");
+        assert_eq!(tr.note_of(ev), Some("kept"));
     }
 }

@@ -126,7 +126,7 @@ fn main() {
     println!(
         "wrote {} ({} events, {} dropped)",
         out_path,
-        tr.events().len(),
+        tr.events().count(),
         tr.dropped()
     );
     println!("{}", telemetry::snapshot(&pod));
@@ -139,7 +139,7 @@ fn main() {
             "wrote {} ({} series, {} samples, {} dropped)",
             metrics_out,
             rec.metric_count(),
-            rec.samples().len(),
+            rec.samples().count(),
             rec.dropped()
         );
     }
@@ -164,7 +164,7 @@ fn validate_metrics(pod: &PodSim, trace_json: &str) {
         "expected >= 8 distinct metric names, got {}: {names:?}",
         names.len()
     );
-    assert!(!rec.samples().is_empty(), "sampler never ticked");
+    assert!(rec.samples().next().is_some(), "sampler never ticked");
 
     // Counter tracks made it into the merged trace export.
     let v = serde_json::from_str(trace_json).expect("trace must be valid JSON");
@@ -186,7 +186,7 @@ fn validate_metrics(pod: &PodSim, trace_json: &str) {
         Some("time_ns,name,host,domain,mhd,device,tenant,value"),
         "metrics CSV header mismatch"
     );
-    assert_eq!(lines.count(), rec.samples().len(), "CSV row count");
+    assert_eq!(lines.count(), rec.samples().count(), "CSV row count");
 
     // The JSON export parses and carries its schema tag.
     let mj = serde_json::from_str(&rec.export_json()).expect("metrics JSON parses");

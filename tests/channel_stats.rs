@@ -60,10 +60,9 @@ fn blocked_send_counts_events_and_stall_nanos() {
     // The stall is visible in the trace: a blocked instant and a stall
     // span on the channel's track.
     let tr = f.trace().expect("tracing enabled");
-    assert!(tr.events().iter().any(|e| e.name == "chan/blocked"));
+    assert!(tr.events().any(|e| e.name == "chan/blocked"));
     let stall = tr
         .events()
-        .iter()
         .find(|e| e.name == "chan/stall")
         .expect("stall span recorded");
     assert!(stall.dur.expect("stall is a span") > Nanos(0));

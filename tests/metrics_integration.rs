@@ -62,7 +62,7 @@ fn sampler_agrees_with_time_weighted_view() {
 
     let free = pod.fabric.free_capacity() as f64;
     let rec = pod.metrics().expect("metrics enabled");
-    assert!(!rec.samples().is_empty(), "sampler never ticked");
+    assert!(rec.samples().next().is_some(), "sampler never ticked");
 
     let series = rec.series();
     let pool = series
@@ -102,7 +102,11 @@ fn ring_capacity_bounds_samples_and_counts_drops() {
     drive(&mut pod);
 
     let rec = pod.metrics().expect("metrics enabled");
-    assert_eq!(rec.samples().len(), 8, "the ring never grows past capacity");
+    assert_eq!(
+        rec.samples().count(),
+        8,
+        "the ring never grows past capacity"
+    );
     assert!(rec.dropped() > 0, "overflow must be counted");
 
     // The exports stay well-formed under drops and report them.
@@ -132,7 +136,7 @@ fn csv_and_json_exports_round_trip() {
         Some("time_ns,name,host,domain,mhd,device,tenant,value")
     );
     let rows: Vec<&str> = lines.collect();
-    assert_eq!(rows.len(), rec.samples().len());
+    assert_eq!(rows.len(), rec.samples().count());
     for row in &rows {
         let cols: Vec<&str> = row.split(',').collect();
         assert_eq!(cols.len(), 8, "malformed CSV row: {row}");
@@ -159,7 +163,7 @@ fn csv_and_json_exports_round_trip() {
                 .map_or(0, Vec::len)
         })
         .sum();
-    assert_eq!(points, rec.samples().len());
+    assert_eq!(points, rec.samples().count());
     // Series are sorted by (name, labels) for byte-stable output.
     let names: Vec<&str> = series
         .iter()

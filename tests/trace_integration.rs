@@ -34,7 +34,7 @@ fn cross_host_ssd_read_leaves_complete_monotone_chain() {
 
     let tr = pod.trace().expect("tracing enabled");
     assert_eq!(tr.dropped(), 0, "capacity is ample for one op");
-    let evs: Vec<&TraceEvent> = tr.events().iter().filter(|e| e.op == r.op).collect();
+    let evs: Vec<&TraceEvent> = tr.events().filter(|e| e.op == r.op).collect();
     let find = |name: &str| evs.iter().find(|e| e.name == name).copied();
 
     // Every stage of the forwarded path is present for this op id —
@@ -82,7 +82,7 @@ fn capacity_one_recorder_drops_without_panicking() {
         .expect("the datapath is unaffected by recorder overflow");
 
     let tr = pod.trace().expect("tracing enabled");
-    assert_eq!(tr.events().len(), 1, "the ring never grows past capacity");
+    assert_eq!(tr.events().count(), 1, "the ring never grows past capacity");
     assert!(tr.dropped() > 0, "overflow must be counted");
     // Latency attribution survives the drops.
     assert!(tr.stage_summaries().iter().any(|&(_, _, s)| s.count > 0));
